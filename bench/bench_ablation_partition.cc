@@ -1,0 +1,64 @@
+// Ablation: how the partition-tree shape (fanout kappa, leaf threshold
+// delta) affects RNE accuracy and training cost — the design choices
+// DESIGN.md calls out for Sec IV-A. Also reports the Sec IV-A norm-sharing
+// diagnostic: the hierarchical model's total parameter L1 norm is much
+// smaller than the flat model's.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+#include "util/timer.h"
+
+namespace rne::bench {
+namespace {
+
+void Run() {
+  const Dataset ds = MakeBjDataset();
+  const auto val = ValidationSet(ds.graph, 10000);
+  TableWriter table({"fanout", "leaf_threshold", "tree_nodes", "levels",
+                     "train_s", "mean_rel_error_%", "sum_local_norms"});
+
+  struct Shape {
+    size_t fanout;
+    size_t leaf;
+  };
+  const std::vector<Shape> shapes = {
+      {2, 64}, {4, 32}, {4, 64}, {4, 128}, {8, 64},
+      {4, ds.graph.NumVertices()},  // flat model for the norm comparison
+  };
+  for (const Shape& shape : shapes) {
+    HierarchyOptions hopt;
+    hopt.fanout = shape.fanout;
+    hopt.leaf_threshold = shape.leaf;
+    const PartitionHierarchy hier = PartitionHierarchy::Build(ds.graph, hopt);
+    TrainConfig cfg;
+    cfg.dim = 64;
+    cfg.level_samples = 30000;
+    cfg.level_epochs = 5;
+    cfg.vertex_samples = 150000;
+    cfg.vertex_epochs = 8;
+    cfg.finetune_rounds = 0;
+    Timer timer;
+    Trainer trainer(ds.graph, hier, cfg);
+    trainer.TrainAll();
+    const double seconds = timer.ElapsedSeconds();
+    const double err = 100.0 * trainer.MeanRelativeError(val);
+    table.AddRow({std::to_string(shape.fanout), std::to_string(shape.leaf),
+                  std::to_string(hier.num_nodes()),
+                  std::to_string(hier.max_level() + 1),
+                  TableWriter::Fmt(seconds, 1), TableWriter::Fmt(err, 3),
+                  TableWriter::Fmt(trainer.model().SumLocalNorms(), 0)});
+    std::printf("[ablation] kappa=%zu delta=%zu err=%.3f%% (%.1fs)\n",
+                shape.fanout, shape.leaf, err, seconds);
+    std::fflush(stdout);
+  }
+  Emit(table, "Ablation: partition-tree shape (BJ')", "ablation_partition");
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main() {
+  rne::bench::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries:
+// dataset construction (synthetic stand-ins for BJ / FLA / US-W),
+// per-method evaluation loops, query-time measurement, and result output.
+//
+// Dataset scale is chosen so every bench finishes on a small single-core
+// machine; set RNE_BENCH_SCALE=2 (or higher) to multiply the linear grid
+// side of all datasets.
+#ifndef RNE_BENCH_BENCH_COMMON_H_
+#define RNE_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/distance_sampler.h"
+#include "baselines/method.h"
+#include "core/evaluation.h"
+#include "core/rne.h"
+#include "graph/generators.h"
+#include "util/table_writer.h"
+
+namespace rne::bench {
+
+/// One synthetic evaluation dataset.
+struct Dataset {
+  std::string name;   // "BJ'", "FLA'", "USW'"
+  Graph graph;
+  size_t rne_dim;      // paper: 64 for BJ, 128 for the larger two
+  size_t lt_landmarks; // paper: 128 / 256 / 256
+};
+
+/// The three datasets, smallest first. `max_datasets` limits how many are
+/// materialized (some benches only run on BJ', like the paper's DO).
+std::vector<Dataset> MakeDatasets(size_t max_datasets = 3);
+
+/// Just the smallest dataset (ablation studies run on BJ only in the paper).
+Dataset MakeBjDataset();
+
+/// Scale factor from RNE_BENCH_SCALE (>= 1; default 1).
+size_t BenchScale();
+
+/// RNE build configuration tuned for the synthetic datasets; sample budgets
+/// scale with the vertex count.
+RneConfig DefaultRneConfig(size_t dim, size_t num_vertices);
+
+/// Builds the default RNE model for a dataset, memoized on disk under
+/// bench_results/cache/ so independent bench binaries share one training
+/// run. (Table IV times fresh builds and bypasses this.) The returned
+/// reference lives for the process lifetime.
+const Rne& CachedRne(const Dataset& ds);
+
+/// Exact random validation pairs (the paper evaluates on randomly chosen
+/// pairs; size is scaled down from their 1M to fit the machine).
+std::vector<DistanceSample> ValidationSet(const Graph& g, size_t n,
+                                          uint64_t seed = 97);
+
+/// Mean relative and mean absolute error of a method over `val`.
+struct ErrorStats {
+  double mean_rel = 0.0;
+  double mean_abs = 0.0;
+};
+ErrorStats EvalError(DistanceMethod& method,
+                     const std::vector<DistanceSample>& val);
+
+/// Average wall-clock nanoseconds per Query() over the pairs of `val`.
+double MeasureQueryNanos(DistanceMethod& method,
+                         const std::vector<DistanceSample>& val,
+                         size_t repeats = 1);
+
+/// Splits exact random pairs into `num_groups` groups by distance scale:
+/// group i holds pairs with distance in (diameter*i/Q, diameter*(i+1)/Q].
+/// Mirrors the paper's Fig 13/17 query groups (x axis = upper bound).
+std::vector<std::vector<DistanceSample>> DistanceScaleGroups(
+    const Graph& g, size_t num_groups, size_t per_group, uint64_t seed = 131);
+
+/// Adapters so Rne and raw callables fit the DistanceMethod interface.
+class RneMethod : public DistanceMethod {
+ public:
+  explicit RneMethod(const Rne* model) : model_(model) {}
+  std::string Name() const override { return "RNE"; }
+  double Query(VertexId s, VertexId t) override { return model_->Query(s, t); }
+  size_t IndexBytes() const override { return model_->IndexBytes(); }
+  bool IsExact() const override { return false; }
+
+ private:
+  const Rne* model_;
+};
+
+/// Output directory for CSV mirrors of the printed tables.
+std::string ResultsDir();
+/// Prints the table and writes bench_results/<csv_name>.csv.
+void Emit(const TableWriter& table, const std::string& title,
+          const std::string& csv_name);
+
+}  // namespace rne::bench
+
+#endif  // RNE_BENCH_BENCH_COMMON_H_

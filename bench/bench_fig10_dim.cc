@@ -1,0 +1,60 @@
+// Fig 10 reproduction: mean relative error vs number of training samples for
+// embedding dimensions d in {32, 64, 128, 256}. Expected shape: every curve
+// decreases with more samples with diminishing returns; larger d needs more
+// samples but can reach lower error.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+
+namespace rne::bench {
+namespace {
+
+void Run() {
+  const Dataset ds = MakeBjDataset();
+  const auto val = ValidationSet(ds.graph, 10000);
+
+  HierarchyOptions hopt;
+  hopt.fanout = 4;
+  hopt.leaf_threshold = 64;
+  const PartitionHierarchy hier = PartitionHierarchy::Build(ds.graph, hopt);
+
+  TableWriter table({"dim", "samples_processed", "mean_rel_error_%"});
+  for (const size_t dim : {32u, 64u, 128u, 256u}) {
+    TrainConfig cfg;
+    cfg.dim = dim;
+    cfg.level_samples = 30000;
+    cfg.level_epochs = 5;
+    cfg.vertex_samples = 150000;
+    cfg.vertex_epochs = 8;
+    cfg.finetune_rounds = 2;
+    cfg.finetune_samples = 40000;
+    Trainer trainer(ds.graph, hier, cfg);
+    trainer.SetValidation(val);
+    trainer.TrainAll();
+    // Report the learning curve (samples -> error), thinned to ~10 points.
+    const auto& progress = trainer.progress();
+    const size_t stride = std::max<size_t>(1, progress.size() / 10);
+    for (size_t i = 0; i < progress.size(); i += stride) {
+      table.AddRow({std::to_string(dim),
+                    std::to_string(progress[i].samples_processed),
+                    TableWriter::Fmt(100.0 * progress[i].mean_rel_error, 3)});
+    }
+    table.AddRow({std::to_string(dim),
+                  std::to_string(progress.back().samples_processed),
+                  TableWriter::Fmt(100.0 * progress.back().mean_rel_error, 3)});
+    std::printf("[fig10] d=%zu final err=%.3f%%\n", dim,
+                100.0 * progress.back().mean_rel_error);
+    std::fflush(stdout);
+  }
+  Emit(table, "Fig 10: error vs training samples for each d (BJ')",
+       "fig10_dim");
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main() {
+  rne::bench::Run();
+  return 0;
+}

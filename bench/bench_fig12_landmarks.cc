@@ -1,0 +1,68 @@
+// Fig 12 reproduction: vertex-embedding training with landmark-based sample
+// selection using |U| in {10, 100, 1000, 10000-capped} vs uniform Random,
+// all starting from the same hierarchy embedding. Expected shape:
+// LM-100 best, LM-10 worst (too few references), Random ~ LM-1000.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+
+namespace rne::bench {
+namespace {
+
+void Run() {
+  const Dataset ds = MakeBjDataset();
+  const auto val = ValidationSet(ds.graph, 10000);
+  TableWriter table({"strategy", "samples_processed", "mean_rel_error_%"});
+
+  struct Variant {
+    std::string name;
+    bool landmark;
+    size_t count;
+  };
+  const std::vector<Variant> variants = {
+      {"LM-10", true, 10},     {"LM-100", true, 100},
+      {"LM-1000", true, 1000}, {"LM-3000", true, 3000},
+      {"Random", false, 0},
+  };
+
+  HierarchyOptions hopt;
+  hopt.fanout = 4;
+  hopt.leaf_threshold = 64;
+  const PartitionHierarchy hier = PartitionHierarchy::Build(ds.graph, hopt);
+
+  for (const Variant& v : variants) {
+    TrainConfig cfg;
+    cfg.dim = 64;
+    cfg.level_samples = 30000;
+    cfg.level_epochs = 5;
+    cfg.vertex_samples = 150000;
+    cfg.vertex_epochs = 10;
+    cfg.landmark_sampling = v.landmark;
+    cfg.num_landmarks = v.count;
+    cfg.finetune_rounds = 0;
+    cfg.seed = 77;  // same initialization for every variant
+    Trainer trainer(ds.graph, hier, cfg);
+    trainer.TrainHierarchyPhase();
+    trainer.SetValidation(val);  // record only the vertex-embedding phase
+    trainer.TrainVertexPhase();
+    const auto& progress = trainer.progress();
+    for (const auto& point : progress) {
+      table.AddRow({v.name, std::to_string(point.samples_processed),
+                    TableWriter::Fmt(100.0 * point.mean_rel_error, 3)});
+    }
+    std::printf("[fig12] %-8s final err=%.3f%%\n", v.name.c_str(),
+                100.0 * progress.back().mean_rel_error);
+    std::fflush(stdout);
+  }
+  Emit(table, "Fig 12: landmark-based sample selection (BJ')",
+       "fig12_landmarks");
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main() {
+  rne::bench::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig 13 reproduction: average query time vs query distance scale for CH,
+// ACH, H2H, Distance Oracle (BJ' only), LT and RNE. Expected shape: CH/ACH
+// grow with distance (larger search space), H2H near-flat, LT/RNE flat,
+// DO flat-to-decreasing.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/distance_oracle.h"
+#include "baselines/h2h.h"
+#include "bench/bench_common.h"
+#include "util/rng.h"
+
+namespace rne::bench {
+namespace {
+
+void Run() {
+  TableWriter table(
+      {"dataset", "method", "distance_upper_bound", "query_time_us"});
+  auto datasets = MakeDatasets();
+  for (const Dataset& ds : datasets) {
+    const size_t num_groups = ds.name == "BJ'" ? 5 : 7;
+    const auto groups = DistanceScaleGroups(ds.graph, num_groups, 2000);
+    std::printf("[fig13] dataset %s (%zu groups)\n", ds.name.c_str(),
+                num_groups);
+    std::fflush(stdout);
+
+    std::vector<std::pair<std::string, std::unique_ptr<DistanceMethod>>>
+        methods;
+    methods.emplace_back("CH",
+                         std::make_unique<ContractionHierarchy>(ds.graph));
+    {
+      ChOptions opt;
+      opt.epsilon = 0.1;
+      methods.emplace_back(
+          "ACH", std::make_unique<ContractionHierarchy>(ds.graph, opt));
+    }
+    methods.emplace_back("H2H", std::make_unique<H2HIndex>(ds.graph));
+    if (ds.name == "BJ'") {
+      DistanceOracleOptions opt;
+      opt.epsilon = 0.5;
+      methods.emplace_back("DistanceOracle",
+                           std::make_unique<DistanceOracle>(ds.graph, opt));
+    }
+    {
+      Rng rng(41);
+      methods.emplace_back(
+          "LT", std::make_unique<AltIndex>(ds.graph, ds.lt_landmarks, rng));
+    }
+    const Rne& model = CachedRne(ds);
+    methods.emplace_back("RNE", std::make_unique<RneMethod>(&model));
+
+    // Distance upper bound of group i (for the x axis).
+    double diameter = 0.0;
+    for (const auto& group : groups) {
+      for (const auto& s : group) diameter = std::max(diameter, s.dist);
+    }
+    for (const auto& [name, method] : methods) {
+      for (size_t i = 0; i < groups.size(); ++i) {
+        if (groups[i].empty()) continue;
+        const double upper =
+            diameter * static_cast<double>(i + 1) / num_groups;
+        const double nanos = MeasureQueryNanos(*method, groups[i]);
+        table.AddRow({ds.name, name, TableWriter::Fmt(upper, 0),
+                      TableWriter::Fmt(nanos / 1000.0, 3)});
+      }
+      std::printf("[fig13]   %s done\n", name.c_str());
+      std::fflush(stdout);
+    }
+  }
+  Emit(table, "Fig 13: query time vs distance scale", "fig13_query_time");
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main() {
+  rne::bench::Run();
+  return 0;
+}

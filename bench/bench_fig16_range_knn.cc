@@ -1,0 +1,183 @@
+// Fig 16 reproduction: range-query F1 score and query time vs distance
+// threshold tau on BJ', for RNE (tree index), Distance Oracle (filter by
+// DO distance), the exact network-expansion comparator (V-tree stand-in,
+// see DESIGN.md), and Euclidean / Manhattan over a KD-tree. A kNN variant
+// of the same comparison is printed alongside (the paper notes the kNN
+// results look like the range results).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "baselines/distance_oracle.h"
+#include "baselines/gtree.h"
+#include "baselines/kd_tree.h"
+#include "baselines/network_knn.h"
+#include "bench/bench_common.h"
+#include "core/rne_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace rne::bench {
+namespace {
+
+struct F1Time {
+  double f1 = 0.0;
+  double micros = 0.0;
+};
+
+double F1(const std::vector<VertexId>& approx,
+          const std::vector<VertexId>& truth) {
+  if (truth.empty() && approx.empty()) return 1.0;
+  const std::set<VertexId> truth_set(truth.begin(), truth.end());
+  size_t hits = 0;
+  for (const VertexId v : approx) hits += truth_set.count(v);
+  const double precision =
+      approx.empty() ? 0.0 : static_cast<double>(hits) / approx.size();
+  const double recall =
+      truth.empty() ? 0.0 : static_cast<double>(hits) / truth.size();
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+void Run() {
+  Dataset ds = MakeBjDataset();
+  std::printf("[fig16] dataset %s: %zu vertices\n", ds.name.c_str(),
+              ds.graph.NumVertices());
+  std::fflush(stdout);
+
+  // Targets: every 5th vertex plays POI (the paper queries object sets).
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < ds.graph.NumVertices(); v += 5) {
+    targets.push_back(v);
+  }
+
+  const Rne& model = CachedRne(ds);
+  const RneIndex rne_index(&model, targets);
+  NetworkKnn exact(ds.graph, targets);  // ground truth (Dijkstra expansion)
+  GTree gtree(ds.graph);                // the V-tree comparator (exact)
+  gtree.SetTargets(targets);
+  DistanceOracleOptions do_opt;
+  do_opt.epsilon = 0.5;
+  DistanceOracle oracle(ds.graph, do_opt);
+  const KdTree kd_euclid(ds.graph, GeoMetric::kEuclidean, targets);
+  const KdTree kd_manhattan(ds.graph, GeoMetric::kManhattan, targets);
+
+  // Sweep tau from ~10% to ~50% of the network diameter (the paper's
+  // 5-25 km on BJ covers a similar fraction).
+  const auto probe = ValidationSet(ds.graph, 4000);
+  double diameter = 0.0;
+  for (const auto& s : probe) diameter = std::max(diameter, s.dist);
+
+  Rng rng(71);
+  std::vector<VertexId> sources;
+  for (int i = 0; i < 60; ++i) {
+    sources.push_back(
+        static_cast<VertexId>(rng.UniformIndex(ds.graph.NumVertices())));
+  }
+
+  TableWriter table({"tau", "method", "range_F1", "range_time_us"});
+  for (const double frac : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const double tau = diameter * frac;
+    // Exact ground truth per source.
+    std::vector<std::vector<VertexId>> truth;
+    truth.reserve(sources.size());
+    for (const VertexId s : sources) truth.push_back(exact.Range(s, tau));
+
+    auto record = [&](const std::string& name, auto&& query) {
+      double f1_sum = 0.0;
+      Timer timer;
+      std::vector<std::vector<VertexId>> results;
+      results.reserve(sources.size());
+      for (const VertexId s : sources) results.push_back(query(s));
+      const double micros = static_cast<double>(timer.ElapsedNanos()) / 1e3 /
+                            static_cast<double>(sources.size());
+      for (size_t i = 0; i < sources.size(); ++i) {
+        f1_sum += F1(results[i], truth[i]);
+      }
+      table.AddRow({TableWriter::Fmt(tau, 0), name,
+                    TableWriter::Fmt(f1_sum / sources.size(), 3),
+                    TableWriter::Fmt(micros, 1)});
+      std::printf("[fig16] tau=%.0f %-12s F1=%.3f time=%.1fus\n", tau,
+                  name.c_str(), f1_sum / sources.size(), micros);
+      std::fflush(stdout);
+    };
+
+    record("RNE", [&](VertexId s) { return rne_index.Range(s, tau); });
+    record("DistanceOracle", [&](VertexId s) {
+      std::vector<VertexId> out;
+      for (const VertexId t : targets) {
+        if (oracle.Query(s, t) <= tau) out.push_back(t);
+      }
+      return out;
+    });
+    record("V-tree(GTree)", [&](VertexId s) { return gtree.Range(s, tau); });
+    record("NetExpansion", [&](VertexId s) { return exact.Range(s, tau); });
+    record("Euclidean", [&](VertexId s) { return kd_euclid.Range(s, tau); });
+    record("Manhattan",
+           [&](VertexId s) { return kd_manhattan.Range(s, tau); });
+  }
+  Emit(table, "Fig 16: range query F1 and time (BJ')", "fig16_range");
+
+  // kNN variant (paper: "results are very similar to range queries").
+  TableWriter knn_table({"k", "method", "knn_F1", "knn_time_us"});
+  for (const size_t k : {1u, 5u, 10u, 25u, 50u}) {
+    std::vector<std::set<VertexId>> truth;
+    for (const VertexId s : sources) {
+      std::set<VertexId> set;
+      for (const auto& [v, d] : exact.Knn(s, k)) set.insert(v);
+      truth.push_back(std::move(set));
+    }
+    auto record = [&](const std::string& name, auto&& query) {
+      double f1_sum = 0.0;
+      Timer timer;
+      std::vector<std::vector<VertexId>> results;
+      for (const VertexId s : sources) results.push_back(query(s));
+      const double micros = static_cast<double>(timer.ElapsedNanos()) / 1e3 /
+                            static_cast<double>(sources.size());
+      for (size_t i = 0; i < sources.size(); ++i) {
+        size_t hits = 0;
+        for (const VertexId v : results[i]) hits += truth[i].count(v);
+        f1_sum += truth[i].empty()
+                      ? 1.0
+                      : static_cast<double>(hits) /
+                            std::max(results[i].size(), truth[i].size());
+      }
+      knn_table.AddRow({std::to_string(k), name,
+                        TableWriter::Fmt(f1_sum / sources.size(), 3),
+                        TableWriter::Fmt(micros, 1)});
+      std::printf("[fig16] k=%zu %-12s F1=%.3f time=%.1fus\n", k, name.c_str(),
+                  f1_sum / sources.size(), micros);
+      std::fflush(stdout);
+    };
+    record("RNE", [&](VertexId s) {
+      std::vector<VertexId> out;
+      for (const auto& [v, d] : rne_index.Knn(s, k)) out.push_back(v);
+      return out;
+    });
+    record("V-tree(GTree)", [&](VertexId s) {
+      std::vector<VertexId> out;
+      for (const auto& [v, d] : gtree.Knn(s, k)) out.push_back(v);
+      return out;
+    });
+    record("NetExpansion", [&](VertexId s) {
+      std::vector<VertexId> out;
+      for (const auto& [v, d] : exact.Knn(s, k)) out.push_back(v);
+      return out;
+    });
+    record("Euclidean", [&](VertexId s) {
+      std::vector<VertexId> out;
+      for (const auto& [v, d] : kd_euclid.Knn(s, k)) out.push_back(v);
+      return out;
+    });
+  }
+  Emit(knn_table, "Fig 16 (companion): kNN F1 and time (BJ')", "fig16_knn");
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main() {
+  rne::bench::Run();
+  return 0;
+}

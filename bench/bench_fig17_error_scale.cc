@@ -1,0 +1,78 @@
+// Fig 17 reproduction: mean relative error (line) and mean absolute error
+// (bar) per query distance scale for ACH, Distance Oracle (BJ' only), LT
+// and RNE. Expected shape: ACH's absolute error grows super-linearly with
+// distance; RNE's absolute error is flat so its relative error falls; DO's
+// relative error is flat; LT mirrors RNE at a worse level.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/distance_oracle.h"
+#include "bench/bench_common.h"
+#include "util/rng.h"
+
+namespace rne::bench {
+namespace {
+
+void Run() {
+  TableWriter table({"dataset", "method", "distance_upper_bound",
+                     "mean_rel_error_%", "mean_abs_error"});
+  auto datasets = MakeDatasets();
+  for (const Dataset& ds : datasets) {
+    const size_t num_groups = ds.name == "BJ'" ? 5 : 7;
+    const auto groups = DistanceScaleGroups(ds.graph, num_groups, 2000);
+    double diameter = 0.0;
+    for (const auto& group : groups) {
+      for (const auto& s : group) diameter = std::max(diameter, s.dist);
+    }
+    std::printf("[fig17] dataset %s\n", ds.name.c_str());
+    std::fflush(stdout);
+
+    auto record = [&](const std::string& name, DistanceMethod& method) {
+      for (size_t i = 0; i < groups.size(); ++i) {
+        if (groups[i].empty()) continue;
+        const ErrorStats stats = EvalError(method, groups[i]);
+        const double upper =
+            diameter * static_cast<double>(i + 1) / num_groups;
+        table.AddRow({ds.name, name, TableWriter::Fmt(upper, 0),
+                      TableWriter::Fmt(100.0 * stats.mean_rel, 3),
+                      TableWriter::Fmt(stats.mean_abs, 1)});
+      }
+      std::printf("[fig17]   %s done\n", name.c_str());
+      std::fflush(stdout);
+    };
+
+    {
+      ChOptions opt;
+      opt.epsilon = 0.1;
+      ContractionHierarchy ach(ds.graph, opt);
+      record("ACH", ach);
+    }
+    if (ds.name == "BJ'") {
+      DistanceOracleOptions opt;
+      opt.epsilon = 0.5;
+      DistanceOracle oracle(ds.graph, opt);
+      record("DistanceOracle", oracle);
+    }
+    {
+      Rng rng(41);
+      AltIndex lt(ds.graph, ds.lt_landmarks, rng);
+      record("LT", lt);
+    }
+    {
+      const Rne& model = CachedRne(ds);
+      RneMethod rne(&model);
+      record("RNE", rne);
+    }
+  }
+  Emit(table, "Fig 17: errors by distance scale", "fig17_error_scale");
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main() {
+  rne::bench::Run();
+  return 0;
+}

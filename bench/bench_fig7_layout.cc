@@ -1,0 +1,89 @@
+// Fig 7 reproduction: train a d=2 embedding of BJ' with and without the
+// hierarchy and emit the 2-D vertex positions as CSV (plot them to see the
+// layouts of Fig 7b/7c). Also prints spread statistics: the flat model's
+// vectors collapse into clumps (low spread relative to the coordinate
+// layout), the hierarchical one preserves the global layout.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+#include "util/stats.h"
+
+namespace rne::bench {
+namespace {
+
+/// Correlation between embedding L1 distances and true coordinates' L1
+/// distances over random pairs — a scalar proxy for "preserves the layout".
+double LayoutCorrelation(const Graph& g, const EmbeddingMatrix& emb,
+                         Rng& rng) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 4000; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    a.push_back(std::abs(static_cast<double>(emb.Row(s)[0]) - emb.Row(t)[0]) +
+                std::abs(static_cast<double>(emb.Row(s)[1]) - emb.Row(t)[1]));
+    b.push_back(ManhattanDistance(g, s, t));
+  }
+  const double ma = Mean(a), mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  return cov / (std::sqrt(va) * std::sqrt(vb) + 1e-12);
+}
+
+void Run() {
+  const Dataset ds = MakeBjDataset();
+  TableWriter table({"model", "vertex", "x", "y"});
+  TableWriter stats({"model", "layout_correlation", "mean_rel_error_%"});
+  const auto val = ValidationSet(ds.graph, 5000);
+
+  for (const bool hierarchical : {false, true}) {
+    HierarchyOptions hopt;
+    hopt.fanout = 4;
+    hopt.leaf_threshold =
+        hierarchical ? 64 : ds.graph.NumVertices();
+    if (!hierarchical) hopt.max_levels = 1;
+    const PartitionHierarchy hier = PartitionHierarchy::Build(ds.graph, hopt);
+    TrainConfig cfg;
+    cfg.dim = 2;
+    cfg.level_samples = 30000;
+    cfg.level_epochs = 5;
+    cfg.vertex_samples = 120000;
+    cfg.vertex_epochs = 8;
+    cfg.finetune_rounds = 0;
+    Trainer trainer(ds.graph, hier, cfg);
+    if (hierarchical) trainer.TrainHierarchyPhase();
+    trainer.TrainVertexPhase();
+
+    const EmbeddingMatrix emb = trainer.model().FlattenVertices();
+    const std::string name = hierarchical ? "RNE-Hier" : "RNE-Naive";
+    for (VertexId v = 0; v < emb.rows(); ++v) {
+      table.AddRow({name, std::to_string(v),
+                    TableWriter::Fmt(emb.Row(v)[0], 4),
+                    TableWriter::Fmt(emb.Row(v)[1], 4)});
+    }
+    Rng rng(61);
+    const double corr = LayoutCorrelation(ds.graph, emb, rng);
+    const double err = 100.0 * trainer.MeanRelativeError(val);
+    stats.AddRow({name, TableWriter::Fmt(corr, 4), TableWriter::Fmt(err, 2)});
+    std::printf("[fig7] %-10s layout corr=%.4f err=%.2f%%\n", name.c_str(),
+                corr, err);
+    std::fflush(stdout);
+  }
+  // The big CSV goes to disk; the console shows only the summary statistics.
+  const Status st = table.WriteCsv(ResultsDir() + "/fig7_layout.csv");
+  if (!st.ok()) std::printf("csv write failed: %s\n", st.ToString().c_str());
+  Emit(stats, "Fig 7: 2-D embedding layout quality (BJ')", "fig7_stats");
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main() {
+  rne::bench::Run();
+  return 0;
+}

@@ -1,0 +1,212 @@
+// Microbenchmarks (google-benchmark): the L1 query kernel vs the generic Lp
+// path, point-to-point search costs (Dijkstra / bidirectional / A*), and the
+// end-to-end RNE query for several dimensions. These are the "60-150 ns"
+// headline numbers of the paper's abstract.
+#include <benchmark/benchmark.h>
+
+#include "algo/astar.h"
+#include "algo/bidirectional_dijkstra.h"
+#include "algo/dijkstra.h"
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/gtree.h"
+#include "baselines/h2h.h"
+#include "core/metric.h"
+#include "core/quantized.h"
+#include "core/rne.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace rne {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* g = [] {
+    RoadNetworkConfig cfg;
+    cfg.rows = 48;
+    cfg.cols = 48;
+    cfg.seed = 3;
+    return new Graph(MakeRoadNetwork(cfg));
+  }();
+  return *g;
+}
+
+std::vector<float> RandomVec(size_t dim, Rng& rng) {
+  std::vector<float> v(dim);
+  for (float& x : v) x = static_cast<float>(rng.UniformReal(-1, 1));
+  return v;
+}
+
+void BM_L1Kernel(benchmark::State& state) {
+  Rng rng(1);
+  const auto a = RandomVec(static_cast<size_t>(state.range(0)), rng);
+  const auto b = RandomVec(static_cast<size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L1Dist(a, b));
+  }
+}
+BENCHMARK(BM_L1Kernel)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GenericLpKernel(benchmark::State& state) {
+  Rng rng(2);
+  const auto a = RandomVec(64, rng);
+  const auto b = RandomVec(64, rng);
+  const double p = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LpDist(a, b, p));
+  }
+}
+BENCHMARK(BM_GenericLpKernel)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_DijkstraQuery(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  DijkstraSearch search(g);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    benchmark::DoNotOptimize(search.Distance(s, t));
+  }
+}
+BENCHMARK(BM_DijkstraQuery);
+
+void BM_BidirectionalQuery(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  BidirectionalDijkstra search(g);
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    benchmark::DoNotOptimize(search.Distance(s, t));
+  }
+}
+BENCHMARK(BM_BidirectionalQuery);
+
+void BM_AStarGeoQuery(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  AStarSearch search(g);
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    benchmark::DoNotOptimize(search.DistanceGeo(s, t));
+  }
+}
+BENCHMARK(BM_AStarGeoQuery);
+
+const Rne& BenchModel() {
+  static const Rne* model = [] {
+    RneConfig config;
+    config.dim = 64;
+    config.train.level_samples = 5000;
+    config.train.vertex_samples = 20000;
+    config.train.finetune_rounds = 0;
+    return new Rne(Rne::Build(BenchGraph(), config));
+  }();
+  return *model;
+}
+
+void BM_RneQuery(benchmark::State& state) {
+  const Rne& model = BenchModel();
+  Rng rng(6);
+  const size_t n = model.NumVertices();
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+    benchmark::DoNotOptimize(model.Query(s, t));
+  }
+}
+BENCHMARK(BM_RneQuery);
+
+// The paper's dispatch workload: one source against a candidate batch.
+// Reported time is per batch; divide by the batch size for per-distance
+// cost (streaming the matrix beats pointer-chasing per Query call).
+void BM_RneOneToMany(benchmark::State& state) {
+  const Rne& model = BenchModel();
+  const auto batch = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<VertexId> targets(batch);
+  for (auto& t : targets) {
+    t = static_cast<VertexId>(rng.UniformIndex(model.NumVertices()));
+  }
+  std::vector<double> out(batch);
+  for (auto _ : state) {
+    model.QueryOneToMany(0, targets, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_RneOneToMany)->Arg(100)->Arg(1000);
+
+// 8-bit quantized serving (1/4 index size): byte-row L1 walk.
+void BM_QuantizedRneQuery(benchmark::State& state) {
+  static const QuantizedRne* quantized =
+      new QuantizedRne(BenchModel());
+  Rng rng(13);
+  const size_t n = quantized->NumVertices();
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+    benchmark::DoNotOptimize(quantized->Query(s, t));
+  }
+}
+BENCHMARK(BM_QuantizedRneQuery);
+
+void BM_H2hQuery(benchmark::State& state) {
+  static const H2HIndex* index = new H2HIndex(BenchGraph());
+  Rng rng(8);
+  const size_t n = BenchGraph().NumVertices();
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+    benchmark::DoNotOptimize(
+        const_cast<H2HIndex*>(index)->Query(s, t));
+  }
+}
+BENCHMARK(BM_H2hQuery);
+
+void BM_ChQuery(benchmark::State& state) {
+  static ContractionHierarchy* index =
+      new ContractionHierarchy(BenchGraph());
+  Rng rng(9);
+  const size_t n = BenchGraph().NumVertices();
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+    benchmark::DoNotOptimize(index->Query(s, t));
+  }
+}
+BENCHMARK(BM_ChQuery);
+
+void BM_GTreeQuery(benchmark::State& state) {
+  static GTree* index = new GTree(BenchGraph());
+  Rng rng(10);
+  const size_t n = BenchGraph().NumVertices();
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+    benchmark::DoNotOptimize(index->Distance(s, t));
+  }
+}
+BENCHMARK(BM_GTreeQuery);
+
+void BM_LtQuery(benchmark::State& state) {
+  static AltIndex* index = [] {
+    Rng rng(11);
+    return new AltIndex(BenchGraph(), 64, rng);
+  }();
+  Rng rng(12);
+  const size_t n = BenchGraph().NumVertices();
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+    benchmark::DoNotOptimize(index->Query(s, t));
+  }
+}
+BENCHMARK(BM_LtQuery);
+
+}  // namespace
+}  // namespace rne
+
+BENCHMARK_MAIN();

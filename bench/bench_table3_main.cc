@@ -1,0 +1,106 @@
+// Table III reproduction: mean relative error (%) and query time (us) for
+// Euclidean, Manhattan, H2H, CH, Distance Oracle, ACH, LT and RNE on the
+// three synthetic datasets. Distance Oracle runs only on BJ' (in the paper
+// it does not scale past BJ).
+#include <cstdio>
+#include <memory>
+
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/distance_oracle.h"
+#include "baselines/geo.h"
+#include "baselines/h2h.h"
+#include "bench/bench_common.h"
+#include "util/rng.h"
+
+namespace rne::bench {
+namespace {
+
+void Run() {
+  TableWriter errors({"method", "BJ'", "FLA'", "USW'"});
+  TableWriter times({"method", "BJ'", "FLA'", "USW'"});
+
+  const std::vector<std::string> methods = {"Euclidean", "Manhattan", "H2H",
+                                            "CH",        "DistanceOracle",
+                                            "ACH",       "LT",
+                                            "RNE"};
+  std::vector<std::vector<std::string>> err_cells(
+      methods.size(), std::vector<std::string>{"-", "-", "-"});
+  std::vector<std::vector<std::string>> time_cells = err_cells;
+
+  auto datasets = MakeDatasets();
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    const Dataset& ds = datasets[d];
+    std::printf("[table3] dataset %s: %zu vertices, %zu edges\n",
+                ds.name.c_str(), ds.graph.NumVertices(), ds.graph.NumEdges());
+    std::fflush(stdout);
+    const auto val = ValidationSet(ds.graph, 20000);
+
+    auto record = [&](size_t row, DistanceMethod& method) {
+      const ErrorStats stats = EvalError(method, val);
+      const double nanos = MeasureQueryNanos(method, val);
+      if (method.IsExact()) {
+        err_cells[row][d] = "0 (exact)";
+      } else {
+        err_cells[row][d] = TableWriter::Fmt(100.0 * stats.mean_rel, 2) + "%";
+      }
+      time_cells[row][d] = TableWriter::Fmt(nanos / 1000.0, 3);
+      std::printf("[table3]   %-15s err=%-8s time=%s us\n",
+                  method.Name().c_str(), err_cells[row][d].c_str(),
+                  time_cells[row][d].c_str());
+      std::fflush(stdout);
+    };
+
+    GeoEstimator euclid(ds.graph, GeoMetric::kEuclidean);
+    record(0, euclid);
+    GeoEstimator manhattan(ds.graph, GeoMetric::kManhattan);
+    record(1, manhattan);
+    {
+      H2HIndex h2h(ds.graph);
+      record(2, h2h);
+    }
+    {
+      ContractionHierarchy ch(ds.graph);
+      record(3, ch);
+    }
+    if (ds.name == "BJ'") {  // paper: DO only works on BJ (eps = 0.5)
+      DistanceOracleOptions opt;
+      opt.epsilon = 0.5;
+      DistanceOracle oracle(ds.graph, opt);
+      record(4, oracle);
+    }
+    {
+      ChOptions opt;
+      opt.epsilon = 0.1;
+      ContractionHierarchy ach(ds.graph, opt);
+      record(5, ach);
+    }
+    {
+      Rng rng(41);
+      AltIndex lt(ds.graph, ds.lt_landmarks, rng);
+      record(6, lt);
+    }
+    {
+      const Rne& model = CachedRne(ds);
+      RneMethod rne(&model);
+      record(7, rne);
+    }
+  }
+
+  for (size_t m = 0; m < methods.size(); ++m) {
+    errors.AddRow(
+        {methods[m], err_cells[m][0], err_cells[m][1], err_cells[m][2]});
+    times.AddRow(
+        {methods[m], time_cells[m][0], time_cells[m][1], time_cells[m][2]});
+  }
+  Emit(errors, "Table III (a): mean relative error", "table3_error");
+  Emit(times, "Table III (b): query time (us)", "table3_query_time");
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main() {
+  rne::bench::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Table IV reproduction: index size (MB) and index building time (s) for
+// H2H, CH, Distance Oracle, ACH, LT and RNE on the three synthetic datasets.
+// (The paper reports minutes; at our scaled dataset sizes seconds are the
+// natural unit — the *ordering* of methods is the reproduced shape.)
+#include <cstdio>
+#include <memory>
+
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/distance_oracle.h"
+#include "baselines/h2h.h"
+#include "bench/bench_common.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace rne::bench {
+namespace {
+
+void Run() {
+  TableWriter sizes({"method", "BJ'", "FLA'", "USW'"});
+  TableWriter times({"method", "BJ'", "FLA'", "USW'"});
+  const std::vector<std::string> methods = {"H2H", "CH", "DistanceOracle",
+                                            "ACH", "LT", "RNE"};
+  std::vector<std::vector<std::string>> size_cells(
+      methods.size(), std::vector<std::string>{"-", "-", "-"});
+  std::vector<std::vector<std::string>> time_cells = size_cells;
+
+  auto datasets = MakeDatasets();
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    const Dataset& ds = datasets[d];
+    std::printf("[table4] dataset %s: %zu vertices\n", ds.name.c_str(),
+                ds.graph.NumVertices());
+    std::fflush(stdout);
+
+    auto record = [&](size_t row, double seconds, size_t bytes) {
+      size_cells[row][d] =
+          TableWriter::Fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 2);
+      time_cells[row][d] = TableWriter::Fmt(seconds, 2);
+      std::printf("[table4]   %-15s size=%sMB build=%ss\n",
+                  methods[row].c_str(), size_cells[row][d].c_str(),
+                  time_cells[row][d].c_str());
+      std::fflush(stdout);
+    };
+
+    {
+      Timer t;
+      H2HIndex h2h(ds.graph);
+      record(0, t.ElapsedSeconds(), h2h.IndexBytes());
+    }
+    {
+      Timer t;
+      ContractionHierarchy ch(ds.graph);
+      record(1, t.ElapsedSeconds(), ch.IndexBytes());
+    }
+    if (ds.name == "BJ'") {
+      DistanceOracleOptions opt;
+      opt.epsilon = 0.5;
+      Timer t;
+      DistanceOracle oracle(ds.graph, opt);
+      record(2, t.ElapsedSeconds(), oracle.IndexBytes());
+    }
+    {
+      ChOptions opt;
+      opt.epsilon = 0.1;
+      Timer t;
+      ContractionHierarchy ach(ds.graph, opt);
+      record(3, t.ElapsedSeconds(), ach.IndexBytes());
+    }
+    {
+      Rng rng(41);
+      Timer t;
+      AltIndex lt(ds.graph, ds.lt_landmarks, rng);
+      record(4, t.ElapsedSeconds(), lt.IndexBytes());
+    }
+    {
+      // RNE build time includes sampling + training, as in the paper.
+      Timer t;
+      const Rne model = Rne::Build(ds.graph, DefaultRneConfig(ds.rne_dim, ds.graph.NumVertices()));
+      record(5, t.ElapsedSeconds(), model.IndexBytes());
+    }
+  }
+
+  for (size_t m = 0; m < methods.size(); ++m) {
+    sizes.AddRow(
+        {methods[m], size_cells[m][0], size_cells[m][1], size_cells[m][2]});
+    times.AddRow(
+        {methods[m], time_cells[m][0], time_cells[m][1], time_cells[m][2]});
+  }
+  Emit(sizes, "Table IV (a): index size (MB)", "table4_index_size");
+  Emit(times, "Table IV (b): index building time (s)", "table4_build_time");
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main() {
+  rne::bench::Run();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Side-by-side comparison of every distance method in the library on one
+// synthetic road network: accuracy, query latency, index size, build time.
+// A miniature of the paper's Table III / Table IV for interactive use.
+//
+//   ./examples/compare_methods [grid_side]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/distance_oracle.h"
+#include "baselines/geo.h"
+#include "baselines/h2h.h"
+#include "core/rne.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/table_writer.h"
+#include "util/timer.h"
+
+#include "algo/distance_sampler.h"
+
+int main(int argc, char** argv) {
+  const size_t side = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+  rne::RoadNetworkConfig net;
+  net.rows = side;
+  net.cols = side;
+  net.seed = 1;
+  const rne::Graph g = rne::MakeRoadNetwork(net);
+  std::printf("network: %zu vertices, %zu edges\n", g.NumVertices(),
+              g.NumEdges());
+
+  rne::DistanceSampler sampler(g);
+  rne::Rng rng(17);
+  const auto val = sampler.RandomPairs(5000, rng);
+
+  rne::TableWriter table(
+      {"method", "exact", "mean_rel_err_%", "query_ns", "index_MB",
+       "build_s"});
+  auto add = [&](rne::DistanceMethod& m, double build_seconds) {
+    double err = 0.0;
+    size_t count = 0;
+    for (const auto& s : val) {
+      if (s.dist <= 0.0) continue;
+      err += std::abs(m.Query(s.s, s.t) - s.dist) / s.dist;
+      ++count;
+    }
+    rne::Timer timer;
+    double sink = 0.0;
+    for (const auto& s : val) sink += m.Query(s.s, s.t);
+    const double ns =
+        static_cast<double>(timer.ElapsedNanos()) / val.size();
+    if (sink < 0) std::printf("?");
+    table.AddRow({m.Name(), m.IsExact() ? "yes" : "no",
+                  rne::TableWriter::Fmt(100.0 * err / count, 3),
+                  rne::TableWriter::Fmt(ns, 0),
+                  rne::TableWriter::Fmt(m.IndexBytes() / 1048576.0, 2),
+                  rne::TableWriter::Fmt(build_seconds, 2)});
+  };
+
+  {
+    rne::GeoEstimator m(g, rne::GeoMetric::kEuclidean);
+    add(m, 0.0);
+  }
+  {
+    rne::GeoEstimator m(g, rne::GeoMetric::kManhattan);
+    add(m, 0.0);
+  }
+  {
+    rne::Timer t;
+    rne::H2HIndex m(g);
+    add(m, t.ElapsedSeconds());
+  }
+  {
+    rne::Timer t;
+    rne::ContractionHierarchy m(g);
+    add(m, t.ElapsedSeconds());
+  }
+  {
+    rne::ChOptions opt;
+    opt.epsilon = 0.1;
+    rne::Timer t;
+    rne::ContractionHierarchy m(g, opt);
+    add(m, t.ElapsedSeconds());
+  }
+  {
+    rne::DistanceOracleOptions opt;
+    opt.epsilon = 0.5;
+    rne::Timer t;
+    rne::DistanceOracle m(g, opt);
+    add(m, t.ElapsedSeconds());
+  }
+  {
+    rne::Rng lm_rng(3);
+    rne::Timer t;
+    rne::AltIndex m(g, 64, lm_rng);
+    add(m, t.ElapsedSeconds());
+  }
+  {
+    rne::RneConfig config;
+    config.dim = 64;
+    rne::Timer t;
+    const rne::Rne model = rne::Rne::Build(g, config);
+    const double build = t.ElapsedSeconds();
+    class Adapter : public rne::DistanceMethod {
+     public:
+      explicit Adapter(const rne::Rne* m) : m_(m) {}
+      std::string Name() const override { return "RNE"; }
+      double Query(rne::VertexId s, rne::VertexId t) override {
+        return m_->Query(s, t);
+      }
+      size_t IndexBytes() const override { return m_->IndexBytes(); }
+      bool IsExact() const override { return false; }
+
+     private:
+      const rne::Rne* m_;
+    } adapter(&model);
+    add(adapter, build);
+  }
+  table.Print("method comparison");
+  return 0;
+}

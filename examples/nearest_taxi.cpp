@@ -1,0 +1,95 @@
+// Nearest-taxi dispatch (the paper's Uber motivation): a fleet of taxis
+// parked at road-network vertices; each incoming rider request needs the k
+// nearest taxis by *network* distance. We answer every request three ways —
+// RNE kNN index, straight-line KD-tree, and exact Dijkstra expansion — and
+// compare quality and throughput.
+//
+//   ./examples/nearest_taxi [grid_side] [num_taxis] [num_requests]
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "baselines/kd_tree.h"
+#include "baselines/network_knn.h"
+#include "core/rne.h"
+#include "core/rne_index.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  const size_t side = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+  const size_t num_taxis = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 300;
+  const size_t num_requests =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 500;
+  constexpr size_t kNearest = 5;
+
+  rne::RoadNetworkConfig net;
+  net.rows = side;
+  net.cols = side;
+  net.seed = 2026;
+  const rne::Graph city = rne::MakeRoadNetwork(net);
+  std::printf("city: %zu intersections, %zu road segments\n",
+              city.NumVertices(), city.NumEdges());
+
+  // Park the fleet at random intersections.
+  rne::Rng rng(99);
+  std::set<rne::VertexId> fleet_set;
+  while (fleet_set.size() < num_taxis) {
+    fleet_set.insert(
+        static_cast<rne::VertexId>(rng.UniformIndex(city.NumVertices())));
+  }
+  const std::vector<rne::VertexId> fleet(fleet_set.begin(), fleet_set.end());
+
+  // Build the RNE model once (offline), then the kNN index over the fleet.
+  rne::RneConfig config;
+  config.dim = 64;
+  const rne::Rne model = rne::Rne::Build(city, config);
+  const rne::RneIndex rne_knn(&model, fleet);
+  const rne::KdTree geo_knn(city, rne::GeoMetric::kEuclidean, fleet);
+  rne::NetworkKnn exact_knn(city, fleet);
+
+  // Serve requests; measure recall vs exact network kNN and throughput.
+  std::vector<rne::VertexId> riders;
+  for (size_t i = 0; i < num_requests; ++i) {
+    riders.push_back(
+        static_cast<rne::VertexId>(rng.UniformIndex(city.NumVertices())));
+  }
+
+  double rne_recall = 0.0, geo_recall = 0.0;
+  double rne_us = 0.0, geo_us = 0.0, exact_us = 0.0;
+  for (const rne::VertexId rider : riders) {
+    rne::Timer t;
+    const auto exact = exact_knn.Knn(rider, kNearest);
+    exact_us += static_cast<double>(t.ElapsedNanos()) / 1000.0;
+    std::set<rne::VertexId> truth;
+    for (const auto& [taxi, d] : exact) truth.insert(taxi);
+
+    t.Restart();
+    const auto by_rne = rne_knn.Knn(rider, kNearest);
+    rne_us += static_cast<double>(t.ElapsedNanos()) / 1000.0;
+    t.Restart();
+    const auto by_geo = geo_knn.Knn(rider, kNearest);
+    geo_us += static_cast<double>(t.ElapsedNanos()) / 1000.0;
+
+    size_t rne_hits = 0, geo_hits = 0;
+    for (const auto& [taxi, d] : by_rne) rne_hits += truth.count(taxi);
+    for (const auto& [taxi, d] : by_geo) geo_hits += truth.count(taxi);
+    rne_recall += static_cast<double>(rne_hits) / kNearest;
+    geo_recall += static_cast<double>(geo_hits) / kNearest;
+  }
+  const double n = static_cast<double>(num_requests);
+  std::printf("\n%-22s %10s %14s\n", "dispatcher", "recall@5",
+              "latency/request");
+  std::printf("%-22s %9.1f%% %11.1f us\n", "RNE kNN index",
+              100.0 * rne_recall / n, rne_us / n);
+  std::printf("%-22s %9.1f%% %11.1f us\n", "Euclidean KD-tree",
+              100.0 * geo_recall / n, geo_us / n);
+  std::printf("%-22s %9.1f%% %11.1f us (ground truth)\n",
+              "Dijkstra expansion", 100.0, exact_us / n);
+  std::printf(
+      "\nRNE throughput is %.1fx exact search at %.1f%% recall "
+      "(the gap widens with city size; try grid_side 64+).\n",
+      exact_us / rne_us, 100.0 * rne_recall / n);
+  return 0;
+}

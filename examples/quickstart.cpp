@@ -1,0 +1,93 @@
+// Quickstart: build an RNE model on a synthetic road network, query a few
+// distances, and compare against exact Dijkstra.
+//
+//   ./examples/quickstart [grid_side]
+//
+// Walks through the whole public API surface: generate a network, train the
+// embedding, run point queries, check the error, save and reload the model.
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/dijkstra.h"
+#include "algo/distance_sampler.h"
+#include "core/rne.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  const size_t side = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+
+  // 1. A synthetic road network (perturbed grid + highways), ~side^2 vertices.
+  rne::RoadNetworkConfig net;
+  net.rows = side;
+  net.cols = side;
+  net.seed = 7;
+  const rne::Graph g = rne::MakeRoadNetwork(net);
+  std::printf("road network: %zu vertices, %zu edges\n", g.NumVertices(),
+              g.NumEdges());
+
+  // 2. Train the RNE model (hierarchical embedding, d = 64, L1 metric).
+  rne::RneConfig config;
+  config.dim = 64;
+  config.train.verbose = true;
+  rne::RneBuildStats stats;
+  rne::Timer build_timer;
+  const rne::Rne model = rne::Rne::Build(g, config, &stats);
+  std::printf("built in %.1fs (partition %.1fs, train %.1fs, %zu samples)\n",
+              stats.total_seconds, stats.partition_seconds,
+              stats.train_seconds, stats.samples_processed);
+
+  // 3. Point queries vs exact Dijkstra.
+  rne::DijkstraSearch dijkstra(g);
+  rne::Rng rng(123);
+  std::printf("\n%8s %8s %12s %12s %8s\n", "s", "t", "exact", "rne",
+              "rel.err");
+  for (int i = 0; i < 5; ++i) {
+    const auto s = static_cast<rne::VertexId>(rng.UniformIndex(g.NumVertices()));
+    const auto t = static_cast<rne::VertexId>(rng.UniformIndex(g.NumVertices()));
+    const double exact = dijkstra.Distance(s, t);
+    const double approx = model.Query(s, t);
+    std::printf("%8u %8u %12.1f %12.1f %7.2f%%\n", s, t, exact, approx,
+                exact > 0 ? 100.0 * std::abs(approx - exact) / exact : 0.0);
+  }
+
+  // 4. Mean relative error over a random validation set.
+  rne::DistanceSampler sampler(g);
+  const auto val = sampler.RandomPairs(2000, rng);
+  double err_sum = 0.0;
+  size_t err_count = 0;
+  for (const auto& sample : val) {
+    if (sample.dist <= 0.0) continue;
+    err_sum += std::abs(model.Query(sample.s, sample.t) - sample.dist) /
+               sample.dist;
+    ++err_count;
+  }
+  std::printf("\nmean relative error over %zu random pairs: %.3f%%\n",
+              err_count, 100.0 * err_sum / err_count);
+
+  // 5. Query latency.
+  rne::Timer timer;
+  double sink = 0.0;
+  constexpr int kQueries = 200000;
+  for (int i = 0; i < kQueries; ++i) {
+    sink += model.Query(
+        static_cast<rne::VertexId>(i % g.NumVertices()),
+        static_cast<rne::VertexId>((i * 7919) % g.NumVertices()));
+  }
+  std::printf("query latency: %.0f ns/query (checksum %.1f)\n",
+              static_cast<double>(timer.ElapsedNanos()) / kQueries, sink);
+
+  // 6. Save and reload.
+  const char* path = "/tmp/rne_quickstart.model";
+  const rne::Status save_status = model.Save(path);
+  if (!save_status.ok()) {
+    std::printf("save failed: %s\n", save_status.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = rne::Rne::Load(path);
+  std::printf("model saved and reloaded: %s (index %.1f MB)\n",
+              reloaded.ok() ? "ok" : reloaded.status().ToString().c_str(),
+              static_cast<double>(model.IndexBytes()) / (1024.0 * 1024.0));
+  return 0;
+}

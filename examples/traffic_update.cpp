@@ -1,0 +1,100 @@
+// Online model refresh under changing traffic (an extension beyond the
+// paper's static setting): edge weights in one region of the network rise
+// (congestion), invalidating part of the trained embedding. Instead of
+// retraining from scratch, RefineOnline() continues SGD on the flattened
+// matrix with fresh exact samples drawn around the changed region.
+//
+//   ./examples/traffic_update [grid_side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/distance_sampler.h"
+#include "core/rne.h"
+#include "core/sampler.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+/// Mean relative error of `model` against exact distances on `g`.
+double MeanError(const rne::Rne& model, const rne::Graph& g, rne::Rng& rng,
+                 size_t pairs) {
+  rne::DistanceSampler sampler(g);
+  const auto val = sampler.RandomPairs(pairs, rng);
+  double sum = 0.0;
+  size_t count = 0;
+  for (const auto& s : val) {
+    if (s.dist <= 0.0) continue;
+    sum += std::abs(model.Query(s.s, s.t) - s.dist) / s.dist;
+    ++count;
+  }
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t side = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+  rne::RoadNetworkConfig net;
+  net.rows = side;
+  net.cols = side;
+  net.seed = 12;
+  const rne::Graph before = rne::MakeRoadNetwork(net);
+  std::printf("network: %zu vertices\n", before.NumVertices());
+
+  // Train on the free-flow network.
+  rne::RneConfig config;
+  config.dim = 64;
+  rne::Rne model = rne::Rne::Build(before, config);
+  rne::Rng rng(9);
+  std::printf("error on free-flow network: %.2f%%\n",
+              100.0 * MeanError(model, before, rng, 2000));
+
+  // Congestion: every edge in the north-west quadrant takes 60% longer.
+  rne::GraphBuilder builder(before.NumVertices());
+  double mid_x = 0.0, mid_y = 0.0;
+  for (const rne::Point& p : before.coords()) {
+    mid_x += p.x;
+    mid_y += p.y;
+  }
+  mid_x /= static_cast<double>(before.NumVertices());
+  mid_y /= static_cast<double>(before.NumVertices());
+  size_t slowed = 0;
+  for (rne::VertexId v = 0; v < before.NumVertices(); ++v) {
+    builder.SetCoord(v, before.Coord(v));
+    for (const rne::Edge& e : before.Neighbors(v)) {
+      if (v >= e.to) continue;
+      const bool congested = before.Coord(v).x < mid_x &&
+                             before.Coord(v).y > mid_y;
+      builder.AddEdge(v, e.to, congested ? e.weight * 1.6 : e.weight);
+      slowed += congested;
+    }
+  }
+  const rne::Graph after = builder.Build();
+  std::printf("congestion applied to %zu edges (NW quadrant)\n", slowed);
+  std::printf("stale model error on congested network: %.2f%%\n",
+              100.0 * MeanError(model, after, rng, 2000));
+
+  // Refresh: draw fresh exact samples (uniform — congestion affects paths
+  // far beyond the quadrant) and continue SGD on the serving matrix.
+  rne::Timer timer;
+  rne::DistanceSampler sampler(after);
+  const auto refresh_pairs =
+      rne::RandomVertexPairs(after.NumVertices(), 30000, rng, 8);
+  const auto refresh = sampler.ComputeDistances(refresh_pairs);
+  model.RefineOnline(refresh, /*epochs=*/6, /*lr0=*/0.3);
+  std::printf("online refresh took %.1fs (30k samples, 6 epochs)\n",
+              timer.ElapsedSeconds());
+  std::printf("refreshed model error on congested network: %.2f%%\n",
+              100.0 * MeanError(model, after, rng, 2000));
+
+  // Reference: full retraining cost.
+  timer.Restart();
+  const rne::Rne retrained = rne::Rne::Build(after, config);
+  std::printf("full retrain took %.1fs, error %.2f%%\n",
+              timer.ElapsedSeconds(),
+              100.0 * MeanError(retrained, after, rng, 2000));
+  return 0;
+}

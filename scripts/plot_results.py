@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Renders the paper-reproduction figures from bench_results/*.csv.
+
+Usage:
+    python3 scripts/plot_results.py [bench_results_dir] [output_dir]
+
+Requires matplotlib. Each bench binary writes a CSV mirror of its printed
+table; this script turns them into PNGs shaped like the paper's figures
+(Fig 7 scatter layouts, Fig 9-17 curves/bars).
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def group_by(rows, key):
+    out = defaultdict(list)
+    for row in rows:
+        out[row[key]].append(row)
+    return out
+
+
+def main():
+    results = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "bench_results/plots"
+    os.makedirs(outdir, exist_ok=True)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    def save(fig, name):
+        fig.tight_layout()
+        path = os.path.join(outdir, name)
+        fig.savefig(path, dpi=150)
+        plt.close(fig)
+        print("wrote", path)
+
+    # Fig 7: 2-D embedding layouts.
+    path = os.path.join(results, "fig7_layout.csv")
+    if os.path.exists(path):
+        rows = group_by(read_csv(path), "model")
+        fig, axes = plt.subplots(1, len(rows), figsize=(5 * len(rows), 5))
+        for ax, (model, pts) in zip(
+            axes if len(rows) > 1 else [axes], sorted(rows.items())
+        ):
+            ax.scatter(
+                [float(p["x"]) for p in pts],
+                [float(p["y"]) for p in pts],
+                s=2,
+            )
+            ax.set_title(model)
+        save(fig, "fig7_layout.png")
+
+    # Fig 9: bar chart of error vs p.
+    path = os.path.join(results, "fig9_lp.csv")
+    if os.path.exists(path):
+        rows = read_csv(path)
+        fig, ax = plt.subplots()
+        ax.bar(
+            [r["p"] for r in rows],
+            [float(r["mean_rel_error_%"]) for r in rows],
+        )
+        ax.set_yscale("log")
+        ax.set_xlabel("p")
+        ax.set_ylabel("mean relative error (%)")
+        ax.set_title("Fig 9: Lp metric")
+        save(fig, "fig9_lp.png")
+
+    # Learning curves: fig10 (per dim), fig11 (per model), fig12 (strategy).
+    for name, series_key in [
+        ("fig10_dim", "dim"),
+        ("fig11_hier", "model"),
+        ("fig12_landmarks", "strategy"),
+    ]:
+        path = os.path.join(results, name + ".csv")
+        if not os.path.exists(path):
+            continue
+        rows = group_by(read_csv(path), series_key)
+        fig, ax = plt.subplots()
+        for label, pts in sorted(rows.items()):
+            ax.plot(
+                [int(p["samples_processed"]) for p in pts],
+                [float(p["mean_rel_error_%"]) for p in pts],
+                label=label,
+            )
+        ax.set_xlabel("training samples")
+        ax.set_ylabel("mean relative error (%)")
+        ax.legend()
+        ax.set_title(name)
+        save(fig, name + ".png")
+
+    # Fig 13 / 17: per-dataset curves over distance scale.
+    for name, y_col, log in [
+        ("fig13_query_time", "query_time_us", True),
+        ("fig17_error_scale", "mean_rel_error_%", False),
+    ]:
+        path = os.path.join(results, name + ".csv")
+        if not os.path.exists(path):
+            continue
+        by_dataset = group_by(read_csv(path), "dataset")
+        fig, axes = plt.subplots(
+            1, len(by_dataset), figsize=(5 * len(by_dataset), 4)
+        )
+        axes = axes if len(by_dataset) > 1 else [axes]
+        for ax, (ds, rows) in zip(axes, sorted(by_dataset.items())):
+            for method, pts in sorted(group_by(rows, "method").items()):
+                ax.plot(
+                    [float(p["distance_upper_bound"]) for p in pts],
+                    [float(p[y_col]) for p in pts],
+                    marker="o",
+                    label=method,
+                )
+            if log:
+                ax.set_yscale("log")
+            ax.set_title(f"{name} — {ds}")
+            ax.set_xlabel("query distance upper bound")
+            ax.set_ylabel(y_col)
+            ax.legend(fontsize=7)
+        save(fig, name + ".png")
+
+    # Fig 15: cumulative error curves (BJ' panel).
+    path = os.path.join(results, "fig15_cdf.csv")
+    if os.path.exists(path):
+        rows = [r for r in read_csv(path) if r["dataset"] == "BJ'"]
+        fig, ax = plt.subplots()
+        for method, pts in sorted(group_by(rows, "method").items()):
+            ax.plot(
+                [float(p["error_threshold_%"]) for p in pts],
+                [float(p["pct_queries"]) for p in pts],
+                marker="o",
+                label=method,
+            )
+        ax.set_xlabel("relative error threshold (%)")
+        ax.set_ylabel("% of queries")
+        ax.set_title("Fig 15: cumulative error (BJ')")
+        ax.legend(fontsize=7)
+        save(fig, "fig15_cdf.png")
+
+    # Fig 16: range F1 + time.
+    path = os.path.join(results, "fig16_range.csv")
+    if os.path.exists(path):
+        rows = read_csv(path)
+        fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(10, 4))
+        for method, pts in sorted(group_by(rows, "method").items()):
+            taus = [float(p["tau"]) for p in pts]
+            ax1.plot(
+                taus, [float(p["range_F1"]) for p in pts], marker="o",
+                label=method,
+            )
+            ax2.plot(
+                taus,
+                [float(p["range_time_us"]) for p in pts],
+                marker="o",
+                label=method,
+            )
+        ax1.set_xlabel("tau")
+        ax1.set_ylabel("F1")
+        ax2.set_xlabel("tau")
+        ax2.set_ylabel("query time (us)")
+        ax2.set_yscale("log")
+        ax1.legend(fontsize=7)
+        ax1.set_title("Fig 16: range queries (BJ')")
+        save(fig, "fig16_range.png")
+
+
+if __name__ == "__main__":
+    main()

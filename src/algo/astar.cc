@@ -1,0 +1,63 @@
+#include "algo/astar.h"
+
+#include <algorithm>
+
+namespace rne {
+
+AStarSearch::AStarSearch(const Graph& g)
+    : g_(g),
+      dist_(g.NumVertices(), kInfDistance),
+      version_(g.NumVertices(), 0) {}
+
+void AStarSearch::Touch(VertexId v) {
+  if (version_[v] != current_version_) {
+    version_[v] = current_version_;
+    dist_[v] = kInfDistance;
+  }
+}
+
+double AStarSearch::Distance(VertexId s, VertexId t,
+                             const AStarHeuristic& heuristic) {
+  RNE_CHECK(s < g_.NumVertices() && t < g_.NumVertices());
+  if (s == t) return 0.0;
+  ++current_version_;
+  if (current_version_ == 0) {
+    std::fill(version_.begin(), version_.end(), 0);
+    current_version_ = 1;
+  }
+  last_settled_ = 0;
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  Touch(s);
+  dist_[s] = 0.0;
+  queue.push({heuristic(s, t), s});
+  while (!queue.empty()) {
+    const auto [priority, v] = queue.top();
+    queue.pop();
+    Touch(v);
+    if (v == t) return dist_[t];
+    // Stale check via recomputed priority is unreliable with inexact
+    // heuristics, so compare g-values: skip if this entry was superseded.
+    if (priority - heuristic(v, t) > dist_[v] + 1e-9) continue;
+    ++last_settled_;
+    for (const Edge& e : g_.Neighbors(v)) {
+      Touch(e.to);
+      const double nd = dist_[v] + e.weight;
+      if (nd < dist_[e.to]) {
+        dist_[e.to] = nd;
+        queue.push({nd + heuristic(e.to, t), e.to});
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+double AStarSearch::DistanceGeo(VertexId s, VertexId t) {
+  return Distance(s, t, [this](VertexId v, VertexId target) {
+    return EuclideanDistance(g_, v, target);
+  });
+}
+
+}  // namespace rne

@@ -1,0 +1,55 @@
+// A* search with pluggable admissible heuristics.
+//
+// Two heuristics are provided: the geometric lower bound (valid because
+// every generated edge weight is at least the straight-line length of the
+// segment) and the ALT landmark lower bound supplied by baselines/alt.h.
+#ifndef RNE_ALGO_ASTAR_H_
+#define RNE_ALGO_ASTAR_H_
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rne {
+
+/// Heuristic callback: lower bound on the network distance v -> t.
+/// Must be admissible (never overestimate) for exact results.
+using AStarHeuristic = std::function<double(VertexId v, VertexId t)>;
+
+/// Reusable A* workspace. Not thread-safe.
+class AStarSearch {
+ public:
+  explicit AStarSearch(const Graph& g);
+
+  /// Shortest distance under `heuristic`; exact if the heuristic is
+  /// admissible and consistent.
+  double Distance(VertexId s, VertexId t, const AStarHeuristic& heuristic);
+
+  /// Distance with the Euclidean-coordinate heuristic.
+  double DistanceGeo(VertexId s, VertexId t);
+
+  size_t last_settled() const { return last_settled_; }
+
+ private:
+  struct QueueEntry {
+    double priority;  // g + h
+    VertexId v;
+    bool operator>(const QueueEntry& o) const {
+      return priority > o.priority;
+    }
+  };
+
+  void Touch(VertexId v);
+
+  const Graph& g_;
+  std::vector<double> dist_;
+  std::vector<uint32_t> version_;
+  uint32_t current_version_ = 0;
+  size_t last_settled_ = 0;
+};
+
+}  // namespace rne
+
+#endif  // RNE_ALGO_ASTAR_H_

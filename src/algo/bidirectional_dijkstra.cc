@@ -1,0 +1,71 @@
+#include "algo/bidirectional_dijkstra.h"
+
+#include <algorithm>
+
+namespace rne {
+
+BidirectionalDijkstra::BidirectionalDijkstra(const Graph& g) : g_(g) {
+  for (int side = 0; side < 2; ++side) {
+    dist_[side].assign(g.NumVertices(), kInfDistance);
+    version_[side].assign(g.NumVertices(), 0);
+  }
+}
+
+void BidirectionalDijkstra::Touch(int side, VertexId v) {
+  if (version_[side][v] != current_version_) {
+    version_[side][v] = current_version_;
+    dist_[side][v] = kInfDistance;
+  }
+}
+
+double BidirectionalDijkstra::Distance(VertexId s, VertexId t) {
+  RNE_CHECK(s < g_.NumVertices() && t < g_.NumVertices());
+  if (s == t) return 0.0;
+  ++current_version_;
+  if (current_version_ == 0) {
+    for (int side = 0; side < 2; ++side) {
+      std::fill(version_[side].begin(), version_[side].end(), 0);
+    }
+    current_version_ = 1;
+  }
+  last_settled_ = 0;
+
+  MinQueue queue[2];
+  Touch(0, s);
+  Touch(1, t);
+  dist_[0][s] = 0.0;
+  dist_[1][t] = 0.0;
+  queue[0].push({0.0, s});
+  queue[1].push({0.0, t});
+
+  double best = kInfDistance;
+  // Alternate sides; stop when the sum of queue minima can no longer beat the
+  // best meeting point found so far.
+  while (!queue[0].empty() || !queue[1].empty()) {
+    const double top0 = queue[0].empty() ? kInfDistance : queue[0].top().dist;
+    const double top1 = queue[1].empty() ? kInfDistance : queue[1].top().dist;
+    if (top0 + top1 >= best) break;
+    const int side = top0 <= top1 ? 0 : 1;
+    const int other = 1 - side;
+
+    const auto [d, v] = queue[side].top();
+    queue[side].pop();
+    if (d > dist_[side][v]) continue;
+    ++last_settled_;
+    for (const Edge& e : g_.Neighbors(v)) {
+      Touch(side, e.to);
+      const double nd = d + e.weight;
+      if (nd < dist_[side][e.to]) {
+        dist_[side][e.to] = nd;
+        queue[side].push({nd, e.to});
+        Touch(other, e.to);
+        if (dist_[other][e.to] != kInfDistance) {
+          best = std::min(best, nd + dist_[other][e.to]);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace rne

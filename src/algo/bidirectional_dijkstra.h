@@ -1,0 +1,47 @@
+// Bidirectional Dijkstra: simultaneous forward/backward search meeting in the
+// middle. On road networks this settles ~sqrt of the vertices plain Dijkstra
+// does, and is the search skeleton reused by the CH query.
+#ifndef RNE_ALGO_BIDIRECTIONAL_DIJKSTRA_H_
+#define RNE_ALGO_BIDIRECTIONAL_DIJKSTRA_H_
+
+#include <queue>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rne {
+
+/// Reusable bidirectional-search workspace bound to one (undirected) graph.
+/// Not thread-safe; create one instance per thread.
+class BidirectionalDijkstra {
+ public:
+  explicit BidirectionalDijkstra(const Graph& g);
+
+  /// Exact shortest distance s -> t, or kInfDistance if unreachable.
+  double Distance(VertexId s, VertexId t);
+
+  /// Vertices settled by the last query (both directions combined).
+  size_t last_settled() const { return last_settled_; }
+
+ private:
+  struct QueueEntry {
+    double dist;
+    VertexId v;
+    bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+  };
+  using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                       std::greater<QueueEntry>>;
+
+  void Touch(int side, VertexId v);
+
+  const Graph& g_;
+  // dist_[0]=forward, dist_[1]=backward, with per-side version stamps.
+  std::vector<double> dist_[2];
+  std::vector<uint32_t> version_[2];
+  uint32_t current_version_ = 0;
+  size_t last_settled_ = 0;
+};
+
+}  // namespace rne
+
+#endif  // RNE_ALGO_BIDIRECTIONAL_DIJKSTRA_H_

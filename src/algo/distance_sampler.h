@@ -1,0 +1,51 @@
+// Batched exact shortest-distance computation for training and validation.
+//
+// Training needs millions of (s, t, phi) triples. Computing each with an
+// independent point-to-point search is wasteful: the sampler groups requests
+// by source and answers each group with one (multi-target or full) Dijkstra,
+// parallelized across a thread pool.
+#ifndef RNE_ALGO_DISTANCE_SAMPLER_H_
+#define RNE_ALGO_DISTANCE_SAMPLER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace rne {
+
+/// One training/validation sample: a vertex pair and its exact shortest
+/// distance (the paper's (v_s, v_t, phi) triple).
+struct DistanceSample {
+  VertexId s = kInvalidVertex;
+  VertexId t = kInvalidVertex;
+  double dist = 0.0;
+};
+
+/// Batched exact-distance service over one graph.
+class DistanceSampler {
+ public:
+  /// `num_threads` = 0 uses hardware concurrency.
+  explicit DistanceSampler(const Graph& g, size_t num_threads = 0);
+
+  /// Computes exact distances for all pairs. Order of the result matches the
+  /// input. Unreachable pairs get kInfDistance.
+  std::vector<DistanceSample> ComputeDistances(
+      const std::vector<std::pair<VertexId, VertexId>>& pairs) const;
+
+  /// `n` uniformly random distinct-endpoint pairs with exact distances
+  /// (the validation-set recipe of Sec VII-A).
+  std::vector<DistanceSample> RandomPairs(size_t n, Rng& rng) const;
+
+  const Graph& graph() const { return g_; }
+
+ private:
+  const Graph& g_;
+  size_t num_threads_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_ALGO_DISTANCE_SAMPLER_H_

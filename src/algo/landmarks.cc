@@ -1,0 +1,50 @@
+#include "algo/landmarks.h"
+
+#include <algorithm>
+
+#include "algo/dijkstra.h"
+
+namespace rne {
+
+std::vector<VertexId> SelectLandmarksRandom(const Graph& g, size_t count,
+                                            Rng& rng) {
+  const size_t n = g.NumVertices();
+  count = std::min(count, n);
+  std::vector<VertexId> all(n);
+  for (VertexId v = 0; v < n; ++v) all[v] = v;
+  rng.Shuffle(all);
+  all.resize(count);
+  return all;
+}
+
+std::vector<VertexId> SelectLandmarksFarthest(const Graph& g, size_t count,
+                                              Rng& rng) {
+  const size_t n = g.NumVertices();
+  count = std::min(count, n);
+  std::vector<VertexId> landmarks;
+  if (count == 0) return landmarks;
+  landmarks.reserve(count);
+  landmarks.push_back(static_cast<VertexId>(rng.UniformIndex(n)));
+
+  DijkstraSearch search(g);
+  std::vector<double> min_dist(n, kInfDistance);
+  while (landmarks.size() < count) {
+    const auto& dist = search.AllDistances(landmarks.back());
+    VertexId farthest = kInvalidVertex;
+    double best = -1.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] < min_dist[v]) min_dist[v] = dist[v];
+      // Unreachable vertices are skipped: they would otherwise absorb every
+      // remaining pick on disconnected inputs.
+      if (min_dist[v] != kInfDistance && min_dist[v] > best) {
+        best = min_dist[v];
+        farthest = v;
+      }
+    }
+    if (farthest == kInvalidVertex || best == 0.0) break;  // graph exhausted
+    landmarks.push_back(farthest);
+  }
+  return landmarks;
+}
+
+}  // namespace rne

@@ -1,0 +1,29 @@
+// Landmark selection (Sec V-B).
+//
+// Landmarks act as reference points for vertex-level training samples (and
+// for the ALT baseline). Farthest-point selection iteratively adds the vertex
+// with the largest network distance to the already-selected set, covering
+// regions the current set misses.
+#ifndef RNE_ALGO_LANDMARKS_H_
+#define RNE_ALGO_LANDMARKS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace rne {
+
+/// `count` distinct vertices chosen uniformly at random.
+std::vector<VertexId> SelectLandmarksRandom(const Graph& g, size_t count,
+                                            Rng& rng);
+
+/// Farthest-point landmark selection: the first landmark is random; each
+/// subsequent one maximizes the min network distance to those selected.
+/// Cost: `count` single-source shortest-path runs.
+std::vector<VertexId> SelectLandmarksFarthest(const Graph& g, size_t count,
+                                              Rng& rng);
+
+}  // namespace rne
+
+#endif  // RNE_ALGO_LANDMARKS_H_

@@ -1,0 +1,103 @@
+#include "baselines/alt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/dijkstra.h"
+#include "algo/landmarks.h"
+#include "util/serialize.h"
+
+namespace rne {
+
+AltIndex::AltIndex(const Graph& g, size_t num_landmarks, Rng& rng)
+    : num_vertices_(g.NumVertices()),
+      astar_(std::make_unique<AStarSearch>(g)) {
+  landmarks_ = SelectLandmarksFarthest(g, num_landmarks, rng);
+  num_landmarks_ = landmarks_.size();
+  RNE_CHECK(num_landmarks_ > 0);
+  landmark_dist_.resize(num_landmarks_ * num_vertices_);
+  DijkstraSearch search(g);
+  for (size_t i = 0; i < num_landmarks_; ++i) {
+    const auto& dist = search.AllDistances(landmarks_[i]);
+    std::copy(dist.begin(), dist.end(),
+              landmark_dist_.begin() + static_cast<long>(i * num_vertices_));
+  }
+}
+
+double AltIndex::LowerBound(VertexId s, VertexId t) const {
+  double best = 0.0;
+  for (size_t i = 0; i < num_landmarks_; ++i) {
+    const double ds = LandmarkDist(i, s);
+    const double dt = LandmarkDist(i, t);
+    if (ds == kInfDistance || dt == kInfDistance) continue;
+    best = std::max(best, std::abs(ds - dt));
+  }
+  return best;
+}
+
+double AltIndex::UpperBound(VertexId s, VertexId t) const {
+  double best = kInfDistance;
+  for (size_t i = 0; i < num_landmarks_; ++i) {
+    const double ds = LandmarkDist(i, s);
+    const double dt = LandmarkDist(i, t);
+    if (ds == kInfDistance || dt == kInfDistance) continue;
+    best = std::min(best, ds + dt);
+  }
+  return best;
+}
+
+double AltIndex::Query(VertexId s, VertexId t) {
+  if (s == t) return 0.0;
+  // One pass computes both bounds (the hot loop of the LT baseline).
+  double lb = 0.0, ub = kInfDistance;
+  for (size_t i = 0; i < num_landmarks_; ++i) {
+    const double ds = LandmarkDist(i, s);
+    const double dt = LandmarkDist(i, t);
+    lb = std::max(lb, std::abs(ds - dt));
+    const double sum = ds + dt;
+    if (sum < ub) ub = sum;
+  }
+  if (ub == kInfDistance) return kInfDistance;
+  return 0.5 * (lb + ub);
+}
+
+namespace {
+constexpr uint32_t kAltMagic = 0x524e414c;  // "RNAL"
+}  // namespace
+
+Status AltIndex::Save(const std::string& path) const {
+  BinaryWriter w(path, kAltMagic);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  w.WritePod<uint64_t>(num_landmarks_);
+  w.WritePod<uint64_t>(num_vertices_);
+  w.WriteVector(landmarks_);
+  w.WriteVector(landmark_dist_);
+  return w.Finish();
+}
+
+StatusOr<AltIndex> AltIndex::Load(const std::string& path, const Graph& g) {
+  BinaryReader r(path, kAltMagic);
+  if (!r.ok()) return r.status();
+  AltIndex alt;
+  uint64_t landmarks = 0, vertices = 0;
+  if (!r.ReadPod(&landmarks) || !r.ReadPod(&vertices) ||
+      !r.ReadVector(&alt.landmarks_) || !r.ReadVector(&alt.landmark_dist_)) {
+    return Status::Corruption("truncated ALT index " + path);
+  }
+  alt.num_landmarks_ = landmarks;
+  alt.num_vertices_ = vertices;
+  if (vertices != g.NumVertices() ||
+      alt.landmark_dist_.size() != landmarks * vertices ||
+      alt.landmarks_.size() != landmarks) {
+    return Status::Corruption("ALT index does not match graph: " + path);
+  }
+  alt.astar_ = std::make_unique<AStarSearch>(g);
+  return alt;
+}
+
+double AltIndex::ExactDistance(VertexId s, VertexId t) {
+  return astar_->Distance(
+      s, t, [this, t](VertexId v, VertexId) { return LowerBound(v, t); });
+}
+
+}  // namespace rne

@@ -1,0 +1,416 @@
+#include "baselines/ch.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace rne {
+
+namespace {
+
+/// Live overlay graph during contraction: adjacency maps with min-weight
+/// semantics, entries to contracted vertices skipped by the callers.
+using LiveAdj = std::vector<std::unordered_map<VertexId, double>>;
+
+void AddOrRelax(LiveAdj& adj, VertexId u, VertexId v, double w) {
+  auto [it, inserted] = adj[u].try_emplace(v, w);
+  if (!inserted && w < it->second) it->second = w;
+}
+
+/// Bounded Dijkstra for witness searches over the live graph.
+class WitnessSearch {
+ public:
+  explicit WitnessSearch(size_t n)
+      : dist_(n, kInfDistance), version_(n, 0) {}
+
+  /// Shortest u -> w distance avoiding `exclude`, visiting only
+  /// non-contracted vertices, aborting beyond `limit` distance or
+  /// `settle_limit` settled vertices. Returns kInfDistance when aborted.
+  double Distance(const LiveAdj& adj, const std::vector<char>& contracted,
+                  VertexId u, VertexId w, VertexId exclude, double limit,
+                  size_t settle_limit) {
+    ++version_counter_;
+    if (version_counter_ == 0) {
+      std::fill(version_.begin(), version_.end(), 0);
+      version_counter_ = 1;
+    }
+    auto touch = [&](VertexId v) {
+      if (version_[v] != version_counter_) {
+        version_[v] = version_counter_;
+        dist_[v] = kInfDistance;
+      }
+    };
+    std::priority_queue<std::pair<double, VertexId>,
+                        std::vector<std::pair<double, VertexId>>,
+                        std::greater<>>
+        queue;
+    touch(u);
+    dist_[u] = 0.0;
+    queue.emplace(0.0, u);
+    size_t settled = 0;
+    while (!queue.empty()) {
+      const auto [d, v] = queue.top();
+      queue.pop();
+      if (d > dist_[v]) continue;
+      if (v == w) return d;
+      if (d > limit) return kInfDistance;
+      if (++settled > settle_limit) return kInfDistance;
+      for (const auto& [to, weight] : adj[v]) {
+        if (to == exclude || contracted[to]) continue;
+        touch(to);
+        const double nd = d + weight;
+        if (nd < dist_[to] && nd <= limit) {
+          dist_[to] = nd;
+          queue.emplace(nd, to);
+        }
+      }
+    }
+    return kInfDistance;
+  }
+
+ private:
+  std::vector<double> dist_;
+  std::vector<uint32_t> version_;
+  uint32_t version_counter_ = 0;
+};
+
+}  // namespace
+
+ContractionHierarchy::ContractionHierarchy(const Graph& g,
+                                           const ChOptions& options)
+    : options_(options), n_(g.NumVertices()) {
+  RNE_CHECK(options_.epsilon >= 0.0);
+  for (int side = 0; side < 2; ++side) {
+    dist_[side].assign(n_, kInfDistance);
+    version_[side].assign(n_, 0);
+  }
+  Build(g);
+}
+
+void ContractionHierarchy::Build(const Graph& g) {
+  LiveAdj live(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    for (const Edge& e : g.Neighbors(v)) AddOrRelax(live, v, e.to, e.weight);
+  }
+  // All edges ever present (original + shortcuts) feed the upward graph.
+  struct FullEdge {
+    VertexId u, v;
+    double w;
+    VertexId via;  // contracted middle vertex; kInvalidVertex for originals
+  };
+  std::vector<FullEdge> all_edges;
+  all_edges.reserve(g.NumHalfEdges());
+  for (VertexId v = 0; v < n_; ++v) {
+    for (const Edge& e : g.Neighbors(v)) {
+      if (v < e.to) all_edges.push_back({v, e.to, e.weight, kInvalidVertex});
+    }
+  }
+
+  std::vector<char> contracted(n_, 0);
+  std::vector<uint32_t> contracted_neighbors(n_, 0);
+  std::vector<uint32_t> level(n_, 0);
+  WitnessSearch witness(n_);
+
+  // Returns the shortcuts required to contract v right now.
+  std::vector<FullEdge> shortcut_buffer;
+  auto simulate = [&](VertexId v, bool apply) -> int {
+    shortcut_buffer.clear();
+    std::vector<std::pair<VertexId, double>> nbrs;
+    nbrs.reserve(live[v].size());
+    for (const auto& [to, w] : live[v]) {
+      if (!contracted[to]) nbrs.emplace_back(to, w);
+    }
+    int shortcuts = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        const auto [u, wu] = nbrs[i];
+        const auto [w, ww] = nbrs[j];
+        const double via = wu + ww;
+        const double tolerated = via * (1.0 + options_.epsilon);
+        const double witness_dist =
+            witness.Distance(live, contracted, u, w, v, tolerated,
+                             options_.witness_settle_limit);
+        if (witness_dist <= tolerated) continue;  // witness path suffices
+        ++shortcuts;
+        if (apply) shortcut_buffer.push_back({u, w, via, v});
+      }
+    }
+    if (apply) {
+      for (const FullEdge& s : shortcut_buffer) {
+        AddOrRelax(live, s.u, s.v, s.w);
+        AddOrRelax(live, s.v, s.u, s.w);
+        all_edges.push_back(s);
+        ++num_shortcuts_;
+      }
+    }
+    return shortcuts - static_cast<int>(nbrs.size());
+  };
+
+  // Lazy-update priority queue of (priority, vertex). The priority combines
+  // edge difference, contracted-neighbor count, and depth (the `level`
+  // term); without the latter two, tie-heavy grid regions contract in a
+  // checkerboard pattern whose fill-in densifies the overlay quadratically.
+  auto priority_of = [&](VertexId v) {
+    return static_cast<double>(simulate(v, /*apply=*/false)) +
+           2.0 * contracted_neighbors[v] + level[v];
+  };
+  using PqEntry = std::pair<double, VertexId>;
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> order_pq;
+  for (VertexId v = 0; v < n_; ++v) {
+    order_pq.emplace(priority_of(v), v);
+  }
+
+  rank_.assign(n_, 0);
+  uint32_t next_rank = 0;
+  while (!order_pq.empty()) {
+    const auto [prio, v] = order_pq.top();
+    order_pq.pop();
+    if (contracted[v]) continue;
+    // Lazy re-evaluation: contract only if still (approximately) minimal.
+    const double fresh = priority_of(v);
+    if (!order_pq.empty() && fresh > order_pq.top().first + 1e-9) {
+      order_pq.emplace(fresh, v);
+      continue;
+    }
+    simulate(v, /*apply=*/true);
+    contracted[v] = 1;
+    rank_[v] = next_rank++;
+    for (const auto& [to, w] : live[v]) {
+      (void)w;
+      if (!contracted[to]) {
+        contracted_neighbors[to] += 1;
+        level[to] = std::max(level[to], level[v] + 1);
+      }
+    }
+  }
+
+  // Upward CSR: edge (u, v) goes into the adjacency of the lower-ranked
+  // endpoint, pointing at the higher-ranked one. Keep min weight per pair.
+  std::sort(all_edges.begin(), all_edges.end(), [&](const FullEdge& a,
+                                                    const FullEdge& b) {
+    const VertexId alo = rank_[a.u] < rank_[a.v] ? a.u : a.v;
+    const VertexId ahi = alo == a.u ? a.v : a.u;
+    const VertexId blo = rank_[b.u] < rank_[b.v] ? b.u : b.v;
+    const VertexId bhi = blo == b.u ? b.v : b.u;
+    if (alo != blo) return alo < blo;
+    if (ahi != bhi) return ahi < bhi;
+    return a.w < b.w;
+  });
+  up_offsets_.assign(n_ + 1, 0);
+  std::vector<UpEdge> edges;
+  edges.reserve(all_edges.size());
+  VertexId prev_lo = kInvalidVertex, prev_hi = kInvalidVertex;
+  for (const FullEdge& e : all_edges) {
+    const VertexId lo = rank_[e.u] < rank_[e.v] ? e.u : e.v;
+    const VertexId hi = lo == e.u ? e.v : e.u;
+    if (lo == prev_lo && hi == prev_hi) continue;  // duplicate, larger weight
+    prev_lo = lo;
+    prev_hi = hi;
+    edges.push_back({hi, e.w, e.via});
+    up_offsets_[lo + 1] += 1;
+  }
+  // `edges` is grouped by lo already (sort order), so a prefix sum finishes
+  // the CSR.
+  for (size_t i = 1; i <= n_; ++i) up_offsets_[i] += up_offsets_[i - 1];
+  up_edges_ = std::move(edges);
+}
+
+double ContractionHierarchy::Query(VertexId s, VertexId t) {
+  RNE_CHECK(s < n_ && t < n_);
+  if (s == t) return 0.0;
+  ++current_version_;
+  if (current_version_ == 0) {
+    for (int side = 0; side < 2; ++side) {
+      std::fill(version_[side].begin(), version_[side].end(), 0);
+    }
+    current_version_ = 1;
+  }
+  last_settled_ = 0;
+  auto touch = [&](int side, VertexId v) {
+    if (version_[side][v] != current_version_) {
+      version_[side][v] = current_version_;
+      dist_[side][v] = kInfDistance;
+    }
+  };
+
+  using PqEntry = std::pair<double, VertexId>;
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> queue[2];
+  touch(0, s);
+  touch(1, t);
+  dist_[0][s] = 0.0;
+  dist_[1][t] = 0.0;
+  queue[0].emplace(0.0, s);
+  queue[1].emplace(0.0, t);
+  double best = kInfDistance;
+
+  for (int side = 0; !queue[0].empty() || !queue[1].empty();
+       side = 1 - side) {
+    if (queue[side].empty()) side = 1 - side;
+    const auto [d, v] = queue[side].top();
+    if (d >= best) {
+      // This direction can no longer improve; drain the other one.
+      std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>>
+          empty_queue;
+      queue[side].swap(empty_queue);
+      continue;
+    }
+    queue[side].pop();
+    if (d > dist_[side][v]) continue;
+    ++last_settled_;
+    touch(1 - side, v);
+    if (dist_[1 - side][v] != kInfDistance) {
+      best = std::min(best, d + dist_[1 - side][v]);
+    }
+    for (uint32_t i = up_offsets_[v]; i < up_offsets_[v + 1]; ++i) {
+      const UpEdge& e = up_edges_[i];
+      touch(side, e.to);
+      const double nd = d + e.weight;
+      if (nd < dist_[side][e.to]) {
+        dist_[side][e.to] = nd;
+        queue[side].emplace(nd, e.to);
+      }
+    }
+  }
+  return best;
+}
+
+const ContractionHierarchy::UpEdge* ContractionHierarchy::FindUpEdge(
+    VertexId u, VertexId v) const {
+  const VertexId lo = rank_[u] < rank_[v] ? u : v;
+  const VertexId hi = lo == u ? v : u;
+  for (uint32_t i = up_offsets_[lo]; i < up_offsets_[lo + 1]; ++i) {
+    if (up_edges_[i].to == hi) return &up_edges_[i];
+  }
+  return nullptr;
+}
+
+void ContractionHierarchy::UnpackEdge(VertexId u, VertexId v,
+                                      std::vector<VertexId>* out) const {
+  const UpEdge* edge = FindUpEdge(u, v);
+  RNE_CHECK_MSG(edge != nullptr, "path hop without a stored up-edge");
+  if (edge->via == kInvalidVertex) {
+    out->push_back(v);
+    return;
+  }
+  UnpackEdge(u, edge->via, out);
+  UnpackEdge(edge->via, v, out);
+}
+
+std::vector<VertexId> ContractionHierarchy::Path(VertexId s, VertexId t) {
+  RNE_CHECK(s < n_ && t < n_);
+  if (s == t) return {s};
+  // Bidirectional upward search with parent tracking (separate from the
+  // distance-only Query to keep that hot path lean).
+  std::vector<double> dist[2];
+  std::vector<VertexId> parent[2];
+  for (int side = 0; side < 2; ++side) {
+    dist[side].assign(n_, kInfDistance);
+    parent[side].assign(n_, kInvalidVertex);
+  }
+  using PqEntry = std::pair<double, VertexId>;
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> queue[2];
+  dist[0][s] = 0.0;
+  dist[1][t] = 0.0;
+  queue[0].emplace(0.0, s);
+  queue[1].emplace(0.0, t);
+  double best = kInfDistance;
+  VertexId meet = kInvalidVertex;
+  for (int side = 0; !queue[0].empty() || !queue[1].empty();
+       side = 1 - side) {
+    if (queue[side].empty()) side = 1 - side;
+    const auto [d, v] = queue[side].top();
+    if (d >= best) {
+      std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>>
+          empty_queue;
+      queue[side].swap(empty_queue);
+      continue;
+    }
+    queue[side].pop();
+    if (d > dist[side][v]) continue;
+    if (dist[1 - side][v] != kInfDistance &&
+        d + dist[1 - side][v] < best) {
+      best = d + dist[1 - side][v];
+      meet = v;
+    }
+    for (uint32_t i = up_offsets_[v]; i < up_offsets_[v + 1]; ++i) {
+      const UpEdge& e = up_edges_[i];
+      const double nd = d + e.weight;
+      if (nd < dist[side][e.to]) {
+        dist[side][e.to] = nd;
+        parent[side][e.to] = v;
+        queue[side].emplace(nd, e.to);
+      }
+    }
+  }
+  if (meet == kInvalidVertex) return {};
+
+  // Up-graph hop sequences s -> meet and meet -> t.
+  std::vector<VertexId> forward;
+  for (VertexId v = meet; v != kInvalidVertex; v = parent[0][v]) {
+    forward.push_back(v);
+  }
+  std::reverse(forward.begin(), forward.end());  // s ... meet
+  std::vector<VertexId> backward;
+  for (VertexId v = meet; v != kInvalidVertex; v = parent[1][v]) {
+    backward.push_back(v);  // meet ... t
+  }
+
+  // Unpack every hop into original vertices.
+  std::vector<VertexId> path = {s};
+  for (size_t i = 1; i < forward.size(); ++i) {
+    UnpackEdge(forward[i - 1], forward[i], &path);
+  }
+  for (size_t i = 1; i < backward.size(); ++i) {
+    UnpackEdge(backward[i - 1], backward[i], &path);
+  }
+  return path;
+}
+
+size_t ContractionHierarchy::IndexBytes() const {
+  return up_offsets_.size() * sizeof(uint32_t) +
+         up_edges_.size() * sizeof(UpEdge) + rank_.size() * sizeof(uint32_t);
+}
+
+namespace {
+constexpr uint32_t kChMagic = 0x524e4348;  // "RNCH"
+}  // namespace
+
+Status ContractionHierarchy::Save(const std::string& path) const {
+  BinaryWriter w(path, kChMagic);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  w.WritePod(options_.epsilon);
+  w.WritePod<uint64_t>(n_);
+  w.WritePod<uint64_t>(num_shortcuts_);
+  w.WriteVector(rank_);
+  w.WriteVector(up_offsets_);
+  w.WriteVector(up_edges_);
+  return w.Finish();
+}
+
+StatusOr<ContractionHierarchy> ContractionHierarchy::Load(
+    const std::string& path) {
+  BinaryReader r(path, kChMagic);
+  if (!r.ok()) return r.status();
+  ContractionHierarchy ch;
+  uint64_t n = 0, shortcuts = 0;
+  if (!r.ReadPod(&ch.options_.epsilon) || !r.ReadPod(&n) ||
+      !r.ReadPod(&shortcuts) || !r.ReadVector(&ch.rank_) ||
+      !r.ReadVector(&ch.up_offsets_) || !r.ReadVector(&ch.up_edges_)) {
+    return Status::Corruption("truncated CH index " + path);
+  }
+  ch.n_ = n;
+  ch.num_shortcuts_ = shortcuts;
+  if (ch.rank_.size() != n || ch.up_offsets_.size() != n + 1 ||
+      ch.up_offsets_.back() != ch.up_edges_.size()) {
+    return Status::Corruption("inconsistent CH index " + path);
+  }
+  for (int side = 0; side < 2; ++side) {
+    ch.dist_[side].assign(n, kInfDistance);
+    ch.version_[side].assign(n, 0);
+  }
+  return ch;
+}
+
+}  // namespace rne

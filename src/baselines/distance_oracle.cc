@@ -1,0 +1,194 @@
+#include "baselines/distance_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/distance_sampler.h"
+
+namespace rne {
+
+DistanceOracle::DistanceOracle(const Graph& g,
+                               const DistanceOracleOptions& options)
+    : g_(g), options_(options) {
+  RNE_CHECK(options_.epsilon > 0.0);
+  RNE_CHECK(g.NumVertices() >= 1);
+
+  // Bounding square.
+  double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
+  for (const Point& p : g.coords()) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const double half =
+      std::max({max_x - min_x, max_y - min_y, 1e-9}) / 2.0 + 1e-9;
+  std::vector<VertexId> all(g.NumVertices());
+  for (VertexId v = 0; v < all.size(); ++v) all[v] = v;
+  root_ = BuildNode(all, (min_x + max_x) / 2.0, (min_y + max_y) / 2.0, half,
+                    0);
+
+  // Decompose and materialize the representative distances in one batch
+  // (grouped by source inside DistanceSampler).
+  FindPairs(root_, root_);
+  std::vector<std::pair<VertexId, VertexId>> rep_pairs;
+  rep_pairs.reserve(pending_pairs_.size());
+  for (const auto& [a, b] : pending_pairs_) {
+    rep_pairs.emplace_back(nodes_[a].representative, nodes_[b].representative);
+  }
+  DistanceSampler sampler(g_, options_.num_threads);
+  const auto samples = sampler.ComputeDistances(rep_pairs);
+  pair_dist_.reserve(pending_pairs_.size() * 2);
+  for (size_t i = 0; i < pending_pairs_.size(); ++i) {
+    const auto [a, b] = pending_pairs_[i];
+    pair_dist_[PairKey(a, b)] = samples[i].dist;
+    pair_dist_[PairKey(b, a)] = samples[i].dist;
+  }
+  pending_pairs_.clear();
+  pending_pairs_.shrink_to_fit();
+}
+
+int32_t DistanceOracle::BuildNode(std::vector<VertexId>& vertices, double cx,
+                                  double cy, double half, size_t depth) {
+  if (vertices.empty()) return -1;
+  QuadNode node;
+  node.cx = cx;
+  node.cy = cy;
+  node.half = half;
+  node.children[0] = node.children[1] = node.children[2] = node.children[3] =
+      -1;
+  // Representative: vertex closest to the square center; diameter: max
+  // pairwise extent approximated by the bounding box of the points.
+  double best = 1e300;
+  node.representative = vertices[0];
+  double pmin_x = 1e300, pmin_y = 1e300, pmax_x = -1e300, pmax_y = -1e300;
+  for (const VertexId v : vertices) {
+    const Point& p = g_.Coord(v);
+    const double d = std::hypot(p.x - cx, p.y - cy);
+    if (d < best) {
+      best = d;
+      node.representative = v;
+    }
+    pmin_x = std::min(pmin_x, p.x);
+    pmin_y = std::min(pmin_y, p.y);
+    pmax_x = std::max(pmax_x, p.x);
+    pmax_y = std::max(pmax_y, p.y);
+  }
+  node.diameter =
+      vertices.size() <= 1 ? 0.0 : std::hypot(pmax_x - pmin_x, pmax_y - pmin_y);
+
+  const auto id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  if (vertices.size() <= 1 || depth >= options_.max_depth) return id;
+
+  std::vector<VertexId> quadrant[4];
+  for (const VertexId v : vertices) {
+    const Point& p = g_.Coord(v);
+    const int q = (p.x >= cx ? 1 : 0) | (p.y >= cy ? 2 : 0);
+    quadrant[q].push_back(v);
+  }
+  vertices.clear();
+  vertices.shrink_to_fit();
+  const double h2 = half / 2.0;
+  const double ox[4] = {-h2, h2, -h2, h2};
+  const double oy[4] = {-h2, -h2, h2, h2};
+  for (int q = 0; q < 4; ++q) {
+    const int32_t child =
+        BuildNode(quadrant[q], cx + ox[q], cy + oy[q], h2, depth + 1);
+    nodes_[id].children[q] = child;
+  }
+  return id;
+}
+
+bool DistanceOracle::WellSeparated(int32_t a, int32_t b) const {
+  if (a == b) return false;
+  const QuadNode& na = nodes_[a];
+  const QuadNode& nb = nodes_[b];
+  const double rep_dist = std::hypot(
+      g_.Coord(na.representative).x - g_.Coord(nb.representative).x,
+      g_.Coord(na.representative).y - g_.Coord(nb.representative).y);
+  return na.diameter + nb.diameter <= options_.epsilon * rep_dist;
+}
+
+void DistanceOracle::FindPairs(int32_t a, int32_t b) {
+  if (a < 0 || b < 0) return;
+  if (WellSeparated(a, b)) {
+    // The recursion can reach the same unordered pair from both orientations;
+    // register it once.
+    if (pair_dist_.emplace(PairKey(a, b), 0.0).second) {
+      pair_dist_[PairKey(b, a)] = 0.0;
+      pending_pairs_.emplace_back(a, b);
+    }
+    return;
+  }
+  // Split the side with the larger diameter (tie: split `a`). Query descent
+  // must replay this rule exactly.
+  const bool split_a =
+      a == b || nodes_[a].diameter >= nodes_[b].diameter;
+  const int32_t target = split_a ? a : b;
+  if (nodes_[target].IsLeaf()) {
+    // Cannot split further (coincident points at max depth): accept the pair
+    // as-is; its diameter is ~0 so the error stays bounded in practice.
+    if (a != b && pair_dist_.emplace(PairKey(a, b), 0.0).second) {
+      pair_dist_[PairKey(b, a)] = 0.0;
+      pending_pairs_.emplace_back(a, b);
+    }
+    return;
+  }
+  for (const int32_t child : nodes_[target].children) {
+    if (child < 0) continue;
+    if (split_a) {
+      FindPairs(child, b);
+    } else {
+      FindPairs(a, child);
+    }
+  }
+}
+
+int32_t DistanceOracle::ChildContaining(int32_t node, VertexId v) const {
+  const QuadNode& n = nodes_[node];
+  const Point& p = g_.Coord(v);
+  const int q = (p.x >= n.cx ? 1 : 0) | (p.y >= n.cy ? 2 : 0);
+  int32_t child = n.children[q];
+  if (child >= 0) return child;
+  // Boundary rounding: fall back to any child whose square contains p.
+  for (const int32_t c : n.children) {
+    if (c < 0) continue;
+    const QuadNode& cn = nodes_[c];
+    if (std::abs(p.x - cn.cx) <= cn.half + 1e-9 &&
+        std::abs(p.y - cn.cy) <= cn.half + 1e-9) {
+      return c;
+    }
+  }
+  RNE_CHECK_MSG(false, "quadtree descent lost a vertex");
+  return -1;
+}
+
+double DistanceOracle::Query(VertexId s, VertexId t) {
+  RNE_CHECK(s < g_.NumVertices() && t < g_.NumVertices());
+  if (s == t) return 0.0;
+  int32_t a = root_, b = root_;
+  for (;;) {
+    if (a != b) {
+      const auto it = pair_dist_.find(PairKey(a, b));
+      if (it != pair_dist_.end()) return it->second;
+    }
+    const bool split_a =
+        a == b || nodes_[a].diameter >= nodes_[b].diameter;
+    if (split_a) {
+      if (nodes_[a].IsLeaf()) return 0.0;  // s and t coincide geometrically
+      a = ChildContaining(a, s);
+    } else {
+      if (nodes_[b].IsLeaf()) return 0.0;
+      b = ChildContaining(b, t);
+    }
+  }
+}
+
+size_t DistanceOracle::IndexBytes() const {
+  // Hash-map nodes: key + value + bucket overhead (~2 pointers each).
+  return nodes_.size() * sizeof(QuadNode) +
+         pair_dist_.size() * (sizeof(uint64_t) + sizeof(double) + 16);
+}
+
+}  // namespace rne

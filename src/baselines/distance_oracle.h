@@ -1,0 +1,80 @@
+// Distance oracle in the style of Sankaranarayanan & Samet [27]:
+// a well-separated pair decomposition over a point quadtree of the vertices.
+//
+// Every vertex pair (s, t) is covered by exactly one block pair (A, B) with
+// diam(A) + diam(B) <= epsilon * dist(A, B); the oracle stores one exact
+// network distance between block representatives per pair and answers any
+// query inside the pair with that value — O(log |V|) descent, epsilon-bounded
+// relative error. The pair set is Theta(|V| / eps^2)-ish, which is why the
+// paper finds the oracle's index huge and only builds it on the smallest
+// dataset; we reproduce that trade-off.
+#ifndef RNE_BASELINES_DISTANCE_ORACLE_H_
+#define RNE_BASELINES_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/method.h"
+
+namespace rne {
+
+struct DistanceOracleOptions {
+  /// Approximation parameter (paper uses 0.5 on BJ).
+  double epsilon = 0.5;
+  /// Maximum quadtree depth (splitting stops regardless of occupancy).
+  size_t max_depth = 24;
+  size_t num_threads = 0;
+};
+
+class DistanceOracle : public DistanceMethod {
+ public:
+  DistanceOracle(const Graph& g, const DistanceOracleOptions& options = {});
+
+  std::string Name() const override { return "DistanceOracle"; }
+  double Query(VertexId s, VertexId t) override;
+  size_t IndexBytes() const override;
+  bool IsExact() const override { return false; }
+
+  size_t num_pairs() const { return pair_dist_.size(); }
+  size_t num_tree_nodes() const { return nodes_.size(); }
+
+ private:
+  struct QuadNode {
+    double cx, cy, half;      // square center + half side
+    double diameter;          // of the contained points (0 for singletons)
+    int32_t children[4];      // -1 when absent
+    VertexId representative;  // vertex closest to the center
+    bool IsLeaf() const {
+      return children[0] < 0 && children[1] < 0 && children[2] < 0 &&
+             children[3] < 0;
+    }
+  };
+
+  int32_t BuildNode(std::vector<VertexId>& vertices, double cx, double cy,
+                    double half, size_t depth);
+  /// Splits the larger-diameter side; identical rule at build and query time
+  /// so the query descent retraces the decomposition.
+  void FindPairs(int32_t a, int32_t b);
+  bool WellSeparated(int32_t a, int32_t b) const;
+  static uint64_t PairKey(int32_t a, int32_t b) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  }
+  /// Child of `node` containing vertex v (must exist).
+  int32_t ChildContaining(int32_t node, VertexId v) const;
+
+  const Graph& g_;
+  DistanceOracleOptions options_;
+  std::vector<QuadNode> nodes_;
+  int32_t root_ = -1;
+  /// (nodeA, nodeB) -> representative network distance. Both orientations
+  /// stored, so query needs one lookup per descent step.
+  std::unordered_map<uint64_t, double> pair_dist_;
+  /// Build-time staging: pairs awaiting representative distances.
+  std::vector<std::pair<int32_t, int32_t>> pending_pairs_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_BASELINES_DISTANCE_ORACLE_H_

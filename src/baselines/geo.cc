@@ -1,0 +1,32 @@
+#include "baselines/geo.h"
+
+namespace rne {
+
+GeoEstimator::GeoEstimator(const Graph& g, GeoMetric metric, double factor)
+    : g_(g), metric_(metric), factor_(factor) {}
+
+void GeoEstimator::Calibrate(const std::vector<DistanceSample>& samples) {
+  double num = 0.0, den = 0.0;
+  for (const DistanceSample& s : samples) {
+    if (s.dist <= 0.0 || s.dist == kInfDistance) continue;
+    const double geo = metric_ == GeoMetric::kEuclidean
+                           ? EuclideanDistance(g_, s.s, s.t)
+                           : ManhattanDistance(g_, s.s, s.t);
+    num += geo * s.dist;
+    den += geo * geo;
+  }
+  if (den > 0.0) factor_ = num / den;
+}
+
+std::string GeoEstimator::Name() const {
+  return metric_ == GeoMetric::kEuclidean ? "Euclidean" : "Manhattan";
+}
+
+double GeoEstimator::Query(VertexId s, VertexId t) {
+  const double geo = metric_ == GeoMetric::kEuclidean
+                         ? EuclideanDistance(g_, s, t)
+                         : ManhattanDistance(g_, s, t);
+  return geo * factor_;
+}
+
+}  // namespace rne

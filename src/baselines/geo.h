@@ -1,0 +1,44 @@
+// Coordinate-only distance estimators (the paper's Euclidean / Manhattan
+// baselines): estimate the network distance from vertex coordinates alone,
+// optionally corrected by a calibration factor fitted on sample pairs
+// (raw straight-line distance systematically underestimates road distance).
+#ifndef RNE_BASELINES_GEO_H_
+#define RNE_BASELINES_GEO_H_
+
+#include <vector>
+
+#include "algo/distance_sampler.h"
+#include "baselines/method.h"
+
+namespace rne {
+
+enum class GeoMetric { kEuclidean, kManhattan };
+
+/// Straight-line estimator with a multiplicative calibration factor.
+class GeoEstimator : public DistanceMethod {
+ public:
+  /// factor = 1.0 reproduces the raw baseline.
+  GeoEstimator(const Graph& g, GeoMetric metric, double factor = 1.0);
+
+  /// Fits the factor minimizing squared relative error on `samples`
+  /// (the least-squares ratio sum(d_geo * d_true) / sum(d_geo^2)).
+  void Calibrate(const std::vector<DistanceSample>& samples);
+
+  std::string Name() const override;
+  double Query(VertexId s, VertexId t) override;
+  size_t IndexBytes() const override {
+    return g_.NumVertices() * sizeof(Point);
+  }
+  bool IsExact() const override { return false; }
+
+  double factor() const { return factor_; }
+
+ private:
+  const Graph& g_;
+  GeoMetric metric_;
+  double factor_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_BASELINES_GEO_H_

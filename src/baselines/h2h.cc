@@ -1,0 +1,255 @@
+#include "baselines/h2h.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "util/serialize.h"
+
+namespace rne {
+
+namespace {
+struct BagEntry {
+  VertexId to;
+  double weight;
+};
+}  // namespace
+
+H2HIndex::H2HIndex(const Graph& g) : n_(g.NumVertices()) { Build(g); }
+
+void H2HIndex::Build(const Graph& g) {
+  // --- 1. Minimum-degree elimination with fill-in shortcuts. ---
+  std::vector<std::unordered_map<VertexId, double>> live(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    for (const Edge& e : g.Neighbors(v)) {
+      auto [it, inserted] = live[v].try_emplace(e.to, e.weight);
+      if (!inserted && e.weight < it->second) it->second = e.weight;
+    }
+  }
+  std::vector<char> eliminated(n_, 0);
+  std::vector<uint32_t> elim_rank(n_, 0);
+  std::vector<std::vector<BagEntry>> bag(n_);
+
+  using PqEntry = std::pair<uint32_t, VertexId>;  // (degree, vertex)
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  for (VertexId v = 0; v < n_; ++v) {
+    pq.emplace(static_cast<uint32_t>(live[v].size()), v);
+  }
+  uint32_t next_rank = 0;
+  while (!pq.empty()) {
+    const auto [deg, v] = pq.top();
+    pq.pop();
+    if (eliminated[v]) continue;
+    if (deg != live[v].size()) {  // stale degree, reinsert
+      pq.emplace(static_cast<uint32_t>(live[v].size()), v);
+      continue;
+    }
+    eliminated[v] = 1;
+    elim_rank[v] = next_rank++;
+    bag[v].reserve(live[v].size());
+    for (const auto& [u, w] : live[v]) bag[v].push_back({u, w});
+    max_bag_size_ = std::max(max_bag_size_, bag[v].size() + 1);
+    // Fill-in among bag members.
+    for (size_t i = 0; i < bag[v].size(); ++i) {
+      for (size_t j = i + 1; j < bag[v].size(); ++j) {
+        const VertexId a = bag[v][i].to, b = bag[v][j].to;
+        const double w = bag[v][i].weight + bag[v][j].weight;
+        auto [it, inserted] = live[a].try_emplace(b, w);
+        if (!inserted && w < it->second) it->second = w;
+        auto [it2, inserted2] = live[b].try_emplace(a, w);
+        if (!inserted2 && w < it2->second) it2->second = w;
+      }
+      live[bag[v][i].to].erase(v);
+    }
+    live[v].clear();
+    // Degrees of bag members changed; lazy reinsertion.
+    for (const BagEntry& e : bag[v]) {
+      pq.emplace(static_cast<uint32_t>(live[e.to].size()), e.to);
+    }
+  }
+
+  // --- 2. Elimination tree: parent = bag member eliminated first. ---
+  parent_.assign(n_, kInvalidVertex);
+  for (VertexId v = 0; v < n_; ++v) {
+    uint32_t best_rank = UINT32_MAX;
+    for (const BagEntry& e : bag[v]) {
+      RNE_CHECK(elim_rank[e.to] > elim_rank[v]);
+      if (elim_rank[e.to] < best_rank) {
+        best_rank = elim_rank[e.to];
+        parent_[v] = e.to;
+      }
+    }
+  }
+  std::vector<std::vector<VertexId>> children(n_);
+  std::vector<VertexId> roots;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (parent_[v] == kInvalidVertex) {
+      roots.push_back(v);
+    } else {
+      children[parent_[v]].push_back(v);
+    }
+  }
+
+  // --- 3. Top-down labeling over DFS with an explicit root-path stack. ---
+  depth_.assign(n_, 0);
+  root_of_.assign(n_, kInvalidVertex);
+  label_.assign(n_, {});
+  pos_.assign(n_, {});
+  std::vector<VertexId> path;  // path[d] = ancestor at depth d
+  // Iterative DFS carrying (vertex, resume-state).
+  struct Frame {
+    VertexId v;
+    size_t child_idx;
+  };
+  for (const VertexId root : roots) {
+    std::vector<Frame> stack;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const VertexId v = frame.v;
+      if (frame.child_idx == 0) {
+        // First visit: compute depth, labels, and bag positions.
+        root_of_[v] = root;
+        depth_[v] = static_cast<uint32_t>(path.size());
+        tree_height_ = std::max<size_t>(tree_height_, depth_[v] + 1);
+        label_[v].assign(depth_[v] + 1, kInfDistance);
+        label_[v][depth_[v]] = 0.0;
+        for (uint32_t i = 0; i < depth_[v]; ++i) {
+          double best = kInfDistance;
+          for (const BagEntry& e : bag[v]) {
+            // d(x, anc@i): x and anc@i are both on v's root path; take the
+            // label stored at the shallower of the two.
+            const double dx = depth_[e.to] >= i ? label_[e.to][i]
+                                                : label_[path[i]][depth_[e.to]];
+            if (dx != kInfDistance && e.weight + dx < best) {
+              best = e.weight + dx;
+            }
+          }
+          label_[v][i] = best;
+        }
+        pos_[v].reserve(bag[v].size() + 1);
+        for (const BagEntry& e : bag[v]) pos_[v].push_back(depth_[e.to]);
+        pos_[v].push_back(depth_[v]);
+        path.push_back(v);
+      }
+      if (frame.child_idx < children[v].size()) {
+        const VertexId c = children[v][frame.child_idx++];
+        stack.push_back({c, 0});
+      } else {
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+
+  // --- 4. Binary-lifting LCA table. ---
+  size_t log = 1;
+  while ((size_t{1} << log) < std::max<size_t>(tree_height_, 2)) ++log;
+  up_.assign(log, std::vector<uint32_t>(n_));
+  for (VertexId v = 0; v < n_; ++v) {
+    up_[0][v] = parent_[v] == kInvalidVertex ? v : parent_[v];
+  }
+  for (size_t k = 1; k < log; ++k) {
+    for (VertexId v = 0; v < n_; ++v) up_[k][v] = up_[k - 1][up_[k - 1][v]];
+  }
+}
+
+VertexId H2HIndex::Lca(VertexId u, VertexId v) const {
+  if (depth_[u] < depth_[v]) std::swap(u, v);
+  uint32_t diff = depth_[u] - depth_[v];
+  for (size_t k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1) u = up_[k][u];
+  }
+  if (u == v) return u;
+  for (size_t k = up_.size(); k-- > 0;) {
+    if (up_[k][u] != up_[k][v]) {
+      u = up_[k][u];
+      v = up_[k][v];
+    }
+  }
+  return parent_[u] == kInvalidVertex ? u : parent_[u];
+}
+
+double H2HIndex::Query(VertexId s, VertexId t) {
+  RNE_CHECK(s < n_ && t < n_);
+  if (s == t) return 0.0;
+  if (root_of_[s] != root_of_[t]) return kInfDistance;  // different components
+  const VertexId x = Lca(s, t);
+  if (x == s) return label_[t][depth_[s]];
+  if (x == t) return label_[s][depth_[t]];
+  double best = kInfDistance;
+  for (const uint32_t i : pos_[x]) {
+    const double d = label_[s][i] + label_[t][i];
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+namespace {
+constexpr uint32_t kH2hMagic = 0x524e4832;  // "RNH2"
+}  // namespace
+
+Status H2HIndex::Save(const std::string& path) const {
+  BinaryWriter w(path, kH2hMagic);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  w.WritePod<uint64_t>(n_);
+  w.WritePod<uint64_t>(max_bag_size_);
+  w.WritePod<uint64_t>(tree_height_);
+  w.WriteVector(parent_);
+  w.WriteVector(depth_);
+  w.WriteVector(root_of_);
+  w.WritePod<uint64_t>(up_.size());
+  for (const auto& level : up_) w.WriteVector(level);
+  for (const auto& l : label_) w.WriteVector(l);
+  for (const auto& p : pos_) w.WriteVector(p);
+  return w.Finish();
+}
+
+StatusOr<H2HIndex> H2HIndex::Load(const std::string& path) {
+  BinaryReader r(path, kH2hMagic);
+  if (!r.ok()) return r.status();
+  H2HIndex h;
+  uint64_t n = 0, bag = 0, height = 0, levels = 0;
+  if (!r.ReadPod(&n) || !r.ReadPod(&bag) || !r.ReadPod(&height) ||
+      !r.ReadVector(&h.parent_) || !r.ReadVector(&h.depth_) ||
+      !r.ReadVector(&h.root_of_) || !r.ReadPod(&levels)) {
+    return Status::Corruption("truncated H2H index " + path);
+  }
+  h.n_ = n;
+  h.max_bag_size_ = bag;
+  h.tree_height_ = height;
+  h.up_.resize(levels);
+  for (auto& level : h.up_) {
+    if (!r.ReadVector(&level)) {
+      return Status::Corruption("truncated H2H index " + path);
+    }
+  }
+  h.label_.resize(n);
+  for (auto& l : h.label_) {
+    if (!r.ReadVector(&l)) {
+      return Status::Corruption("truncated H2H index " + path);
+    }
+  }
+  h.pos_.resize(n);
+  for (auto& p : h.pos_) {
+    if (!r.ReadVector(&p)) {
+      return Status::Corruption("truncated H2H index " + path);
+    }
+  }
+  if (h.parent_.size() != n || h.depth_.size() != n ||
+      h.root_of_.size() != n) {
+    return Status::Corruption("inconsistent H2H index " + path);
+  }
+  return h;
+}
+
+size_t H2HIndex::IndexBytes() const {
+  size_t bytes = parent_.size() * sizeof(uint32_t) +
+                 depth_.size() * sizeof(uint32_t);
+  for (const auto& l : label_) bytes += l.size() * sizeof(double);
+  for (const auto& p : pos_) bytes += p.size() * sizeof(uint32_t);
+  for (const auto& u : up_) bytes += u.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace rne

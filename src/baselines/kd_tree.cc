@@ -1,0 +1,133 @@
+#include "baselines/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace rne {
+
+namespace {
+constexpr uint32_t kLeafSize = 16;
+}  // namespace
+
+KdTree::KdTree(const Graph& g, GeoMetric metric, std::vector<VertexId> targets)
+    : metric_(metric), g_(g) {
+  if (targets.empty()) {
+    targets.resize(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) targets[v] = v;
+  }
+  points_.reserve(targets.size());
+  for (const VertexId v : targets) {
+    RNE_CHECK(v < g.NumVertices());
+    points_.push_back({g.Coord(v), v});
+  }
+  if (!points_.empty()) {
+    root_ = BuildNode(0, static_cast<uint32_t>(points_.size()), 0);
+  }
+}
+
+double KdTree::Dist(const Point& a, const Point& b) const {
+  return metric_ == GeoMetric::kEuclidean
+             ? std::hypot(a.x - b.x, a.y - b.y)
+             : std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+int32_t KdTree::BuildNode(uint32_t begin, uint32_t end, int depth) {
+  NodeRec rec;
+  rec.begin = begin;
+  rec.end = end;
+  const auto id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(rec);
+  if (end - begin <= kLeafSize) return id;
+
+  const int axis = depth % 2;
+  const uint32_t mid = (begin + end) / 2;
+  std::nth_element(points_.begin() + begin, points_.begin() + mid,
+                   points_.begin() + end, [axis](const Item& a, const Item& b) {
+                     return axis == 0 ? a.p.x < b.p.x : a.p.y < b.p.y;
+                   });
+  const double split =
+      axis == 0 ? points_[mid].p.x : points_[mid].p.y;
+  const int32_t left = BuildNode(begin, mid, depth + 1);
+  const int32_t right = BuildNode(mid, end, depth + 1);
+  nodes_[id].axis = axis;
+  nodes_[id].split = split;
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+void KdTree::RangeRec(int32_t node, const Point& q, double tau,
+                      std::vector<VertexId>* out) const {
+  const NodeRec& rec = nodes_[node];
+  if (rec.IsLeaf()) {
+    for (uint32_t i = rec.begin; i < rec.end; ++i) {
+      if (Dist(points_[i].p, q) <= tau) out->push_back(points_[i].v);
+    }
+    return;
+  }
+  const double coord = rec.axis == 0 ? q.x : q.y;
+  // |coord - split| lower-bounds both metrics' distance across the plane.
+  if (coord - tau <= rec.split) RangeRec(rec.left, q, tau, out);
+  if (coord + tau >= rec.split) RangeRec(rec.right, q, tau, out);
+}
+
+std::vector<VertexId> KdTree::Range(VertexId source, double tau) const {
+  std::vector<VertexId> out;
+  if (root_ >= 0) RangeRec(root_, g_.Coord(source), tau, &out);
+  return out;
+}
+
+std::vector<std::pair<VertexId, double>> KdTree::Knn(VertexId source,
+                                                     size_t k) const {
+  std::vector<std::pair<VertexId, double>> result;
+  if (root_ < 0 || k == 0) return result;
+  const Point q = g_.Coord(source);
+
+  // Best-first over tree nodes keyed by the distance lower bound to the
+  // node's region along the split planes crossed so far.
+  struct Entry {
+    double bound;
+    int32_t node;
+    bool operator>(const Entry& o) const { return bound > o.bound; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::priority_queue<std::pair<double, VertexId>> best;  // max-heap of k best
+  queue.push({0.0, root_});
+  while (!queue.empty()) {
+    const auto [bound, node] = queue.top();
+    queue.pop();
+    if (best.size() == k && bound >= best.top().first) break;
+    const NodeRec& rec = nodes_[node];
+    if (rec.IsLeaf()) {
+      for (uint32_t i = rec.begin; i < rec.end; ++i) {
+        const double d = Dist(points_[i].p, q);
+        if (best.size() < k) {
+          best.emplace(d, points_[i].v);
+        } else if (d < best.top().first) {
+          best.pop();
+          best.emplace(d, points_[i].v);
+        }
+      }
+      continue;
+    }
+    const double coord = rec.axis == 0 ? q.x : q.y;
+    const double plane_gap = std::abs(coord - rec.split);
+    if (coord <= rec.split) {
+      queue.push({bound, rec.left});
+      queue.push({std::max(bound, plane_gap), rec.right});
+    } else {
+      queue.push({bound, rec.right});
+      queue.push({std::max(bound, plane_gap), rec.left});
+    }
+  }
+  result.reserve(best.size());
+  while (!best.empty()) {
+    result.emplace_back(best.top().second, best.top().first);
+    best.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace rne

@@ -1,0 +1,62 @@
+// 2-d KD-tree over vertex coordinates, the index behind the Euclidean /
+// Manhattan baselines for range and kNN queries (Fig 16).
+#ifndef RNE_BASELINES_KD_TREE_H_
+#define RNE_BASELINES_KD_TREE_H_
+
+#include <utility>
+#include <vector>
+
+#include "baselines/geo.h"
+#include "graph/graph.h"
+
+namespace rne {
+
+/// Static KD-tree over a target subset of vertices; queries measure
+/// geometric (L1 or L2) distance between coordinates.
+class KdTree {
+ public:
+  /// Indexes `targets` (vertex ids of g). Empty targets = all vertices.
+  KdTree(const Graph& g, GeoMetric metric,
+         std::vector<VertexId> targets = {});
+
+  /// Targets within geometric distance tau of vertex `source`.
+  std::vector<VertexId> Range(VertexId source, double tau) const;
+
+  /// k targets nearest to `source` by geometric distance, sorted ascending,
+  /// as (vertex, distance).
+  std::vector<std::pair<VertexId, double>> Knn(VertexId source,
+                                               size_t k) const;
+
+  size_t MemoryBytes() const {
+    return nodes_.size() * sizeof(NodeRec) + points_.size() * sizeof(Item);
+  }
+
+ private:
+  struct Item {
+    Point p;
+    VertexId v;
+  };
+  struct NodeRec {
+    // Leaf: [begin, end) into points_. Internal: split axis/value + children.
+    uint32_t begin = 0, end = 0;
+    int32_t left = -1, right = -1;
+    int axis = 0;
+    double split = 0.0;
+    bool IsLeaf() const { return left < 0; }
+  };
+
+  double Dist(const Point& a, const Point& b) const;
+  int32_t BuildNode(uint32_t begin, uint32_t end, int depth);
+  void RangeRec(int32_t node, const Point& q, double tau,
+                std::vector<VertexId>* out) const;
+
+  GeoMetric metric_;
+  std::vector<Item> points_;
+  std::vector<NodeRec> nodes_;
+  int32_t root_ = -1;
+  const Graph& g_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_BASELINES_KD_TREE_H_

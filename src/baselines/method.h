@@ -1,0 +1,31 @@
+// Common interface for point-to-point distance methods, used by the
+// benchmark harnesses to sweep over {Euclidean, Manhattan, CH, ACH, H2H,
+// Distance Oracle, LT, RNE} uniformly.
+#ifndef RNE_BASELINES_METHOD_H_
+#define RNE_BASELINES_METHOD_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace rne {
+
+/// A built distance index answering point-to-point queries.
+/// Query() is non-const because search-based methods reuse internal
+/// workspaces; instances are not thread-safe.
+class DistanceMethod {
+ public:
+  virtual ~DistanceMethod() = default;
+
+  virtual std::string Name() const = 0;
+  /// (Approximate) shortest-path distance s -> t.
+  virtual double Query(VertexId s, VertexId t) = 0;
+  /// In-memory index footprint in bytes (0 for search-only methods).
+  virtual size_t IndexBytes() const = 0;
+  /// True if Query returns exact shortest distances.
+  virtual bool IsExact() const = 0;
+};
+
+}  // namespace rne
+
+#endif  // RNE_BASELINES_METHOD_H_

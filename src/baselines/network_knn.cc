@@ -1,0 +1,60 @@
+#include "baselines/network_knn.h"
+
+#include <queue>
+
+namespace rne {
+
+NetworkKnn::NetworkKnn(const Graph& g, std::vector<VertexId> targets)
+    : g_(g), is_target_(g.NumVertices(), 0), search_(g) {
+  if (targets.empty()) {
+    std::fill(is_target_.begin(), is_target_.end(), 1);
+    num_targets_ = g.NumVertices();
+  } else {
+    for (const VertexId v : targets) {
+      RNE_CHECK(v < g.NumVertices());
+      if (!is_target_[v]) {
+        is_target_[v] = 1;
+        ++num_targets_;
+      }
+    }
+  }
+}
+
+std::vector<std::pair<VertexId, double>> NetworkKnn::Knn(VertexId source,
+                                                         size_t k) {
+  std::vector<std::pair<VertexId, double>> result;
+  if (k == 0 || num_targets_ == 0) return result;
+  k = std::min(k, num_targets_);
+  // Dedicated expansion (DijkstraSearch has no "stop after k targets" mode):
+  // plain Dijkstra that records targets as they settle.
+  std::vector<double> dist(g_.NumVertices(), kInfDistance);
+  std::priority_queue<std::pair<double, VertexId>,
+                      std::vector<std::pair<double, VertexId>>, std::greater<>>
+      queue;
+  dist[source] = 0.0;
+  queue.emplace(0.0, source);
+  while (!queue.empty() && result.size() < k) {
+    const auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[v]) continue;
+    if (is_target_[v]) result.emplace_back(v, d);
+    for (const Edge& e : g_.Neighbors(v)) {
+      const double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        queue.emplace(nd, e.to);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> NetworkKnn::Range(VertexId source, double tau) {
+  std::vector<VertexId> result;
+  for (const auto& [v, d] : search_.WithinRadius(source, tau)) {
+    if (is_target_[v]) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace rne

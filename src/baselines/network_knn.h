@@ -1,0 +1,42 @@
+// Search-based exact kNN / range queries by incremental network expansion
+// (INE): a Dijkstra expansion from the query source that stops once k targets
+// are settled (or the radius is exceeded). This is the exact, search-heavy
+// query style that V-tree [28] / G-tree accelerate; it serves as the exact
+// comparator in the Fig 16 experiments (see DESIGN.md substitutions).
+#ifndef RNE_BASELINES_NETWORK_KNN_H_
+#define RNE_BASELINES_NETWORK_KNN_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "algo/dijkstra.h"
+#include "graph/graph.h"
+
+namespace rne {
+
+class NetworkKnn {
+ public:
+  /// Indexes `targets` (empty = all vertices). `g` must outlive the object.
+  NetworkKnn(const Graph& g, std::vector<VertexId> targets = {});
+
+  /// Exact k nearest targets by network distance, sorted ascending.
+  std::vector<std::pair<VertexId, double>> Knn(VertexId source, size_t k);
+
+  /// Exact targets within network distance tau.
+  std::vector<VertexId> Range(VertexId source, double tau);
+
+  size_t MemoryBytes() const {
+    return is_target_.size() * sizeof(char);
+  }
+
+ private:
+  const Graph& g_;
+  std::vector<char> is_target_;
+  size_t num_targets_ = 0;
+  DijkstraSearch search_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_BASELINES_NETWORK_KNN_H_

@@ -1,0 +1,34 @@
+#include "core/embedding.h"
+
+#include <cmath>
+
+namespace rne {
+
+void EmbeddingMatrix::RandomInit(Rng& rng, double scale) {
+  for (float& x : data_) {
+    x = static_cast<float>(rng.UniformReal(-scale, scale));
+  }
+}
+
+double EmbeddingMatrix::L1Norm() const {
+  double s = 0.0;
+  for (const float x : data_) s += std::abs(static_cast<double>(x));
+  return s;
+}
+
+void EmbeddingMatrix::Write(BinaryWriter& w) const {
+  w.WritePod<uint64_t>(rows_);
+  w.WritePod<uint64_t>(dim_);
+  w.WriteVector(data_);
+}
+
+bool EmbeddingMatrix::Read(BinaryReader& r) {
+  uint64_t rows = 0, dim = 0;
+  if (!r.ReadPod(&rows) || !r.ReadPod(&dim)) return false;
+  rows_ = rows;
+  dim_ = dim;
+  if (!r.ReadVector(&data_)) return false;
+  return data_.size() == rows_ * dim_;
+}
+
+}  // namespace rne

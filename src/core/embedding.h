@@ -1,0 +1,53 @@
+// Dense row-major embedding matrix (float32 storage, the paper's index).
+#ifndef RNE_CORE_EMBEDDING_H_
+#define RNE_CORE_EMBEDDING_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace rne {
+
+/// rows x dim matrix of float32, one row per embedded entity.
+class EmbeddingMatrix {
+ public:
+  EmbeddingMatrix() = default;
+  EmbeddingMatrix(size_t rows, size_t dim)
+      : rows_(rows), dim_(dim), data_(rows * dim, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+
+  std::span<float> Row(size_t i) {
+    RNE_DCHECK(i < rows_);
+    return {data_.data() + i * dim_, dim_};
+  }
+  std::span<const float> Row(size_t i) const {
+    RNE_DCHECK(i < rows_);
+    return {data_.data() + i * dim_, dim_};
+  }
+
+  /// Uniform init in [-scale, scale].
+  void RandomInit(Rng& rng, double scale);
+
+  /// Sum of |entries| (used for the norm-sharing diagnostics of Sec IV-A).
+  double L1Norm() const;
+
+  size_t MemoryBytes() const { return data_.size() * sizeof(float); }
+
+  void Write(BinaryWriter& w) const;
+  bool Read(BinaryReader& r);
+
+ private:
+  size_t rows_ = 0;
+  size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_CORE_EMBEDDING_H_

@@ -1,0 +1,81 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rne {
+
+ErrorSummary EvaluateErrors(const DistanceFn& fn,
+                            const std::vector<DistanceSample>& validation) {
+  ErrorSummary out;
+  double sum_sq = 0.0;
+  for (const DistanceSample& s : validation) {
+    if (s.dist <= 0.0 || s.dist == kInfDistance) continue;
+    const double est = fn(s.s, s.t);
+    const double abs_err = std::abs(est - s.dist);
+    const double rel_err = abs_err / s.dist;
+    out.mean_abs += abs_err;
+    out.mean_rel += rel_err;
+    out.max_rel = std::max(out.max_rel, rel_err);
+    sum_sq += rel_err * rel_err;
+    ++out.num_pairs;
+  }
+  if (out.num_pairs > 0) {
+    const auto n = static_cast<double>(out.num_pairs);
+    out.mean_abs /= n;
+    out.mean_rel /= n;
+    out.var_rel = sum_sq / n - out.mean_rel * out.mean_rel;
+  }
+  return out;
+}
+
+std::vector<double> CumulativeErrorCurve(
+    const DistanceFn& fn, const std::vector<DistanceSample>& validation,
+    const std::vector<double>& thresholds) {
+  std::vector<double> rel_errors;
+  rel_errors.reserve(validation.size());
+  for (const DistanceSample& s : validation) {
+    if (s.dist <= 0.0 || s.dist == kInfDistance) continue;
+    rel_errors.push_back(std::abs(fn(s.s, s.t) - s.dist) / s.dist);
+  }
+  std::sort(rel_errors.begin(), rel_errors.end());
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (const double threshold : thresholds) {
+    const auto below =
+        std::upper_bound(rel_errors.begin(), rel_errors.end(), threshold) -
+        rel_errors.begin();
+    out.push_back(rel_errors.empty()
+                      ? 0.0
+                      : static_cast<double>(below) /
+                            static_cast<double>(rel_errors.size()));
+  }
+  return out;
+}
+
+std::vector<ErrorSummary> ErrorsByDistance(
+    const DistanceFn& fn, const std::vector<DistanceSample>& validation,
+    size_t num_buckets) {
+  RNE_CHECK(num_buckets > 0);
+  double max_dist = 0.0;
+  for (const DistanceSample& s : validation) {
+    if (s.dist != kInfDistance) max_dist = std::max(max_dist, s.dist);
+  }
+  std::vector<std::vector<DistanceSample>> buckets(num_buckets);
+  for (const DistanceSample& s : validation) {
+    if (s.dist <= 0.0 || s.dist == kInfDistance) continue;
+    const size_t b = std::min(
+        num_buckets - 1,
+        static_cast<size_t>(s.dist / max_dist *
+                            static_cast<double>(num_buckets)));
+    buckets[b].push_back(s);
+  }
+  std::vector<ErrorSummary> out;
+  out.reserve(num_buckets);
+  for (const auto& bucket : buckets) {
+    out.push_back(EvaluateErrors(fn, bucket));
+  }
+  return out;
+}
+
+}  // namespace rne

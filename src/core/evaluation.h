@@ -1,0 +1,50 @@
+// Accuracy-evaluation utilities shared by tests, benchmarks, and tools:
+// the error metrics of Sec III-B (absolute/relative), aggregate summaries,
+// cumulative error curves (Fig 15), and per-distance-interval breakdowns
+// (Fig 8 / Fig 17).
+#ifndef RNE_CORE_EVALUATION_H_
+#define RNE_CORE_EVALUATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "algo/distance_sampler.h"
+
+namespace rne {
+
+/// Distance estimator under evaluation: returns the approximate distance
+/// s -> t (an Rne query, a baseline, ...).
+using DistanceFn = std::function<double(VertexId s, VertexId t)>;
+
+/// Aggregate error summary over a validation set.
+struct ErrorSummary {
+  double mean_rel = 0.0;
+  double mean_abs = 0.0;
+  double max_rel = 0.0;
+  /// Population variance of the relative error (the paper tracks
+  /// var(e_rel) during fine-tuning).
+  double var_rel = 0.0;
+  size_t num_pairs = 0;
+};
+
+/// Evaluates `fn` against exact samples. Pairs with non-positive or
+/// infinite exact distance are skipped.
+ErrorSummary EvaluateErrors(const DistanceFn& fn,
+                            const std::vector<DistanceSample>& validation);
+
+/// Fraction of queries with relative error <= each threshold (thresholds in
+/// relative units, e.g. 0.02 for 2%). Result aligns with `thresholds`.
+std::vector<double> CumulativeErrorCurve(
+    const DistanceFn& fn, const std::vector<DistanceSample>& validation,
+    const std::vector<double>& thresholds);
+
+/// Per-distance-interval errors: validation pairs are bucketed into
+/// `num_buckets` equal-width intervals of [0, max distance]; entry i holds
+/// the summary for bucket i (num_pairs = 0 for empty buckets).
+std::vector<ErrorSummary> ErrorsByDistance(
+    const DistanceFn& fn, const std::vector<DistanceSample>& validation,
+    size_t num_buckets);
+
+}  // namespace rne
+
+#endif  // RNE_CORE_EVALUATION_H_

@@ -1,0 +1,81 @@
+#include "core/hierarchical_model.h"
+
+#include <algorithm>
+
+#include "core/metric.h"
+
+namespace rne {
+
+HierarchicalModel::HierarchicalModel(const PartitionHierarchy* hier,
+                                     size_t dim, double p)
+    : hier_(hier),
+      dim_(dim),
+      p_(p),
+      node_local_(hier->num_nodes(), dim),
+      vertex_local_(hier->num_vertices(), dim) {
+  RNE_CHECK(dim_ > 0);
+  RNE_CHECK(p_ > 0.0);
+}
+
+void HierarchicalModel::RandomInit(Rng& rng, double scale) {
+  node_local_.RandomInit(rng, scale);
+  vertex_local_.RandomInit(rng, scale * 0.1);
+  // The root's local embedding is shared by all vertices and cancels in every
+  // difference; keep it at zero so node globals are well defined.
+  std::fill(node_local_.Row(hier_->root()).begin(),
+            node_local_.Row(hier_->root()).end(), 0.0f);
+}
+
+void HierarchicalModel::GlobalOf(VertexId v, std::span<float> out) const {
+  RNE_DCHECK(out.size() == dim_);
+  std::copy(vertex_local_.Row(v).begin(), vertex_local_.Row(v).end(),
+            out.begin());
+  for (const uint32_t node : hier_->AncestorsOf(v)) {
+    const auto local = node_local_.Row(node);
+    for (size_t i = 0; i < dim_; ++i) out[i] += local[i];
+  }
+}
+
+void HierarchicalModel::NodeGlobalOf(uint32_t node,
+                                     std::span<float> out) const {
+  RNE_DCHECK(out.size() == dim_);
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (uint32_t cur = node;
+       cur != UINT32_MAX && hier_->node(cur).level > 0;
+       cur = hier_->node(cur).parent) {
+    const auto local = node_local_.Row(cur);
+    for (size_t i = 0; i < dim_; ++i) out[i] += local[i];
+  }
+}
+
+double HierarchicalModel::Estimate(VertexId s, VertexId t) const {
+  std::vector<float> vs(dim_), vt(dim_);
+  GlobalOf(s, vs);
+  GlobalOf(t, vt);
+  return MetricDist(vs, vt, p_);
+}
+
+EmbeddingMatrix HierarchicalModel::FlattenVertices() const {
+  EmbeddingMatrix out(hier_->num_vertices(), dim_);
+  for (VertexId v = 0; v < hier_->num_vertices(); ++v) {
+    GlobalOf(v, out.Row(v));
+  }
+  return out;
+}
+
+EmbeddingMatrix HierarchicalModel::FlattenNodes() const {
+  EmbeddingMatrix out(hier_->num_nodes(), dim_);
+  // Top-down accumulation: global(node) = global(parent) + local(node).
+  for (uint32_t level = 1; level <= hier_->max_level(); ++level) {
+    for (const uint32_t id : hier_->NodesAtLevel(level)) {
+      const uint32_t parent = hier_->node(id).parent;
+      auto row = out.Row(id);
+      const auto parent_row = out.Row(parent);
+      const auto local = node_local_.Row(id);
+      for (size_t i = 0; i < dim_; ++i) row[i] = parent_row[i] + local[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace rne

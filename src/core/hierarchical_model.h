@@ -1,0 +1,80 @@
+// Hierarchical RNE model (Sec IV).
+//
+// Every non-root node of the partition hierarchy owns a *local* embedding
+// representing its position among siblings; every vertex additionally owns a
+// vertex-level local embedding (the paper's M_L). The *global* embedding of
+// a vertex is the sum of the local embeddings on its root-to-vertex path:
+//   v_global = sum_{node in anc(v)} node_local + vertex_local[v].
+// The flat RNE-Naive model is the degenerate case of a hierarchy whose root
+// is its only node (no internal levels).
+#ifndef RNE_CORE_HIERARCHICAL_MODEL_H_
+#define RNE_CORE_HIERARCHICAL_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "core/embedding.h"
+#include "partition/hierarchy.h"
+
+namespace rne {
+
+class HierarchicalModel {
+ public:
+  /// `hier` must outlive the model. `p` is the Lp metric parameter.
+  HierarchicalModel(const PartitionHierarchy* hier, size_t dim, double p);
+
+  size_t dim() const { return dim_; }
+  double p() const { return p_; }
+  const PartitionHierarchy& hierarchy() const { return *hier_; }
+
+  /// Model level of the vertex-local embeddings (internal node levels are
+  /// 1..max_level; vertices sit one deeper).
+  uint32_t vertex_level() const { return hier_->max_level() + 1; }
+  /// Total number of model levels carrying parameters (internal + vertex).
+  uint32_t num_levels() const { return vertex_level(); }
+
+  void RandomInit(Rng& rng, double scale);
+
+  /// Writes the global embedding of vertex v into `out` (dim floats).
+  void GlobalOf(VertexId v, std::span<float> out) const;
+
+  /// Writes the global embedding of a tree node (sum of the locals on its
+  /// path from level 1 down to itself; zero vector for the root).
+  void NodeGlobalOf(uint32_t node, std::span<float> out) const;
+
+  /// Mutable local embedding of a non-root tree node.
+  std::span<float> NodeLocal(uint32_t node) { return node_local_.Row(node); }
+  std::span<const float> NodeLocal(uint32_t node) const {
+    return node_local_.Row(node);
+  }
+  /// Mutable vertex-level local embedding.
+  std::span<float> VertexLocal(VertexId v) { return vertex_local_.Row(v); }
+  std::span<const float> VertexLocal(VertexId v) const {
+    return vertex_local_.Row(v);
+  }
+
+  /// Estimated (unscaled) distance between two vertices under the model.
+  double Estimate(VertexId s, VertexId t) const;
+
+  /// Flattens to the |V| x d global matrix M used for serving.
+  EmbeddingMatrix FlattenVertices() const;
+  /// Global embeddings of all tree nodes (row index = node id).
+  EmbeddingMatrix FlattenNodes() const;
+
+  /// Sum of L1 norms of all local matrices (Sec IV-A diagnostics: the
+  /// hierarchical model attains smaller total norm than a flat one).
+  double SumLocalNorms() const {
+    return node_local_.L1Norm() + vertex_local_.L1Norm();
+  }
+
+ private:
+  const PartitionHierarchy* hier_;
+  size_t dim_;
+  double p_;
+  EmbeddingMatrix node_local_;    // one row per tree node (root row unused)
+  EmbeddingMatrix vertex_local_;  // one row per vertex
+};
+
+}  // namespace rne
+
+#endif  // RNE_CORE_HIERARCHICAL_MODEL_H_

@@ -1,0 +1,43 @@
+// Lp representation metrics over embedding vectors (Sec III-C).
+//
+// The paper's estimator is phi_hat(s, t) = ||v_s - v_t||_p with p = 1 as the
+// recommended metric (linearity gives L1 strictly more embedding freedom on
+// planar graphs than p > 1). General p is kept for the Fig 9 ablation.
+#ifndef RNE_CORE_METRIC_H_
+#define RNE_CORE_METRIC_H_
+
+#include <cmath>
+#include <span>
+
+#include "util/macros.h"
+
+namespace rne {
+
+/// L1 distance, the query-time hot path (unrolled accumulation).
+double L1Dist(std::span<const float> a, std::span<const float> b);
+
+/// L2 (Euclidean) distance.
+double L2Dist(std::span<const float> a, std::span<const float> b);
+
+/// General Lp "distance" (sum |d_i|^p)^(1/p); p may be fractional (e.g. 0.5,
+/// which is not a metric but is included in the paper's Fig 9 sweep).
+double LpDist(std::span<const float> a, std::span<const float> b, double p);
+
+/// Dispatcher used by training/eval code paths; p==1 and p==2 hit the
+/// specialized kernels.
+inline double MetricDist(std::span<const float> a, std::span<const float> b,
+                         double p) {
+  if (p == 1.0) return L1Dist(a, b);
+  if (p == 2.0) return L2Dist(a, b);
+  return LpDist(a, b, p);
+}
+
+/// Writes dD/da_i into `grad` where D = ||a - b||_p. For p = 1 this is
+/// sign(a_i - b_i); for general p it is sign(d_i)|d_i|^{p-1} D^{1-p}.
+/// `dist` must be the precomputed MetricDist(a, b, p).
+void MetricGradient(std::span<const float> a, std::span<const float> b,
+                    double p, double dist, std::span<double> grad);
+
+}  // namespace rne
+
+#endif  // RNE_CORE_METRIC_H_

@@ -1,0 +1,89 @@
+#include "core/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rne {
+
+namespace {
+constexpr uint32_t kQuantMagic = 0x524e5138;  // "RNQ8"
+}  // namespace
+
+QuantizedRne::QuantizedRne(const Rne& model) {
+  RNE_CHECK_MSG(model.p() == 1.0,
+                "quantized serving supports the L1 metric only");
+  const EmbeddingMatrix& emb = model.vertex_embeddings();
+  rows_ = emb.rows();
+  dim_ = emb.dim();
+  scale_ = model.scale();
+  steps_.assign(dim_, 0.0f);
+  codes_.assign(rows_ * dim_, 0);
+
+  // Per-dimension range -> 255 levels.
+  std::vector<float> mins(dim_, 0.0f);
+  std::vector<float> maxs(dim_, 0.0f);
+  for (size_t d = 0; d < dim_; ++d) {
+    mins[d] = emb.Row(0)[d];
+    maxs[d] = emb.Row(0)[d];
+  }
+  for (size_t v = 1; v < rows_; ++v) {
+    const auto row = emb.Row(v);
+    for (size_t d = 0; d < dim_; ++d) {
+      mins[d] = std::min(mins[d], row[d]);
+      maxs[d] = std::max(maxs[d], row[d]);
+    }
+  }
+  for (size_t d = 0; d < dim_; ++d) {
+    steps_[d] = std::max((maxs[d] - mins[d]) / 255.0f, 1e-12f);
+  }
+  for (size_t v = 0; v < rows_; ++v) {
+    const auto row = emb.Row(v);
+    uint8_t* out = codes_.data() + v * dim_;
+    for (size_t d = 0; d < dim_; ++d) {
+      const float code = std::round((row[d] - mins[d]) / steps_[d]);
+      out[d] = static_cast<uint8_t>(std::clamp(code, 0.0f, 255.0f));
+    }
+  }
+}
+
+double QuantizedRne::Query(VertexId s, VertexId t) const {
+  RNE_DCHECK(s < rows_ && t < rows_);
+  const uint8_t* a = Row(s);
+  const uint8_t* b = Row(t);
+  double sum = 0.0;
+  for (size_t d = 0; d < dim_; ++d) {
+    const int diff = static_cast<int>(a[d]) - static_cast<int>(b[d]);
+    sum += steps_[d] * static_cast<double>(diff < 0 ? -diff : diff);
+  }
+  return sum * scale_;
+}
+
+Status QuantizedRne::Save(const std::string& path) const {
+  BinaryWriter w(path, kQuantMagic);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  w.WritePod<uint64_t>(rows_);
+  w.WritePod<uint64_t>(dim_);
+  w.WritePod(scale_);
+  w.WriteVector(steps_);
+  w.WriteVector(codes_);
+  return w.Finish();
+}
+
+StatusOr<QuantizedRne> QuantizedRne::Load(const std::string& path) {
+  BinaryReader r(path, kQuantMagic);
+  if (!r.ok()) return r.status();
+  QuantizedRne q;
+  uint64_t rows = 0, dim = 0;
+  if (!r.ReadPod(&rows) || !r.ReadPod(&dim) || !r.ReadPod(&q.scale_) ||
+      !r.ReadVector(&q.steps_) || !r.ReadVector(&q.codes_)) {
+    return Status::Corruption("truncated quantized model " + path);
+  }
+  q.rows_ = rows;
+  q.dim_ = dim;
+  if (q.steps_.size() != dim || q.codes_.size() != rows * dim) {
+    return Status::Corruption("inconsistent quantized model " + path);
+  }
+  return q;
+}
+
+}  // namespace rne

@@ -1,0 +1,52 @@
+// 8-bit quantized serving of a trained RNE model (extension beyond the
+// paper). Table IV's story is the index-size/quality trade-off; per-dimension
+// affine quantization of the |V| x d float matrix cuts the serving footprint
+// 4x while the L1 distance remains a per-dimension sum:
+//   |x_a - x_b| = step_d * |q_a - q_b|      (same step within a dimension)
+// so queries stay a single pass over two byte rows.
+#ifndef RNE_CORE_QUANTIZED_H_
+#define RNE_CORE_QUANTIZED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rne.h"
+
+namespace rne {
+
+/// Quantized read-only copy of an Rne model's serving matrix (L1 only).
+class QuantizedRne {
+ public:
+  /// Quantizes model.vertex_embeddings() with per-dimension min/step.
+  /// The model must use the L1 metric (p == 1).
+  explicit QuantizedRne(const Rne& model);
+
+  /// Approximate shortest-path distance in the edge-weight unit.
+  double Query(VertexId s, VertexId t) const;
+
+  size_t NumVertices() const { return rows_; }
+  size_t dim() const { return dim_; }
+  /// Serving footprint: |V| x d bytes + 1 step per dimension.
+  size_t IndexBytes() const {
+    return codes_.size() * sizeof(uint8_t) + steps_.size() * sizeof(float);
+  }
+
+  Status Save(const std::string& path) const;
+  static StatusOr<QuantizedRne> Load(const std::string& path);
+
+ private:
+  QuantizedRne() = default;
+
+  const uint8_t* Row(VertexId v) const { return codes_.data() + v * dim_; }
+
+  size_t rows_ = 0;
+  size_t dim_ = 0;
+  double scale_ = 1.0;               // model's distance de-normalization
+  std::vector<float> steps_;         // per-dimension quantization step
+  std::vector<uint8_t> codes_;       // row-major |V| x d
+};
+
+}  // namespace rne
+
+#endif  // RNE_CORE_QUANTIZED_H_

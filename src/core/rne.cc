@@ -1,0 +1,152 @@
+#include "core/rne.h"
+
+#include <queue>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace rne {
+
+namespace {
+constexpr uint32_t kRneMagic = 0x524e4531;  // "RNE1"
+}  // namespace
+
+Rne Rne::Build(const Graph& g, const RneConfig& config, RneBuildStats* stats) {
+  RNE_CHECK(g.NumVertices() >= 2);
+  Timer total;
+
+  HierarchyOptions hopt = config.hierarchy;
+  if (!config.hierarchical) {
+    // Degenerate one-node tree: the flat RNE-Naive model.
+    hopt.leaf_threshold = g.NumVertices();
+    hopt.max_levels = 1;
+  }
+  Timer partition_timer;
+  auto hierarchy =
+      std::make_shared<PartitionHierarchy>(PartitionHierarchy::Build(g, hopt));
+  const double partition_seconds = partition_timer.ElapsedSeconds();
+
+  TrainConfig tcfg = config.train;
+  tcfg.dim = config.dim;
+  tcfg.p = config.p;
+  if (!config.fine_tune) tcfg.finetune_rounds = 0;
+
+  Timer train_timer;
+  Trainer trainer(g, *hierarchy, tcfg);
+  if (config.hierarchical) trainer.TrainHierarchyPhase();
+  trainer.TrainVertexPhase();
+  trainer.FineTunePhase();
+  const double train_seconds = train_timer.ElapsedSeconds();
+
+  Rne model;
+  model.hierarchy_ = std::move(hierarchy);
+  model.vertex_emb_ = trainer.model().FlattenVertices();
+  model.node_emb_ = trainer.model().FlattenNodes();
+  model.p_ = config.p;
+  model.scale_ = trainer.scale();
+
+  if (stats != nullptr) {
+    stats->partition_seconds = partition_seconds;
+    stats->train_seconds = train_seconds;
+    stats->total_seconds = total.ElapsedSeconds();
+    stats->samples_processed = trainer.total_samples_processed();
+    stats->num_tree_nodes = model.hierarchy_->num_nodes();
+  }
+  return model;
+}
+
+void Rne::QueryOneToMany(VertexId s, std::span<const VertexId> targets,
+                         std::span<double> out) const {
+  RNE_CHECK(out.size() == targets.size());
+  const auto src = vertex_emb_.Row(s);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    out[i] = MetricDist(src, vertex_emb_.Row(targets[i]), p_) * scale_;
+  }
+}
+
+std::vector<std::pair<VertexId, double>> Rne::QueryKnn(
+    VertexId s, std::span<const VertexId> targets, size_t k) const {
+  std::vector<double> dist(targets.size());
+  QueryOneToMany(s, targets, dist);
+  // Max-heap of the k best seen so far.
+  std::priority_queue<std::pair<double, VertexId>> best;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (best.size() < k) {
+      best.emplace(dist[i], targets[i]);
+    } else if (!best.empty() && dist[i] < best.top().first) {
+      best.pop();
+      best.emplace(dist[i], targets[i]);
+    }
+  }
+  std::vector<std::pair<VertexId, double>> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = {best.top().second, best.top().first};
+    best.pop();
+  }
+  return out;
+}
+
+void Rne::RefineOnline(const std::vector<DistanceSample>& samples,
+                       size_t epochs, double lr0, uint64_t seed) {
+  if (samples.empty()) return;
+  Rng rng(seed);
+  const size_t dim = vertex_emb_.dim();
+  const double lr_norm = 1.0 / (4.0 * static_cast<double>(dim));
+  std::vector<double> grad(dim);
+  std::vector<uint32_t> order(samples.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(order);
+    const double lr =
+        lr0 * (epochs <= 1 ? 1.0
+                           : 1.0 - 0.9 * static_cast<double>(epoch) /
+                                       static_cast<double>(epochs - 1));
+    for (const uint32_t idx : order) {
+      const DistanceSample& sample = samples[idx];
+      if (sample.dist == kInfDistance) continue;
+      auto vs = vertex_emb_.Row(sample.s);
+      auto vt = vertex_emb_.Row(sample.t);
+      const double dist = MetricDist(vs, vt, p_);
+      const double err = dist - sample.dist / scale_;
+      if (err == 0.0) continue;
+      const double coeff = 2.0 * err * lr * lr_norm;
+      MetricGradient(vs, vt, p_, dist, grad);
+      for (size_t d = 0; d < dim; ++d) {
+        vs[d] -= static_cast<float>(coeff * grad[d]);
+        vt[d] += static_cast<float>(coeff * grad[d]);
+      }
+    }
+  }
+}
+
+Status Rne::Save(const std::string& path) const {
+  BinaryWriter w(path, kRneMagic);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  w.WritePod(p_);
+  w.WritePod(scale_);
+  vertex_emb_.Write(w);
+  node_emb_.Write(w);
+  hierarchy_->WriteTo(w);
+  return w.Finish();
+}
+
+StatusOr<Rne> Rne::Load(const std::string& path) {
+  BinaryReader r(path, kRneMagic);
+  if (!r.ok()) return r.status();
+  Rne model;
+  auto hierarchy = std::make_shared<PartitionHierarchy>();
+  if (!r.ReadPod(&model.p_) || !r.ReadPod(&model.scale_) ||
+      !model.vertex_emb_.Read(r) || !model.node_emb_.Read(r) ||
+      !PartitionHierarchy::ReadFrom(r, hierarchy.get())) {
+    return Status::Corruption("truncated RNE model file " + path);
+  }
+  model.hierarchy_ = std::move(hierarchy);
+  if (model.vertex_emb_.rows() != model.hierarchy_->num_vertices() ||
+      model.node_emb_.rows() != model.hierarchy_->num_nodes()) {
+    return Status::Corruption("inconsistent RNE model file " + path);
+  }
+  return model;
+}
+
+}  // namespace rne

@@ -1,0 +1,116 @@
+// RNE: learned road-network distance index (the paper's primary
+// contribution). Build() partitions the network, trains the hierarchical
+// embedding (phases 1-3), and flattens it into a |V| x d serving matrix;
+// Query() answers an approximate shortest-path distance with one L1
+// computation — no graph search.
+//
+// Typical use:
+//   Graph g = MakeRoadNetwork({...});
+//   Rne rne = Rne::Build(g, RneConfig{});
+//   double approx_meters = rne.Query(s, t);
+#ifndef RNE_CORE_RNE_H_
+#define RNE_CORE_RNE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/embedding.h"
+#include "core/metric.h"
+#include "core/trainer.h"
+#include "partition/hierarchy.h"
+
+namespace rne {
+
+struct RneConfig {
+  /// Embedding dimension d (paper: 64 for BJ, 128 for FLA/US-W).
+  size_t dim = 64;
+  /// Lp metric parameter; 1 is the paper's recommendation.
+  double p = 1.0;
+  /// false builds the flat RNE-Naive model (no partition hierarchy, no
+  /// phase-1 training) for the Fig 7/11 ablations.
+  bool hierarchical = true;
+  /// Partition-tree shape (fanout kappa, leaf threshold delta).
+  HierarchyOptions hierarchy;
+  /// Training-phase parameters; `dim` and `p` above override the copies
+  /// inside.
+  TrainConfig train;
+  /// Disable phase 3 (Fig 11 ablation).
+  bool fine_tune = true;
+};
+
+/// Build-time breakdown reported by Build().
+struct RneBuildStats {
+  double partition_seconds = 0.0;
+  double train_seconds = 0.0;
+  double total_seconds = 0.0;
+  size_t samples_processed = 0;
+  size_t num_tree_nodes = 0;
+};
+
+/// Immutable trained model. Copyable (matrices + tree); cheap to move.
+class Rne {
+ public:
+  /// Partitions, trains, and flattens. `stats` (optional) receives timings.
+  static Rne Build(const Graph& g, const RneConfig& config,
+                   RneBuildStats* stats = nullptr);
+
+  /// Approximate shortest-path distance in the edge-weight unit.
+  double Query(VertexId s, VertexId t) const {
+    return MetricDist(vertex_emb_.Row(s), vertex_emb_.Row(t), p_) * scale_;
+  }
+
+  /// Batched one-to-many queries (the paper's dispatch workload: one rider
+  /// against many candidate cars). Writes distances(s, targets[i]) into
+  /// out[i]; out must have targets.size() entries. Streams the matrix rows
+  /// sequentially, which the compiler vectorizes — measurably faster than
+  /// calling Query in a loop.
+  void QueryOneToMany(VertexId s, std::span<const VertexId> targets,
+                      std::span<double> out) const;
+
+  /// Approximate k nearest vertices to `s` among `targets` by embedding
+  /// distance (brute-force scan; use RneIndex for large target sets).
+  std::vector<std::pair<VertexId, double>> QueryKnn(
+      VertexId s, std::span<const VertexId> targets, size_t k) const;
+
+  size_t dim() const { return vertex_emb_.dim(); }
+  double p() const { return p_; }
+  /// Distance de-normalization factor baked into Query().
+  double scale() const { return scale_; }
+  size_t NumVertices() const { return vertex_emb_.rows(); }
+
+  const EmbeddingMatrix& vertex_embeddings() const { return vertex_emb_; }
+  /// Global embeddings of partition-tree nodes (row = node id), used by the
+  /// range/kNN index.
+  const EmbeddingMatrix& node_embeddings() const { return node_emb_; }
+  const PartitionHierarchy& hierarchy() const { return *hierarchy_; }
+
+  /// Serving footprint (the paper's "index size"): the |V| x d matrix.
+  size_t IndexBytes() const { return vertex_emb_.MemoryBytes(); }
+
+  /// Online refresh (extension beyond the paper's static setting): continues
+  /// SGD directly on the flattened vertex matrix with fresh exact samples,
+  /// e.g. after localized edge-weight changes. `lr0` as in TrainConfig.
+  /// Node embeddings (used by RneIndex) are left untouched; rebuild indexes
+  /// after large refreshes.
+  void RefineOnline(const std::vector<DistanceSample>& samples, size_t epochs,
+                    double lr0, uint64_t seed = 17);
+
+  Status Save(const std::string& path) const;
+  static StatusOr<Rne> Load(const std::string& path);
+
+ private:
+  Rne() = default;
+
+  std::shared_ptr<const PartitionHierarchy> hierarchy_;
+  EmbeddingMatrix vertex_emb_;
+  EmbeddingMatrix node_emb_;
+  double p_ = 1.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace rne
+
+#endif  // RNE_CORE_RNE_H_

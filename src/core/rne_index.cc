@@ -1,0 +1,147 @@
+#include "core/rne_index.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rne {
+
+RneIndex::RneIndex(const Rne* model) : model_(model) {
+  std::vector<VertexId> all(model->NumVertices());
+  for (VertexId v = 0; v < all.size(); ++v) all[v] = v;
+  leaf_targets_.assign(model_->hierarchy().num_nodes(), {});
+  for (const VertexId v : all) {
+    leaf_targets_[model_->hierarchy().LeafOf(v)].push_back(v);
+  }
+  num_targets_ = all.size();
+  BuildRadii();
+}
+
+RneIndex::RneIndex(const Rne* model, std::vector<VertexId> targets)
+    : model_(model) {
+  leaf_targets_.assign(model_->hierarchy().num_nodes(), {});
+  for (const VertexId v : targets) {
+    RNE_CHECK(v < model_->NumVertices());
+    leaf_targets_[model_->hierarchy().LeafOf(v)].push_back(v);
+  }
+  num_targets_ = targets.size();
+  BuildRadii();
+}
+
+void RneIndex::BuildRadii() {
+  const PartitionHierarchy& hier = model_->hierarchy();
+  const double scale = model_->scale();
+  radius_.assign(hier.num_nodes(), -1.0);
+  // Bottom-up: visit nodes by decreasing level so children precede parents.
+  std::vector<uint32_t> order(hier.num_nodes());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return hier.node(a).level > hier.node(b).level;
+  });
+  // Radius must be measured from the node's own embedding to the target
+  // vertices' embeddings, so compute it directly per node over the targets
+  // in its subtree. Collect subtree targets bottom-up.
+  std::vector<std::vector<VertexId>> subtree(hier.num_nodes());
+  for (const uint32_t id : order) {
+    const auto& node = hier.node(id);
+    std::vector<VertexId>& mine = subtree[id];
+    if (node.IsLeaf()) {
+      mine = leaf_targets_[id];
+    } else {
+      for (const uint32_t c : node.children) {
+        mine.insert(mine.end(), subtree[c].begin(), subtree[c].end());
+      }
+    }
+    if (mine.empty()) continue;
+    const auto center = model_->node_embeddings().Row(id);
+    double r = 0.0;
+    for (const VertexId v : mine) {
+      r = std::max(r, MetricDist(center, model_->vertex_embeddings().Row(v),
+                                 model_->p()));
+    }
+    radius_[id] = r * scale;
+  }
+}
+
+std::vector<VertexId> RneIndex::Range(VertexId source, double tau) const {
+  const PartitionHierarchy& hier = model_->hierarchy();
+  const auto src = model_->vertex_embeddings().Row(source);
+  const double scale = model_->scale();
+  std::vector<VertexId> result;
+  std::vector<uint32_t> stack = {hier.root()};
+  while (!stack.empty()) {
+    const uint32_t id = stack.back();
+    stack.pop_back();
+    if (radius_[id] < 0.0) continue;  // no targets below
+    const double center_dist =
+        MetricDist(src, model_->node_embeddings().Row(id), model_->p()) *
+        scale;
+    if (center_dist - radius_[id] > tau) continue;  // triangle-inequality cut
+    const auto& node = hier.node(id);
+    if (node.IsLeaf()) {
+      for (const VertexId v : leaf_targets_[id]) {
+        if (model_->Query(source, v) <= tau) result.push_back(v);
+      }
+    } else {
+      for (const uint32_t c : node.children) stack.push_back(c);
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<VertexId, double>> RneIndex::Knn(VertexId source,
+                                                       size_t k) const {
+  const PartitionHierarchy& hier = model_->hierarchy();
+  const auto src = model_->vertex_embeddings().Row(source);
+  const double scale = model_->scale();
+
+  // Entry kinds: tree node (is_vertex=false) keyed by the lower bound
+  // max(dist - radius, 0); vertex keyed by its estimated distance.
+  struct Entry {
+    double key;
+    uint32_t id;
+    bool is_vertex;
+    bool operator>(const Entry& o) const { return key > o.key; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::vector<std::pair<VertexId, double>> result;
+  if (k == 0 || num_targets_ == 0) return result;
+
+  if (radius_[hier.root()] >= 0.0) {
+    const double d =
+        MetricDist(src, model_->node_embeddings().Row(hier.root()),
+                   model_->p()) *
+        scale;
+    queue.push({std::max(d - radius_[hier.root()], 0.0), hier.root(), false});
+  }
+  while (!queue.empty() && result.size() < k) {
+    const Entry e = queue.top();
+    queue.pop();
+    if (e.is_vertex) {
+      result.emplace_back(static_cast<VertexId>(e.id), e.key);
+      continue;
+    }
+    const auto& node = hier.node(e.id);
+    if (node.IsLeaf()) {
+      for (const VertexId v : leaf_targets_[e.id]) {
+        queue.push({model_->Query(source, v), v, true});
+      }
+    } else {
+      for (const uint32_t c : node.children) {
+        if (radius_[c] < 0.0) continue;
+        const double d =
+            MetricDist(src, model_->node_embeddings().Row(c), model_->p()) *
+            scale;
+        queue.push({std::max(d - radius_[c], 0.0), c, false});
+      }
+    }
+  }
+  return result;
+}
+
+size_t RneIndex::MemoryBytes() const {
+  size_t bytes = radius_.size() * sizeof(double);
+  for (const auto& t : leaf_targets_) bytes += t.size() * sizeof(VertexId);
+  return bytes;
+}
+
+}  // namespace rne

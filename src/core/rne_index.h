@@ -1,0 +1,56 @@
+// Tree-structured index for range and kNN queries in embedding space
+// (Sec VI). Reuses the partition tree: every node stores its global
+// embedding (from the trained model) plus a covering radius — the maximum
+// metric distance from the node's embedding to any target vertex embedding
+// beneath it. The triangle inequality of the Lp metric then prunes subtrees:
+//   dist(source, node) - radius(node) > tau  =>  no target under `node`
+//   can be within tau of the source.
+#ifndef RNE_CORE_RNE_INDEX_H_
+#define RNE_CORE_RNE_INDEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/rne.h"
+
+namespace rne {
+
+/// Range/kNN index over a target set (e.g. POIs); all distances are in the
+/// edge-weight unit (the model's scale is applied internally). Results are
+/// approximate exactly as Query() is.
+class RneIndex {
+ public:
+  /// Indexes every vertex as a target. `model` must outlive the index.
+  explicit RneIndex(const Rne* model);
+  /// Indexes only `targets` (must be valid vertex ids).
+  RneIndex(const Rne* model, std::vector<VertexId> targets);
+
+  /// All targets whose estimated distance to `source` is <= tau,
+  /// unordered.
+  std::vector<VertexId> Range(VertexId source, double tau) const;
+
+  /// The k targets with smallest estimated distance to `source`, as
+  /// (vertex, estimated distance) sorted by distance. The source vertex
+  /// itself is included if it is a target.
+  std::vector<std::pair<VertexId, double>> Knn(VertexId source,
+                                               size_t k) const;
+
+  size_t num_targets() const { return num_targets_; }
+  /// Extra memory on top of the model (radii + per-leaf target lists).
+  size_t MemoryBytes() const;
+
+ private:
+  void BuildRadii();
+
+  const Rne* model_;
+  /// radius per tree node in the edge-weight unit; negative = no targets.
+  std::vector<double> radius_;
+  /// targets contained in each leaf node (indexed by node id; empty for
+  /// internal nodes).
+  std::vector<std::vector<VertexId>> leaf_targets_;
+  size_t num_targets_ = 0;
+};
+
+}  // namespace rne
+
+#endif  // RNE_CORE_RNE_INDEX_H_

@@ -1,0 +1,104 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+
+namespace rne {
+
+std::vector<VertexPair> RandomVertexPairs(size_t num_vertices, size_t n,
+                                          Rng& rng, size_t source_reuse) {
+  RNE_CHECK(num_vertices >= 2);
+  RNE_CHECK(source_reuse >= 1);
+  std::vector<VertexPair> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(num_vertices));
+    for (size_t r = 0; r < source_reuse && out.size() < n; ++r) {
+      VertexId t = s;
+      while (t == s) t = static_cast<VertexId>(rng.UniformIndex(num_vertices));
+      out.emplace_back(s, t);
+    }
+  }
+  return out;
+}
+
+std::vector<VertexPair> SubgraphLevelPairs(const PartitionHierarchy& hier,
+                                           uint32_t level, size_t n, Rng& rng,
+                                           size_t source_reuse) {
+  RNE_CHECK(source_reuse >= 1);
+  const std::vector<uint32_t> parts = hier.PartitionAtLevel(level);
+  RNE_CHECK(!parts.empty());
+  std::vector<VertexPair> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    // One source sub-graph + source vertex, several target draws.
+    const uint32_t a = parts[rng.UniformIndex(parts.size())];
+    const auto& va = hier.node(a).vertices;
+    const VertexId s = va[rng.UniformIndex(va.size())];
+    for (size_t r = 0; r < source_reuse && out.size() < n; ++r) {
+      const uint32_t b = parts[rng.UniformIndex(parts.size())];
+      const auto& vb = hier.node(b).vertices;
+      const VertexId t = vb[rng.UniformIndex(vb.size())];
+      if (s == t) continue;
+      out.emplace_back(s, t);
+    }
+  }
+  return out;
+}
+
+std::vector<VertexPair> LandmarkPairs(const std::vector<VertexId>& landmarks,
+                                      size_t num_vertices, size_t n,
+                                      Rng& rng) {
+  RNE_CHECK(!landmarks.empty());
+  RNE_CHECK(num_vertices >= 2);
+  std::vector<VertexPair> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const VertexId u = landmarks[rng.UniformIndex(landmarks.size())];
+    VertexId v = u;
+    while (v == u) v = static_cast<VertexId>(rng.UniformIndex(num_vertices));
+    out.emplace_back(u, v);
+  }
+  return out;
+}
+
+std::vector<VertexPair> ErrorBasedPairs(
+    const SpatialGrid& grid, const std::vector<double>& bucket_errors,
+    FineTuneStrategy strategy, size_t n, Rng& rng, size_t source_reuse) {
+  RNE_CHECK(bucket_errors.size() == grid.num_buckets());
+  RNE_CHECK(source_reuse >= 1);
+  // Usable buckets: positive error and at least one cell pair.
+  std::vector<double> weights(bucket_errors.size(), 0.0);
+  double max_err = 0.0;
+  size_t argmax = bucket_errors.size();
+  for (size_t b = 0; b < bucket_errors.size(); ++b) {
+    if (!grid.BucketNonEmpty(b) || bucket_errors[b] <= 0.0) continue;
+    weights[b] = bucket_errors[b];
+    if (bucket_errors[b] > max_err) {
+      max_err = bucket_errors[b];
+      argmax = b;
+    }
+  }
+  std::vector<VertexPair> out;
+  if (argmax == bucket_errors.size()) return out;  // nothing to fix
+  out.reserve(n);
+  size_t attempts = 0;
+  const size_t max_attempts = 4 * n + 64;
+  while (out.size() < n && attempts++ < max_attempts) {
+    const size_t bucket = strategy == FineTuneStrategy::kLocal
+                              ? argmax
+                              : rng.WeightedIndex(weights);
+    VertexId s = kInvalidVertex, t = kInvalidVertex;
+    if (!grid.SamplePair(bucket, rng, &s, &t)) continue;
+    // Keep `s` and the target cell; redraw the target vertex `reuse` times.
+    const auto& target_cell = grid.CellVertices(grid.CellOf(t));
+    for (size_t r = 0; r < source_reuse && out.size() < n; ++r) {
+      const VertexId tt =
+          r == 0 ? t : target_cell[rng.UniformIndex(target_cell.size())];
+      if (s == tt) continue;  // bucket 0 can draw identical endpoints
+      out.emplace_back(s, tt);
+    }
+  }
+  return out;
+}
+
+}  // namespace rne

@@ -1,0 +1,87 @@
+#include "core/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rne {
+
+SpatialGrid::SpatialGrid(const Graph& g, size_t k) : k_(k) {
+  RNE_CHECK(k_ >= 1);
+  RNE_CHECK(g.NumVertices() > 0);
+  double max_x = -1e300, max_y = -1e300;
+  min_x_ = 1e300;
+  min_y_ = 1e300;
+  for (const Point& p : g.coords()) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  // Guard zero-extent boxes (all vertices at one point).
+  cell_w_ = std::max((max_x - min_x_) / static_cast<double>(k_), 1e-9);
+  cell_h_ = std::max((max_y - min_y_) / static_cast<double>(k_), 1e-9);
+
+  cells_.assign(k_ * k_, {});
+  cell_of_.resize(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const Point& p = g.Coord(v);
+    const size_t col = std::min(
+        k_ - 1, static_cast<size_t>(std::max(0.0, (p.x - min_x_) / cell_w_)));
+    const size_t row = std::min(
+        k_ - 1, static_cast<size_t>(std::max(0.0, (p.y - min_y_) / cell_h_)));
+    const size_t cell = row * k_ + col;
+    cell_of_[v] = static_cast<uint32_t>(cell);
+    cells_[cell].push_back(v);
+  }
+
+  buckets_.assign(num_buckets(), {});
+  for (uint32_t ca = 0; ca < cells_.size(); ++ca) {
+    if (cells_[ca].empty()) continue;
+    for (uint32_t cb = ca; cb < cells_.size(); ++cb) {
+      if (cells_[cb].empty()) continue;
+      const size_t ra = ca / k_, col_a = ca % k_;
+      const size_t rb = cb / k_, col_b = cb % k_;
+      const size_t dist = (ra > rb ? ra - rb : rb - ra) +
+                          (col_a > col_b ? col_a - col_b : col_b - col_a);
+      Bucket& bucket = buckets_[dist];
+      const double weight = static_cast<double>(cells_[ca].size()) *
+                            static_cast<double>(cells_[cb].size());
+      bucket.pairs.emplace_back(ca, cb);
+      bucket.cumulative.push_back(
+          (bucket.cumulative.empty() ? 0.0 : bucket.cumulative.back()) +
+          weight);
+    }
+  }
+}
+
+size_t SpatialGrid::CellOf(VertexId v) const {
+  RNE_DCHECK(v < cell_of_.size());
+  return cell_of_[v];
+}
+
+size_t SpatialGrid::BucketOfPair(VertexId s, VertexId t) const {
+  const size_t ca = CellOf(s), cb = CellOf(t);
+  const size_t ra = ca / k_, col_a = ca % k_;
+  const size_t rb = cb / k_, col_b = cb % k_;
+  return (ra > rb ? ra - rb : rb - ra) +
+         (col_a > col_b ? col_a - col_b : col_b - col_a);
+}
+
+bool SpatialGrid::SamplePair(size_t b, Rng& rng, VertexId* s,
+                             VertexId* t) const {
+  RNE_CHECK(b < buckets_.size());
+  const Bucket& bucket = buckets_[b];
+  if (bucket.pairs.empty()) return false;
+  const double r = rng.UniformReal(0.0, bucket.cumulative.back());
+  const auto it =
+      std::upper_bound(bucket.cumulative.begin(), bucket.cumulative.end(), r);
+  const size_t idx = std::min<size_t>(
+      static_cast<size_t>(it - bucket.cumulative.begin()),
+      bucket.pairs.size() - 1);
+  const auto [ca, cb] = bucket.pairs[idx];
+  *s = cells_[ca][rng.UniformIndex(cells_[ca].size())];
+  *t = cells_[cb][rng.UniformIndex(cells_[cb].size())];
+  return true;
+}
+
+}  // namespace rne

@@ -1,0 +1,260 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "algo/landmarks.h"
+#include "core/metric.h"
+
+namespace rne {
+
+namespace {
+/// Caps per-sample error in normalized units; protects the embedding from
+/// rare outlier pairs early in training.
+constexpr double kErrorClip = 10.0;
+}  // namespace
+
+Trainer::Trainer(const Graph& g, const PartitionHierarchy& hier,
+                 TrainConfig config)
+    : g_(g),
+      hier_(hier),
+      config_(config),
+      model_(&hier, config.dim, config.p),
+      dist_sampler_(g, config.num_threads),
+      rng_(config.seed),
+      vs_(config.dim),
+      vt_(config.dim),
+      grad_(config.dim) {
+  RNE_CHECK(hier.num_vertices() == g.NumVertices());
+  // Init spread ~ init_scale / dim keeps the initial L1 estimate O(1) in
+  // normalized units for every dimension choice.
+  model_.RandomInit(rng_, config_.init_scale / static_cast<double>(config_.dim));
+  // An SGD step moves all `dim` coordinates of both endpoints, changing the
+  // L1 estimate by ~4 * dim * lr * err; dividing by 4 * dim makes lr0 the
+  // fraction of the error corrected per update, independent of dim.
+  lr_norm_ = 1.0 / (4.0 * static_cast<double>(config_.dim));
+}
+
+void Trainer::MaybeInitScale(const std::vector<DistanceSample>& samples) {
+  if (scale_ != 0.0) return;
+  double sum = 0.0;
+  size_t count = 0;
+  for (const DistanceSample& s : samples) {
+    if (s.dist > 0.0 && s.dist != kInfDistance) {
+      sum += s.dist;
+      ++count;
+    }
+  }
+  RNE_CHECK_MSG(count > 0, "no finite training distances to derive scale");
+  scale_ = sum / static_cast<double>(count);
+}
+
+std::vector<DistanceSample> Trainer::Materialize(
+    const std::vector<VertexPair>& pairs) const {
+  return dist_sampler_.ComputeDistances(pairs);
+}
+
+void Trainer::SgdStep(const DistanceSample& sample,
+                      const std::vector<double>& level_lrs) {
+  if (sample.dist == kInfDistance) return;  // unreachable pair
+  model_.GlobalOf(sample.s, vs_);
+  model_.GlobalOf(sample.t, vt_);
+  const double dist = MetricDist(vs_, vt_, config_.p);
+  const double target = sample.dist / scale_;
+  const double err = std::clamp(dist - target, -kErrorClip, kErrorClip);
+  if (err == 0.0) return;
+  const double coeff = 2.0 * err * lr_norm_;  // dL/d(dist), dim-normalized
+  MetricGradient(vs_, vt_, config_.p, dist, grad_);
+
+  const uint32_t vertex_level = model_.vertex_level();
+  // Source side: d(dist)/d(v_s) = grad_.
+  for (const uint32_t node : hier_.AncestorsOf(sample.s)) {
+    const double lr = level_lrs[hier_.node(node).level];
+    if (lr == 0.0) continue;
+    auto row = model_.NodeLocal(node);
+    for (size_t i = 0; i < row.size(); ++i) {
+      row[i] -= static_cast<float>(lr * coeff * grad_[i]);
+    }
+  }
+  if (level_lrs[vertex_level] != 0.0) {
+    const double lr = level_lrs[vertex_level];
+    auto row = model_.VertexLocal(sample.s);
+    for (size_t i = 0; i < row.size(); ++i) {
+      row[i] -= static_cast<float>(lr * coeff * grad_[i]);
+    }
+  }
+  // Target side: d(dist)/d(v_t) = -grad_.
+  for (const uint32_t node : hier_.AncestorsOf(sample.t)) {
+    const double lr = level_lrs[hier_.node(node).level];
+    if (lr == 0.0) continue;
+    auto row = model_.NodeLocal(node);
+    for (size_t i = 0; i < row.size(); ++i) {
+      row[i] += static_cast<float>(lr * coeff * grad_[i]);
+    }
+  }
+  if (level_lrs[vertex_level] != 0.0) {
+    const double lr = level_lrs[vertex_level];
+    auto row = model_.VertexLocal(sample.t);
+    for (size_t i = 0; i < row.size(); ++i) {
+      row[i] += static_cast<float>(lr * coeff * grad_[i]);
+    }
+  }
+}
+
+void Trainer::TrainOnSamples(const std::vector<DistanceSample>& samples,
+                             const std::vector<double>& level_lrs,
+                             size_t epochs) {
+  RNE_CHECK(level_lrs.size() == model_.num_levels() + 1);
+  if (samples.empty()) return;
+  MaybeInitScale(samples);
+  shuffle_.resize(samples.size());
+  std::iota(shuffle_.begin(), shuffle_.end(), 0);
+  std::vector<double> lrs = level_lrs;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(shuffle_);
+    // Linear decay to lr_final_fraction anneals the SGD noise floor at the
+    // tail of each phase.
+    const double decay =
+        epochs <= 1
+            ? 1.0
+            : 1.0 - (1.0 - config_.lr_final_fraction) *
+                        static_cast<double>(epoch) /
+                        static_cast<double>(epochs - 1);
+    for (size_t l = 0; l < lrs.size(); ++l) lrs[l] = level_lrs[l] * decay;
+    for (const uint32_t idx : shuffle_) {
+      SgdStep(samples[idx], lrs);
+    }
+    samples_processed_ += samples.size();
+    RecordProgress();
+  }
+}
+
+void Trainer::TrainHierarchyPhase() {
+  const uint32_t num_levels = model_.num_levels();
+  for (uint32_t lev = 1; lev <= num_levels; ++lev) {
+    // Sub-graph level samples for the focused level; the vertex level uses
+    // leaf partitions (the deepest sub-graph granularity).
+    const uint32_t sample_level = std::min(lev, hier_.max_level());
+    const std::vector<VertexPair> pairs =
+        SubgraphLevelPairs(hier_, sample_level, config_.level_samples, rng_,
+                           config_.source_reuse);
+    const std::vector<DistanceSample> samples = Materialize(pairs);
+
+    std::vector<double> lrs(num_levels + 1, 0.0);
+    for (uint32_t l = 1; l <= num_levels; ++l) {
+      lrs[l] = config_.lr0 /
+               (std::abs(static_cast<int>(l) - static_cast<int>(lev)) + 1.0);
+    }
+    TrainOnSamples(samples, lrs, config_.level_epochs);
+    if (config_.verbose) {
+      std::printf("[trainer] phase1 step %u/%u done (%zu samples)\n", lev,
+                  num_levels, samples.size());
+      std::fflush(stdout);
+    }
+  }
+}
+
+void Trainer::TrainVertexPhase() {
+  std::vector<VertexPair> pairs;
+  if (config_.landmark_sampling) {
+    const std::vector<VertexId> landmarks =
+        config_.farthest_landmarks
+            ? SelectLandmarksFarthest(g_, config_.num_landmarks, rng_)
+            : SelectLandmarksRandom(g_, config_.num_landmarks, rng_);
+    pairs = LandmarkPairs(landmarks, g_.NumVertices(), config_.vertex_samples,
+                          rng_);
+  } else {
+    pairs = RandomVertexPairs(g_.NumVertices(), config_.vertex_samples, rng_,
+                              config_.source_reuse);
+  }
+  const std::vector<DistanceSample> samples = Materialize(pairs);
+
+  std::vector<double> lrs(model_.num_levels() + 1, 0.0);
+  lrs[model_.vertex_level()] = config_.lr0;
+  TrainOnSamples(samples, lrs, config_.vertex_epochs);
+  if (config_.verbose) {
+    std::printf("[trainer] phase2 done (%zu samples)\n", samples.size());
+    std::fflush(stdout);
+  }
+}
+
+void Trainer::FineTunePhase() {
+  if (config_.finetune_rounds == 0) return;
+  const SpatialGrid grid(g_, config_.grid_k);
+  std::vector<double> lrs(model_.num_levels() + 1, 0.0);
+  lrs[model_.vertex_level()] = config_.lr0 * 0.5;
+
+  for (size_t round = 0; round < config_.finetune_rounds; ++round) {
+    // Estimate the error-vs-distance distribution of the current model.
+    std::vector<double> bucket_errors(grid.num_buckets(), 0.0);
+    for (size_t b = 0; b < grid.num_buckets(); ++b) {
+      if (!grid.BucketNonEmpty(b)) continue;
+      std::vector<VertexPair> eval_pairs;
+      eval_pairs.reserve(config_.finetune_eval_pairs_per_bucket);
+      while (eval_pairs.size() < config_.finetune_eval_pairs_per_bucket) {
+        VertexId s, t;
+        if (!grid.SamplePair(b, rng_, &s, &t)) break;
+        // Source reuse: several targets from the drawn cell share one search.
+        const auto& cell = grid.CellVertices(grid.CellOf(t));
+        for (size_t r = 0; r < config_.source_reuse &&
+                           eval_pairs.size() <
+                               config_.finetune_eval_pairs_per_bucket;
+             ++r) {
+          const VertexId tt =
+              r == 0 ? t : cell[rng_.UniformIndex(cell.size())];
+          if (s != tt) eval_pairs.emplace_back(s, tt);
+        }
+      }
+      if (eval_pairs.empty()) continue;
+      const auto eval = Materialize(eval_pairs);
+      bucket_errors[b] = MeanRelativeError(eval);
+    }
+
+    const std::vector<VertexPair> pairs =
+        ErrorBasedPairs(grid, bucket_errors, config_.finetune_strategy,
+                        config_.finetune_samples, rng_, config_.source_reuse);
+    if (pairs.empty()) return;
+    const std::vector<DistanceSample> samples = Materialize(pairs);
+    TrainOnSamples(samples, lrs, config_.finetune_epochs);
+    if (config_.verbose) {
+      std::printf("[trainer] phase3 round %zu done (%zu samples)\n", round + 1,
+                  samples.size());
+      std::fflush(stdout);
+    }
+  }
+}
+
+void Trainer::TrainAll() {
+  TrainHierarchyPhase();
+  TrainVertexPhase();
+  FineTunePhase();
+}
+
+double Trainer::MeanRelativeError(
+    const std::vector<DistanceSample>& val) const {
+  double sum = 0.0;
+  size_t count = 0;
+  std::vector<float> vs(config_.dim), vt(config_.dim);
+  for (const DistanceSample& s : val) {
+    if (s.dist <= 0.0 || s.dist == kInfDistance) continue;
+    model_.GlobalOf(s.s, vs);
+    model_.GlobalOf(s.t, vt);
+    const double est = MetricDist(vs, vt, config_.p) * scale_;
+    sum += std::abs(est - s.dist) / s.dist;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+void Trainer::SetValidation(std::vector<DistanceSample> val) {
+  validation_ = std::move(val);
+}
+
+void Trainer::RecordProgress() {
+  if (validation_.empty()) return;
+  progress_.push_back({samples_processed_, MeanRelativeError(validation_)});
+}
+
+}  // namespace rne

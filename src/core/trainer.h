@@ -1,0 +1,146 @@
+// Hierarchical RNE training (Algorithm 1 of the paper).
+//
+// Three phases over the hierarchical model:
+//   (1) hierarchy embedding: L top-down steps; step `lev` draws sub-graph
+//       level samples for level lev and trains every level with learning
+//       rate alpha_l = lr0 / (|l - lev| + 1), so the focused level moves the
+//       most and already-converged upper levels drift the least;
+//   (2) vertex embedding: upper levels frozen (alpha = 0), vertex-local
+//       embeddings trained on landmark-based samples;
+//   (3) active fine-tuning: repeatedly measure per-distance-bucket error on
+//       held-out pairs and retrain the vertex level on samples drawn from
+//       the under-fitted buckets (Local or Global assignment).
+//
+// Distances are normalized by a scale factor (mean sample distance) so the
+// same learning rate works across datasets; the factor is part of the model.
+#ifndef RNE_CORE_TRAINER_H_
+#define RNE_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "algo/distance_sampler.h"
+#include "core/hierarchical_model.h"
+#include "core/sampler.h"
+
+namespace rne {
+
+struct TrainConfig {
+  size_t dim = 64;
+  /// Lp metric parameter (1 = recommended).
+  double p = 1.0;
+  /// Base learning rate: the approximate fraction of a sample's error
+  /// corrected per SGD update (internally normalized by the dimension).
+  double lr0 = 0.3;
+  /// Learning-rate fraction at the final epoch of each phase (linear decay
+  /// from 1.0); a low floor anneals away the SGD noise floor.
+  double lr_final_fraction = 0.1;
+  /// Init spread; node-local embeddings start uniform in
+  /// +/- init_scale / dim.
+  double init_scale = 1.0;
+
+  // Phase 1 (hierarchy embedding).
+  size_t level_samples = 20000;
+  size_t level_epochs = 6;
+
+  // Phase 2 (vertex embedding).
+  size_t vertex_samples = 100000;
+  size_t vertex_epochs = 8;
+  size_t num_landmarks = 100;
+  /// false = uniform random pairs instead of landmark pairs (Fig 12 ablation).
+  bool landmark_sampling = true;
+  /// Farthest-point landmark selection vs random landmarks.
+  bool farthest_landmarks = true;
+
+  // Phase 3 (active fine-tuning).
+  size_t finetune_rounds = 3;
+  size_t finetune_samples = 20000;
+  size_t finetune_epochs = 3;
+  /// Pairs per bucket used to estimate the error distribution each round.
+  size_t finetune_eval_pairs_per_bucket = 200;
+  size_t grid_k = 8;
+  FineTuneStrategy finetune_strategy = FineTuneStrategy::kGlobal;
+
+  /// Consecutive pairs sharing one source vertex during sample generation
+  /// (amortizes exact-distance searches; marginal distribution unchanged).
+  size_t source_reuse = 8;
+
+  size_t num_threads = 0;
+  uint64_t seed = 13;
+  bool verbose = false;
+};
+
+/// Point on a learning curve: cumulative training samples processed -> mean
+/// relative validation error.
+struct ProgressPoint {
+  size_t samples_processed = 0;
+  double mean_rel_error = 0.0;
+};
+
+class Trainer {
+ public:
+  /// `g` and `hier` must outlive the trainer.
+  Trainer(const Graph& g, const PartitionHierarchy& hier, TrainConfig config);
+
+  /// Runs phases 1-3 (phase counts taken from the config).
+  void TrainAll();
+
+  void TrainHierarchyPhase();
+  void TrainVertexPhase();
+  void FineTunePhase();
+
+  HierarchicalModel& model() { return model_; }
+  const HierarchicalModel& model() const { return model_; }
+  /// Distance normalization factor: model estimates * scale() = meters.
+  double scale() const { return scale_; }
+  size_t total_samples_processed() const { return samples_processed_; }
+
+  /// Mean relative error of the current model on exact samples.
+  double MeanRelativeError(const std::vector<DistanceSample>& val) const;
+
+  /// Installs a validation set; every epoch appends a ProgressPoint.
+  void SetValidation(std::vector<DistanceSample> val);
+  const std::vector<ProgressPoint>& progress() const { return progress_; }
+
+  /// Trains `epochs` epochs on explicit samples with explicit per-level
+  /// learning rates (index = model level, 1..num_levels; index 0 unused).
+  /// Exposed for ablation benchmarks.
+  void TrainOnSamples(const std::vector<DistanceSample>& samples,
+                      const std::vector<double>& level_lrs, size_t epochs);
+
+  /// Computes exact distances for pairs using the internal sampler.
+  std::vector<DistanceSample> Materialize(
+      const std::vector<VertexPair>& pairs) const;
+
+ private:
+  /// One SGD update; level_lrs[level] = learning rate for that model level.
+  void SgdStep(const DistanceSample& sample,
+               const std::vector<double>& level_lrs);
+  /// Sets scale_ from the mean of `samples` if not yet set.
+  void MaybeInitScale(const std::vector<DistanceSample>& samples);
+  void RecordProgress();
+
+  const Graph& g_;
+  const PartitionHierarchy& hier_;
+  TrainConfig config_;
+  HierarchicalModel model_;
+  DistanceSampler dist_sampler_;
+  Rng rng_;
+  double scale_ = 0.0;
+  /// 1 / (4 * dim): converts lr0 into a dim-independent correction fraction.
+  double lr_norm_ = 1.0;
+  size_t samples_processed_ = 0;
+
+  std::vector<DistanceSample> validation_;
+  std::vector<ProgressPoint> progress_;
+
+  // Scratch buffers for SgdStep.
+  std::vector<float> vs_, vt_;
+  std::vector<double> grad_;
+  std::vector<uint32_t> shuffle_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_CORE_TRAINER_H_

@@ -1,0 +1,27 @@
+// 9th DIMACS Implementation Challenge graph I/O (.gr distance graphs plus
+// .co coordinate files), the standard interchange format for the road
+// networks the paper evaluates on (FLA and US-W come from this challenge).
+#ifndef RNE_GRAPH_DIMACS_H_
+#define RNE_GRAPH_DIMACS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rne {
+
+/// Loads a DIMACS `.gr` file; if `co_path` is non-empty, vertex coordinates
+/// are read from the matching `.co` file (otherwise all coords are zero).
+/// DIMACS vertices are 1-based; they are converted to 0-based ids.
+StatusOr<Graph> LoadDimacs(const std::string& gr_path,
+                           const std::string& co_path = "");
+
+/// Writes `g` as a DIMACS `.gr` file (both half-edges as directed arcs) and,
+/// if `co_path` is non-empty, the coordinates as a `.co` file.
+Status SaveDimacs(const Graph& g, const std::string& gr_path,
+                  const std::string& co_path = "");
+
+}  // namespace rne
+
+#endif  // RNE_GRAPH_DIMACS_H_

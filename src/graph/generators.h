@@ -1,0 +1,68 @@
+// Synthetic road-network generators.
+//
+// The paper evaluates on proprietary/large real road networks (BJ, FLA, US-W).
+// These generators produce planar, grid-like weighted graphs with the same
+// structural properties RNE exploits: near-planar layout, locally sparse
+// connectivity, heterogeneous edge weights, and long-range "highway" shortcuts.
+// Real DIMACS data (graph/dimacs.h) can be substituted when available.
+#ifndef RNE_GRAPH_GENERATORS_H_
+#define RNE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rne {
+
+/// Plain 4-connected grid of `rows` x `cols` vertices with `spacing` between
+/// neighbors. Each edge weight is its geometric length scaled by a uniform
+/// jitter in [1, 1 + weight_jitter]. Coordinates receive positional noise of
+/// up to `coord_noise * spacing`.
+Graph MakeGridNetwork(size_t rows, size_t cols, double spacing = 100.0,
+                      double weight_jitter = 0.3, double coord_noise = 0.2,
+                      uint64_t seed = 1);
+
+/// Configuration for the full synthetic road network.
+struct RoadNetworkConfig {
+  size_t rows = 64;
+  size_t cols = 64;
+  /// Distance between adjacent grid points (meters).
+  double spacing = 100.0;
+  /// Fraction of grid edges removed (creates irregular blocks). Connectivity
+  /// is restored afterwards by re-adding removed edges along a spanning tree.
+  double removal_fraction = 0.25;
+  /// Fraction of grid cells receiving a diagonal street.
+  double diagonal_fraction = 0.1;
+  /// Number of long "highway" polylines overlaid on the grid. Highway
+  /// segments hop several grid cells with weight close to straight-line
+  /// length, creating the fast long-range paths real road networks have.
+  size_t num_highways = 4;
+  /// Multiplicative jitter on edge weights.
+  double weight_jitter = 0.3;
+  /// Positional noise as a fraction of spacing.
+  double coord_noise = 0.25;
+  uint64_t seed = 1;
+};
+
+/// Irregular road-like network: perturbed grid + diagonals + highway overlay.
+/// The result is always connected.
+Graph MakeRoadNetwork(const RoadNetworkConfig& config);
+
+/// Random geometric graph: n points uniform in [0, extent]^2, each connected
+/// to its k nearest neighbors (edge weight = Euclidean length * jitter).
+/// Returns the largest connected component.
+Graph MakeRandomGeometricNetwork(size_t n, size_t k = 4,
+                                 double extent = 10000.0,
+                                 double weight_jitter = 0.2,
+                                 uint64_t seed = 1);
+
+/// Extracts the largest connected component. Returns the component graph and
+/// the mapping from new vertex ids to ids in `g`.
+std::pair<Graph, std::vector<VertexId>> LargestConnectedComponent(
+    const Graph& g);
+
+}  // namespace rne
+
+#endif  // RNE_GRAPH_GENERATORS_H_

@@ -1,0 +1,71 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rne {
+
+Graph::Graph(std::vector<uint32_t> offsets, std::vector<Edge> edges,
+             std::vector<Point> coords)
+    : offsets_(std::move(offsets)),
+      edges_(std::move(edges)),
+      coords_(std::move(coords)) {
+  RNE_CHECK(offsets_.size() == coords_.size() + 1);
+  RNE_CHECK(offsets_.back() == edges_.size());
+}
+
+double Graph::EdgeWeight(VertexId u, VertexId v) const {
+  const auto adj = Neighbors(u);
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const Edge& e, VertexId target) { return e.to < target; });
+  if (it != adj.end() && it->to == v) return it->weight;
+  return kInfDistance;
+}
+
+bool Graph::IsConnected() const {
+  const size_t n = NumVertices();
+  if (n <= 1) return true;
+  std::vector<char> seen(n, 0);
+  std::vector<VertexId> stack = {0};
+  seen[0] = 1;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const Edge& e : Neighbors(v)) {
+      if (!seen[e.to]) {
+        seen[e.to] = 1;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == n;
+}
+
+double Graph::TotalWeight() const {
+  double sum = 0.0;
+  for (const Edge& e : edges_) sum += e.weight;
+  return sum / 2.0;
+}
+
+size_t Graph::MemoryBytes() const {
+  return offsets_.size() * sizeof(uint32_t) + edges_.size() * sizeof(Edge) +
+         coords_.size() * sizeof(Point);
+}
+
+double EuclideanDistance(const Graph& g, VertexId u, VertexId v) {
+  const Point& a = g.Coord(u);
+  const Point& b = g.Coord(v);
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double ManhattanDistance(const Graph& g, VertexId u, VertexId v) {
+  const Point& a = g.Coord(u);
+  const Point& b = g.Coord(v);
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+}  // namespace rne

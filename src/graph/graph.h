@@ -1,0 +1,98 @@
+// Weighted undirected road-network graph in CSR form.
+//
+// Road joints are vertices, road segments are edges; each edge carries a
+// positive weight (road length) and is stored in both directions (the paper's
+// networks are symmetric). Vertices optionally carry planar coordinates used
+// by the geometric baselines (Euclidean/Manhattan, A*, KD-tree).
+#ifndef RNE_GRAPH_GRAPH_H_
+#define RNE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace rne {
+
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Planar vertex coordinate (projected longitude/latitude or synthetic x/y),
+/// in the same length unit as edge weights.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Outgoing half-edge in the CSR adjacency array.
+struct Edge {
+  VertexId to = kInvalidVertex;
+  double weight = 0.0;
+};
+
+/// Immutable CSR graph. Construct through GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<uint32_t> offsets, std::vector<Edge> edges,
+        std::vector<Point> coords);
+
+  size_t NumVertices() const { return coords_.size(); }
+  /// Number of undirected edges (each stored twice internally).
+  size_t NumEdges() const { return edges_.size() / 2; }
+  /// Number of directed half-edges (CSR entries).
+  size_t NumHalfEdges() const { return edges_.size(); }
+
+  /// Adjacency list of `v`, sorted by neighbor id.
+  std::span<const Edge> Neighbors(VertexId v) const {
+    RNE_DCHECK(v < NumVertices());
+    return {edges_.data() + offsets_[v],
+            edges_.data() + offsets_[v + 1]};
+  }
+
+  size_t Degree(VertexId v) const {
+    RNE_DCHECK(v < NumVertices());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  const Point& Coord(VertexId v) const {
+    RNE_DCHECK(v < NumVertices());
+    return coords_[v];
+  }
+  const std::vector<Point>& coords() const { return coords_; }
+
+  /// Weight of edge (u,v), or kInfDistance if absent. O(log deg(u)).
+  double EdgeWeight(VertexId u, VertexId v) const;
+
+  /// True if every vertex can reach every other (BFS from vertex 0).
+  bool IsConnected() const;
+
+  /// Sum of all edge weights (each undirected edge counted once).
+  double TotalWeight() const;
+
+  /// Approximate in-memory footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<uint32_t> offsets_;  // size NumVertices()+1
+  std::vector<Edge> edges_;        // both directions
+  std::vector<Point> coords_;      // size NumVertices()
+};
+
+/// Straight-line (L2) distance between the coordinates of u and v.
+double EuclideanDistance(const Graph& g, VertexId u, VertexId v);
+
+/// L1 distance between the coordinates of u and v.
+double ManhattanDistance(const Graph& g, VertexId u, VertexId v);
+
+}  // namespace rne
+
+#endif  // RNE_GRAPH_GRAPH_H_

@@ -1,0 +1,55 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace rne {
+
+GraphBuilder::GraphBuilder(size_t num_vertices) : coords_(num_vertices) {}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v, double w) {
+  RNE_CHECK(u < coords_.size() && v < coords_.size());
+  RNE_CHECK_MSG(w > 0.0, "edge weights must be positive");
+  if (u == v) return;
+  edges_.push_back({u, v, w});
+}
+
+void GraphBuilder::SetCoord(VertexId v, Point p) {
+  RNE_CHECK(v < coords_.size());
+  coords_[v] = p;
+}
+
+Graph GraphBuilder::Build() const {
+  const size_t n = coords_.size();
+  // Expand to directed half-edges, sort, dedupe keeping min weight.
+  std::vector<std::pair<uint64_t, double>> half;
+  half.reserve(edges_.size() * 2);
+  for (const RawEdge& e : edges_) {
+    half.emplace_back((static_cast<uint64_t>(e.u) << 32) | e.v, e.w);
+    half.emplace_back((static_cast<uint64_t>(e.v) << 32) | e.u, e.w);
+  }
+  std::sort(half.begin(), half.end());
+  std::vector<std::pair<uint64_t, double>> unique;
+  unique.reserve(half.size());
+  for (const auto& h : half) {
+    if (!unique.empty() && unique.back().first == h.first) {
+      unique.back().second = std::min(unique.back().second, h.second);
+    } else {
+      unique.push_back(h);
+    }
+  }
+
+  std::vector<uint32_t> offsets(n + 1, 0);
+  for (const auto& h : unique) {
+    offsets[(h.first >> 32) + 1] += 1;
+  }
+  for (size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<Edge> csr(unique.size());
+  for (size_t i = 0; i < unique.size(); ++i) {
+    csr[i] = {static_cast<VertexId>(unique[i].first & 0xffffffffu),
+              unique[i].second};
+  }
+  return Graph(std::move(offsets), std::move(csr), coords_);
+}
+
+}  // namespace rne

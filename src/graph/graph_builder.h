@@ -1,0 +1,40 @@
+// Mutable edge-list accumulator that produces an immutable CSR Graph.
+#ifndef RNE_GRAPH_GRAPH_BUILDER_H_
+#define RNE_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rne {
+
+/// Accumulates undirected weighted edges and vertex coordinates, then builds
+/// a CSR Graph. Duplicate edges keep the minimum weight; self-loops are
+/// dropped. Edge weights must be positive.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(size_t num_vertices);
+
+  size_t num_vertices() const { return coords_.size(); }
+
+  /// Adds the undirected edge {u, v} with weight w > 0.
+  void AddEdge(VertexId u, VertexId v, double w);
+
+  void SetCoord(VertexId v, Point p);
+
+  /// Builds the CSR graph. The builder can be reused afterwards.
+  Graph Build() const;
+
+ private:
+  struct RawEdge {
+    VertexId u;
+    VertexId v;
+    double w;
+  };
+  std::vector<RawEdge> edges_;
+  std::vector<Point> coords_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,29 @@
+#include "graph/subgraph.h"
+
+#include "graph/graph_builder.h"
+
+namespace rne {
+
+std::pair<Graph, std::vector<VertexId>> InducedSubgraph(
+    const Graph& g, const std::vector<VertexId>& vertices) {
+  std::vector<VertexId> to_child(g.NumVertices(), kInvalidVertex);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    RNE_CHECK(vertices[i] < g.NumVertices());
+    RNE_CHECK_MSG(to_child[vertices[i]] == kInvalidVertex,
+                  "duplicate vertex in InducedSubgraph");
+    to_child[vertices[i]] = static_cast<VertexId>(i);
+  }
+  GraphBuilder builder(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId old = vertices[i];
+    builder.SetCoord(static_cast<VertexId>(i), g.Coord(old));
+    for (const Edge& e : g.Neighbors(old)) {
+      if (to_child[e.to] != kInvalidVertex && old < e.to) {
+        builder.AddEdge(static_cast<VertexId>(i), to_child[e.to], e.weight);
+      }
+    }
+  }
+  return {builder.Build(), vertices};
+}
+
+}  // namespace rne

@@ -1,0 +1,20 @@
+// Induced-subgraph extraction, used by the partitioner, the partition
+// hierarchy, and the G-tree baseline.
+#ifndef RNE_GRAPH_SUBGRAPH_H_
+#define RNE_GRAPH_SUBGRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rne {
+
+/// Induced subgraph over `vertices` (ids into `g`; duplicates forbidden).
+/// Result graph + mapping: new id i corresponds to parent id vertices[i].
+std::pair<Graph, std::vector<VertexId>> InducedSubgraph(
+    const Graph& g, const std::vector<VertexId>& vertices);
+
+}  // namespace rne
+
+#endif  // RNE_GRAPH_SUBGRAPH_H_

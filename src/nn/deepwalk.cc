@@ -1,0 +1,102 @@
+#include "nn/deepwalk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rne {
+
+namespace {
+
+/// Fast sigmoid with clamping (standard word2vec trick, here exact).
+double Sigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+EmbeddingMatrix TrainDeepWalk(const Graph& g, const DeepWalkConfig& config) {
+  const size_t n = g.NumVertices();
+  RNE_CHECK(n >= 2);
+  Rng rng(config.seed);
+
+  // Input ("center") and output ("context") embeddings.
+  EmbeddingMatrix in(n, config.dim);
+  EmbeddingMatrix out(n, config.dim);
+  in.RandomInit(rng, 0.5 / static_cast<double>(config.dim));
+  // `out` stays zero-initialized, as in word2vec.
+
+  // Degree-proportional negative-sampling table (unigram^1 is adequate here).
+  std::vector<VertexId> neg_table;
+  neg_table.reserve(g.NumHalfEdges());
+  for (VertexId v = 0; v < n; ++v) {
+    for (size_t i = 0; i < g.Degree(v); ++i) neg_table.push_back(v);
+  }
+
+  std::vector<VertexId> walk(config.walk_length);
+  std::vector<double> grad_center(config.dim);
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+
+  auto train_pair = [&](VertexId center, VertexId context, double label,
+                        double lr) {
+    auto ci = in.Row(center);
+    auto co = out.Row(context);
+    double dot = 0.0;
+    for (size_t d = 0; d < config.dim; ++d) dot += ci[d] * co[d];
+    const double grad = (Sigmoid(dot) - label) * lr;
+    for (size_t d = 0; d < config.dim; ++d) {
+      grad_center[d] += grad * co[d];
+      co[d] -= static_cast<float>(grad * ci[d]);
+    }
+  };
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const double lr = config.lr *
+                      (1.0 - 0.9 * static_cast<double>(epoch) /
+                                 static_cast<double>(config.epochs));
+    rng.Shuffle(order);
+    for (const VertexId start : order) {
+      for (size_t w = 0; w < config.walks_per_vertex; ++w) {
+        // Uniform random walk.
+        walk[0] = start;
+        for (size_t step = 1; step < config.walk_length; ++step) {
+          const auto nbrs = g.Neighbors(walk[step - 1]);
+          if (nbrs.empty()) {
+            walk.resize(step);
+            break;
+          }
+          walk[step] = nbrs[rng.UniformIndex(nbrs.size())].to;
+        }
+        // Skip-gram over the walk.
+        for (size_t i = 0; i < walk.size(); ++i) {
+          const size_t lo = i >= config.window ? i - config.window : 0;
+          const size_t hi = std::min(walk.size(), i + config.window + 1);
+          for (size_t j = lo; j < hi; ++j) {
+            if (j == i || walk[j] == walk[i]) continue;
+            std::fill(grad_center.begin(), grad_center.end(), 0.0);
+            train_pair(walk[i], walk[j], 1.0, lr);
+            for (size_t k = 0; k < config.negatives; ++k) {
+              const VertexId neg =
+                  neg_table[rng.UniformIndex(neg_table.size())];
+              if (neg == walk[j]) continue;
+              train_pair(walk[i], neg, 0.0, lr);
+            }
+            auto ci = in.Row(walk[i]);
+            for (size_t d = 0; d < config.dim; ++d) {
+              ci[d] -= static_cast<float>(grad_center[d]);
+            }
+          }
+        }
+        walk.resize(config.walk_length);
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace rne

@@ -1,0 +1,34 @@
+// DeepWalk [23]: truncated random walks + skip-gram with negative sampling.
+//
+// Produces "social" node embeddings that capture neighborhood co-occurrence.
+// The paper uses them (plus coordinates) as the input features of the DR
+// regression baseline, demonstrating that similarity embeddings are not
+// distance embeddings.
+#ifndef RNE_NN_DEEPWALK_H_
+#define RNE_NN_DEEPWALK_H_
+
+#include <cstdint>
+
+#include "core/embedding.h"
+#include "graph/graph.h"
+
+namespace rne {
+
+struct DeepWalkConfig {
+  size_t dim = 64;
+  size_t walks_per_vertex = 8;
+  size_t walk_length = 30;
+  /// Skip-gram window radius.
+  size_t window = 5;
+  size_t negatives = 4;
+  size_t epochs = 2;
+  double lr = 0.025;
+  uint64_t seed = 29;
+};
+
+/// Trains DeepWalk embeddings on the (unweighted) adjacency structure of g.
+EmbeddingMatrix TrainDeepWalk(const Graph& g, const DeepWalkConfig& config);
+
+}  // namespace rne
+
+#endif  // RNE_NN_DEEPWALK_H_

@@ -1,0 +1,102 @@
+#include "nn/dr_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rne {
+
+DrModel::DrModel(const Graph& g, const DrConfig& config)
+    : g_(g), config_(config), rng_(config.seed) {
+  const EmbeddingMatrix dw = TrainDeepWalk(g, config.deepwalk);
+  // Per-vertex feature: DeepWalk vector ++ coordinates normalized to [0, 1].
+  double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
+  for (const Point& p : g.coords()) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const double wx = std::max(max_x - min_x, 1e-9);
+  const double wy = std::max(max_y - min_y, 1e-9);
+  const size_t fdim = dw.dim() + 2;
+  features_ = EmbeddingMatrix(g.NumVertices(), fdim);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto row = features_.Row(v);
+    std::copy(dw.Row(v).begin(), dw.Row(v).end(), row.begin());
+    row[fdim - 2] = static_cast<float>((g.Coord(v).x - min_x) / wx);
+    row[fdim - 1] = static_cast<float>((g.Coord(v).y - min_y) / wy);
+  }
+
+  // Head sized to the parameter budget: one hidden layer of h units has
+  // (input + 2) * h + 1 parameters with input = 3 * fdim.
+  const size_t input = 3 * fdim;
+  const size_t hidden = std::max<size_t>(
+      2, config_.target_params / (input + 2));
+  mlp_ = std::make_unique<Mlp>(std::vector<size_t>{input, hidden, 1}, rng_);
+  feature_buf_.resize(input);
+}
+
+void DrModel::BuildFeature(VertexId s, VertexId t) {
+  const auto fs = features_.Row(s);
+  const auto ft = features_.Row(t);
+  const size_t fdim = features_.dim();
+  for (size_t i = 0; i < fdim; ++i) {
+    feature_buf_[i] = fs[i];
+    feature_buf_[fdim + i] = ft[i];
+    feature_buf_[2 * fdim + i] = std::abs(fs[i] - ft[i]);
+  }
+}
+
+void DrModel::Train(const std::vector<DistanceSample>& samples) {
+  if (samples.empty()) return;
+  if (scale_ == 0.0) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (const DistanceSample& s : samples) {
+      if (s.dist > 0.0 && s.dist != kInfDistance) {
+        sum += s.dist;
+        ++count;
+      }
+    }
+    RNE_CHECK(count > 0);
+    scale_ = sum / static_cast<double>(count);
+  }
+  std::vector<uint32_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(order);
+    const double lr = config_.lr *
+                      (1.0 - 0.8 * static_cast<double>(epoch) /
+                                 static_cast<double>(config_.epochs));
+    for (const uint32_t idx : order) {
+      const DistanceSample& s = samples[idx];
+      if (s.dist == kInfDistance) continue;
+      BuildFeature(s.s, s.t);
+      mlp_->TrainStep(feature_buf_, s.dist / scale_, lr);
+    }
+  }
+}
+
+double DrModel::Query(VertexId s, VertexId t) {
+  if (s == t) return 0.0;
+  BuildFeature(s, t);
+  return std::max(0.0, mlp_->Forward(feature_buf_)) * scale_;
+}
+
+double DrModel::MeanRelativeError(const std::vector<DistanceSample>& val) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const DistanceSample& s : val) {
+    if (s.dist <= 0.0 || s.dist == kInfDistance) continue;
+    sum += std::abs(Query(s.s, s.t) - s.dist) / s.dist;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+size_t DrModel::IndexBytes() const {
+  return features_.MemoryBytes() + mlp_->NumParams() * sizeof(float);
+}
+
+}  // namespace rne

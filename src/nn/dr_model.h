@@ -1,0 +1,59 @@
+// DR (DeepWalk Regression) baseline from the paper's Fig 14 ablation:
+// concatenate [f_s, f_t, |f_s - f_t|] where f_v = DeepWalk(v) ++ (x, y),
+// and regress the shortest distance with a fully-connected network sized to
+// ~1K / ~10K / ~100K parameters (DR-1K / DR-10K / DR-100K).
+#ifndef RNE_NN_DR_MODEL_H_
+#define RNE_NN_DR_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "algo/distance_sampler.h"
+#include "nn/deepwalk.h"
+#include "nn/mlp.h"
+
+namespace rne {
+
+struct DrConfig {
+  DeepWalkConfig deepwalk;
+  /// Approximate parameter budget of the regression head (1K/10K/100K).
+  size_t target_params = 10000;
+  size_t epochs = 10;
+  double lr = 0.01;
+  uint64_t seed = 31;
+};
+
+class DrModel {
+ public:
+  /// Trains the DeepWalk features immediately; the regression head trains in
+  /// Train().
+  DrModel(const Graph& g, const DrConfig& config);
+
+  /// SGD over the samples (distances normalized internally like RNE).
+  void Train(const std::vector<DistanceSample>& samples);
+
+  /// Predicted shortest distance in the edge-weight unit.
+  double Query(VertexId s, VertexId t);
+
+  /// Mean relative error on exact samples.
+  double MeanRelativeError(const std::vector<DistanceSample>& val);
+
+  size_t NumParams() const { return mlp_->NumParams(); }
+  /// Feature-matrix + network footprint.
+  size_t IndexBytes() const;
+
+ private:
+  void BuildFeature(VertexId s, VertexId t);
+
+  const Graph& g_;
+  DrConfig config_;
+  EmbeddingMatrix features_;  // DeepWalk dim + 2 normalized coords per vertex
+  std::unique_ptr<Mlp> mlp_;
+  Rng rng_;
+  double scale_ = 0.0;
+  std::vector<float> feature_buf_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_NN_DR_MODEL_H_

@@ -1,0 +1,94 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace rne {
+
+Mlp::Mlp(std::vector<size_t> layer_sizes, Rng& rng) {
+  RNE_CHECK(layer_sizes.size() >= 2);
+  RNE_CHECK(layer_sizes.back() == 1);
+  layers_.reserve(layer_sizes.size() - 1);
+  activations_.resize(layer_sizes.size());
+  deltas_.resize(layer_sizes.size());
+  for (size_t i = 0; i < layer_sizes.size(); ++i) {
+    activations_[i].resize(layer_sizes[i]);
+    deltas_[i].resize(layer_sizes[i]);
+  }
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    Layer layer;
+    layer.in = layer_sizes[i];
+    layer.out = layer_sizes[i + 1];
+    layer.weights.resize(layer.in * layer.out);
+    layer.bias.assign(layer.out, 0.0f);
+    // He initialization for the ReLU stack.
+    const double stddev = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (float& w : layer.weights) {
+      w = static_cast<float>(rng.Normal(0.0, stddev));
+    }
+    num_params_ += layer.weights.size() + layer.bias.size();
+    layers_.push_back(std::move(layer));
+  }
+}
+
+double Mlp::Forward(std::span<const float> x) {
+  RNE_CHECK(x.size() == activations_[0].size());
+  std::copy(x.begin(), x.end(), activations_[0].begin());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const auto& in = activations_[l];
+    auto& out = activations_[l + 1];
+    const bool last = (l + 1 == layers_.size());
+    for (size_t o = 0; o < layer.out; ++o) {
+      double sum = layer.bias[o];
+      const float* w = layer.weights.data() + o * layer.in;
+      for (size_t i = 0; i < layer.in; ++i) sum += w[i] * in[i];
+      out[o] = last ? static_cast<float>(sum)
+                    : static_cast<float>(std::max(0.0, sum));
+    }
+  }
+  return activations_.back()[0];
+}
+
+double Mlp::TrainStep(std::span<const float> x, double target, double lr) {
+  const double pred = Forward(x);
+  const double err = pred - target;
+
+  // Output delta (linear layer): dL/dz = 2 * err.
+  deltas_.back()[0] = static_cast<float>(2.0 * err);
+  // Back-propagate through hidden layers (ReLU derivative via activation).
+  for (size_t l = layers_.size(); l-- > 0;) {
+    const Layer& layer = layers_[l];
+    auto& delta_out = deltas_[l + 1];
+    auto& delta_in = deltas_[l];
+    if (l > 0) {
+      std::fill(delta_in.begin(), delta_in.end(), 0.0f);
+      for (size_t o = 0; o < layer.out; ++o) {
+        const float d = delta_out[o];
+        if (d == 0.0f) continue;
+        const float* w = layer.weights.data() + o * layer.in;
+        for (size_t i = 0; i < layer.in; ++i) delta_in[i] += d * w[i];
+      }
+      // ReLU gate of layer l's input activations.
+      for (size_t i = 0; i < layer.in; ++i) {
+        if (activations_[l][i] <= 0.0f) delta_in[i] = 0.0f;
+      }
+    }
+    // Weight update for layer l.
+    Layer& mutable_layer = layers_[l];
+    const auto& in = activations_[l];
+    for (size_t o = 0; o < layer.out; ++o) {
+      const float d = delta_out[o];
+      if (d == 0.0f) continue;
+      float* w = mutable_layer.weights.data() + o * layer.in;
+      const float step = static_cast<float>(lr) * d;
+      for (size_t i = 0; i < layer.in; ++i) w[i] -= step * in[i];
+      mutable_layer.bias[o] -= step;
+    }
+  }
+  return err * err;
+}
+
+}  // namespace rne

@@ -1,0 +1,49 @@
+// Minimal fully-connected regression network with manual backpropagation.
+//
+// Used by the DR baseline (Fig 14): the paper regresses shortest distances
+// from concatenated DeepWalk vectors with fully-connected networks of 1K,
+// 10K, and 100K parameters. The analytic chain rule for (ReLU MLP, squared
+// loss) is short enough that no autodiff framework is warranted.
+#ifndef RNE_NN_MLP_H_
+#define RNE_NN_MLP_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rne {
+
+/// Feed-forward net: layer_sizes = {input, hidden..., 1}; ReLU on hidden
+/// layers, linear scalar output, squared-error loss.
+class Mlp {
+ public:
+  Mlp(std::vector<size_t> layer_sizes, Rng& rng);
+
+  /// Predicted scalar for input x (size = input layer).
+  double Forward(std::span<const float> x);
+
+  /// One SGD step on (x, target); returns the pre-update squared error.
+  double TrainStep(std::span<const float> x, double target, double lr);
+
+  size_t NumParams() const { return num_params_; }
+
+ private:
+  struct Layer {
+    size_t in, out;
+    std::vector<float> weights;  // out x in, row-major
+    std::vector<float> bias;     // out
+  };
+
+  std::vector<Layer> layers_;
+  size_t num_params_ = 0;
+  // Forward-pass activations (post-ReLU), index 0 = input copy.
+  std::vector<std::vector<float>> activations_;
+  // Backward-pass deltas per layer output.
+  std::vector<std::vector<float>> deltas_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_NN_MLP_H_

@@ -1,0 +1,160 @@
+#include "partition/hierarchy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/subgraph.h"
+#include "util/serialize.h"
+
+namespace rne {
+
+namespace {
+constexpr uint32_t kHierarchyMagic = 0x524e4548;  // "RNEH"
+}  // namespace
+
+PartitionHierarchy PartitionHierarchy::Build(const Graph& g,
+                                             const HierarchyOptions& options) {
+  RNE_CHECK(options.fanout >= 2);
+  RNE_CHECK(options.leaf_threshold >= 1);
+
+  PartitionHierarchy h;
+  h.leaf_of_.assign(g.NumVertices(), UINT32_MAX);
+
+  Node root;
+  root.parent = UINT32_MAX;
+  root.level = 0;
+  root.vertices.resize(g.NumVertices());
+  std::iota(root.vertices.begin(), root.vertices.end(), 0);
+  h.nodes_.push_back(std::move(root));
+
+  // Breadth-first subdivision.
+  std::queue<uint32_t> work;
+  work.push(0);
+  uint64_t seed_counter = options.partition.seed;
+  while (!work.empty()) {
+    const uint32_t id = work.front();
+    work.pop();
+    // Note: take a copy of the vertex list; nodes_ may reallocate below.
+    const std::vector<VertexId> vertices = h.nodes_[id].vertices;
+    const uint32_t level = h.nodes_[id].level;
+
+    const bool depth_capped =
+        options.max_levels != 0 && level + 1 >= options.max_levels;
+    if (vertices.size() <= options.leaf_threshold || depth_capped) {
+      continue;  // leaf
+    }
+    const size_t parts = std::min(options.fanout, vertices.size());
+    auto [sub, to_parent] = InducedSubgraph(g, vertices);
+    PartitionOptions popt = options.partition;
+    popt.num_parts = parts;
+    popt.seed = ++seed_counter;
+    const PartitionResult pr = PartitionGraph(sub, popt);
+
+    std::vector<std::vector<VertexId>> groups(parts);
+    for (VertexId local = 0; local < sub.NumVertices(); ++local) {
+      groups[pr.part_of[local]].push_back(to_parent[local]);
+    }
+    for (auto& group : groups) {
+      if (group.empty()) continue;
+      Node child;
+      child.parent = id;
+      child.level = level + 1;
+      child.vertices = std::move(group);
+      const auto child_id = static_cast<uint32_t>(h.nodes_.size());
+      h.nodes_.push_back(std::move(child));
+      h.nodes_[id].children.push_back(child_id);
+      work.push(child_id);
+    }
+  }
+
+  h.FinishConstruction();
+  return h;
+}
+
+void PartitionHierarchy::FinishConstruction() {
+  max_level_ = 0;
+  for (const Node& n : nodes_) max_level_ = std::max(max_level_, n.level);
+  levels_.assign(max_level_ + 1, {});
+  for (uint32_t id = 0; id < nodes_.size(); ++id) {
+    levels_[nodes_[id].level].push_back(id);
+  }
+  // Map vertices to leaves and record root-free ancestor paths.
+  ancestors_.assign(leaf_of_.size(), {});
+  for (uint32_t id = 0; id < nodes_.size(); ++id) {
+    if (!nodes_[id].IsLeaf()) continue;
+    for (const VertexId v : nodes_[id].vertices) {
+      RNE_CHECK_MSG(leaf_of_[v] == UINT32_MAX,
+                    "vertex assigned to two leaves");
+      leaf_of_[v] = id;
+    }
+  }
+  for (VertexId v = 0; v < leaf_of_.size(); ++v) {
+    RNE_CHECK_MSG(leaf_of_[v] != UINT32_MAX, "vertex not covered by a leaf");
+    std::vector<uint32_t> path;
+    for (uint32_t id = leaf_of_[v]; id != UINT32_MAX && nodes_[id].level > 0;
+         id = nodes_[id].parent) {
+      path.push_back(id);
+    }
+    std::reverse(path.begin(), path.end());
+    ancestors_[v] = std::move(path);
+  }
+}
+
+std::vector<uint32_t> PartitionHierarchy::PartitionAtLevel(
+    uint32_t level) const {
+  std::vector<uint32_t> out;
+  for (uint32_t l = 0; l <= std::min(level, max_level_); ++l) {
+    for (const uint32_t id : levels_[l]) {
+      if (nodes_[id].level == level || (nodes_[id].IsLeaf() && l < level)) {
+        out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+void PartitionHierarchy::WriteTo(BinaryWriter& w) const {
+  w.WritePod<uint64_t>(nodes_.size());
+  w.WritePod<uint64_t>(leaf_of_.size());
+  for (const Node& n : nodes_) {
+    w.WritePod(n.parent);
+    w.WritePod(n.level);
+    w.WriteVector(n.children);
+    w.WriteVector(n.vertices);
+  }
+}
+
+bool PartitionHierarchy::ReadFrom(BinaryReader& r, PartitionHierarchy* out) {
+  uint64_t num_nodes = 0, num_vertices = 0;
+  if (!r.ReadPod(&num_nodes) || !r.ReadPod(&num_vertices)) return false;
+  out->nodes_.resize(num_nodes);
+  out->leaf_of_.assign(num_vertices, UINT32_MAX);
+  for (Node& n : out->nodes_) {
+    if (!r.ReadPod(&n.parent) || !r.ReadPod(&n.level) ||
+        !r.ReadVector(&n.children) || !r.ReadVector(&n.vertices)) {
+      return false;
+    }
+  }
+  out->FinishConstruction();
+  return true;
+}
+
+Status PartitionHierarchy::Save(const std::string& path) const {
+  BinaryWriter w(path, kHierarchyMagic);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  WriteTo(w);
+  return w.Finish();
+}
+
+StatusOr<PartitionHierarchy> PartitionHierarchy::Load(const std::string& path) {
+  BinaryReader r(path, kHierarchyMagic);
+  if (!r.ok()) return r.status();
+  PartitionHierarchy h;
+  if (!ReadFrom(r, &h)) {
+    return Status::Corruption("truncated hierarchy file " + path);
+  }
+  return h;
+}
+
+}  // namespace rne

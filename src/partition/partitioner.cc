@@ -1,0 +1,371 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace rne {
+
+namespace {
+
+// Working graph for the multilevel pipeline: adjacency lists with aggregated
+// edge weights and a vertex weight = number of original vertices represented.
+struct WorkGraph {
+  std::vector<std::vector<std::pair<uint32_t, double>>> adj;
+  std::vector<uint32_t> vwgt;
+
+  size_t n() const { return vwgt.size(); }
+  uint64_t TotalVertexWeight() const {
+    uint64_t s = 0;
+    for (uint32_t w : vwgt) s += w;
+    return s;
+  }
+};
+
+WorkGraph FromGraph(const Graph& g) {
+  WorkGraph wg;
+  wg.adj.resize(g.NumVertices());
+  wg.vwgt.assign(g.NumVertices(), 1);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    wg.adj[v].reserve(g.Degree(v));
+    for (const Edge& e : g.Neighbors(v)) {
+      wg.adj[v].emplace_back(e.to, e.weight);
+    }
+  }
+  return wg;
+}
+
+// Heavy-edge matching; returns coarse graph + fine->coarse map.
+struct Coarsening {
+  WorkGraph coarse;
+  std::vector<uint32_t> fine_to_coarse;
+};
+
+Coarsening Coarsen(const WorkGraph& g, Rng& rng) {
+  const size_t n = g.n();
+  std::vector<uint32_t> match(n, UINT32_MAX);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  for (const uint32_t v : order) {
+    if (match[v] != UINT32_MAX) continue;
+    uint32_t best = UINT32_MAX;
+    double best_w = -1.0;
+    for (const auto& [u, w] : g.adj[v]) {
+      if (match[u] == UINT32_MAX && u != v && w > best_w) {
+        best = u;
+        best_w = w;
+      }
+    }
+    if (best != UINT32_MAX) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays single
+    }
+  }
+
+  Coarsening out;
+  out.fine_to_coarse.assign(n, UINT32_MAX);
+  uint32_t num_coarse = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (out.fine_to_coarse[v] != UINT32_MAX) continue;
+    out.fine_to_coarse[v] = num_coarse;
+    if (match[v] != v) out.fine_to_coarse[match[v]] = num_coarse;
+    ++num_coarse;
+  }
+
+  out.coarse.adj.resize(num_coarse);
+  out.coarse.vwgt.assign(num_coarse, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    out.coarse.vwgt[out.fine_to_coarse[v]] += g.vwgt[v];
+  }
+  // Aggregate edges; small maps per coarse vertex.
+  std::vector<std::pair<uint32_t, double>> buffer;
+  for (uint32_t cv = 0; cv < num_coarse; ++cv) {
+    buffer.clear();
+    // Collect from constituent fine vertices lazily below.
+    out.coarse.adj[cv] = {};
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t cv = out.fine_to_coarse[v];
+    for (const auto& [u, w] : g.adj[v]) {
+      const uint32_t cu = out.fine_to_coarse[u];
+      if (cu == cv) continue;
+      out.coarse.adj[cv].emplace_back(cu, w);
+    }
+  }
+  for (auto& list : out.coarse.adj) {
+    std::sort(list.begin(), list.end());
+    size_t write = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (write > 0 && list[write - 1].first == list[i].first) {
+        list[write - 1].second += list[i].second;
+      } else {
+        list[write++] = list[i];
+      }
+    }
+    list.resize(write);
+  }
+  return out;
+}
+
+// Greedy graph-growing bisection: grow side 0 from a random seed by best
+// cut gain until it holds ~target_weight vertex weight.
+std::vector<uint8_t> InitialBisection(const WorkGraph& g,
+                                      uint64_t target_weight, Rng& rng) {
+  const size_t n = g.n();
+  std::vector<uint8_t> side(n, 1);
+  std::vector<char> in_region(n, 0);
+  uint64_t grown = 0;
+
+  // Priority queue of (gain, vertex) for frontier vertices.
+  std::priority_queue<std::pair<double, uint32_t>> frontier;
+  auto gain_of = [&](uint32_t v) {
+    // Weight to region minus weight away: larger is better to absorb.
+    double gain = 0.0;
+    for (const auto& [u, w] : g.adj[v]) gain += in_region[u] ? w : -w;
+    return gain;
+  };
+
+  std::vector<char> seen(n, 0);
+  while (grown < target_weight) {
+    if (frontier.empty()) {
+      // Start (or restart, for disconnected graphs) from a random
+      // not-yet-absorbed vertex.
+      uint32_t start = UINT32_MAX;
+      for (size_t attempts = 0; attempts < n; ++attempts) {
+        const auto cand = static_cast<uint32_t>(rng.UniformIndex(n));
+        if (!in_region[cand]) {
+          start = cand;
+          break;
+        }
+      }
+      if (start == UINT32_MAX) {
+        for (uint32_t v = 0; v < n; ++v) {
+          if (!in_region[v]) {
+            start = v;
+            break;
+          }
+        }
+      }
+      if (start == UINT32_MAX) break;  // everything absorbed
+      seen[start] = 1;
+      frontier.emplace(0.0, start);
+    }
+    const auto [gain, v] = frontier.top();
+    frontier.pop();
+    if (in_region[v]) continue;
+    in_region[v] = 1;
+    side[v] = 0;
+    grown += g.vwgt[v];
+    for (const auto& [u, w] : g.adj[v]) {
+      (void)w;
+      if (!in_region[u]) {
+        seen[u] = 1;
+        frontier.emplace(gain_of(u), u);
+      }
+    }
+  }
+  return side;
+}
+
+// One Fiduccia-Mattheyses pass with rollback to the best prefix.
+// side weights must respect [min_weight0, max_weight0] for side 0.
+double FmPass(const WorkGraph& g, std::vector<uint8_t>& side,
+              uint64_t min_weight0, uint64_t max_weight0) {
+  const size_t n = g.n();
+  uint64_t weight0 = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (side[v] == 0) weight0 += g.vwgt[v];
+  }
+  auto gain_of = [&](uint32_t v) {
+    double gain = 0.0;  // cut reduction if v switches sides
+    for (const auto& [u, w] : g.adj[v]) gain += (side[u] != side[v]) ? w : -w;
+    return gain;
+  };
+
+  // Max-heap keyed by gain; entries go stale when a neighbor moves.
+  std::priority_queue<std::pair<double, uint32_t>> heap;
+  std::vector<char> locked(n, 0);
+  std::vector<double> cached_gain(n, 0.0);
+  for (uint32_t v = 0; v < n; ++v) {
+    cached_gain[v] = gain_of(v);
+    heap.emplace(cached_gain[v], v);
+  }
+
+  struct Move {
+    uint32_t v;
+    double gain;
+  };
+  std::vector<Move> moves;
+  double cum = 0.0, best_cum = 0.0;
+  size_t best_prefix = 0;
+
+  while (!heap.empty() && moves.size() < n) {
+    const auto [gain, v] = heap.top();
+    heap.pop();
+    if (locked[v] || gain != cached_gain[v]) continue;  // stale
+    // Balance check for the hypothetical move.
+    const uint64_t new_weight0 =
+        side[v] == 0 ? weight0 - g.vwgt[v] : weight0 + g.vwgt[v];
+    if (new_weight0 < min_weight0 || new_weight0 > max_weight0) continue;
+
+    locked[v] = 1;
+    side[v] ^= 1;
+    weight0 = new_weight0;
+    cum += gain;
+    moves.push_back({v, gain});
+    if (cum > best_cum + 1e-12) {
+      best_cum = cum;
+      best_prefix = moves.size();
+    }
+    for (const auto& [u, w] : g.adj[v]) {
+      (void)w;
+      if (!locked[u]) {
+        cached_gain[u] = gain_of(u);
+        heap.emplace(cached_gain[u], u);
+      }
+    }
+  }
+  // Roll back moves after the best prefix.
+  for (size_t i = moves.size(); i > best_prefix; --i) {
+    side[moves[i - 1].v] ^= 1;
+  }
+  return best_cum;
+}
+
+// Multilevel bisection; returns side (0/1) per vertex of g. Side 0 targets
+// `target_weight` total vertex weight within (1 +/- eps).
+std::vector<uint8_t> Bisect(const WorkGraph& g, uint64_t target_weight,
+                            double eps, size_t coarsen_threshold,
+                            size_t refine_passes, Rng& rng) {
+  const uint64_t total = g.TotalVertexWeight();
+  target_weight = std::min<uint64_t>(std::max<uint64_t>(target_weight, 1),
+                                     total > 1 ? total - 1 : 1);
+  const auto slack = static_cast<uint64_t>(eps * static_cast<double>(total));
+  const uint64_t min0 = target_weight > slack ? target_weight - slack : 1;
+  const uint64_t max0 = std::min<uint64_t>(total - 1, target_weight + slack);
+
+  std::vector<uint8_t> side;
+  if (g.n() <= coarsen_threshold) {
+    side = InitialBisection(g, target_weight, rng);
+  } else {
+    Coarsening c = Coarsen(g, rng);
+    if (c.coarse.n() >= g.n()) {
+      // Matching failed to shrink (e.g. isolated vertices): bisect directly.
+      side = InitialBisection(g, target_weight, rng);
+    } else {
+      const std::vector<uint8_t> coarse_side =
+          Bisect(c.coarse, target_weight, eps, coarsen_threshold,
+                 refine_passes, rng);
+      side.resize(g.n());
+      for (uint32_t v = 0; v < g.n(); ++v) {
+        side[v] = coarse_side[c.fine_to_coarse[v]];
+      }
+    }
+  }
+  for (size_t pass = 0; pass < refine_passes; ++pass) {
+    if (FmPass(g, side, min0, max0) <= 0.0) break;
+  }
+  return side;
+}
+
+// Recursive k-way partitioning of the vertex subset `ids` of `wg`.
+void RecursiveKWay(const WorkGraph& wg, const std::vector<uint32_t>& ids,
+                   size_t k, uint32_t first_part,
+                   const PartitionOptions& options, Rng& rng,
+                   std::vector<uint32_t>* part_of) {
+  if (k == 1 || ids.size() <= 1) {
+    for (const uint32_t v : ids) (*part_of)[v] = first_part;
+    return;
+  }
+  // Build the induced subgraph of `ids`.
+  std::vector<uint32_t> local_id(wg.n(), UINT32_MAX);
+  for (uint32_t i = 0; i < ids.size(); ++i) local_id[ids[i]] = i;
+  WorkGraph sub;
+  sub.adj.resize(ids.size());
+  sub.vwgt.resize(ids.size());
+  for (uint32_t i = 0; i < ids.size(); ++i) {
+    sub.vwgt[i] = wg.vwgt[ids[i]];
+    for (const auto& [u, w] : wg.adj[ids[i]]) {
+      if (local_id[u] != UINT32_MAX) sub.adj[i].emplace_back(local_id[u], w);
+    }
+  }
+
+  const size_t k_left = k / 2;
+  const size_t k_right = k - k_left;
+  const uint64_t total = sub.TotalVertexWeight();
+  const auto target = static_cast<uint64_t>(
+      static_cast<double>(total) * static_cast<double>(k_left) /
+      static_cast<double>(k));
+  std::vector<uint8_t> side =
+      Bisect(sub, target, options.balance_eps / 2.0, options.coarsen_threshold,
+             options.refine_passes, rng);
+
+  // Guarantee each side can host its parts: move vertices if degenerate.
+  size_t count0 = 0;
+  for (const uint8_t s : side) count0 += (s == 0);
+  size_t count1 = side.size() - count0;
+  for (uint32_t i = 0; count0 < k_left && i < side.size(); ++i) {
+    if (side[i] == 1 && count1 > k_right) {
+      side[i] = 0;
+      ++count0;
+      --count1;
+    }
+  }
+  for (uint32_t i = 0; count1 < k_right && i < side.size(); ++i) {
+    if (side[i] == 0 && count0 > k_left) {
+      side[i] = 1;
+      --count0;
+      ++count1;
+    }
+  }
+
+  std::vector<uint32_t> left, right;
+  left.reserve(count0);
+  right.reserve(count1);
+  for (uint32_t i = 0; i < ids.size(); ++i) {
+    (side[i] == 0 ? left : right).push_back(ids[i]);
+  }
+  RecursiveKWay(wg, left, k_left, first_part, options, rng, part_of);
+  RecursiveKWay(wg, right, k_right,
+                first_part + static_cast<uint32_t>(k_left), options, rng,
+                part_of);
+}
+
+}  // namespace
+
+void ComputeCutStats(const Graph& g, PartitionResult* result) {
+  result->cut_weight = 0.0;
+  result->cut_edges = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Edge& e : g.Neighbors(v)) {
+      if (v < e.to && result->part_of[v] != result->part_of[e.to]) {
+        result->cut_weight += e.weight;
+        result->cut_edges += 1;
+      }
+    }
+  }
+}
+
+PartitionResult PartitionGraph(const Graph& g,
+                               const PartitionOptions& options) {
+  RNE_CHECK(options.num_parts >= 1);
+  PartitionResult result;
+  result.num_parts = options.num_parts;
+  result.part_of.assign(g.NumVertices(), 0);
+  if (g.NumVertices() == 0) return result;
+  RNE_CHECK_MSG(g.NumVertices() >= options.num_parts,
+                "more parts than vertices");
+
+  Rng rng(options.seed);
+  const WorkGraph wg = FromGraph(g);
+  std::vector<uint32_t> all(g.NumVertices());
+  std::iota(all.begin(), all.end(), 0);
+  RecursiveKWay(wg, all, options.num_parts, 0, options, rng, &result.part_of);
+  ComputeCutStats(g, &result);
+  return result;
+}
+
+}  // namespace rne

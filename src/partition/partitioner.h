@@ -1,0 +1,54 @@
+// Multilevel graph partitioning (the METIS [17] algorithm family).
+//
+// kappa-way partitioning by recursive bisection. Each bisection runs the
+// classic multilevel pipeline: (1) coarsen by heavy-edge matching until the
+// graph is small, (2) greedy graph-growing bisection on the coarsest graph,
+// (3) project back while refining with a Fiduccia-Mattheyses boundary pass.
+// The objective is minimum cut weight under a balance constraint, which is
+// what the RNE hierarchy needs: sub-graphs whose internal proximity exceeds
+// cross-partition proximity.
+#ifndef RNE_PARTITION_PARTITIONER_H_
+#define RNE_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace rne {
+
+struct PartitionOptions {
+  /// Number of parts (the paper's partitioning fanout kappa).
+  size_t num_parts = 4;
+  /// Allowed imbalance: a part may hold up to (1+eps) * n / num_parts
+  /// vertices.
+  double balance_eps = 0.15;
+  /// Coarsening stops at this many vertices per bisection.
+  size_t coarsen_threshold = 64;
+  /// FM refinement passes per uncoarsening level.
+  size_t refine_passes = 4;
+  uint64_t seed = 7;
+};
+
+/// Result of a kappa-way partitioning: part id per vertex, plus diagnostics.
+struct PartitionResult {
+  std::vector<uint32_t> part_of;  // size NumVertices(), values < num_parts
+  size_t num_parts = 0;
+  /// Total weight of edges whose endpoints lie in different parts.
+  double cut_weight = 0.0;
+  /// Number of cut edges.
+  size_t cut_edges = 0;
+};
+
+/// Partitions `g` into options.num_parts parts. Parts are non-empty whenever
+/// g has at least num_parts vertices. Balanced within balance_eps except on
+/// degenerate inputs (disconnected shards smaller than a part).
+PartitionResult PartitionGraph(const Graph& g, const PartitionOptions& options);
+
+/// Computes cut statistics of an assignment (exposed for tests).
+void ComputeCutStats(const Graph& g, PartitionResult* result);
+
+}  // namespace rne
+
+#endif  // RNE_PARTITION_PARTITIONER_H_

@@ -1,0 +1,78 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace rne {
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(num_buckets)),
+      counts_(num_buckets, 0),
+      value_sums_(num_buckets, 0.0),
+      aux_sums_(num_buckets, 0.0) {
+  RNE_CHECK(num_buckets > 0);
+  RNE_CHECK(hi > lo);
+}
+
+size_t Histogram::BucketFor(double key) const {
+  if (key < lo_) return 0;
+  const size_t b = static_cast<size_t>((key - lo_) / width_);
+  return std::min(b, counts_.size() - 1);
+}
+
+void Histogram::Add(double key, double value, double aux) {
+  const size_t b = BucketFor(key);
+  counts_[b] += 1;
+  value_sums_[b] += value;
+  aux_sums_[b] += aux;
+}
+
+double Histogram::MeanValue(size_t bucket) const {
+  RNE_CHECK(bucket < counts_.size());
+  if (counts_[bucket] == 0) return 0.0;
+  return value_sums_[bucket] / static_cast<double>(counts_[bucket]);
+}
+
+double Histogram::MeanAux(size_t bucket) const {
+  RNE_CHECK(bucket < counts_.size());
+  if (counts_[bucket] == 0) return 0.0;
+  return aux_sums_[bucket] / static_cast<double>(counts_[bucket]);
+}
+
+double Histogram::BucketLower(size_t bucket) const {
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::BucketUpper(size_t bucket) const {
+  return lo_ + width_ * static_cast<double>(bucket + 1);
+}
+
+size_t Histogram::ArgMaxMeanValue() const {
+  size_t best = counts_.size();
+  double best_mean = -1.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double m = MeanValue(b);
+    if (m > best_mean) {
+      best_mean = m;
+      best = b;
+    }
+  }
+  return best;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(line, sizeof(line), "[%10.1f, %10.1f): n=%8zu mean=%.5f\n",
+                  BucketLower(b), BucketUpper(b), counts_[b], MeanValue(b));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rne

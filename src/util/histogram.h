@@ -1,0 +1,49 @@
+// Fixed-bucket histogram used for error-vs-distance analyses (Fig 8 / Fig 17).
+#ifndef RNE_UTIL_HISTOGRAM_H_
+#define RNE_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rne {
+
+/// Equal-width histogram over [lo, hi) with `num_buckets` buckets.
+/// Values outside the range are clamped into the first/last bucket.
+/// Tracks per-bucket count, sum, and sum of an auxiliary metric so the
+/// evaluation code can report e.g. mean relative error per distance interval.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  /// Records `value` in the bucket for `key`, accumulating `aux` alongside.
+  void Add(double key, double value, double aux = 0.0);
+
+  size_t num_buckets() const { return counts_.size(); }
+  size_t count(size_t bucket) const { return counts_[bucket]; }
+  double MeanValue(size_t bucket) const;
+  double MeanAux(size_t bucket) const;
+  /// [lower, upper) bounds of a bucket.
+  double BucketLower(size_t bucket) const;
+  double BucketUpper(size_t bucket) const;
+
+  /// Index of the bucket with the largest mean value among non-empty buckets;
+  /// returns num_buckets() if all buckets are empty.
+  size_t ArgMaxMeanValue() const;
+
+  /// Multi-line "lower..upper: count mean" rendering for logs.
+  std::string ToString() const;
+
+ private:
+  size_t BucketFor(double key) const;
+
+  double lo_;
+  double width_;
+  std::vector<size_t> counts_;
+  std::vector<double> value_sums_;
+  std::vector<double> aux_sums_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,38 @@
+// Invariant-checking macros used across the library.
+//
+// RNE_CHECK aborts with a diagnostic when an invariant is violated; it is
+// always on (databases-style: a corrupted index is worse than a crash).
+// RNE_DCHECK compiles away in NDEBUG builds and guards hot paths.
+#ifndef RNE_UTIL_MACROS_H_
+#define RNE_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RNE_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RNE_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define RNE_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RNE_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define RNE_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define RNE_DCHECK(cond) RNE_CHECK(cond)
+#endif
+
+#endif  // RNE_UTIL_MACROS_H_

@@ -1,0 +1,42 @@
+#include "util/serialize.h"
+
+namespace rne {
+
+BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic)
+    : out_(path, std::ios::binary), path_(path) {
+  if (out_) WritePod(magic);
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WritePod<uint64_t>(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Status BinaryWriter::Finish() {
+  out_.flush();
+  if (!out_) return Status::IoError("write failed for " + path_);
+  return Status::Ok();
+}
+
+BinaryReader::BinaryReader(const std::string& path, uint32_t magic)
+    : in_(path, std::ios::binary) {
+  if (!in_) {
+    status_ = Status::IoError("cannot open " + path);
+    return;
+  }
+  uint32_t got = 0;
+  if (!ReadPod(&got) || got != magic) {
+    status_ = Status::Corruption("bad magic in " + path);
+  }
+}
+
+bool BinaryReader::ReadString(std::string* s) {
+  uint64_t n = 0;
+  if (!ReadPod(&n)) return false;
+  if (n > (uint64_t{1} << 30)) return false;
+  s->resize(n);
+  in_.read(s->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(in_);
+}
+
+}  // namespace rne

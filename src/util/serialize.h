@@ -1,0 +1,92 @@
+// Binary (de)serialization helpers for model and index persistence.
+//
+// Format: little-endian PODs, length-prefixed vectors/strings. Every file
+// starts with a caller-provided magic tag so corrupt/mismatched files are
+// rejected with Status::Corruption instead of being misread.
+#ifndef RNE_UTIL_SERIALIZE_H_
+#define RNE_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rne {
+
+/// Streaming binary writer over an ofstream.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing and emits the magic tag.
+  BinaryWriter(const std::string& path, uint32_t magic);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  template <typename T>
+  void WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WritePod<uint64_t>(v.size());
+    if (!v.empty()) {
+      out_.write(reinterpret_cast<const char*>(v.data()),
+                 static_cast<std::streamsize>(v.size() * sizeof(T)));
+    }
+  }
+
+  void WriteString(const std::string& s);
+
+  /// Flushes and reports any accumulated stream error.
+  Status Finish();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Streaming binary reader; verifies the magic tag on open.
+class BinaryReader {
+ public:
+  BinaryReader(const std::string& path, uint32_t magic);
+
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok() && static_cast<bool>(in_); }
+
+  template <typename T>
+  bool ReadPod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(value), sizeof(T));
+    return static_cast<bool>(in_);
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    if (!ReadPod(&n)) return false;
+    // Sanity bound: refuse absurd sizes from corrupt files (16 GiB of data).
+    if (n > (uint64_t{1} << 34) / sizeof(T)) return false;
+    v->resize(n);
+    if (n > 0) {
+      in_.read(reinterpret_cast<char*>(v->data()),
+               static_cast<std::streamsize>(n * sizeof(T)));
+    }
+    return static_cast<bool>(in_);
+  }
+
+  bool ReadString(std::string* s);
+
+ private:
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_SERIALIZE_H_

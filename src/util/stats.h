@@ -1,0 +1,56 @@
+// Small numeric-summary helpers used by evaluation harnesses.
+#ifndef RNE_UTIL_STATS_H_
+#define RNE_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace rne {
+
+/// Arithmetic mean; 0 for an empty range.
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Population variance; 0 for fewer than two values.
+inline double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+inline double StdDev(const std::vector<double>& v) {
+  return std::sqrt(Variance(v));
+}
+
+/// p-quantile (p in [0,1]) by nearest-rank on a copy of the data.
+inline double Quantile(std::vector<double> v, double p) {
+  RNE_CHECK(!v.empty());
+  RNE_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+inline double Max(const std::vector<double>& v) {
+  RNE_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+inline double Min(const std::vector<double>& v) {
+  RNE_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_STATS_H_

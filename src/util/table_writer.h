@@ -1,0 +1,46 @@
+// Console-table and CSV emission for benchmark harnesses.
+//
+// Every bench binary prints a paper-shaped table to stdout and mirrors the
+// same rows into a CSV file under bench_results/ for downstream plotting.
+#ifndef RNE_UTIL_TABLE_WRITER_H_
+#define RNE_UTIL_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rne {
+
+/// Collects rows of string cells; renders an aligned text table and can save
+/// the same content as CSV.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double value, int precision = 3);
+  /// Scientific-looking compact format for wide-ranging values (e.g. times).
+  static std::string FmtSci(double value);
+
+  /// Aligned, pipe-separated rendering (header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout with a title line.
+  void Print(const std::string& title) const;
+
+  /// Writes CSV to `path`, creating parent directories if needed.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_TABLE_WRITER_H_

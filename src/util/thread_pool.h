@@ -1,0 +1,52 @@
+// Fixed-size thread pool for embarrassingly parallel work (batched SSSP for
+// training-sample generation, per-level training shards).
+#ifndef RNE_UTIL_THREAD_POOL_H_
+#define RNE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rne {
+
+/// Simple task-queue thread pool. Tasks are void() closures; Wait() blocks
+/// until every submitted task has finished. Not copyable or movable.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware concurrency (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_THREAD_POOL_H_

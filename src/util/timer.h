@@ -1,0 +1,36 @@
+// Wall-clock timing helpers for build-time and query-time measurements.
+#ifndef RNE_UTIL_TIMER_H_
+#define RNE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rne {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in nanoseconds (for per-query latency accounting).
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_TIMER_H_

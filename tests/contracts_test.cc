@@ -1,0 +1,74 @@
+// Contract tests: RNE_CHECK-guarded API misuse must abort loudly (the
+// databases-style fail-fast discipline) rather than corrupt an index.
+#include <gtest/gtest.h>
+
+#include "core/embedding.h"
+#include "core/rne.h"
+#include "core/spatial_grid.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+#include "util/histogram.h"
+#include "util/table_writer.h"
+
+namespace rne {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, GraphBuilderRejectsNonPositiveWeight) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.AddEdge(0, 1, 0.0), "positive");
+  EXPECT_DEATH(b.AddEdge(0, 1, -1.0), "positive");
+}
+
+TEST(ContractDeathTest, GraphBuilderRejectsOutOfRangeVertex) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.AddEdge(0, 5, 1.0), "RNE_CHECK");
+  EXPECT_DEATH(b.SetCoord(9, {0, 0}), "RNE_CHECK");
+}
+
+TEST(ContractDeathTest, SubgraphRejectsDuplicateVertices) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  const Graph g = b.Build();
+  EXPECT_DEATH(InducedSubgraph(g, {0, 0}), "duplicate");
+}
+
+TEST(ContractDeathTest, TableWriterRejectsRaggedRows) {
+  TableWriter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "width");
+}
+
+TEST(ContractDeathTest, HistogramRejectsEmptyRange) {
+  EXPECT_DEATH(Histogram(5.0, 5.0, 4), "RNE_CHECK");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "RNE_CHECK");
+}
+
+TEST(ContractDeathTest, StatusOrFromOkStatusAborts) {
+  EXPECT_DEATH(StatusOr<int>(Status::Ok()), "OK status");
+}
+
+TEST(ContractDeathTest, OneToManyRejectsSizeMismatch) {
+  const Graph g = MakeGridNetwork(4, 4);
+  RneConfig config;
+  config.dim = 8;
+  config.train.level_samples = 200;
+  config.train.vertex_samples = 500;
+  config.train.vertex_epochs = 1;
+  config.train.finetune_rounds = 0;
+  const Rne model = Rne::Build(g, config);
+  std::vector<VertexId> targets = {0, 1, 2};
+  std::vector<double> too_small(2);
+  EXPECT_DEATH(model.QueryOneToMany(0, targets, too_small), "RNE_CHECK");
+}
+
+TEST(ContractDeathTest, PartitionRejectsMoreCutsThanVertices) {
+  const Graph g = MakeGridNetwork(2, 2);
+  PartitionOptions opt;
+  opt.num_parts = 100;
+  EXPECT_DEATH(PartitionGraph(g, opt), "more parts");
+}
+
+}  // namespace
+}  // namespace rne

@@ -1,0 +1,399 @@
+// Tests for the RNE core: embedding matrix, hierarchical model, spatial
+// grid, sample-selection strategies, the trainer's convergence behaviour,
+// and the Rne facade (build, query, save/load).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "algo/distance_sampler.h"
+#include "core/hierarchical_model.h"
+#include "core/rne.h"
+#include "core/sampler.h"
+#include "core/spatial_grid.h"
+#include "graph/generators.h"
+
+namespace rne {
+namespace {
+
+Graph SmallRoadNetwork(uint64_t seed = 7) {
+  RoadNetworkConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.seed = seed;
+  return MakeRoadNetwork(cfg);
+}
+
+PartitionHierarchy SmallHierarchy(const Graph& g) {
+  HierarchyOptions opt;
+  opt.fanout = 4;
+  opt.leaf_threshold = 32;
+  return PartitionHierarchy::Build(g, opt);
+}
+
+// --------------------------------------------------------- EmbeddingMatrix
+
+TEST(EmbeddingMatrixTest, RowAccessAndInit) {
+  EmbeddingMatrix m(4, 8);
+  Rng rng(1);
+  m.RandomInit(rng, 0.5);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.dim(), 8u);
+  bool nonzero = false;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (const float x : m.Row(r)) {
+      EXPECT_LE(std::abs(x), 0.5f);
+      nonzero |= (x != 0.0f);
+    }
+  }
+  EXPECT_TRUE(nonzero);
+  EXPECT_EQ(m.MemoryBytes(), 4u * 8u * sizeof(float));
+}
+
+TEST(EmbeddingMatrixTest, SerializationRoundTrip) {
+  EmbeddingMatrix m(3, 5);
+  Rng rng(2);
+  m.RandomInit(rng, 1.0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rne_emb_test.bin").string();
+  {
+    BinaryWriter w(path, 42);
+    m.Write(w);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path, 42);
+  EmbeddingMatrix m2;
+  ASSERT_TRUE(m2.Read(r));
+  ASSERT_EQ(m2.rows(), m.rows());
+  ASSERT_EQ(m2.dim(), m.dim());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t d = 0; d < m.dim(); ++d) {
+      EXPECT_EQ(m2.Row(i)[d], m.Row(i)[d]);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------- HierarchicalModel
+
+TEST(HierarchicalModelTest, GlobalIsSumOfPathLocals) {
+  const Graph g = SmallRoadNetwork();
+  const PartitionHierarchy h = SmallHierarchy(g);
+  HierarchicalModel model(&h, 16, 1.0);
+  Rng rng(3);
+  model.RandomInit(rng, 0.5);
+
+  std::vector<float> global(16);
+  for (VertexId v = 0; v < g.NumVertices(); v += 13) {
+    model.GlobalOf(v, global);
+    std::vector<double> expected(16, 0.0);
+    for (const uint32_t node : h.AncestorsOf(v)) {
+      const auto local = model.NodeLocal(node);
+      for (size_t d = 0; d < 16; ++d) expected[d] += local[d];
+    }
+    const auto vl = model.VertexLocal(v);
+    for (size_t d = 0; d < 16; ++d) expected[d] += vl[d];
+    for (size_t d = 0; d < 16; ++d) EXPECT_NEAR(global[d], expected[d], 1e-5);
+  }
+}
+
+TEST(HierarchicalModelTest, FlattenMatchesGlobalOf) {
+  const Graph g = SmallRoadNetwork();
+  const PartitionHierarchy h = SmallHierarchy(g);
+  HierarchicalModel model(&h, 8, 1.0);
+  Rng rng(4);
+  model.RandomInit(rng, 0.5);
+  const EmbeddingMatrix flat = model.FlattenVertices();
+  std::vector<float> global(8);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    model.GlobalOf(v, global);
+    for (size_t d = 0; d < 8; ++d) EXPECT_EQ(flat.Row(v)[d], global[d]);
+  }
+}
+
+TEST(HierarchicalModelTest, NodeGlobalsConsistentWithFlattenNodes) {
+  const Graph g = SmallRoadNetwork();
+  const PartitionHierarchy h = SmallHierarchy(g);
+  HierarchicalModel model(&h, 8, 1.0);
+  Rng rng(5);
+  model.RandomInit(rng, 0.5);
+  const EmbeddingMatrix nodes = model.FlattenNodes();
+  std::vector<float> buf(8);
+  for (uint32_t id = 0; id < h.num_nodes(); ++id) {
+    model.NodeGlobalOf(id, buf);
+    for (size_t d = 0; d < 8; ++d) EXPECT_NEAR(nodes.Row(id)[d], buf[d], 1e-5);
+  }
+}
+
+TEST(HierarchicalModelTest, EstimateUsesConfiguredMetric) {
+  const Graph g = SmallRoadNetwork();
+  const PartitionHierarchy h = SmallHierarchy(g);
+  HierarchicalModel model(&h, 8, 2.0);
+  Rng rng(6);
+  model.RandomInit(rng, 0.5);
+  std::vector<float> a(8), b(8);
+  model.GlobalOf(0, a);
+  model.GlobalOf(100, b);
+  EXPECT_NEAR(model.Estimate(0, 100), L2Dist(a, b), 1e-6);
+}
+
+// ---------------------------------------------------------------- SpatialGrid
+
+TEST(SpatialGridTest, CellAssignmentCoversAllVertices) {
+  const Graph g = SmallRoadNetwork();
+  const SpatialGrid grid(g, 4);
+  size_t total = 0;
+  for (size_t c = 0; c < 16; ++c) total += grid.CellVertices(c).size();
+  EXPECT_EQ(total, g.NumVertices());
+}
+
+TEST(SpatialGridTest, BucketOfPairIsGridManhattan) {
+  const Graph g = MakeGridNetwork(8, 8, 100.0, 0.0, 0.0, 9);
+  const SpatialGrid grid(g, 4);
+  for (VertexId v = 0; v < g.NumVertices(); v += 9) {
+    EXPECT_EQ(grid.BucketOfPair(v, v), 0u);
+  }
+  EXPECT_EQ(grid.num_buckets(), 7u);
+}
+
+TEST(SpatialGridTest, SamplePairLandsInRequestedBucket) {
+  const Graph g = SmallRoadNetwork();
+  const SpatialGrid grid(g, 6);
+  Rng rng(10);
+  for (size_t b = 0; b < grid.num_buckets(); ++b) {
+    if (!grid.BucketNonEmpty(b)) continue;
+    for (int i = 0; i < 50; ++i) {
+      VertexId s, t;
+      ASSERT_TRUE(grid.SamplePair(b, rng, &s, &t));
+      EXPECT_EQ(grid.BucketOfPair(s, t), b);
+    }
+  }
+}
+
+// -------------------------------------------------------------- samplers
+
+TEST(SamplerTest, RandomVertexPairsDistinct) {
+  Rng rng(11);
+  for (const auto& [s, t] : RandomVertexPairs(50, 200, rng)) {
+    EXPECT_NE(s, t);
+    EXPECT_LT(s, 50u);
+    EXPECT_LT(t, 50u);
+  }
+}
+
+TEST(SamplerTest, SubgraphLevelPairsStayInsidePartitions) {
+  const Graph g = SmallRoadNetwork();
+  const PartitionHierarchy h = SmallHierarchy(g);
+  Rng rng(12);
+  const uint32_t level = 1;
+  const auto parts = h.PartitionAtLevel(level);
+  // vertex -> part
+  std::vector<uint32_t> part_of(g.NumVertices(), UINT32_MAX);
+  for (const uint32_t id : parts) {
+    for (const VertexId v : h.node(id).vertices) part_of[v] = id;
+  }
+  for (const auto& [s, t] : SubgraphLevelPairs(h, level, 500, rng)) {
+    EXPECT_NE(part_of[s], UINT32_MAX);
+    EXPECT_NE(part_of[t], UINT32_MAX);
+  }
+}
+
+TEST(SamplerTest, LandmarkPairsAnchorOnLandmarks) {
+  Rng rng(13);
+  const std::vector<VertexId> landmarks = {3, 17, 42};
+  for (const auto& [s, t] : LandmarkPairs(landmarks, 100, 300, rng)) {
+    EXPECT_TRUE(s == 3 || s == 17 || s == 42);
+    EXPECT_NE(s, t);
+  }
+}
+
+TEST(SamplerTest, ErrorBasedLocalPicksWorstBucket) {
+  const Graph g = SmallRoadNetwork();
+  const SpatialGrid grid(g, 4);
+  Rng rng(14);
+  std::vector<double> errors(grid.num_buckets(), 0.0);
+  // Mark one non-empty bucket as worst.
+  size_t worst = 0;
+  for (size_t b = grid.num_buckets(); b-- > 0;) {
+    if (grid.BucketNonEmpty(b)) {
+      errors[b] = 0.1;
+      worst = b;
+    }
+  }
+  errors[worst] = 5.0;
+  const auto pairs =
+      ErrorBasedPairs(grid, errors, FineTuneStrategy::kLocal, 100, rng);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& [s, t] : pairs) {
+    EXPECT_EQ(grid.BucketOfPair(s, t), worst);
+  }
+}
+
+TEST(SamplerTest, ErrorBasedGlobalSpreadsOverBuckets) {
+  const Graph g = SmallRoadNetwork();
+  const SpatialGrid grid(g, 4);
+  Rng rng(15);
+  std::vector<double> errors(grid.num_buckets(), 1.0);
+  const auto pairs =
+      ErrorBasedPairs(grid, errors, FineTuneStrategy::kGlobal, 500, rng);
+  std::set<size_t> buckets;
+  for (const auto& [s, t] : pairs) buckets.insert(grid.BucketOfPair(s, t));
+  EXPECT_GT(buckets.size(), 2u);
+}
+
+TEST(SamplerTest, ErrorBasedEmptyWhenNoErrors) {
+  const Graph g = SmallRoadNetwork();
+  const SpatialGrid grid(g, 4);
+  Rng rng(16);
+  std::vector<double> errors(grid.num_buckets(), 0.0);
+  EXPECT_TRUE(
+      ErrorBasedPairs(grid, errors, FineTuneStrategy::kGlobal, 100, rng)
+          .empty());
+}
+
+// ----------------------------------------------------------------- Trainer
+
+TEST(TrainerTest, ErrorDecreasesAcrossPhases) {
+  const Graph g = SmallRoadNetwork();
+  const PartitionHierarchy h = SmallHierarchy(g);
+  TrainConfig cfg;
+  cfg.dim = 32;
+  cfg.level_samples = 4000;
+  cfg.vertex_samples = 20000;
+  cfg.finetune_rounds = 1;
+  cfg.finetune_samples = 5000;
+  Trainer trainer(g, h, cfg);
+
+  DistanceSampler sampler(g);
+  Rng rng(17);
+  const auto val = sampler.RandomPairs(500, rng);
+
+  trainer.TrainHierarchyPhase();
+  const double after_phase1 = trainer.MeanRelativeError(val);
+  trainer.TrainVertexPhase();
+  const double after_phase2 = trainer.MeanRelativeError(val);
+  trainer.FineTunePhase();
+  const double after_phase3 = trainer.MeanRelativeError(val);
+
+  EXPECT_LT(after_phase1, 0.6) << "phase 1 should get coarse structure right";
+  EXPECT_LT(after_phase2, after_phase1);
+  EXPECT_LT(after_phase3, 0.08) << "full pipeline should reach a few percent";
+}
+
+TEST(TrainerTest, ProgressCurveRecorded) {
+  const Graph g = SmallRoadNetwork();
+  const PartitionHierarchy h = SmallHierarchy(g);
+  TrainConfig cfg;
+  cfg.dim = 16;
+  cfg.level_samples = 1000;
+  cfg.level_epochs = 2;
+  cfg.vertex_samples = 2000;
+  cfg.vertex_epochs = 2;
+  cfg.finetune_rounds = 0;
+  Trainer trainer(g, h, cfg);
+  DistanceSampler sampler(g);
+  Rng rng(18);
+  trainer.SetValidation(sampler.RandomPairs(200, rng));
+  trainer.TrainAll();
+  const auto& progress = trainer.progress();
+  ASSERT_GT(progress.size(), 2u);
+  // Cumulative sample counts strictly increase.
+  for (size_t i = 1; i < progress.size(); ++i) {
+    EXPECT_GT(progress[i].samples_processed, progress[i - 1].samples_processed);
+  }
+  // Final error far below the initial one.
+  EXPECT_LT(progress.back().mean_rel_error, progress.front().mean_rel_error);
+}
+
+TEST(TrainerTest, FlatModelTrains) {
+  const Graph g = SmallRoadNetwork();
+  HierarchyOptions opt;
+  opt.leaf_threshold = g.NumVertices();
+  const PartitionHierarchy h = PartitionHierarchy::Build(g, opt);
+  TrainConfig cfg;
+  cfg.dim = 32;
+  cfg.vertex_samples = 30000;
+  cfg.vertex_epochs = 10;
+  cfg.finetune_rounds = 0;
+  Trainer trainer(g, h, cfg);
+  trainer.TrainVertexPhase();
+  DistanceSampler sampler(g);
+  Rng rng(19);
+  EXPECT_LT(trainer.MeanRelativeError(sampler.RandomPairs(300, rng)), 0.35);
+}
+
+// -------------------------------------------------------------- Rne facade
+
+TEST(RneTest, BuildQuerySaveLoad) {
+  const Graph g = SmallRoadNetwork();
+  RneConfig config;
+  config.dim = 32;
+  config.train.level_samples = 4000;
+  config.train.vertex_samples = 20000;
+  config.train.finetune_rounds = 1;
+  config.train.finetune_samples = 5000;
+  RneBuildStats stats;
+  const Rne model = Rne::Build(g, config, &stats);
+
+  EXPECT_EQ(model.dim(), 32u);
+  EXPECT_EQ(model.NumVertices(), g.NumVertices());
+  EXPECT_GT(stats.train_seconds, 0.0);
+  EXPECT_GT(stats.samples_processed, 0u);
+  EXPECT_EQ(model.IndexBytes(), g.NumVertices() * 32 * sizeof(float));
+
+  // Metric axioms on queries.
+  EXPECT_DOUBLE_EQ(model.Query(5, 5), 0.0);
+  EXPECT_NEAR(model.Query(3, 99), model.Query(99, 3), 1e-6);
+
+  // Accuracy sanity.
+  DistanceSampler sampler(g);
+  Rng rng(20);
+  const auto val = sampler.RandomPairs(400, rng);
+  double err = 0.0;
+  for (const auto& s : val) {
+    err += std::abs(model.Query(s.s, s.t) - s.dist) / s.dist;
+  }
+  EXPECT_LT(err / val.size(), 0.08);
+
+  // Save / load round trip preserves queries bit-exactly.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rne_model_test.bin").string();
+  ASSERT_TRUE(model.Save(path).ok());
+  auto loaded = Rne::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (int i = 0; i < 100; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    EXPECT_EQ(loaded.value().Query(s, t), model.Query(s, t));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(RneTest, LoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rne_garbage.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a model";
+  }
+  EXPECT_FALSE(Rne::Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(RneTest, NonHierarchicalBuildWorks) {
+  const Graph g = SmallRoadNetwork();
+  RneConfig config;
+  config.dim = 16;
+  config.hierarchical = false;
+  config.fine_tune = false;
+  config.train.vertex_samples = 10000;
+  config.train.vertex_epochs = 4;
+  const Rne model = Rne::Build(g, config);
+  EXPECT_EQ(model.hierarchy().num_nodes(), 1u);
+  EXPECT_GT(model.Query(0, 200), 0.0);
+}
+
+}  // namespace
+}  // namespace rne

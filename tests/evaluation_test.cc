@@ -1,0 +1,108 @@
+// Tests for the shared evaluation utilities (error summaries, cumulative
+// curves, per-distance breakdowns).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.h"
+
+namespace rne {
+namespace {
+
+std::vector<DistanceSample> MakeValidation() {
+  // Exact distances 100, 200, 400, 1000 between synthetic pairs.
+  return {
+      {0, 1, 100.0},
+      {0, 2, 200.0},
+      {1, 2, 400.0},
+      {2, 3, 1000.0},
+  };
+}
+
+TEST(EvaluationTest, PerfectEstimatorHasZeroErrors) {
+  const auto val = MakeValidation();
+  const auto exact = [&val](VertexId s, VertexId t) {
+    for (const auto& sample : val) {
+      if (sample.s == s && sample.t == t) return sample.dist;
+    }
+    return 0.0;
+  };
+  const ErrorSummary summary = EvaluateErrors(exact, val);
+  EXPECT_EQ(summary.num_pairs, 4u);
+  EXPECT_DOUBLE_EQ(summary.mean_rel, 0.0);
+  EXPECT_DOUBLE_EQ(summary.mean_abs, 0.0);
+  EXPECT_DOUBLE_EQ(summary.max_rel, 0.0);
+  EXPECT_NEAR(summary.var_rel, 0.0, 1e-15);
+}
+
+TEST(EvaluationTest, ConstantOffsetErrors) {
+  const auto val = MakeValidation();
+  // Overestimate every distance by 10%.
+  const auto fn = [&val](VertexId s, VertexId t) {
+    for (const auto& sample : val) {
+      if (sample.s == s && sample.t == t) return sample.dist * 1.1;
+    }
+    return 0.0;
+  };
+  const ErrorSummary summary = EvaluateErrors(fn, val);
+  EXPECT_NEAR(summary.mean_rel, 0.1, 1e-12);
+  EXPECT_NEAR(summary.max_rel, 0.1, 1e-12);
+  EXPECT_NEAR(summary.var_rel, 0.0, 1e-12);
+  EXPECT_NEAR(summary.mean_abs, (10 + 20 + 40 + 100) / 4.0, 1e-9);
+}
+
+TEST(EvaluationTest, SkipsInvalidPairs) {
+  std::vector<DistanceSample> val = MakeValidation();
+  val.push_back({5, 6, kInfDistance});
+  val.push_back({5, 5, 0.0});
+  const ErrorSummary summary =
+      EvaluateErrors([](VertexId, VertexId) { return 1.0; }, val);
+  EXPECT_EQ(summary.num_pairs, 4u);
+}
+
+TEST(EvaluationTest, CumulativeCurveMonotone) {
+  const auto val = MakeValidation();
+  // Error: 5% on two pairs, 20% on the other two.
+  const auto fn = [&val](VertexId s, VertexId t) {
+    for (size_t i = 0; i < val.size(); ++i) {
+      if (val[i].s == s && val[i].t == t) {
+        return val[i].dist * (i < 2 ? 1.05 : 1.20);
+      }
+    }
+    return 0.0;
+  };
+  const auto curve = CumulativeErrorCurve(fn, val, {0.01, 0.1, 0.3});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.0);
+  EXPECT_DOUBLE_EQ(curve[1], 0.5);
+  EXPECT_DOUBLE_EQ(curve[2], 1.0);
+}
+
+TEST(EvaluationTest, ErrorsByDistanceBucketsCorrectly) {
+  const auto val = MakeValidation();  // distances 100..1000
+  // 10% error below 500, exact above.
+  const auto fn = [&val](VertexId s, VertexId t) {
+    for (const auto& sample : val) {
+      if (sample.s == s && sample.t == t) {
+        return sample.dist < 500 ? sample.dist * 1.1 : sample.dist;
+      }
+    }
+    return 0.0;
+  };
+  const auto buckets = ErrorsByDistance(fn, val, 2);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].num_pairs, 3u);  // 100, 200, 400
+  EXPECT_EQ(buckets[1].num_pairs, 1u);  // 1000
+  EXPECT_NEAR(buckets[0].mean_rel, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(buckets[1].mean_rel, 0.0);
+}
+
+TEST(EvaluationTest, EmptyValidationSafe) {
+  const ErrorSummary summary =
+      EvaluateErrors([](VertexId, VertexId) { return 1.0; }, {});
+  EXPECT_EQ(summary.num_pairs, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_rel, 0.0);
+}
+
+}  // namespace
+}  // namespace rne

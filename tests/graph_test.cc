@@ -1,0 +1,212 @@
+// Unit tests for the graph substrate: builder, CSR invariants, generators,
+// DIMACS I/O, connected components, induced subgraphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/dimacs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+
+namespace rne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ------------------------------------------------------------ GraphBuilder
+
+TEST(GraphBuilderTest, BuildsSortedCsr) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 2, 5.0);
+  b.AddEdge(0, 1, 3.0);
+  b.AddEdge(2, 3, 1.0);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  const auto adj = g.Neighbors(0);
+  ASSERT_EQ(adj.size(), 2u);
+  EXPECT_EQ(adj[0].to, 1u);
+  EXPECT_EQ(adj[1].to, 2u);
+}
+
+TEST(GraphBuilderTest, UndirectedSymmetry) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.0);
+  const Graph g = b.Build();
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 2.0);
+  EXPECT_EQ(g.EdgeWeight(0, 2), kInfDistance);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesKeepMinWeight) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 5.0);
+  b.AddEdge(1, 0, 2.0);
+  b.AddEdge(0, 1, 9.0);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+}
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 0, 1.0);
+  b.AddEdge(0, 1, 1.0);
+  EXPECT_EQ(b.Build().NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, CoordsStored) {
+  GraphBuilder b(2);
+  b.SetCoord(0, {1.5, -2.5});
+  b.AddEdge(0, 1, 1.0);
+  const Graph g = b.Build();
+  EXPECT_DOUBLE_EQ(g.Coord(0).x, 1.5);
+  EXPECT_DOUBLE_EQ(g.Coord(0).y, -2.5);
+}
+
+TEST(GraphTest, TotalWeightCountsEachEdgeOnce) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(1, 2, 3.5);
+  EXPECT_DOUBLE_EQ(b.Build().TotalWeight(), 5.5);
+}
+
+TEST(GraphTest, GeoDistances) {
+  GraphBuilder b(2);
+  b.SetCoord(0, {0.0, 0.0});
+  b.SetCoord(1, {3.0, 4.0});
+  b.AddEdge(0, 1, 10.0);
+  const Graph g = b.Build();
+  EXPECT_DOUBLE_EQ(EuclideanDistance(g, 0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance(g, 0, 1), 7.0);
+}
+
+// -------------------------------------------------------------- generators
+
+TEST(GeneratorsTest, GridNetworkShape) {
+  const Graph g = MakeGridNetwork(5, 7);
+  EXPECT_EQ(g.NumVertices(), 35u);
+  // 4-connected grid: r*(c-1) + (r-1)*c edges.
+  EXPECT_EQ(g.NumEdges(), 5u * 6u + 4u * 7u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GeneratorsTest, GridWeightsAtLeastEuclidean) {
+  const Graph g = MakeGridNetwork(6, 6, 100.0, 0.3, 0.2, 11);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Edge& e : g.Neighbors(v)) {
+      EXPECT_GE(e.weight, EuclideanDistance(g, v, e.to) - 1e-9)
+          << "edge weight below geometric length breaks A* admissibility";
+    }
+  }
+}
+
+TEST(GeneratorsTest, RoadNetworkConnectedAndIrregular) {
+  RoadNetworkConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.seed = 5;
+  const Graph g = MakeRoadNetwork(cfg);
+  EXPECT_EQ(g.NumVertices(), 256u);
+  EXPECT_TRUE(g.IsConnected());
+  // Some grid edges were removed: fewer than the full grid count plus
+  // diagonals/highways bound.
+  EXPECT_LT(g.NumEdges(), 16u * 15u * 2u + 200u);
+}
+
+TEST(GeneratorsTest, RoadNetworkDeterministicPerSeed) {
+  RoadNetworkConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  cfg.seed = 123;
+  const Graph a = MakeRoadNetwork(cfg);
+  const Graph b = MakeRoadNetwork(cfg);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    ASSERT_EQ(a.Degree(v), b.Degree(v));
+  }
+}
+
+TEST(GeneratorsTest, RandomGeometricConnected) {
+  const Graph g = MakeRandomGeometricNetwork(300, 4, 1000.0, 0.2, 17);
+  EXPECT_GT(g.NumVertices(), 150u);  // largest component retained
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GeneratorsTest, LargestConnectedComponent) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);  // component {0,1,2}
+  b.AddEdge(3, 4, 1.0);  // component {3,4}
+  // vertex 5 isolated
+  const auto [lcc, mapping] = LargestConnectedComponent(b.Build());
+  EXPECT_EQ(lcc.NumVertices(), 3u);
+  EXPECT_TRUE(lcc.IsConnected());
+  EXPECT_EQ(mapping, (std::vector<VertexId>{0, 1, 2}));
+}
+
+// ------------------------------------------------------------------ DIMACS
+
+TEST(DimacsTest, SaveLoadRoundTrip) {
+  const Graph g = MakeGridNetwork(4, 4, 50.0, 0.2, 0.1, 3);
+  const std::string gr = TempPath("rne_test.gr");
+  const std::string co = TempPath("rne_test.co");
+  ASSERT_TRUE(SaveDimacs(g, gr, co).ok());
+  auto loaded = LoadDimacs(gr, co);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& h = loaded.value();
+  ASSERT_EQ(h.NumVertices(), g.NumVertices());
+  ASSERT_EQ(h.NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(h.Coord(v).x, g.Coord(v).x, 1e-4);
+    for (const Edge& e : g.Neighbors(v)) {
+      EXPECT_NEAR(h.EdgeWeight(v, e.to), e.weight, 1e-4);
+    }
+  }
+  std::filesystem::remove(gr);
+  std::filesystem::remove(co);
+}
+
+TEST(DimacsTest, MissingFileReturnsIoError) {
+  const auto result = LoadDimacs("/definitely/not/here.gr");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(DimacsTest, CorruptFileRejected) {
+  const std::string path = TempPath("rne_corrupt.gr");
+  {
+    std::ofstream out(path);
+    out << "a 1 2 3\n";  // arc before problem line
+  }
+  const auto result = LoadDimacs(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------------------- subgraph
+
+TEST(SubgraphTest, InducedSubgraphKeepsInternalEdges) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 2.0);
+  b.AddEdge(2, 3, 3.0);
+  b.AddEdge(3, 4, 4.0);
+  b.SetCoord(1, {10.0, 0.0});
+  const Graph g = b.Build();
+  const auto [sub, mapping] = InducedSubgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.NumVertices(), 3u);
+  EXPECT_EQ(sub.NumEdges(), 2u);  // 1-2 and 2-3; edges to 0/4 dropped
+  EXPECT_DOUBLE_EQ(sub.EdgeWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(sub.Coord(0).x, 10.0);
+  EXPECT_EQ(mapping, (std::vector<VertexId>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rne

@@ -1,0 +1,176 @@
+// Cross-module integration tests: the full pipeline on one road network,
+// comparing RNE against the baseline stack the way the evaluation harness
+// does, plus end-to-end kNN/range agreement with exact ground truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "algo/distance_sampler.h"
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/geo.h"
+#include "baselines/h2h.h"
+#include "baselines/network_knn.h"
+#include "core/rne.h"
+#include "core/rne_index.h"
+#include "graph/generators.h"
+
+namespace rne {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RoadNetworkConfig cfg;
+    cfg.rows = 20;
+    cfg.cols = 20;
+    cfg.seed = 42;
+    graph_ = new Graph(MakeRoadNetwork(cfg));
+
+    RneConfig config;
+    config.dim = 32;
+    config.train.level_samples = 6000;
+    config.train.vertex_samples = 40000;
+    config.train.finetune_rounds = 2;
+    config.train.finetune_samples = 8000;
+    rne_ = new Rne(Rne::Build(*graph_, config));
+
+    DistanceSampler sampler(*graph_);
+    Rng rng(42);
+    val_ = new std::vector<DistanceSample>(sampler.RandomPairs(500, rng));
+  }
+  static void TearDownTestSuite() {
+    delete val_;
+    delete rne_;
+    delete graph_;
+  }
+
+  static double MeanRelError(DistanceMethod& method) {
+    double sum = 0.0;
+    for (const auto& s : *val_) {
+      sum += std::abs(method.Query(s.s, s.t) - s.dist) / s.dist;
+    }
+    return sum / val_->size();
+  }
+
+  static Graph* graph_;
+  static Rne* rne_;
+  static std::vector<DistanceSample>* val_;
+};
+
+Graph* IntegrationTest::graph_ = nullptr;
+Rne* IntegrationTest::rne_ = nullptr;
+std::vector<DistanceSample>* IntegrationTest::val_ = nullptr;
+
+TEST_F(IntegrationTest, RneBeatsGeometricBaselines) {
+  double rne_err = 0.0;
+  for (const auto& s : *val_) {
+    rne_err += std::abs(rne_->Query(s.s, s.t) - s.dist) / s.dist;
+  }
+  rne_err /= val_->size();
+
+  GeoEstimator euclid(*graph_, GeoMetric::kEuclidean);
+  GeoEstimator manhattan(*graph_, GeoMetric::kManhattan);
+  EXPECT_LT(rne_err, MeanRelError(euclid));
+  EXPECT_LT(rne_err, MeanRelError(manhattan));
+  EXPECT_LT(rne_err, 0.05) << "trained RNE should be within a few percent";
+}
+
+TEST_F(IntegrationTest, ExactMethodsAgreeOnValidationSet) {
+  ContractionHierarchy ch(*graph_);
+  H2HIndex h2h(*graph_);
+  for (size_t i = 0; i < val_->size(); i += 5) {
+    const auto& s = (*val_)[i];
+    EXPECT_NEAR(ch.Query(s.s, s.t), s.dist, 1e-6);
+    EXPECT_NEAR(h2h.Query(s.s, s.t), s.dist, 1e-6);
+  }
+}
+
+TEST_F(IntegrationTest, LtBeatenByRne) {
+  Rng rng(7);
+  AltIndex lt(*graph_, 16, rng);
+  const double lt_err = MeanRelError(lt);
+  double rne_err = 0.0;
+  for (const auto& s : *val_) {
+    rne_err += std::abs(rne_->Query(s.s, s.t) - s.dist) / s.dist;
+  }
+  rne_err /= val_->size();
+  // Paper Table III ordering: RNE < LT in error on all datasets.
+  EXPECT_LT(rne_err, lt_err);
+}
+
+TEST_F(IntegrationTest, KnnF1AgainstExactGroundTruth) {
+  // Targets: every 4th vertex plays "POI".
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < graph_->NumVertices(); v += 4) {
+    targets.push_back(v);
+  }
+  const RneIndex rne_index(rne_, targets);
+  NetworkKnn exact(*graph_, targets);
+
+  Rng rng(9);
+  double f1_sum = 0.0;
+  const int queries = 30;
+  const size_t k = 10;
+  for (int q = 0; q < queries; ++q) {
+    const auto src =
+        static_cast<VertexId>(rng.UniformIndex(graph_->NumVertices()));
+    const auto approx = rne_index.Knn(src, k);
+    const auto truth = exact.Knn(src, k);
+    std::set<VertexId> truth_set;
+    for (const auto& [v, d] : truth) truth_set.insert(v);
+    size_t hits = 0;
+    for (const auto& [v, d] : approx) hits += truth_set.count(v);
+    f1_sum += static_cast<double>(hits) / k;  // |approx| == |truth| == k
+  }
+  // Fig 16: RNE's kNN accuracy is high (>90% F1 at moderate k).
+  EXPECT_GT(f1_sum / queries, 0.75);
+}
+
+TEST_F(IntegrationTest, RangeF1AgainstExactGroundTruth) {
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < graph_->NumVertices(); v += 3) {
+    targets.push_back(v);
+  }
+  const RneIndex rne_index(rne_, targets);
+  NetworkKnn exact(*graph_, targets);
+
+  Rng rng(10);
+  double f1_sum = 0.0;
+  int counted = 0;
+  for (int q = 0; q < 20; ++q) {
+    const auto src =
+        static_cast<VertexId>(rng.UniformIndex(graph_->NumVertices()));
+    const double tau = rng.UniformReal(500.0, 1500.0);
+    const auto approx = rne_index.Range(src, tau);
+    const auto truth = exact.Range(src, tau);
+    if (truth.empty()) continue;
+    const std::set<VertexId> truth_set(truth.begin(), truth.end());
+    size_t hits = 0;
+    for (const VertexId v : approx) hits += truth_set.count(v);
+    const double precision =
+        approx.empty() ? 0.0 : static_cast<double>(hits) / approx.size();
+    const double recall = static_cast<double>(hits) / truth.size();
+    if (precision + recall > 0) {
+      f1_sum += 2 * precision * recall / (precision + recall);
+    }
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_GT(f1_sum / counted, 0.75);
+}
+
+TEST_F(IntegrationTest, ErrorOrderingMatchesPaperShape) {
+  // Table III shape on one dataset: RNE < LT < geo baselines (error).
+  Rng rng(11);
+  AltIndex lt(*graph_, 16, rng);
+  GeoEstimator euclid(*graph_, GeoMetric::kEuclidean);
+  const double lt_err = MeanRelError(lt);
+  const double geo_err = MeanRelError(euclid);
+  EXPECT_LT(lt_err, geo_err);
+}
+
+}  // namespace
+}  // namespace rne

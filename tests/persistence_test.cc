@@ -1,0 +1,199 @@
+// Persistence round-trips for the baseline indexes (CH, H2H, ALT) and the
+// extended Rne APIs (QueryOneToMany / QueryKnn / RefineOnline).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "algo/dijkstra.h"
+#include "algo/distance_sampler.h"
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/h2h.h"
+#include "core/rne.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace rne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Graph TestNetwork(uint64_t seed) {
+  RoadNetworkConfig cfg;
+  cfg.rows = 12;
+  cfg.cols = 12;
+  cfg.seed = seed;
+  return MakeRoadNetwork(cfg);
+}
+
+TEST(ChPersistenceTest, SaveLoadQueriesIdentical) {
+  const Graph g = TestNetwork(1);
+  ContractionHierarchy ch(g);
+  const std::string path = TempPath("rne_ch_test.bin");
+  ASSERT_TRUE(ch.Save(path).ok());
+  auto loaded = ContractionHierarchy::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_shortcuts(), ch.num_shortcuts());
+  EXPECT_EQ(loaded.value().IndexBytes(), ch.IndexBytes());
+  EXPECT_TRUE(loaded.value().IsExact());
+  Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    EXPECT_EQ(loaded.value().Query(s, t), ch.Query(s, t));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ChPersistenceTest, AchRoundTripKeepsEpsilon) {
+  const Graph g = TestNetwork(2);
+  ChOptions opt;
+  opt.epsilon = 0.2;
+  ContractionHierarchy ach(g, opt);
+  const std::string path = TempPath("rne_ach_test.bin");
+  ASSERT_TRUE(ach.Save(path).ok());
+  auto loaded = ContractionHierarchy::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().IsExact());
+  EXPECT_EQ(loaded.value().Name(), "ACH");
+  std::filesystem::remove(path);
+}
+
+TEST(H2hPersistenceTest, SaveLoadQueriesIdentical) {
+  const Graph g = TestNetwork(3);
+  H2HIndex h2h(g);
+  const std::string path = TempPath("rne_h2h_test.bin");
+  ASSERT_TRUE(h2h.Save(path).ok());
+  auto loaded = H2HIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().max_bag_size(), h2h.max_bag_size());
+  EXPECT_EQ(loaded.value().tree_height(), h2h.tree_height());
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    EXPECT_EQ(loaded.value().Query(s, t), h2h.Query(s, t));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(AltPersistenceTest, SaveLoadQueriesIdentical) {
+  const Graph g = TestNetwork(4);
+  Rng rng(4);
+  AltIndex alt(g, 8, rng);
+  const std::string path = TempPath("rne_alt_test.bin");
+  ASSERT_TRUE(alt.Save(path).ok());
+  auto loaded = AltIndex::Load(path, g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().landmarks(), alt.landmarks());
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    EXPECT_EQ(loaded.value().Query(s, t), alt.Query(s, t));
+    EXPECT_EQ(loaded.value().LowerBound(s, t), alt.LowerBound(s, t));
+  }
+  // The reloaded index still answers exact A* queries.
+  DijkstraSearch dij(g);
+  EXPECT_NEAR(loaded.value().ExactDistance(0, 100), dij.Distance(0, 100),
+              1e-9);
+  std::filesystem::remove(path);
+}
+
+TEST(AltPersistenceTest, LoadRejectsWrongGraph) {
+  const Graph g = TestNetwork(5);
+  Rng rng(5);
+  AltIndex alt(g, 4, rng);
+  const std::string path = TempPath("rne_alt_wrong.bin");
+  ASSERT_TRUE(alt.Save(path).ok());
+  const Graph other = MakeGridNetwork(5, 5);
+  auto loaded = AltIndex::Load(path, other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------- extended Rne APIs
+
+class RneApiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph(TestNetwork(6));
+    RneConfig config;
+    config.dim = 32;
+    config.train.level_samples = 3000;
+    config.train.vertex_samples = 20000;
+    config.train.finetune_rounds = 1;
+    config.train.finetune_samples = 5000;
+    model_ = new Rne(Rne::Build(*graph_, config));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete graph_;
+  }
+  static Graph* graph_;
+  static Rne* model_;
+};
+Graph* RneApiTest::graph_ = nullptr;
+Rne* RneApiTest::model_ = nullptr;
+
+TEST_F(RneApiTest, OneToManyMatchesScalarQueries) {
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < graph_->NumVertices(); v += 5) targets.push_back(v);
+  std::vector<double> out(targets.size());
+  model_->QueryOneToMany(7, targets, out);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], model_->Query(7, targets[i]));
+  }
+}
+
+TEST_F(RneApiTest, QueryKnnMatchesBruteForce) {
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < graph_->NumVertices(); v += 3) targets.push_back(v);
+  const auto knn = model_->QueryKnn(11, targets, 5);
+  ASSERT_EQ(knn.size(), 5u);
+  std::vector<double> all;
+  for (const VertexId t : targets) all.push_back(model_->Query(11, t));
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < knn.size(); ++i) {
+    EXPECT_DOUBLE_EQ(knn[i].second, all[i]);
+  }
+}
+
+TEST_F(RneApiTest, QueryKnnHandlesSmallTargetSets) {
+  std::vector<VertexId> two = {1, 2};
+  EXPECT_EQ(model_->QueryKnn(0, two, 10).size(), 2u);
+  EXPECT_TRUE(model_->QueryKnn(0, two, 0).empty());
+}
+
+TEST(RneRefineTest, OnlineRefinementReducesError) {
+  const Graph g = TestNetwork(7);
+  RneConfig config;
+  config.dim = 32;
+  config.train.level_samples = 3000;
+  config.train.vertex_samples = 8000;  // deliberately under-trained
+  config.train.vertex_epochs = 2;
+  config.fine_tune = false;
+  Rne model = Rne::Build(g, config);
+
+  DistanceSampler sampler(g);
+  Rng rng(7);
+  const auto val = sampler.RandomPairs(400, rng);
+  auto err = [&] {
+    double sum = 0.0;
+    for (const auto& s : val) {
+      sum += std::abs(model.Query(s.s, s.t) - s.dist) / s.dist;
+    }
+    return sum / val.size();
+  };
+  const double before = err();
+  const auto extra = sampler.RandomPairs(20000, rng);
+  model.RefineOnline(extra, /*epochs=*/6, /*lr0=*/0.3);
+  const double after = err();
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace rne

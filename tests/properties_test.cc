@@ -1,0 +1,218 @@
+// Cross-cutting property tests: metric-space invariants of the served RNE
+// model, estimator sanity under degenerate inputs, disconnected-graph
+// behaviour of every method, and loader robustness against malformed files.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/gtree.h"
+#include "baselines/h2h.h"
+#include "core/rne.h"
+#include "core/spatial_grid.h"
+#include "graph/dimacs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace rne {
+namespace {
+
+// ------------------------------------------- RNE metric-space invariants
+
+class RneMetricProperties : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RoadNetworkConfig cfg;
+    cfg.rows = 14;
+    cfg.cols = 14;
+    cfg.seed = 31;
+    graph_ = new Graph(MakeRoadNetwork(cfg));
+    RneConfig config;
+    config.dim = 32;
+    config.train.level_samples = 3000;
+    config.train.vertex_samples = 20000;
+    config.train.finetune_rounds = 0;
+    model_ = new Rne(Rne::Build(*graph_, config));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete graph_;
+  }
+  static Graph* graph_;
+  static Rne* model_;
+};
+Graph* RneMetricProperties::graph_ = nullptr;
+Rne* RneMetricProperties::model_ = nullptr;
+
+TEST_F(RneMetricProperties, NonNegativityAndIdentity) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(graph_->NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(graph_->NumVertices()));
+    EXPECT_GE(model_->Query(s, t), 0.0);
+    EXPECT_DOUBLE_EQ(model_->Query(s, s), 0.0);
+  }
+}
+
+TEST_F(RneMetricProperties, Symmetry) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(graph_->NumVertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(graph_->NumVertices()));
+    EXPECT_NEAR(model_->Query(s, t), model_->Query(t, s), 1e-9);
+  }
+}
+
+TEST_F(RneMetricProperties, TriangleInequality) {
+  // The L1 metric on served vectors guarantees this unconditionally —
+  // a property exact methods like LT bounds rely on.
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<VertexId>(rng.UniformIndex(graph_->NumVertices()));
+    const auto b = static_cast<VertexId>(rng.UniformIndex(graph_->NumVertices()));
+    const auto c = static_cast<VertexId>(rng.UniformIndex(graph_->NumVertices()));
+    EXPECT_LE(model_->Query(a, c),
+              model_->Query(a, b) + model_->Query(b, c) + 1e-6);
+  }
+}
+
+// -------------------------------------------------- disconnected graphs
+
+Graph TwoComponents() {
+  GraphBuilder b(8);
+  for (VertexId v = 0; v < 8; ++v) {
+    b.SetCoord(v, {static_cast<double>(v % 4) * 100.0,
+                   v < 4 ? 0.0 : 1000.0});
+  }
+  for (VertexId v = 0; v + 1 < 4; ++v) b.AddEdge(v, v + 1, 100.0);
+  for (VertexId v = 4; v + 1 < 8; ++v) b.AddEdge(v, v + 1, 100.0);
+  return b.Build();
+}
+
+TEST(DisconnectedTest, H2hReturnsInfinityAcrossComponents) {
+  const Graph g = TwoComponents();
+  H2HIndex h2h(g);
+  EXPECT_EQ(h2h.Query(0, 5), kInfDistance);
+  EXPECT_NEAR(h2h.Query(0, 3), 300.0, 1e-9);
+  EXPECT_NEAR(h2h.Query(4, 7), 300.0, 1e-9);
+}
+
+TEST(DisconnectedTest, ChReturnsInfinityAcrossComponents) {
+  const Graph g = TwoComponents();
+  ContractionHierarchy ch(g);
+  EXPECT_EQ(ch.Query(1, 6), kInfDistance);
+  EXPECT_NEAR(ch.Query(0, 2), 200.0, 1e-9);
+}
+
+TEST(DisconnectedTest, GtreeReturnsInfinityAcrossComponents) {
+  const Graph g = TwoComponents();
+  GTreeOptions opt;
+  opt.fanout = 2;
+  opt.leaf_size = 3;
+  GTree gtree(g, opt);
+  EXPECT_EQ(gtree.Distance(0, 5), kInfDistance);
+  EXPECT_NEAR(gtree.Distance(0, 3), 300.0, 1e-9);
+}
+
+TEST(DisconnectedTest, AltBoundsStayConsistent) {
+  const Graph g = TwoComponents();
+  Rng rng(4);
+  AltIndex alt(g, 3, rng);
+  // Bounds must bracket reachable pairs even when some landmarks are in the
+  // other component.
+  EXPECT_LE(alt.LowerBound(0, 3), 300.0 + 1e-9);
+  EXPECT_GE(alt.UpperBound(0, 3), 300.0 - 1e-9);
+}
+
+// ------------------------------------------------------ degenerate inputs
+
+TEST(DegenerateTest, SpatialGridAllCoincidentPoints) {
+  GraphBuilder b(5);
+  for (VertexId v = 0; v < 5; ++v) b.SetCoord(v, {1.0, 1.0});
+  for (VertexId v = 0; v + 1 < 5; ++v) b.AddEdge(v, v + 1, 1.0);
+  const Graph g = b.Build();
+  const SpatialGrid grid(g, 4);
+  // All vertices land in one cell; only bucket 0 is usable.
+  EXPECT_TRUE(grid.BucketNonEmpty(0));
+  Rng rng(5);
+  VertexId s, t;
+  ASSERT_TRUE(grid.SamplePair(0, rng, &s, &t));
+  EXPECT_EQ(grid.BucketOfPair(s, t), 0u);
+}
+
+TEST(DegenerateTest, TinyGraphsBuildEverywhere) {
+  GraphBuilder b(2);
+  b.SetCoord(0, {0, 0});
+  b.SetCoord(1, {100, 0});
+  b.AddEdge(0, 1, 123.0);
+  const Graph g = b.Build();
+
+  ContractionHierarchy ch(g);
+  EXPECT_NEAR(ch.Query(0, 1), 123.0, 1e-9);
+  H2HIndex h2h(g);
+  EXPECT_NEAR(h2h.Query(0, 1), 123.0, 1e-9);
+  GTreeOptions opt;
+  opt.leaf_size = 1;
+  opt.fanout = 2;
+  GTree gtree(g, opt);
+  EXPECT_NEAR(gtree.Distance(0, 1), 123.0, 1e-9);
+}
+
+TEST(DegenerateTest, HierarchySingleVertexGraphRejectedByRne) {
+  // Rne requires >= 2 vertices; the hierarchy itself handles 1.
+  GraphBuilder b(1);
+  const Graph g = b.Build();
+  HierarchyOptions opt;
+  const PartitionHierarchy h = PartitionHierarchy::Build(g, opt);
+  EXPECT_EQ(h.num_nodes(), 1u);
+}
+
+// --------------------------------------------------------- loader fuzzing
+
+TEST(DimacsFuzzTest, MalformedLinesRejectedNotCrashed) {
+  const std::vector<std::string> bad_contents = {
+      "p sp 0 0\n",                        // zero vertices
+      "p sp 3 1\na 0 1 5\n",               // vertex id 0 (DIMACS is 1-based)
+      "p sp 3 1\na 1 9 5\n",               // vertex id out of range
+      "p sp 3 1\na 1 2 -5\n",              // negative weight
+      "p sp 3 1\na 1 2\n",                 // missing weight
+      "p sp x y\n",                        // garbage counts
+  };
+  int rejected = 0;
+  for (size_t i = 0; i < bad_contents.size(); ++i) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("rne_fuzz_" + std::to_string(i) + ".gr"))
+            .string();
+    {
+      std::ofstream out(path);
+      out << bad_contents[i];
+    }
+    const auto result = LoadDimacs(path);
+    rejected += !result.ok();
+    std::filesystem::remove(path);
+  }
+  EXPECT_EQ(rejected, static_cast<int>(bad_contents.size()));
+}
+
+TEST(DimacsFuzzTest, CommentsAndBlankLinesTolerated) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rne_fuzz_ok.gr").string();
+  {
+    std::ofstream out(path);
+    out << "c header comment\n\np sp 2 2\nc mid comment\na 1 2 7.5\na 2 1 "
+           "7.5\n";
+  }
+  const auto result = LoadDimacs(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().NumVertices(), 2u);
+  EXPECT_NEAR(result.value().EdgeWeight(0, 1), 7.5, 1e-9);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace rne

@@ -1,0 +1,151 @@
+// Tests for the range/kNN tree index (Sec VI). The index must agree
+// *exactly* with brute force over the embedding metric — its pruning is
+// lossless by the triangle inequality; approximation only enters through the
+// embedding itself, which is tested elsewhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/rne_index.h"
+#include "graph/generators.h"
+
+namespace rne {
+namespace {
+
+class RneIndexTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RoadNetworkConfig cfg;
+    cfg.rows = 14;
+    cfg.cols = 14;
+    cfg.seed = 9;
+    graph_ = new Graph(MakeRoadNetwork(cfg));
+    RneConfig config;
+    config.dim = 16;
+    config.train.level_samples = 2000;
+    config.train.vertex_samples = 8000;
+    config.train.finetune_rounds = 0;
+    model_ = new Rne(Rne::Build(*graph_, config));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete graph_;
+    model_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static std::vector<std::pair<VertexId, double>> BruteKnn(
+      VertexId source, size_t k, const std::vector<VertexId>& targets) {
+    std::vector<std::pair<VertexId, double>> all;
+    for (const VertexId t : targets) {
+      all.emplace_back(t, model_->Query(source, t));
+    }
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    all.resize(std::min(k, all.size()));
+    return all;
+  }
+
+  static Graph* graph_;
+  static Rne* model_;
+};
+
+Graph* RneIndexTest::graph_ = nullptr;
+Rne* RneIndexTest::model_ = nullptr;
+
+std::vector<VertexId> AllVertices(const Graph& g) {
+  std::vector<VertexId> v(g.NumVertices());
+  for (VertexId i = 0; i < g.NumVertices(); ++i) v[i] = i;
+  return v;
+}
+
+TEST_F(RneIndexTest, RangeMatchesBruteForce) {
+  const RneIndex index(model_);
+  const auto targets = AllVertices(*graph_);
+  for (const VertexId source : {VertexId{0}, VertexId{77}, VertexId{150}}) {
+    for (const double tau : {300.0, 800.0, 2000.0}) {
+      auto got = index.Range(source, tau);
+      std::set<VertexId> got_set(got.begin(), got.end());
+      EXPECT_EQ(got_set.size(), got.size()) << "duplicates in range result";
+      size_t expected = 0;
+      for (const VertexId t : targets) {
+        const bool in_range = model_->Query(source, t) <= tau;
+        EXPECT_EQ(got_set.count(t) == 1, in_range)
+            << "source " << source << " tau " << tau << " target " << t;
+        expected += in_range;
+      }
+      EXPECT_EQ(got.size(), expected);
+    }
+  }
+}
+
+TEST_F(RneIndexTest, KnnMatchesBruteForce) {
+  const RneIndex index(model_);
+  const auto targets = AllVertices(*graph_);
+  for (const VertexId source : {VertexId{3}, VertexId{111}}) {
+    for (const size_t k : {1u, 5u, 20u}) {
+      const auto got = index.Knn(source, k);
+      const auto expected = BruteKnn(source, k, targets);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Distances must match; ties may order differently.
+        EXPECT_NEAR(got[i].second, expected[i].second, 1e-9);
+      }
+      // Sorted ascending.
+      for (size_t i = 1; i < got.size(); ++i) {
+        EXPECT_LE(got[i - 1].second, got[i].second);
+      }
+    }
+  }
+}
+
+TEST_F(RneIndexTest, KnnIncludesSourceWhenTarget) {
+  const RneIndex index(model_);
+  const auto knn = index.Knn(42, 1);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].first, 42u);
+  EXPECT_DOUBLE_EQ(knn[0].second, 0.0);
+}
+
+TEST_F(RneIndexTest, SubsetTargets) {
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < graph_->NumVertices(); v += 7) targets.push_back(v);
+  const RneIndex index(model_, targets);
+  EXPECT_EQ(index.num_targets(), targets.size());
+
+  const auto knn = index.Knn(10, 5);
+  ASSERT_EQ(knn.size(), 5u);
+  const std::set<VertexId> target_set(targets.begin(), targets.end());
+  for (const auto& [v, d] : knn) {
+    EXPECT_TRUE(target_set.count(v)) << "kNN returned a non-target";
+  }
+  const auto expected = BruteKnn(10, 5, targets);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(knn[i].second, expected[i].second, 1e-9);
+  }
+
+  for (const VertexId v : index.Range(10, 1500.0)) {
+    EXPECT_TRUE(target_set.count(v));
+  }
+}
+
+TEST_F(RneIndexTest, EdgeCases) {
+  const RneIndex index(model_);
+  EXPECT_TRUE(index.Knn(0, 0).empty());
+  EXPECT_TRUE(index.Range(0, -1.0).empty());
+  // k larger than target count returns everything.
+  std::vector<VertexId> three = {1, 2, 3};
+  const RneIndex small(model_, three);
+  EXPECT_EQ(small.Knn(0, 100).size(), 3u);
+}
+
+TEST_F(RneIndexTest, EmptyTargetSet) {
+  const RneIndex index(model_, std::vector<VertexId>{});
+  EXPECT_EQ(index.num_targets(), 0u);
+  EXPECT_TRUE(index.Knn(0, 5).empty());
+  EXPECT_TRUE(index.Range(0, 1000.0).empty());
+}
+
+}  // namespace
+}  // namespace rne

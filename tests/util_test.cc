@@ -1,0 +1,290 @@
+// Unit tests for the util substrate: Status/StatusOr, Rng, Histogram,
+// TableWriter, binary serialization, ThreadPool, and stats helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table_writer.h"
+#include "util/thread_pool.h"
+
+namespace rne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.ToString(), "IO_ERROR: disk on fire");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::IoError("").code(),         Status::Corruption("").code(),
+      Status::FailedPrecondition("").code()};
+  EXPECT_EQ(codes.size(), 5u);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.UniformInt(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(2);
+  std::set<size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformIndex(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, WeightedIndexFavorsHeavyWeight) {
+  Rng rng(3);
+  const std::vector<double> weights = {0.0, 1.0, 9.0};
+  size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 5000; ++i) counts[rng.WeightedIndex(weights)]++;
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_GT(counts[2], counts[1] * 5);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(4);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // The fork consumed state; the two streams should diverge.
+  bool differs = false;
+  for (int i = 0; i < 16 && !differs; ++i) {
+    differs = a.UniformInt(0, 1 << 30) != child.UniformInt(0, 1 << 30);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BucketLower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpper(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketLower(4), 8.0);
+}
+
+TEST(HistogramTest, AddAndMeans) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(1.0, 4.0, 0.5);
+  h.Add(1.5, 6.0, 1.5);
+  h.Add(9.0, 2.0);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_DOUBLE_EQ(h.MeanValue(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.MeanAux(0), 1.0);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-3.0, 1.0);
+  h.Add(42.0, 1.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(HistogramTest, ArgMaxMeanValue) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.ArgMaxMeanValue(), 5u);  // empty
+  h.Add(1.0, 1.0);
+  h.Add(5.0, 10.0);
+  EXPECT_EQ(h.ArgMaxMeanValue(), 2u);
+}
+
+// ----------------------------------------------------------- TableWriter
+
+TEST(TableWriterTest, RendersAlignedTable) {
+  TableWriter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvRoundTrip) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"x,y", "2"});
+  const std::string path = TempPath("rne_table_test.csv");
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",2");
+  std::filesystem::remove(path);
+}
+
+TEST(TableWriterTest, FmtHelpers) {
+  EXPECT_EQ(TableWriter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::FmtSci(0.0000012), "1.200e-06");
+}
+
+// ------------------------------------------------------------- serialize
+
+TEST(SerializeTest, PodVectorStringRoundTrip) {
+  const std::string path = TempPath("rne_serialize_test.bin");
+  {
+    BinaryWriter w(path, 0xABCD1234);
+    ASSERT_TRUE(w.ok());
+    w.WritePod<int64_t>(-17);
+    w.WriteVector(std::vector<double>{1.0, 2.5, -3.0});
+    w.WriteString("hello");
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path, 0xABCD1234);
+  ASSERT_TRUE(r.ok());
+  int64_t i = 0;
+  std::vector<double> v;
+  std::string s;
+  ASSERT_TRUE(r.ReadPod(&i));
+  ASSERT_TRUE(r.ReadVector(&v));
+  ASSERT_TRUE(r.ReadString(&s));
+  EXPECT_EQ(i, -17);
+  EXPECT_EQ(v, (std::vector<double>{1.0, 2.5, -3.0}));
+  EXPECT_EQ(s, "hello");
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  const std::string path = TempPath("rne_serialize_magic.bin");
+  {
+    BinaryWriter w(path, 0x11111111);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path, 0x22222222);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  BinaryReader r("/nonexistent/definitely/missing.bin", 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, TruncatedReadFails) {
+  const std::string path = TempPath("rne_serialize_trunc.bin");
+  {
+    BinaryWriter w(path, 7);
+    w.WritePod<uint32_t>(5);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path, 7);
+  ASSERT_TRUE(r.ok());
+  uint64_t big = 0;
+  EXPECT_FALSE(r.ReadPod(&big));  // only 4 bytes available
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversIndexSpace) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(),
+                   [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(StatsTest, MeanVarianceQuantile) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 5.0);
+}
+
+TEST(StatsTest, EmptyMeanIsZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+}  // namespace
+}  // namespace rne

@@ -1,0 +1,171 @@
+// Command-line front end for the RNE library: generate synthetic networks,
+// train models on DIMACS graphs, evaluate accuracy/latency, and run queries.
+//
+//   rne_tool generate --rows 64 --cols 64 --seed 1 --gr net.gr --co net.co
+//   rne_tool build    --gr net.gr --co net.co --dim 64 --model city.rne
+//   rne_tool eval     --gr net.gr --co net.co --model city.rne --pairs 5000
+//   rne_tool query    --model city.rne --s 17 --t 9000
+//   rne_tool knn      --model city.rne --s 17 --k 5
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "algo/distance_sampler.h"
+#include "core/rne.h"
+#include "core/rne_index.h"
+#include "graph/dimacs.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace rne::tool {
+namespace {
+
+/// --key value argument map; everything is optional with defaults.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(),
+                                                        nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+StatusOr<Graph> LoadGraphArg(const Args& args) {
+  const std::string gr = args.Get("gr", "");
+  if (gr.empty()) return Status::InvalidArgument("--gr <file> is required");
+  return LoadDimacs(gr, args.Get("co", ""));
+}
+
+int CmdGenerate(const Args& args) {
+  RoadNetworkConfig cfg;
+  cfg.rows = static_cast<size_t>(args.GetInt("rows", 64));
+  cfg.cols = static_cast<size_t>(args.GetInt("cols", 64));
+  cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const Graph g = MakeRoadNetwork(cfg);
+  const std::string gr = args.Get("gr", "network.gr");
+  const Status st = SaveDimacs(g, gr, args.Get("co", ""));
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %s: %zu vertices, %zu edges\n", gr.c_str(),
+              g.NumVertices(), g.NumEdges());
+  return 0;
+}
+
+int CmdBuild(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  RneConfig config;
+  config.dim = static_cast<size_t>(args.GetInt("dim", 64));
+  config.train.seed = static_cast<uint64_t>(args.GetInt("seed", 13));
+  config.train.verbose = true;
+  Timer timer;
+  RneBuildStats stats;
+  const Rne model = Rne::Build(graph.value(), config, &stats);
+  const std::string out = args.Get("model", "model.rne");
+  const Status st = model.Save(out);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf(
+      "trained d=%zu model in %.1fs (%zu samples) and wrote %s (%.1f MB)\n",
+      model.dim(), timer.ElapsedSeconds(), stats.samples_processed,
+      out.c_str(), static_cast<double>(model.IndexBytes()) / 1048576.0);
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  auto model = Rne::Load(args.Get("model", "model.rne"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  if (model.value().NumVertices() != graph.value().NumVertices()) {
+    return Fail("model and graph vertex counts differ");
+  }
+  const auto n = static_cast<size_t>(args.GetInt("pairs", 5000));
+  DistanceSampler sampler(graph.value());
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 97)));
+  const auto val = sampler.RandomPairs(n, rng);
+  double err = 0.0;
+  size_t count = 0;
+  for (const auto& s : val) {
+    if (s.dist <= 0.0 || s.dist == kInfDistance) continue;
+    err += std::abs(model.value().Query(s.s, s.t) - s.dist) / s.dist;
+    ++count;
+  }
+  Timer timer;
+  double sink = 0.0;
+  for (const auto& s : val) sink += model.value().Query(s.s, s.t);
+  const double ns = static_cast<double>(timer.ElapsedNanos()) /
+                    static_cast<double>(val.size());
+  if (sink < 0) return 1;  // keep the loop alive
+  std::printf("mean relative error: %.3f%% over %zu pairs\n",
+              100.0 * err / static_cast<double>(count), count);
+  std::printf("query latency: %.0f ns\n", ns);
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  auto model = Rne::Load(args.Get("model", "model.rne"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  const auto s = static_cast<VertexId>(args.GetInt("s", 0));
+  const auto t = static_cast<VertexId>(args.GetInt("t", 1));
+  if (s >= model.value().NumVertices() || t >= model.value().NumVertices()) {
+    return Fail("vertex id out of range");
+  }
+  std::printf("%.2f\n", model.value().Query(s, t));
+  return 0;
+}
+
+int CmdKnn(const Args& args) {
+  auto model = Rne::Load(args.Get("model", "model.rne"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  const auto s = static_cast<VertexId>(args.GetInt("s", 0));
+  const auto k = static_cast<size_t>(args.GetInt("k", 5));
+  if (s >= model.value().NumVertices()) return Fail("vertex id out of range");
+  const RneIndex index(&model.value());
+  for (const auto& [v, d] : index.Knn(s, k)) {
+    std::printf("%u %.2f\n", v, d);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: rne_tool <generate|build|eval|query|knn> [--key "
+                 "value ...]\n");
+    return 1;
+  }
+  const Args args(argc, argv);
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "build") return CmdBuild(args);
+  if (cmd == "eval") return CmdEval(args);
+  if (cmd == "query") return CmdQuery(args);
+  if (cmd == "knn") return CmdKnn(args);
+  return Fail("unknown command: " + cmd);
+}
+
+}  // namespace
+}  // namespace rne::tool
+
+int main(int argc, char** argv) { return rne::tool::Main(argc, argv); }
