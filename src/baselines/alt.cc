@@ -61,13 +61,9 @@ double AltIndex::Query(VertexId s, VertexId t) {
   return 0.5 * (lb + ub);
 }
 
-namespace {
-constexpr uint32_t kAltMagic = 0x524e414c;  // "RNAL"
-}  // namespace
-
 Status AltIndex::Save(const std::string& path) const {
   BinaryWriter w(path, kAltMagic);
-  if (!w.ok()) return Status::IoError("cannot open " + path);
+  if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
   w.WritePod<uint64_t>(num_landmarks_);
   w.WritePod<uint64_t>(num_vertices_);
   w.WriteVector(landmarks_);
@@ -82,13 +78,15 @@ StatusOr<AltIndex> AltIndex::Load(const std::string& path, const Graph& g) {
   uint64_t landmarks = 0, vertices = 0;
   if (!r.ReadPod(&landmarks) || !r.ReadPod(&vertices) ||
       !r.ReadVector(&alt.landmarks_) || !r.ReadVector(&alt.landmark_dist_)) {
-    return Status::Corruption("truncated ALT index " + path);
+    return r.ReadError("corrupt ALT index " + path);
   }
+  RNE_RETURN_IF_ERROR(r.Finish());
   alt.num_landmarks_ = landmarks;
   alt.num_vertices_ = vertices;
-  if (vertices != g.NumVertices() ||
-      alt.landmark_dist_.size() != landmarks * vertices ||
-      alt.landmarks_.size() != landmarks) {
+  // Check `landmarks` against data actually read before forming the product,
+  // which could overflow on a corrupt count.
+  if (alt.landmarks_.size() != landmarks || vertices != g.NumVertices() ||
+      alt.landmark_dist_.size() != landmarks * vertices) {
     return Status::Corruption("ALT index does not match graph: " + path);
   }
   alt.astar_ = std::make_unique<AStarSearch>(g);

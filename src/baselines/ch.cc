@@ -373,13 +373,9 @@ size_t ContractionHierarchy::IndexBytes() const {
          up_edges_.size() * sizeof(UpEdge) + rank_.size() * sizeof(uint32_t);
 }
 
-namespace {
-constexpr uint32_t kChMagic = 0x524e4348;  // "RNCH"
-}  // namespace
-
 Status ContractionHierarchy::Save(const std::string& path) const {
   BinaryWriter w(path, kChMagic);
-  if (!w.ok()) return Status::IoError("cannot open " + path);
+  if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
   w.WritePod(options_.epsilon);
   w.WritePod<uint64_t>(n_);
   w.WritePod<uint64_t>(num_shortcuts_);
@@ -398,8 +394,9 @@ StatusOr<ContractionHierarchy> ContractionHierarchy::Load(
   if (!r.ReadPod(&ch.options_.epsilon) || !r.ReadPod(&n) ||
       !r.ReadPod(&shortcuts) || !r.ReadVector(&ch.rank_) ||
       !r.ReadVector(&ch.up_offsets_) || !r.ReadVector(&ch.up_edges_)) {
-    return Status::Corruption("truncated CH index " + path);
+    return r.ReadError("corrupt CH index " + path);
   }
+  RNE_RETURN_IF_ERROR(r.Finish());
   ch.n_ = n;
   ch.num_shortcuts_ = shortcuts;
   if (ch.rank_.size() != n || ch.up_offsets_.size() != n + 1 ||

@@ -475,13 +475,9 @@ std::vector<std::pair<VertexId, double>> GTree::BestFirst(VertexId s, size_t k,
   return result;
 }
 
-namespace {
-constexpr uint32_t kGTreeMagic = 0x524e4754;  // "RNGT"
-}  // namespace
-
 Status GTree::Save(const std::string& path) const {
   BinaryWriter w(path, kGTreeMagic);
-  if (!w.ok()) return Status::IoError("cannot open " + path);
+  if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
   hier_->WriteTo(w);
   w.WritePod<uint64_t>(num_leaf_borders_);
   w.WriteVector(vertex_pos_in_leaf_);
@@ -507,12 +503,18 @@ StatusOr<GTree> GTree::Load(const std::string& path, const Graph& g) {
   tree.g_ = &g;
   tree.hier_ = std::make_unique<PartitionHierarchy>();
   if (!PartitionHierarchy::ReadFrom(r, tree.hier_.get())) {
-    return Status::Corruption("truncated G-tree index " + path);
+    return r.ReadError("corrupt G-tree index " + path);
   }
   uint64_t num_borders = 0, num_nodes = 0;
   if (!r.ReadPod(&num_borders) || !r.ReadVector(&tree.vertex_pos_in_leaf_) ||
       !r.ReadPod(&num_nodes)) {
-    return Status::Corruption("truncated G-tree index " + path);
+    return r.ReadError("corrupt G-tree index " + path);
+  }
+  // Every serialized node holds at least five 8-byte length prefixes plus a
+  // child count (48 bytes), so a corrupt node count fails here before a huge
+  // resize.
+  if (num_nodes > r.remaining() / 48) {
+    return Status::Corruption("inconsistent G-tree index " + path);
   }
   tree.num_leaf_borders_ = num_borders;
   tree.nodes_.resize(num_nodes);
@@ -522,18 +524,22 @@ StatusOr<GTree> GTree::Load(const std::string& path, const Graph& g) {
         !r.ReadVector(&data.matrix) ||
         !r.ReadVector(&data.border_in_junction) ||
         !r.ReadPod(&num_children)) {
-      return Status::Corruption("truncated G-tree index " + path);
+      return r.ReadError("corrupt G-tree index " + path);
+    }
+    if (num_children > r.remaining() / 8) {
+      return Status::Corruption("inconsistent G-tree index " + path);
     }
     data.child_border_in_junction.resize(num_children);
     for (auto& child : data.child_border_in_junction) {
       if (!r.ReadVector(&child)) {
-        return Status::Corruption("truncated G-tree index " + path);
+        return r.ReadError("corrupt G-tree index " + path);
       }
     }
     if (!r.ReadVector(&data.targets)) {
-      return Status::Corruption("truncated G-tree index " + path);
+      return r.ReadError("corrupt G-tree index " + path);
     }
   }
+  RNE_RETURN_IF_ERROR(r.Finish());
   if (tree.hier_->num_vertices() != g.NumVertices() ||
       tree.nodes_.size() != tree.hier_->num_nodes()) {
     return Status::Corruption("G-tree index does not match graph: " + path);

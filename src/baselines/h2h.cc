@@ -185,13 +185,9 @@ double H2HIndex::Query(VertexId s, VertexId t) {
   return best;
 }
 
-namespace {
-constexpr uint32_t kH2hMagic = 0x524e4832;  // "RNH2"
-}  // namespace
-
 Status H2HIndex::Save(const std::string& path) const {
   BinaryWriter w(path, kH2hMagic);
-  if (!w.ok()) return Status::IoError("cannot open " + path);
+  if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
   w.WritePod<uint64_t>(n_);
   w.WritePod<uint64_t>(max_bag_size_);
   w.WritePod<uint64_t>(tree_height_);
@@ -213,7 +209,15 @@ StatusOr<H2HIndex> H2HIndex::Load(const std::string& path) {
   if (!r.ReadPod(&n) || !r.ReadPod(&bag) || !r.ReadPod(&height) ||
       !r.ReadVector(&h.parent_) || !r.ReadVector(&h.depth_) ||
       !r.ReadVector(&h.root_of_) || !r.ReadPod(&levels)) {
-    return Status::Corruption("truncated H2H index " + path);
+    return r.ReadError("corrupt H2H index " + path);
+  }
+  // Validate the counts against data actually read before sizing anything by
+  // them: each of the `levels`/`n` per-entry vectors below needs at least an
+  // 8-byte length prefix, so corrupt counts cannot drive a huge resize.
+  if (h.parent_.size() != n || h.depth_.size() != n ||
+      h.root_of_.size() != n || levels > r.remaining() / 8 ||
+      n > r.remaining() / 16) {
+    return Status::Corruption("inconsistent H2H index " + path);
   }
   h.n_ = n;
   h.max_bag_size_ = bag;
@@ -221,25 +225,22 @@ StatusOr<H2HIndex> H2HIndex::Load(const std::string& path) {
   h.up_.resize(levels);
   for (auto& level : h.up_) {
     if (!r.ReadVector(&level)) {
-      return Status::Corruption("truncated H2H index " + path);
+      return r.ReadError("corrupt H2H index " + path);
     }
   }
   h.label_.resize(n);
   for (auto& l : h.label_) {
     if (!r.ReadVector(&l)) {
-      return Status::Corruption("truncated H2H index " + path);
+      return r.ReadError("corrupt H2H index " + path);
     }
   }
   h.pos_.resize(n);
   for (auto& p : h.pos_) {
     if (!r.ReadVector(&p)) {
-      return Status::Corruption("truncated H2H index " + path);
+      return r.ReadError("corrupt H2H index " + path);
     }
   }
-  if (h.parent_.size() != n || h.depth_.size() != n ||
-      h.root_of_.size() != n) {
-    return Status::Corruption("inconsistent H2H index " + path);
-  }
+  RNE_RETURN_IF_ERROR(r.Finish());
   return h;
 }
 

@@ -25,6 +25,9 @@ void EmbeddingMatrix::Write(BinaryWriter& w) const {
 bool EmbeddingMatrix::Read(BinaryReader& r) {
   uint64_t rows = 0, dim = 0;
   if (!r.ReadPod(&rows) || !r.ReadPod(&dim)) return false;
+  // rows*dim floats must fit in the remaining payload; rejecting here also
+  // keeps the product below from overflowing on corrupt counts.
+  if (dim != 0 && rows > r.remaining() / sizeof(float) / dim) return false;
   rows_ = rows;
   dim_ = dim;
   if (!r.ReadVector(&data_)) return false;

@@ -5,10 +5,6 @@
 
 namespace rne {
 
-namespace {
-constexpr uint32_t kQuantMagic = 0x524e5138;  // "RNQ8"
-}  // namespace
-
 QuantizedRne::QuantizedRne(const Rne& model) {
   RNE_CHECK_MSG(model.p() == 1.0,
                 "quantized serving supports the L1 metric only");
@@ -60,7 +56,7 @@ double QuantizedRne::Query(VertexId s, VertexId t) const {
 
 Status QuantizedRne::Save(const std::string& path) const {
   BinaryWriter w(path, kQuantMagic);
-  if (!w.ok()) return Status::IoError("cannot open " + path);
+  if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
   w.WritePod<uint64_t>(rows_);
   w.WritePod<uint64_t>(dim_);
   w.WritePod(scale_);
@@ -76,11 +72,14 @@ StatusOr<QuantizedRne> QuantizedRne::Load(const std::string& path) {
   uint64_t rows = 0, dim = 0;
   if (!r.ReadPod(&rows) || !r.ReadPod(&dim) || !r.ReadPod(&q.scale_) ||
       !r.ReadVector(&q.steps_) || !r.ReadVector(&q.codes_)) {
-    return Status::Corruption("truncated quantized model " + path);
+    return r.ReadError("corrupt quantized model " + path);
   }
+  RNE_RETURN_IF_ERROR(r.Finish());
   q.rows_ = rows;
   q.dim_ = dim;
-  if (q.steps_.size() != dim || q.codes_.size() != rows * dim) {
+  // The rows-bound check keeps rows*dim from overflowing on corrupt counts.
+  if (q.steps_.size() != dim || (dim != 0 && rows > q.codes_.size() / dim) ||
+      q.codes_.size() != rows * dim) {
     return Status::Corruption("inconsistent quantized model " + path);
   }
   return q;

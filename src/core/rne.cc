@@ -8,10 +8,6 @@
 
 namespace rne {
 
-namespace {
-constexpr uint32_t kRneMagic = 0x524e4531;  // "RNE1"
-}  // namespace
-
 Rne Rne::Build(const Graph& g, const RneConfig& config, RneBuildStats* stats) {
   RNE_CHECK(g.NumVertices() >= 2);
   Timer total;
@@ -122,7 +118,7 @@ void Rne::RefineOnline(const std::vector<DistanceSample>& samples,
 
 Status Rne::Save(const std::string& path) const {
   BinaryWriter w(path, kRneMagic);
-  if (!w.ok()) return Status::IoError("cannot open " + path);
+  if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
   w.WritePod(p_);
   w.WritePod(scale_);
   vertex_emb_.Write(w);
@@ -139,8 +135,9 @@ StatusOr<Rne> Rne::Load(const std::string& path) {
   if (!r.ReadPod(&model.p_) || !r.ReadPod(&model.scale_) ||
       !model.vertex_emb_.Read(r) || !model.node_emb_.Read(r) ||
       !PartitionHierarchy::ReadFrom(r, hierarchy.get())) {
-    return Status::Corruption("truncated RNE model file " + path);
+    return r.ReadError("corrupt RNE model file " + path);
   }
+  RNE_RETURN_IF_ERROR(r.Finish());
   model.hierarchy_ = std::move(hierarchy);
   if (model.vertex_emb_.rows() != model.hierarchy_->num_vertices() ||
       model.node_emb_.rows() != model.hierarchy_->num_nodes()) {

@@ -9,10 +9,6 @@
 
 namespace rne {
 
-namespace {
-constexpr uint32_t kHierarchyMagic = 0x524e4548;  // "RNEH"
-}  // namespace
-
 PartitionHierarchy PartitionHierarchy::Build(const Graph& g,
                                              const HierarchyOptions& options) {
   RNE_CHECK(options.fanout >= 2);
@@ -68,29 +64,30 @@ PartitionHierarchy PartitionHierarchy::Build(const Graph& g,
     }
   }
 
-  h.FinishConstruction();
+  RNE_CHECK_MSG(h.FinishConstruction(), "Build produced an invalid tree");
   return h;
 }
 
-void PartitionHierarchy::FinishConstruction() {
+bool PartitionHierarchy::FinishConstruction() {
   max_level_ = 0;
   for (const Node& n : nodes_) max_level_ = std::max(max_level_, n.level);
   levels_.assign(max_level_ + 1, {});
   for (uint32_t id = 0; id < nodes_.size(); ++id) {
     levels_[nodes_[id].level].push_back(id);
   }
-  // Map vertices to leaves and record root-free ancestor paths.
+  // Map vertices to leaves and record root-free ancestor paths. A vertex
+  // assigned to two leaves, or to none, means the tree is invalid — this is
+  // reachable from corrupt files, so report instead of aborting.
   ancestors_.assign(leaf_of_.size(), {});
   for (uint32_t id = 0; id < nodes_.size(); ++id) {
     if (!nodes_[id].IsLeaf()) continue;
     for (const VertexId v : nodes_[id].vertices) {
-      RNE_CHECK_MSG(leaf_of_[v] == UINT32_MAX,
-                    "vertex assigned to two leaves");
+      if (leaf_of_[v] != UINT32_MAX) return false;
       leaf_of_[v] = id;
     }
   }
   for (VertexId v = 0; v < leaf_of_.size(); ++v) {
-    RNE_CHECK_MSG(leaf_of_[v] != UINT32_MAX, "vertex not covered by a leaf");
+    if (leaf_of_[v] == UINT32_MAX) return false;
     std::vector<uint32_t> path;
     for (uint32_t id = leaf_of_[v]; id != UINT32_MAX && nodes_[id].level > 0;
          id = nodes_[id].parent) {
@@ -99,6 +96,7 @@ void PartitionHierarchy::FinishConstruction() {
     std::reverse(path.begin(), path.end());
     ancestors_[v] = std::move(path);
   }
+  return true;
 }
 
 std::vector<uint32_t> PartitionHierarchy::PartitionAtLevel(
@@ -128,21 +126,49 @@ void PartitionHierarchy::WriteTo(BinaryWriter& w) const {
 bool PartitionHierarchy::ReadFrom(BinaryReader& r, PartitionHierarchy* out) {
   uint64_t num_nodes = 0, num_vertices = 0;
   if (!r.ReadPod(&num_nodes) || !r.ReadPod(&num_vertices)) return false;
+  // Each node occupies at least 24 payload bytes (parent, level, two length
+  // prefixes) and each vertex at least 4 (its slot in a leaf's vertex list),
+  // so corrupt counts fail here before any large resize.
+  if (num_nodes == 0 || num_nodes > r.remaining() / 24 ||
+      num_vertices > r.remaining() / sizeof(VertexId) ||
+      num_nodes > UINT32_MAX || num_vertices > UINT32_MAX) {
+    return false;
+  }
   out->nodes_.resize(num_nodes);
   out->leaf_of_.assign(num_vertices, UINT32_MAX);
-  for (Node& n : out->nodes_) {
+  for (uint32_t id = 0; id < num_nodes; ++id) {
+    Node& n = out->nodes_[id];
     if (!r.ReadPod(&n.parent) || !r.ReadPod(&n.level) ||
         !r.ReadVector(&n.children) || !r.ReadVector(&n.vertices)) {
       return false;
     }
+    // Structural validation keeps FinishConstruction (and everything built
+    // on the tree) crash-free on corrupt input: every id must be in range,
+    // parents must precede children (which rules out cycles), and levels
+    // must increase by exactly one along every edge.
+    if (id == 0) {
+      if (n.parent != UINT32_MAX || n.level != 0) return false;
+    } else if (n.parent >= id || n.level != out->nodes_[n.parent].level + 1) {
+      return false;
+    }
+    for (const uint32_t c : n.children) {
+      if (c <= id || c >= num_nodes) return false;
+    }
+    for (const VertexId v : n.vertices) {
+      if (v >= num_vertices) return false;
+    }
   }
-  out->FinishConstruction();
-  return true;
+  for (uint32_t id = 0; id < num_nodes; ++id) {
+    for (const uint32_t c : out->nodes_[id].children) {
+      if (out->nodes_[c].parent != id) return false;
+    }
+  }
+  return out->FinishConstruction();
 }
 
 Status PartitionHierarchy::Save(const std::string& path) const {
   BinaryWriter w(path, kHierarchyMagic);
-  if (!w.ok()) return Status::IoError("cannot open " + path);
+  if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
   WriteTo(w);
   return w.Finish();
 }
@@ -152,8 +178,9 @@ StatusOr<PartitionHierarchy> PartitionHierarchy::Load(const std::string& path) {
   if (!r.ok()) return r.status();
   PartitionHierarchy h;
   if (!ReadFrom(r, &h)) {
-    return Status::Corruption("truncated hierarchy file " + path);
+    return r.ReadError("corrupt hierarchy file " + path);
   }
+  RNE_RETURN_IF_ERROR(r.Finish());
   return h;
 }
 

@@ -101,7 +101,9 @@ class PartitionHierarchy {
   std::vector<std::vector<uint32_t>> ancestors_;  // vertex -> path (no root)
   uint32_t max_level_ = 0;
 
-  void FinishConstruction();
+  /// Derives levels_/leaf_of_/ancestors_ from nodes_. False if the tree is
+  /// structurally invalid (possible when nodes_ came from a corrupt file).
+  bool FinishConstruction();
 };
 
 }  // namespace rne

@@ -1,0 +1,61 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace rne {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78;  // reflected Castagnoli polynomial
+
+// Slicing-by-8 lookup tables: table[0] is the classic byte-at-a-time table,
+// table[k][b] is the CRC of byte b followed by k zero bytes. Computed once at
+// startup; 8 KiB total.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const Tables& tab = tables();
+  crc = ~crc;
+  // Process 8-byte blocks via slicing-by-8, then mop up the tail.
+  while (n >= 8) {
+    uint64_t block;
+    std::memcpy(&block, p, 8);
+    block ^= crc;  // little-endian: low 4 bytes absorb the running CRC
+    crc = tab.t[7][block & 0xFF] ^ tab.t[6][(block >> 8) & 0xFF] ^
+          tab.t[5][(block >> 16) & 0xFF] ^ tab.t[4][(block >> 24) & 0xFF] ^
+          tab.t[3][(block >> 32) & 0xFF] ^ tab.t[2][(block >> 40) & 0xFF] ^
+          tab.t[1][(block >> 48) & 0xFF] ^ tab.t[0][(block >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace rne

@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected form 0x82F63B78).
+//
+// Used by the persistence envelope (util/serialize.h) to detect torn writes
+// and bit rot in saved indexes. The streaming form lets BinaryWriter /
+// BinaryReader fold bytes into the checksum as they pass through, so no
+// second pass over multi-gigabyte payloads is needed.
+#ifndef RNE_UTIL_CRC32C_H_
+#define RNE_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rne {
+
+/// Extends `crc` (the running checksum of all bytes seen so far, 0 for an
+/// empty stream) with `n` more bytes.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// One-shot checksum of a buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_CRC32C_H_

@@ -1,0 +1,118 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+
+namespace rne::fault {
+namespace {
+
+std::atomic<bool> g_fail_writes_armed{false};
+std::atomic<uint64_t> g_fail_writes_after{0};
+std::atomic<bool> g_crash_before_rename{false};
+std::atomic<uint64_t> g_max_allocation{0};
+
+}  // namespace
+
+void Reset() {
+  g_fail_writes_armed.store(false, std::memory_order_relaxed);
+  g_fail_writes_after.store(0, std::memory_order_relaxed);
+  g_crash_before_rename.store(false, std::memory_order_relaxed);
+  g_max_allocation.store(0, std::memory_order_relaxed);
+}
+
+void FailWritesAfter(uint64_t bytes) {
+  g_fail_writes_after.store(bytes, std::memory_order_relaxed);
+  g_fail_writes_armed.store(true, std::memory_order_relaxed);
+}
+
+void CrashBeforeRename() {
+  g_crash_before_rename.store(true, std::memory_order_relaxed);
+}
+
+bool WriteShouldFail(uint64_t total_bytes) {
+  return g_fail_writes_armed.load(std::memory_order_relaxed) &&
+         total_bytes > g_fail_writes_after.load(std::memory_order_relaxed);
+}
+
+bool RenameSuppressed() {
+  return g_crash_before_rename.load(std::memory_order_relaxed);
+}
+
+void OnAllocation(uint64_t bytes) {
+  uint64_t seen = g_max_allocation.load(std::memory_order_relaxed);
+  while (bytes > seen &&
+         !g_max_allocation.compare_exchange_weak(seen, bytes,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t MaxAllocationObserved() {
+  return g_max_allocation.load(std::memory_order_relaxed);
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(out->data()), size);
+  }
+  if (!in) return Status::IoError("short read from " + path);
+  return Status::Ok();
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  if (!bytes.empty()) {
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status TruncateCopy(const std::string& src, const std::string& dst,
+                    uint64_t length) {
+  std::vector<uint8_t> bytes;
+  RNE_RETURN_IF_ERROR(ReadFileBytes(src, &bytes));
+  if (length > bytes.size()) {
+    return Status::InvalidArgument("truncation length exceeds file size");
+  }
+  bytes.resize(static_cast<size_t>(length));
+  return WriteFileBytes(dst, bytes);
+}
+
+Status FlipBitCopy(const std::string& src, const std::string& dst,
+                   uint64_t byte_index, int bit) {
+  std::vector<uint8_t> bytes;
+  RNE_RETURN_IF_ERROR(ReadFileBytes(src, &bytes));
+  if (byte_index >= bytes.size() || bit < 0 || bit > 7) {
+    return Status::InvalidArgument("flip position out of range");
+  }
+  bytes[static_cast<size_t>(byte_index)] ^= static_cast<uint8_t>(1u << bit);
+  return WriteFileBytes(dst, bytes);
+}
+
+std::vector<uint64_t> TruncationSweep(uint64_t file_size, uint64_t stride) {
+  std::vector<uint64_t> lengths;
+  for (uint64_t i = 0; i < std::min<uint64_t>(64, file_size); ++i) {
+    lengths.push_back(i);
+  }
+  if (stride > 0) {
+    for (uint64_t i = 64; i < file_size; i += stride) lengths.push_back(i);
+  }
+  for (uint64_t i = file_size > 16 ? file_size - 16 : 0; i < file_size; ++i) {
+    lengths.push_back(i);
+  }
+  std::sort(lengths.begin(), lengths.end());
+  lengths.erase(std::unique(lengths.begin(), lengths.end()), lengths.end());
+  return lengths;
+}
+
+}  // namespace rne::fault

@@ -1,0 +1,80 @@
+// Fault injection for the persistence layer, plus file-mutation helpers for
+// the corruption test harness (tests/fault_injection_test.cc).
+//
+// Two halves:
+//   1. Process-wide injection points consulted by BinaryWriter, simulating a
+//      crash mid-save: fail all writes after N payload bytes (leaving the
+//      partial `<path>.tmp` on disk, as a SIGKILL would), or complete the
+//      temp file but suppress the final rename (killed between fsync and
+//      rename). Disarmed by default; every hook is a single relaxed atomic
+//      load on the hot path.
+//   2. Pure helpers to produce corrupted copies of a good index file
+//      (truncations, bit flips) and an allocation probe that records the
+//      largest single buffer the deserializer tried to allocate, so tests can
+//      assert corrupt length fields never trigger huge allocations.
+//
+// Nothing here is thread-safe with respect to arming/disarming; tests arm,
+// run one save/load, then Reset().
+#ifndef RNE_UTIL_FAULT_INJECTION_H_
+#define RNE_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rne::fault {
+
+/// Disarms all injection points and clears the allocation probe.
+void Reset();
+
+/// Arms a write fault: once a BinaryWriter has streamed more than `bytes`
+/// payload bytes, every subsequent write fails and the partial temp file is
+/// left behind (simulating a kill mid-save).
+void FailWritesAfter(uint64_t bytes);
+
+/// Arms a crash between fsync and rename: BinaryWriter::Finish() completes
+/// the temp file but never renames it over the target.
+void CrashBeforeRename();
+
+// --- hooks called by the serialization layer -------------------------------
+
+/// True if a write that would bring the payload to `total_bytes` must fail.
+bool WriteShouldFail(uint64_t total_bytes);
+
+/// True if Finish() must skip the rename step.
+bool RenameSuppressed();
+
+/// Records an allocation request of `bytes` made while deserializing.
+void OnAllocation(uint64_t bytes);
+
+/// Largest single allocation recorded since the last Reset().
+uint64_t MaxAllocationObserved();
+
+// --- corruption helpers for tests ------------------------------------------
+
+/// Reads a whole file into `out`. Status on I/O failure.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+/// Writes `bytes` to `path`, replacing any existing file (plain write — the
+/// point is to produce broken files, so no atomic-rename protocol here).
+Status WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes);
+
+/// Copies the first `length` bytes of `src` to `dst`.
+Status TruncateCopy(const std::string& src, const std::string& dst,
+                    uint64_t length);
+
+/// Copies `src` to `dst` with bit `bit` (0-7) of byte `byte_index` flipped.
+Status FlipBitCopy(const std::string& src, const std::string& dst,
+                   uint64_t byte_index, int bit);
+
+/// Truncation lengths to sweep for a file of `file_size` bytes: every prefix
+/// of the first 64 bytes (header + first length fields), every `stride`-th
+/// byte after that, and each of the last 16 byte positions (trailer region).
+/// Sorted, deduplicated, all strictly less than `file_size`.
+std::vector<uint64_t> TruncationSweep(uint64_t file_size, uint64_t stride);
+
+}  // namespace rne::fault
+
+#endif  // RNE_UTIL_FAULT_INJECTION_H_

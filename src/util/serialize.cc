@@ -1,42 +1,292 @@
 #include "util/serialize.h"
 
-namespace rne {
+#include <fcntl.h>
+#include <unistd.h>
 
-BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic)
-    : out_(path, std::ios::binary), path_(path) {
-  if (out_) WritePod(magic);
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/crc32c.h"
+#include "util/fault_injection.h"
+
+namespace rne {
+namespace {
+
+void EncodeHeader(uint32_t index_magic, uint64_t payload_size,
+                  char out[kEnvelopeHeaderSize]) {
+  const uint32_t flags = 0;
+  std::memcpy(out + 0, &kEnvelopeMagic, 4);
+  std::memcpy(out + 4, &kFormatVersion, 4);
+  std::memcpy(out + 8, &index_magic, 4);
+  std::memcpy(out + 12, &flags, 4);
+  std::memcpy(out + 16, &payload_size, 8);
+  const uint32_t header_crc = Crc32c(out, 24);
+  std::memcpy(out + 24, &header_crc, 4);
+}
+
+/// fsyncs `path`; returns false on any failure.
+bool SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Failure is ignored: some filesystems reject directory
+/// fds and the data file is already synced.
+void SyncParentDir(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+const char* IndexKindName(uint32_t magic) {
+  switch (magic) {
+    case kRneMagic:
+      return "RNE model";
+    case kQuantMagic:
+      return "quantized RNE model";
+    case kChMagic:
+      return "CH index";
+    case kH2hMagic:
+      return "H2H index";
+    case kAltMagic:
+      return "ALT index";
+    case kGTreeMagic:
+      return "G-tree index";
+    case kHierarchyMagic:
+      return "partition hierarchy";
+    default:
+      return "unknown";
+  }
+}
+
+// ----------------------------------------------------------- BinaryWriter
+
+BinaryWriter::BinaryWriter(const std::string& path, uint32_t index_magic)
+    : path_(path), tmp_path_(path + ".tmp"), index_magic_(index_magic) {
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) return;
+  // Reserve the header; Finish() patches it once the payload size is known.
+  const char zeros[kEnvelopeHeaderSize] = {};
+  out_.write(zeros, kEnvelopeHeaderSize);
+  ok_ = static_cast<bool>(out_);
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (!finished_) Discard();
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t n) {
+  if (!ok_ || n == 0) return;
+  if (fault::WriteShouldFail(payload_bytes_ + n)) {
+    ok_ = false;
+    injected_fault_ = true;
+    return;
+  }
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(n));
+  if (!out_) {
+    ok_ = false;
+    return;
+  }
+  payload_crc_ = Crc32cExtend(payload_crc_, data, n);
+  payload_bytes_ += n;
 }
 
 void BinaryWriter::WriteString(const std::string& s) {
   WritePod<uint64_t>(s.size());
-  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!s.empty()) WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::Discard() {
+  if (out_.is_open()) out_.close();
+  // An injected fault simulates a kill: the partial temp file stays behind,
+  // and correctness relies on the rename never having happened.
+  if (!injected_fault_) std::remove(tmp_path_.c_str());
 }
 
 Status BinaryWriter::Finish() {
+  if (finished_) return Status::Ok();
+  if (!ok_) {
+    Discard();
+    return Status::IoError("write failed for " + path_ +
+                           (injected_fault_ ? " (injected fault)" : ""));
+  }
+  // Seal the envelope: payload CRC trailer, then the real header.
+  out_.write(reinterpret_cast<const char*>(&payload_crc_),
+             kEnvelopeTrailerSize);
+  char header[kEnvelopeHeaderSize];
+  EncodeHeader(index_magic_, payload_bytes_, header);
+  out_.seekp(0);
+  out_.write(header, kEnvelopeHeaderSize);
   out_.flush();
-  if (!out_) return Status::IoError("write failed for " + path_);
+  if (!out_) {
+    Discard();
+    return Status::IoError("write failed for " + path_);
+  }
+  out_.close();
+  if (!SyncFile(tmp_path_)) {
+    Discard();
+    return Status::IoError("fsync failed for " + tmp_path_);
+  }
+  if (fault::RenameSuppressed()) {
+    injected_fault_ = true;
+    return Status::IoError("write failed for " + path_ +
+                           " (injected crash before rename)");
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    Discard();
+    return Status::IoError("rename failed for " + path_);
+  }
+  SyncParentDir(path_);
+  finished_ = true;
   return Status::Ok();
 }
 
-BinaryReader::BinaryReader(const std::string& path, uint32_t magic)
-    : in_(path, std::ios::binary) {
+// ----------------------------------------------------------- BinaryReader
+
+BinaryReader::BinaryReader(const std::string& path, uint32_t index_magic)
+    : path_(path) {
+  std::error_code ec;
+  const auto fs_status = std::filesystem::status(path, ec);
+  if (ec || !std::filesystem::exists(fs_status)) {
+    status_ = Status::NotFound("no such file: " + path);
+    return;
+  }
+  in_.open(path, std::ios::binary);
   if (!in_) {
     status_ = Status::IoError("cannot open " + path);
     return;
   }
-  uint32_t got = 0;
-  if (!ReadPod(&got) || got != magic) {
-    status_ = Status::Corruption("bad magic in " + path);
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    status_ = Status::IoError("cannot stat " + path);
+    return;
   }
+  if (file_size < kEnvelopeHeaderSize + kEnvelopeTrailerSize) {
+    status_ = Status::Corruption(
+        (file_size == 0 ? "empty index file: " : "file too short to hold an envelope: ") +
+        path);
+    return;
+  }
+  char header[kEnvelopeHeaderSize];
+  in_.read(header, kEnvelopeHeaderSize);
+  if (!in_) {
+    status_ = Status::IoError("cannot read header of " + path);
+    return;
+  }
+  uint32_t env_magic = 0, header_crc = 0;
+  std::memcpy(&env_magic, header + 0, 4);
+  std::memcpy(&info_.format_version, header + 4, 4);
+  std::memcpy(&info_.index_magic, header + 8, 4);
+  std::memcpy(&info_.flags, header + 12, 4);
+  std::memcpy(&info_.payload_size, header + 16, 8);
+  std::memcpy(&header_crc, header + 24, 4);
+  if (env_magic != kEnvelopeMagic) {
+    status_ = Status::Corruption(
+        env_magic == index_magic
+            ? "legacy unversioned index file (re-save to upgrade): " + path
+            : "bad magic in " + path);
+    return;
+  }
+  if (header_crc != Crc32c(header, 24)) {
+    status_ = Status::Corruption("header checksum mismatch in " + path);
+    return;
+  }
+  if (info_.format_version == 0 || info_.format_version > kFormatVersion) {
+    status_ = Status::Corruption(
+        "unsupported format version " +
+        std::to_string(info_.format_version) + " in " + path);
+    return;
+  }
+  if (index_magic != 0 && info_.index_magic != index_magic) {
+    status_ = Status::Corruption(
+        "wrong index kind in " + path + ": file holds a " +
+        IndexKindName(info_.index_magic) + ", expected a " +
+        IndexKindName(index_magic));
+    return;
+  }
+  if (info_.payload_size !=
+      file_size - kEnvelopeHeaderSize - kEnvelopeTrailerSize) {
+    status_ = Status::Corruption("payload size mismatch (truncated?) in " +
+                                 path);
+    return;
+  }
+  remaining_ = info_.payload_size;
+}
+
+bool BinaryReader::ReadRaw(void* data, size_t n) {
+  if (!status_.ok()) return false;
+  if (n > remaining_) {
+    status_ = Status::Corruption("unexpected end of payload in " + path_);
+    return false;
+  }
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (!in_) {
+    status_ = Status::IoError("read failed for " + path_);
+    return false;
+  }
+  payload_crc_ = Crc32cExtend(payload_crc_, data, n);
+  remaining_ -= n;
+  return true;
+}
+
+bool BinaryReader::FailLength(const char* what, uint64_t n) {
+  status_ = Status::Corruption(
+      "corrupt " + std::string(what) + " length " + std::to_string(n) +
+      " exceeds remaining payload (" + std::to_string(remaining_) +
+      " bytes) in " + path_);
+  return false;
+}
+
+void BinaryReader::RecordAllocation(uint64_t bytes) {
+  fault::OnAllocation(bytes);
 }
 
 bool BinaryReader::ReadString(std::string* s) {
   uint64_t n = 0;
   if (!ReadPod(&n)) return false;
-  if (n > (uint64_t{1} << 30)) return false;
+  if (n > remaining_) return FailLength("string", n);
+  RecordAllocation(n);
   s->resize(n);
-  in_.read(s->data(), static_cast<std::streamsize>(n));
-  return static_cast<bool>(in_);
+  return n == 0 || ReadRaw(s->data(), n);
+}
+
+Status BinaryReader::Finish() {
+  if (!status_.ok()) return status_;
+  // Checksum any payload the loader did not consume, then check the trailer.
+  char buf[1 << 16];
+  while (remaining_ > 0) {
+    const size_t chunk =
+        static_cast<size_t>(std::min<uint64_t>(remaining_, sizeof(buf)));
+    if (!ReadRaw(buf, chunk)) return status_;
+  }
+  uint32_t stored_crc = 0;
+  in_.read(reinterpret_cast<char*>(&stored_crc), kEnvelopeTrailerSize);
+  if (!in_) {
+    status_ = Status::IoError("cannot read checksum trailer of " + path_);
+    return status_;
+  }
+  if (stored_crc != payload_crc_) {
+    status_ = Status::Corruption("payload checksum mismatch in " + path_);
+  }
+  return status_;
+}
+
+StatusOr<EnvelopeInfo> InspectEnvelope(const std::string& path) {
+  BinaryReader r(path, /*index_magic=*/0);  // 0 accepts any index kind
+  if (!r.ok()) return r.status();
+  RNE_RETURN_IF_ERROR(r.Finish());
+  return r.info();
 }
 
 }  // namespace rne

@@ -1,8 +1,24 @@
-// Binary (de)serialization helpers for model and index persistence.
+// Binary (de)serialization with a crash-safe, corruption-resistant envelope.
 //
-// Format: little-endian PODs, length-prefixed vectors/strings. Every file
-// starts with a caller-provided magic tag so corrupt/mismatched files are
-// rejected with Status::Corruption instead of being misread.
+// Every persisted index file is wrapped in a versioned envelope:
+//
+//   offset  0  uint32  envelope magic "RNEV" (shared by all index kinds)
+//   offset  4  uint32  format version (kFormatVersion; decoding is gated)
+//   offset  8  uint32  index-kind magic (which Load may parse the payload)
+//   offset 12  uint32  flags (reserved, 0)
+//   offset 16  uint64  payload size in bytes
+//   offset 24  uint32  CRC32C of header bytes [0, 24)
+//   offset 28  payload: little-endian PODs, length-prefixed vectors/strings
+//   tail       uint32  CRC32C of the payload
+//
+// Saves are atomic: BinaryWriter streams into `<path>.tmp`, patches the
+// header, fsyncs, then rename(2)s over `path` — a reader never observes a
+// partial file. BinaryReader validates the header against the actual file
+// size before parsing a single payload byte, bounds every vector length by
+// the bytes remaining in the payload (a flipped length bit fails fast
+// instead of triggering a multi-gigabyte allocation), and Finish() verifies
+// the payload CRC. Any mismatch yields Status::Corruption; a missing file is
+// Status::NotFound.
 #ifndef RNE_UTIL_SERIALIZE_H_
 #define RNE_UTIL_SERIALIZE_H_
 
@@ -16,53 +32,112 @@
 
 namespace rne {
 
-/// Streaming binary writer over an ofstream.
+/// First four bytes of every envelope file ("RNEV" little-endian).
+inline constexpr uint32_t kEnvelopeMagic = 0x56454e52;
+/// Current envelope format version. Bump when the envelope layout changes;
+/// payload-level changes are versioned per index kind via its magic.
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kEnvelopeHeaderSize = 28;
+inline constexpr size_t kEnvelopeTrailerSize = 4;
+
+// Registered index-kind magics (the third header field). Keep unique.
+inline constexpr uint32_t kRneMagic = 0x524e4531;        // "RNE1" RNE model
+inline constexpr uint32_t kQuantMagic = 0x524e5138;      // "RNQ8" quantized RNE
+inline constexpr uint32_t kChMagic = 0x524e4348;         // "RNCH" CH index
+inline constexpr uint32_t kH2hMagic = 0x524e4832;        // "RNH2" H2H index
+inline constexpr uint32_t kAltMagic = 0x524e414c;        // "RNAL" ALT index
+inline constexpr uint32_t kGTreeMagic = 0x524e4754;      // "RNGT" G-tree index
+inline constexpr uint32_t kHierarchyMagic = 0x524e4548;  // "RNEH" partition
+
+/// Human-readable name for a registered index-kind magic ("unknown" else).
+const char* IndexKindName(uint32_t magic);
+
+/// Envelope metadata, as reported by InspectEnvelope.
+struct EnvelopeInfo {
+  uint32_t format_version = 0;
+  uint32_t index_magic = 0;
+  uint32_t flags = 0;
+  uint64_t payload_size = 0;
+};
+
+/// Validates the envelope of `path` — header fields, file size, header and
+/// payload checksums — without deserializing the payload. Accepts any
+/// index-kind magic; returns its metadata on success.
+StatusOr<EnvelopeInfo> InspectEnvelope(const std::string& path);
+
+/// Streaming binary writer implementing the atomic-save protocol: bytes go
+/// to `<path>.tmp`; Finish() seals the envelope, fsyncs and renames. If the
+/// writer is destroyed without a successful Finish(), the temp file is
+/// removed and `path` is untouched.
 class BinaryWriter {
  public:
-  /// Opens `path` for writing and emits the magic tag.
-  BinaryWriter(const std::string& path, uint32_t magic);
+  /// Opens `<path>.tmp` for writing and reserves the envelope header.
+  BinaryWriter(const std::string& path, uint32_t index_magic);
+  ~BinaryWriter();
 
-  bool ok() const { return static_cast<bool>(out_); }
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  bool ok() const { return ok_; }
 
   template <typename T>
   void WritePod(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    WriteRaw(&value, sizeof(T));
   }
 
   template <typename T>
   void WriteVector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     WritePod<uint64_t>(v.size());
-    if (!v.empty()) {
-      out_.write(reinterpret_cast<const char*>(v.data()),
-                 static_cast<std::streamsize>(v.size() * sizeof(T)));
-    }
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(T));
   }
 
   void WriteString(const std::string& s);
 
-  /// Flushes and reports any accumulated stream error.
+  /// Seals the envelope (patches header, appends payload CRC), fsyncs and
+  /// atomically renames the temp file into place. On any failure the target
+  /// path is left untouched and the temp file is cleaned up.
   Status Finish();
 
  private:
+  void WriteRaw(const void* data, size_t n);
+  void Discard();  // closes and removes the temp file
+
   std::ofstream out_;
   std::string path_;
+  std::string tmp_path_;
+  uint32_t index_magic_;
+  uint64_t payload_bytes_ = 0;
+  uint32_t payload_crc_ = 0;
+  bool ok_ = false;
+  bool finished_ = false;
+  bool injected_fault_ = false;  // leave the partial temp file, like a kill
 };
 
-/// Streaming binary reader; verifies the magic tag on open.
+/// Streaming binary reader; validates the envelope header on open and the
+/// payload checksum in Finish().
 class BinaryReader {
  public:
-  BinaryReader(const std::string& path, uint32_t magic);
+  BinaryReader(const std::string& path, uint32_t index_magic);
 
   const Status& status() const { return status_; }
-  bool ok() const { return status_.ok() && static_cast<bool>(in_); }
+  bool ok() const { return status_.ok(); }
+
+  /// Payload bytes not yet consumed.
+  uint64_t remaining() const { return remaining_; }
+
+  /// Envelope format version of the open file (0 if open failed). Loaders
+  /// gate any future payload-layout changes on this.
+  uint32_t format_version() const { return info_.format_version; }
+
+  /// Envelope metadata parsed from the header (zeroed if open failed).
+  const EnvelopeInfo& info() const { return info_; }
 
   template <typename T>
   bool ReadPod(T* value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    in_.read(reinterpret_cast<char*>(value), sizeof(T));
-    return static_cast<bool>(in_);
+    return ReadRaw(value, sizeof(T));
   }
 
   template <typename T>
@@ -70,20 +145,38 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t n = 0;
     if (!ReadPod(&n)) return false;
-    // Sanity bound: refuse absurd sizes from corrupt files (16 GiB of data).
-    if (n > (uint64_t{1} << 34) / sizeof(T)) return false;
-    v->resize(n);
-    if (n > 0) {
-      in_.read(reinterpret_cast<char*>(v->data()),
-               static_cast<std::streamsize>(n * sizeof(T)));
+    // A valid length can never exceed the bytes left in the payload, so a
+    // corrupt length field fails here instead of in a giant resize().
+    if (n > remaining_ / sizeof(T)) {
+      return FailLength("vector", n);
     }
-    return static_cast<bool>(in_);
+    RecordAllocation(n * sizeof(T));
+    v->resize(n);
+    return n == 0 || ReadRaw(v->data(), n * sizeof(T));
   }
 
   bool ReadString(std::string* s);
 
+  /// Drains any unread payload and verifies the payload CRC trailer. Call
+  /// after the last Read; Status::Corruption on checksum mismatch.
+  Status Finish();
+
+  /// The reader's error status if a Read failed, else Corruption(context).
+  /// For loaders: `if (!r.ReadPod(&x)) return r.ReadError("bad foo file");`
+  Status ReadError(std::string context) const {
+    return status_.ok() ? Status::Corruption(std::move(context)) : status_;
+  }
+
  private:
+  bool ReadRaw(void* data, size_t n);
+  bool FailLength(const char* what, uint64_t n);
+  static void RecordAllocation(uint64_t bytes);
+
   std::ifstream in_;
+  std::string path_;
+  EnvelopeInfo info_;
+  uint64_t remaining_ = 0;
+  uint32_t payload_crc_ = 0;
   Status status_;
 };
 

@@ -1,0 +1,84 @@
+// Shared catalogue of persistable index kinds for persistence/robustness
+// tests: each entry knows how to build-and-save a small index of its kind
+// and how to load one, reporting only the Status. Used by the parameterized
+// envelope sweep (persistence_test.cc) and the corruption harness
+// (fault_injection_test.cc).
+#ifndef RNE_TESTS_INDEX_KINDS_H_
+#define RNE_TESTS_INDEX_KINDS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/h2h.h"
+#include "core/quantized.h"
+#include "core/rne.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace rne {
+
+struct IndexKindParam {
+  const char* name;
+  uint32_t magic;
+  std::function<Status(const Graph&, const std::string&)> build_and_save;
+  std::function<Status(const std::string&, const Graph&)> load;
+};
+
+inline RneConfig SmallRneConfig() {
+  RneConfig config;
+  config.dim = 8;
+  config.train.level_samples = 500;
+  config.train.vertex_samples = 2000;
+  config.fine_tune = false;
+  return config;
+}
+
+inline std::vector<IndexKindParam> AllIndexKinds() {
+  return {
+      {"Rne", kRneMagic,
+       [](const Graph& g, const std::string& path) {
+         return Rne::Build(g, SmallRneConfig()).Save(path);
+       },
+       [](const std::string& path, const Graph&) {
+         return Rne::Load(path).status();
+       }},
+      {"QuantizedRne", kQuantMagic,
+       [](const Graph& g, const std::string& path) {
+         return QuantizedRne(Rne::Build(g, SmallRneConfig())).Save(path);
+       },
+       [](const std::string& path, const Graph&) {
+         return QuantizedRne::Load(path).status();
+       }},
+      {"ContractionHierarchy", kChMagic,
+       [](const Graph& g, const std::string& path) {
+         return ContractionHierarchy(g).Save(path);
+       },
+       [](const std::string& path, const Graph&) {
+         return ContractionHierarchy::Load(path).status();
+       }},
+      {"H2HIndex", kH2hMagic,
+       [](const Graph& g, const std::string& path) {
+         return H2HIndex(g).Save(path);
+       },
+       [](const std::string& path, const Graph&) {
+         return H2HIndex::Load(path).status();
+       }},
+      {"AltIndex", kAltMagic,
+       [](const Graph& g, const std::string& path) {
+         Rng rng(11);
+         return AltIndex(g, 4, rng).Save(path);
+       },
+       [](const std::string& path, const Graph& g) {
+         return AltIndex::Load(path, g).status();
+       }},
+  };
+}
+
+}  // namespace rne
+
+#endif  // RNE_TESTS_INDEX_KINDS_H_

@@ -1,18 +1,24 @@
 // Persistence round-trips for the baseline indexes (CH, H2H, ALT) and the
-// extended Rne APIs (QueryOneToMany / QueryKnn / RefineOnline).
+// extended Rne APIs (QueryOneToMany / QueryKnn / RefineOnline), plus a
+// parameterized envelope-robustness sweep over every index kind.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 
 #include "algo/dijkstra.h"
 #include "algo/distance_sampler.h"
 #include "baselines/alt.h"
 #include "baselines/ch.h"
 #include "baselines/h2h.h"
+#include "core/quantized.h"
 #include "core/rne.h"
 #include "graph/generators.h"
+#include "index_kinds.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace rne {
 namespace {
@@ -167,6 +173,85 @@ TEST_F(RneApiTest, QueryKnnHandlesSmallTargetSets) {
   EXPECT_EQ(model_->QueryKnn(0, two, 10).size(), 2u);
   EXPECT_TRUE(model_->QueryKnn(0, two, 0).empty());
 }
+
+// ------------------------------------------- envelope sweep, all 5 kinds
+//
+// Each index kind provides a builder (construct a small index on the given
+// graph and Save it) and a loader (Load and report the Status). The sweep
+// then exercises the shared envelope guarantees: clean round-trip, rejection
+// of legacy unversioned files, of files holding a different index kind, of
+// zero-length files, and NotFound for missing paths.
+
+class EnvelopeSweepTest : public ::testing::TestWithParam<IndexKindParam> {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph(MakeGridNetwork(8, 8));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    graph_ = nullptr;
+  }
+  std::string Path(const std::string& suffix) const {
+    return TempPath(std::string("rne_sweep_") + GetParam().name + suffix);
+  }
+  static Graph* graph_;
+};
+Graph* EnvelopeSweepTest::graph_ = nullptr;
+
+TEST_P(EnvelopeSweepTest, RoundTripLoadsOk) {
+  const std::string path = Path("_rt.bin");
+  ASSERT_TRUE(GetParam().build_and_save(*graph_, path).ok());
+  const Status st = GetParam().load(path, *graph_);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::filesystem::remove(path);
+}
+
+TEST_P(EnvelopeSweepTest, LegacyMagicRejected) {
+  const std::string path = Path("_legacy.bin");
+  {
+    // Pre-envelope files started directly with the index-kind magic.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const uint32_t magic = GetParam().magic;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    const std::vector<uint64_t> filler(16, 0);
+    out.write(reinterpret_cast<const char*>(filler.data()),
+              sizeof(uint64_t) * filler.size());
+  }
+  const Status st = GetParam().load(path, *graph_);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  EXPECT_NE(st.message().find("legacy"), std::string::npos) << st.ToString();
+  std::filesystem::remove(path);
+}
+
+TEST_P(EnvelopeSweepTest, WrongIndexKindRejected) {
+  const std::string path = Path("_kind.bin");
+  const uint32_t other = GetParam().magic == kChMagic ? kH2hMagic : kChMagic;
+  {
+    BinaryWriter w(path, other);
+    w.WritePod<uint64_t>(0);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  const Status st = GetParam().load(path, *graph_);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  std::filesystem::remove(path);
+}
+
+TEST_P(EnvelopeSweepTest, ZeroLengthFileRejected) {
+  const std::string path = Path("_empty.bin");
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  const Status st = GetParam().load(path, *graph_);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  std::filesystem::remove(path);
+}
+
+TEST_P(EnvelopeSweepTest, MissingFileIsNotFound) {
+  const Status st = GetParam().load(Path("_does_not_exist.bin"), *graph_);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexKinds, EnvelopeSweepTest,
+                         ::testing::ValuesIn(AllIndexKinds()),
+                         [](const auto& info) { return info.param.name; });
 
 TEST(RneRefineTest, OnlineRefinementReducesError) {
   const Graph g = TestNetwork(7);

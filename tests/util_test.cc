@@ -2,12 +2,15 @@
 // TableWriter, binary serialization, ThreadPool, and stats helpers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 
+#include "util/crc32c.h"
+#include "util/fault_injection.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -223,10 +226,19 @@ TEST(SerializeTest, BadMagicRejected) {
   std::filesystem::remove(path);
 }
 
-TEST(SerializeTest, MissingFileIsIoError) {
+TEST(SerializeTest, MissingFileIsNotFound) {
   BinaryReader r("/nonexistent/definitely/missing.bin", 1);
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, EmptyFileIsCorruption) {
+  const std::string path = TempPath("rne_serialize_empty.bin");
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  BinaryReader r(path, 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
 }
 
 TEST(SerializeTest, TruncatedReadFails) {
@@ -239,8 +251,122 @@ TEST(SerializeTest, TruncatedReadFails) {
   BinaryReader r(path, 7);
   ASSERT_TRUE(r.ok());
   uint64_t big = 0;
-  EXPECT_FALSE(r.ReadPod(&big));  // only 4 bytes available
+  EXPECT_FALSE(r.ReadPod(&big));  // only 4 payload bytes available
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
   std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, SaveIsAtomicAndLeavesNoTempFile) {
+  const std::string path = TempPath("rne_serialize_atomic.bin");
+  {
+    BinaryWriter w(path, 7);
+    w.WritePod<uint32_t>(5);
+    // Until Finish(), only the temp file exists — a concurrent reader of
+    // `path` can never observe a partial save.
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, PayloadBitFlipFailsChecksum) {
+  const std::string path = TempPath("rne_serialize_flip.bin");
+  {
+    BinaryWriter w(path, 7);
+    w.WriteVector(std::vector<uint32_t>{1, 2, 3, 4});
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(fault::ReadFileBytes(path, &bytes).ok());
+  bytes[kEnvelopeHeaderSize + 12] ^= 0x10;  // flip a bit inside element [1]
+  ASSERT_TRUE(fault::WriteFileBytes(path, bytes).ok());
+  BinaryReader r(path, 7);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint32_t> v;
+  EXPECT_TRUE(r.ReadVector(&v));  // the flip is only caught by the CRC
+  EXPECT_EQ(r.Finish().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, CorruptVectorLengthFailsWithoutHugeAllocation) {
+  const std::string path = TempPath("rne_serialize_len.bin");
+  {
+    BinaryWriter w(path, 7);
+    w.WriteVector(std::vector<uint64_t>(8, 42));
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(fault::ReadFileBytes(path, &bytes).ok());
+  bytes[kEnvelopeHeaderSize + 5] = 0xFF;  // length field becomes ~2^45
+  ASSERT_TRUE(fault::WriteFileBytes(path, bytes).ok());
+  fault::Reset();
+  BinaryReader r(path, 7);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint64_t> v;
+  EXPECT_FALSE(r.ReadVector(&v));
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_LT(fault::MaxAllocationObserved(), uint64_t{64} << 20);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, WrongIndexKindNamesBothKinds) {
+  const std::string path = TempPath("rne_serialize_kind.bin");
+  {
+    BinaryWriter w(path, kChMagic);
+    w.WritePod<uint32_t>(1);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path, kH2hMagic);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("CH index"), std::string::npos);
+  EXPECT_NE(r.status().message().find("H2H index"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, InspectEnvelopeReportsMetadata) {
+  const std::string path = TempPath("rne_serialize_inspect.bin");
+  {
+    BinaryWriter w(path, kRneMagic);
+    w.WritePod<uint64_t>(99);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  auto info = InspectEnvelope(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().index_magic, kRneMagic);
+  EXPECT_EQ(info.value().format_version, kFormatVersion);
+  EXPECT_EQ(info.value().payload_size, 8u);
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------------------- crc32c
+
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // RFC 3720 test vectors for CRC32C.
+  const std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32c(s, 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, StreamingMatchesOneShot) {
+  std::vector<uint8_t> data(1013);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  uint32_t crc = 0;
+  for (size_t off = 0; off < data.size();) {
+    const size_t chunk = std::min<size_t>(97, data.size() - off);
+    crc = Crc32cExtend(crc, data.data() + off, chunk);
+    off += chunk;
+  }
+  EXPECT_EQ(crc, whole);
 }
 
 // ------------------------------------------------------------ ThreadPool

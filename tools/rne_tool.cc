@@ -6,18 +6,26 @@
 //   rne_tool eval     --gr net.gr --co net.co --model city.rne --pairs 5000
 //   rne_tool query    --model city.rne --s 17 --t 9000
 //   rne_tool knn      --model city.rne --s 17 --k 5
+//   rne_tool verify   city.rne
+//
+// Serving commands (query/knn) degrade gracefully: when the model file is
+// missing or corrupt and --gr is given, they log the load failure and answer
+// exactly via Dijkstra instead of aborting.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "algo/dijkstra.h"
 #include "algo/distance_sampler.h"
 #include "core/rne.h"
 #include "core/rne_index.h"
 #include "graph/dimacs.h"
 #include "graph/generators.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 #include "util/timer.h"
 
 namespace rne::tool {
@@ -123,36 +131,108 @@ int CmdEval(const Args& args) {
   return 0;
 }
 
-int CmdQuery(const Args& args) {
-  auto model = Rne::Load(args.Get("model", "model.rne"));
-  if (!model.ok()) return Fail(model.status().ToString());
-  const auto s = static_cast<VertexId>(args.GetInt("s", 0));
-  const auto t = static_cast<VertexId>(args.GetInt("t", 1));
-  if (s >= model.value().NumVertices() || t >= model.value().NumVertices()) {
-    return Fail("vertex id out of range");
+/// Validates a --s/--t style vertex id against `n` vertices; ids are user
+/// input, so a bad one is InvalidArgument — never UB on a model lookup.
+Status CheckVertexId(const char* name, long raw, size_t n) {
+  if (raw < 0 || static_cast<unsigned long>(raw) >= n) {
+    return Status::InvalidArgument(
+        "--" + std::string(name) + " " + std::to_string(raw) +
+        " out of range [0, " + std::to_string(n) + ")");
   }
-  std::printf("%.2f\n", model.value().Query(s, t));
+  return Status::Ok();
+}
+
+/// Loads the graph for exact-Dijkstra fallback after a model load failure.
+/// Returns the graph, or an error explaining both failures.
+StatusOr<Graph> FallbackGraph(const Args& args, const Status& load_status) {
+  std::fprintf(stderr, "warning: model load failed (%s)\n",
+               load_status.ToString().c_str());
+  if (args.Get("gr", "").empty()) {
+    return Status::FailedPrecondition(
+        "model unusable and no --gr graph given for exact fallback");
+  }
+  std::fprintf(stderr, "warning: serving exact Dijkstra answers instead\n");
+  return LoadGraphArg(args);
+}
+
+int CmdQuery(const Args& args) {
+  const long raw_s = args.GetInt("s", 0);
+  const long raw_t = args.GetInt("t", 1);
+  auto model = Rne::Load(args.Get("model", "model.rne"));
+  if (!model.ok()) {
+    auto graph = FallbackGraph(args, model.status());
+    if (!graph.ok()) return Fail(graph.status().ToString());
+    const size_t n = graph.value().NumVertices();
+    Status st = CheckVertexId("s", raw_s, n);
+    if (st.ok()) st = CheckVertexId("t", raw_t, n);
+    if (!st.ok()) return Fail(st.ToString());
+    DijkstraSearch dij(graph.value());
+    std::printf("%.2f\n", dij.Distance(static_cast<VertexId>(raw_s),
+                                       static_cast<VertexId>(raw_t)));
+    return 0;
+  }
+  const size_t n = model.value().NumVertices();
+  Status st = CheckVertexId("s", raw_s, n);
+  if (st.ok()) st = CheckVertexId("t", raw_t, n);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("%.2f\n", model.value().Query(static_cast<VertexId>(raw_s),
+                                            static_cast<VertexId>(raw_t)));
   return 0;
 }
 
 int CmdKnn(const Args& args) {
+  const long raw_s = args.GetInt("s", 0);
+  const auto k = static_cast<size_t>(std::max(0L, args.GetInt("k", 5)));
   auto model = Rne::Load(args.Get("model", "model.rne"));
-  if (!model.ok()) return Fail(model.status().ToString());
-  const auto s = static_cast<VertexId>(args.GetInt("s", 0));
-  const auto k = static_cast<size_t>(args.GetInt("k", 5));
-  if (s >= model.value().NumVertices()) return Fail("vertex id out of range");
+  if (!model.ok()) {
+    auto graph = FallbackGraph(args, model.status());
+    if (!graph.ok()) return Fail(graph.status().ToString());
+    const size_t n = graph.value().NumVertices();
+    const Status st = CheckVertexId("s", raw_s, n);
+    if (!st.ok()) return Fail(st.ToString());
+    DijkstraSearch dij(graph.value());
+    const auto& dist = dij.AllDistances(static_cast<VertexId>(raw_s));
+    std::vector<std::pair<double, VertexId>> order;
+    order.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] != kInfDistance) order.emplace_back(dist[v], v);
+    }
+    const size_t take = std::min(k, order.size());
+    std::partial_sort(order.begin(), order.begin() + take, order.end());
+    for (size_t i = 0; i < take; ++i) {
+      std::printf("%u %.2f\n", order[i].second, order[i].first);
+    }
+    return 0;
+  }
+  const Status st = CheckVertexId("s", raw_s, model.value().NumVertices());
+  if (!st.ok()) return Fail(st.ToString());
   const RneIndex index(&model.value());
-  for (const auto& [v, d] : index.Knn(s, k)) {
+  for (const auto& [v, d] : index.Knn(static_cast<VertexId>(raw_s), k)) {
     std::printf("%u %.2f\n", v, d);
   }
+  return 0;
+}
+
+int CmdVerify(int argc, char** argv, const Args& args) {
+  std::string path = args.Get("file", "");
+  if (path.empty() && argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
+    path = argv[2];
+  }
+  if (path.empty()) return Fail("usage: rne_tool verify <index-file>");
+  auto info = InspectEnvelope(path);
+  if (!info.ok()) return Fail(path + ": " + info.status().ToString());
+  std::printf("%s: OK (%s, format v%u, %llu payload bytes)\n", path.c_str(),
+              IndexKindName(info.value().index_magic),
+              info.value().format_version,
+              static_cast<unsigned long long>(info.value().payload_size));
   return 0;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: rne_tool <generate|build|eval|query|knn> [--key "
-                 "value ...]\n");
+                 "usage: rne_tool <generate|build|eval|query|knn|verify> "
+                 "[--key value ...]\n");
     return 1;
   }
   const Args args(argc, argv);
@@ -162,6 +242,7 @@ int Main(int argc, char** argv) {
   if (cmd == "eval") return CmdEval(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "knn") return CmdKnn(args);
+  if (cmd == "verify") return CmdVerify(argc, argv, args);
   return Fail("unknown command: " + cmd);
 }
 
