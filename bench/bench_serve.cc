@@ -1,0 +1,352 @@
+// Load generator for the serving subsystem: measures sustained QPS and
+// latency percentiles of the batched QueryEngine on a generated grid, in
+// two modes, and compares against the pre-engine baseline (a sequential
+// `rne_tool query`-style loop that reloads the model for every query).
+//
+//  * closed loop — T client threads issue batches of B back-to-back; the
+//    measured rate is the system's capacity at that concurrency;
+//  * open loop  — clients fire batches on a fixed schedule at an offered
+//    rate regardless of completions, so queue wait (and admission
+//    rejection) shows up in the latency tail, not in the arrival process.
+//
+// Sweeps thread counts x batch sizes, writes bench_results/serve_report.json.
+//
+//   bench_serve [--rows 64] [--cols 64] [--dim 32] [--seconds 1.0]
+//               [--threads 1,2,4] [--batches 1,16,64,256]
+//               [--queue 8192] [--baseline-queries 20] [--out <path>]
+//
+// Smoke run (CI): bench_serve --seconds 0.2 --threads 2 --batches 64
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/dijkstra.h"
+#include "bench/bench_common.h"
+#include "core/rne.h"
+#include "graph/generators.h"
+#include "serve/query_engine.h"
+#include "util/arg_parser.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace rne::bench {
+namespace {
+
+struct SweepPoint {
+  std::string mode;  // "closed" | "open"
+  size_t threads = 0;
+  size_t batch = 0;
+  double offered_qps = 0.0;  // open loop only
+  double achieved_qps = 0.0;
+  serve::MetricsSnapshot metrics;
+};
+
+std::vector<size_t> ParseSizeList(const std::string& csv) {
+  std::vector<size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const long v = std::strtol(item.c_str(), nullptr, 10);
+    if (v > 0) out.push_back(static_cast<size_t>(v));
+  }
+  return out;
+}
+
+std::vector<serve::Request> RandomRequests(const Graph& g, size_t n,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<serve::Request> out(n);
+  for (auto& r : out) {
+    r.kind = serve::RequestKind::kDistance;
+    r.s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    r.t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+  }
+  return out;
+}
+
+/// Fresh engine per sweep point so its metrics cover exactly that point:
+/// learned primary (already resident, Ready immediately) with an exact
+/// Dijkstra fallback, mirroring the rne_server default chain.
+std::unique_ptr<serve::QueryEngine> MakeEngine(const Rne& model,
+                                               const Graph& g,
+                                               size_t num_threads,
+                                               size_t queue_capacity) {
+  serve::EngineOptions options;
+  options.num_threads = num_threads;
+  options.queue_capacity = queue_capacity;
+  auto engine = std::make_unique<serve::QueryEngine>(options);
+  engine->AddReadyBackend(serve::MakeSharedModelBackend(model));
+  serve::BackendContext ctx;
+  ctx.graph = &g;
+  engine->AddBackend("dijkstra", ctx);
+  (void)engine->WaitUntilLoaded();
+  return engine;
+}
+
+SweepPoint RunClosedLoop(const Rne& model, const Graph& g, size_t threads,
+                         size_t batch, size_t queue_capacity,
+                         double seconds) {
+  auto engine_ptr = MakeEngine(model, g, threads, queue_capacity);
+  serve::QueryEngine& engine = *engine_ptr;
+  std::atomic<uint64_t> served{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < threads; ++c) {
+    clients.emplace_back([&, c] {
+      const auto requests = RandomRequests(g, batch, 1000 + c);
+      std::vector<serve::Response> responses;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (engine.QueryBatch(requests, &responses).ok()) {
+          served.fetch_add(requests.size(), std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  const double elapsed = timer.ElapsedSeconds();
+
+  SweepPoint point;
+  point.mode = "closed";
+  point.threads = threads;
+  point.batch = batch;
+  point.achieved_qps = static_cast<double>(served.load()) / elapsed;
+  point.metrics = engine.Metrics();
+  return point;
+}
+
+SweepPoint RunOpenLoop(const Rne& model, const Graph& g, size_t threads,
+                       size_t batch, double offered_qps,
+                       size_t queue_capacity, double seconds) {
+  auto engine_ptr = MakeEngine(model, g, threads, queue_capacity);
+  serve::QueryEngine& engine = *engine_ptr;
+  // Each of `threads` dispatchers fires a batch every interval; firing is
+  // schedule-driven (sleep_until), never completion-driven.
+  const double batches_per_second = offered_qps / static_cast<double>(batch);
+  const auto interval = std::chrono::duration<double>(
+      static_cast<double>(threads) / batches_per_second);
+  std::atomic<uint64_t> served{0};
+  std::vector<std::thread> clients;
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop_at = start + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+  for (size_t c = 0; c < threads; ++c) {
+    clients.emplace_back([&, c] {
+      const auto requests = RandomRequests(g, batch, 2000 + c);
+      std::vector<serve::Response> responses;
+      auto next = start + c * (interval / static_cast<double>(threads));
+      while (next < stop_at) {
+        std::this_thread::sleep_until(next);
+        if (engine.QueryBatch(requests, &responses).ok()) {
+          served.fetch_add(requests.size(), std::memory_order_relaxed);
+        }
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(interval);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  SweepPoint point;
+  point.mode = "open";
+  point.threads = threads;
+  point.batch = batch;
+  point.offered_qps = offered_qps;
+  point.achieved_qps = static_cast<double>(served.load()) / elapsed;
+  point.metrics = engine.Metrics();
+  return point;
+}
+
+/// QPS of the pre-engine serving path: one `rne_tool query` style
+/// invocation per query, i.e. a full model load followed by one lookup.
+double PerInvocationBaselineQps(const std::string& model_path, const Graph& g,
+                                size_t queries) {
+  Rng rng(7);
+  double sink = 0.0;
+  Timer timer;
+  for (size_t i = 0; i < queries; ++i) {
+    auto model = Rne::Load(model_path);
+    if (!model.ok()) return 0.0;
+    sink += model.value().Query(
+        static_cast<VertexId>(rng.UniformIndex(g.NumVertices())),
+        static_cast<VertexId>(rng.UniformIndex(g.NumVertices())));
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  if (sink < 0.0) return -1.0;  // keep the loads alive
+  return static_cast<double>(queries) / elapsed;
+}
+
+/// QPS of a resident model queried one request at a time on one thread —
+/// the fairest sequential comparator (no reload cost).
+double ResidentSequentialQps(const Rne& model, const Graph& g,
+                             size_t queries) {
+  Rng rng(8);
+  double sink = 0.0;
+  Timer timer;
+  for (size_t i = 0; i < queries; ++i) {
+    sink += model.Query(
+        static_cast<VertexId>(rng.UniformIndex(g.NumVertices())),
+        static_cast<VertexId>(rng.UniformIndex(g.NumVertices())));
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  if (sink < 0.0) return -1.0;
+  return static_cast<double>(queries) / elapsed;
+}
+
+void AppendPointJson(std::string* out, const SweepPoint& p) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"mode\": \"%s\", \"threads\": %zu, \"batch\": %zu, "
+                "\"offered_qps\": %.1f, \"achieved_qps\": %.1f, "
+                "\"served\": %llu, \"rejected\": %llu, "
+                "\"fell_back_load\": %llu, \"fell_back_deadline\": %llu, "
+                "\"p50_ns\": %.0f, \"p95_ns\": %.0f, \"p99_ns\": %.0f}",
+                p.mode.c_str(), p.threads, p.batch, p.offered_qps,
+                p.achieved_qps,
+                static_cast<unsigned long long>(p.metrics.served),
+                static_cast<unsigned long long>(p.metrics.rejected),
+                static_cast<unsigned long long>(p.metrics.fell_back_load),
+                static_cast<unsigned long long>(p.metrics.fell_back_deadline),
+                p.metrics.p50_ns, p.metrics.p95_ns, p.metrics.p99_ns);
+  *out += buf;
+}
+
+int Main(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(argc, argv, 1);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const ArgParser& args = parsed.value();
+  FlagReader flags(args);
+  const auto rows = static_cast<size_t>(flags.Int("rows", 64));
+  const auto cols = static_cast<size_t>(flags.Int("cols", 64));
+  const auto dim = static_cast<size_t>(flags.Int("dim", 32));
+  const double seconds = flags.Real("seconds", 1.0);
+  const auto queue = static_cast<size_t>(flags.Int("queue", 8192));
+  const auto baseline_queries =
+      static_cast<size_t>(flags.Int("baseline-queries", 20));
+  const auto threads = ParseSizeList(args.Get("threads", "1,2,4"));
+  const auto batches = ParseSizeList(args.Get("batches", "1,16,64,256"));
+  const std::string out_path =
+      args.Get("out", ResultsDir() + "/serve_report.json");
+  if (!flags.status().ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+
+  RoadNetworkConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.seed = 11;
+  const Graph g = MakeRoadNetwork(cfg);
+  std::printf("grid %zux%zu: %zu vertices, %zu edges\n", rows, cols,
+              g.NumVertices(), g.NumEdges());
+
+  std::printf("training RNE d=%zu...\n", dim);
+  std::fflush(stdout);
+  RneConfig config = DefaultRneConfig(dim, g.NumVertices());
+  const Rne model = Rne::Build(g, config);
+
+  std::error_code ec;
+  std::filesystem::create_directories(ResultsDir(), ec);
+  const std::string model_path = ResultsDir() + "/cache/serve_bench.model";
+  std::filesystem::create_directories(ResultsDir() + "/cache", ec);
+  if (const Status st = model.Save(model_path); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const double baseline_qps =
+      PerInvocationBaselineQps(model_path, g, baseline_queries);
+  const double resident_qps =
+      ResidentSequentialQps(model, g, 200000);
+  std::printf("baseline per-invocation: %.1f q/s; resident sequential: "
+              "%.0f q/s\n",
+              baseline_qps, resident_qps);
+
+  std::vector<SweepPoint> points;
+  for (const size_t t : threads) {
+    for (const size_t b : batches) {
+      SweepPoint p = RunClosedLoop(model, g, t, b, queue, seconds);
+      std::printf("closed t=%zu b=%zu: %.0f q/s p50=%.0fns p99=%.0fns\n",
+                  p.threads, p.batch, p.achieved_qps, p.metrics.p50_ns,
+                  p.metrics.p99_ns);
+      std::fflush(stdout);
+      points.push_back(std::move(p));
+    }
+  }
+  // Open loop at 50% and 150% of the best closed-loop capacity: below and
+  // above saturation (the latter exercises admission-control rejection).
+  double best_qps = 0.0;
+  size_t best_threads = 1, best_batch = 1;
+  for (const auto& p : points) {
+    if (p.achieved_qps > best_qps) {
+      best_qps = p.achieved_qps;
+      best_threads = p.threads;
+      best_batch = p.batch;
+    }
+  }
+  for (const double fraction : {0.5, 1.5}) {
+    SweepPoint p = RunOpenLoop(model, g, best_threads, best_batch,
+                               fraction * best_qps, queue, seconds);
+    std::printf("open offered=%.0f: achieved %.0f q/s rejected=%llu "
+                "p99=%.0fns\n",
+                p.offered_qps, p.achieved_qps,
+                static_cast<unsigned long long>(p.metrics.rejected),
+                p.metrics.p99_ns);
+    std::fflush(stdout);
+    points.push_back(std::move(p));
+  }
+
+  std::string json = "{\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"dataset\": {\"rows\": %zu, \"cols\": %zu, "
+                "\"vertices\": %zu, \"edges\": %zu},\n"
+                "  \"model\": {\"dim\": %zu, \"index_bytes\": %zu},\n"
+                "  \"baseline\": {\"per_invocation_qps\": %.1f, "
+                "\"resident_sequential_qps\": %.0f},\n"
+                "  \"best\": {\"threads\": %zu, \"batch\": %zu, "
+                "\"qps\": %.0f, \"speedup_vs_per_invocation\": %.1f},\n"
+                "  \"sweep\": [\n",
+                rows, cols, g.NumVertices(), g.NumEdges(), dim,
+                model.IndexBytes(), baseline_qps, resident_qps, best_threads,
+                best_batch, best_qps,
+                baseline_qps > 0.0 ? best_qps / baseline_qps : 0.0);
+  json += buf;
+  for (size_t i = 0; i < points.size(); ++i) {
+    AppendPointJson(&json, points[i]);
+    json += i + 1 < points.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s (best %.0f q/s = %.1fx the per-invocation "
+              "baseline)\n",
+              out_path.c_str(), best_qps,
+              baseline_qps > 0.0 ? best_qps / baseline_qps : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rne::bench
+
+int main(int argc, char** argv) { return rne::bench::Main(argc, argv); }

@@ -1,0 +1,279 @@
+#include "serve/backend.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "algo/dijkstra.h"
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/gtree.h"
+#include "baselines/h2h.h"
+#include "core/quantized.h"
+#include "core/rne.h"
+#include "core/rne_index.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rne::serve {
+namespace {
+
+Status RequireGraph(const BackendContext& ctx, const char* name) {
+  if (ctx.graph == nullptr) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " backend requires a graph");
+  }
+  return Status::Ok();
+}
+
+/// Learned RNE model: the serving matrix is immutable after load, so
+/// queries are lock-free shared reads. kNN goes through the embedding-space
+/// tree index (also const).
+class RneBackend : public QueryBackend {
+ public:
+  /// Owns a freshly loaded model.
+  explicit RneBackend(Rne model)
+      : owned_(std::make_unique<Rne>(std::move(model))),
+        model_(owned_.get()),
+        index_(model_) {}
+  /// Borrows a caller-owned model (must outlive the backend).
+  explicit RneBackend(const Rne* model) : model_(model), index_(model_) {}
+
+  std::string Name() const override { return "rne"; }
+  bool IsExact() const override { return false; }
+  size_t NumVertices() const override { return model_->NumVertices(); }
+  size_t IndexBytes() const override { return model_->IndexBytes(); }
+  double Distance(VertexId s, VertexId t) override {
+    return model_->Query(s, t);
+  }
+  bool SupportsKnn() const override { return true; }
+  std::vector<std::pair<VertexId, double>> Knn(VertexId s,
+                                               size_t k) override {
+    return index_.Knn(s, k);
+  }
+
+ private:
+  std::unique_ptr<Rne> owned_;  // null when borrowing
+  const Rne* model_;
+  RneIndex index_;
+};
+
+/// 8-bit quantized RNE matrix; const lookups, shared lock-free.
+class QuantizedRneBackend : public QueryBackend {
+ public:
+  explicit QuantizedRneBackend(QuantizedRne model)
+      : model_(std::move(model)) {}
+
+  std::string Name() const override { return "rne-quantized"; }
+  bool IsExact() const override { return false; }
+  size_t NumVertices() const override { return model_.NumVertices(); }
+  size_t IndexBytes() const override { return model_.IndexBytes(); }
+  double Distance(VertexId s, VertexId t) override {
+    return model_.Query(s, t);
+  }
+
+ private:
+  QuantizedRne model_;
+};
+
+/// Exact Dijkstra with one reusable workspace per pool worker, selected by
+/// ThreadPool::CurrentWorkerIndex() — no locking on the worker path. Calls
+/// from non-pool threads share one mutex-guarded overflow slot.
+class DijkstraBackend : public QueryBackend {
+ public:
+  DijkstraBackend(const Graph& g, size_t num_workers) : graph_(g) {
+    workers_.reserve(num_workers);
+    for (size_t i = 0; i < num_workers; ++i) {
+      workers_.push_back(std::make_unique<DijkstraSearch>(g));
+    }
+    overflow_ = std::make_unique<DijkstraSearch>(g);
+  }
+
+  std::string Name() const override { return "dijkstra"; }
+  bool IsExact() const override { return true; }
+  size_t NumVertices() const override { return graph_.NumVertices(); }
+  size_t IndexBytes() const override { return 0; }
+
+  double Distance(VertexId s, VertexId t) override {
+    const size_t w = ThreadPool::CurrentWorkerIndex();
+    if (w < workers_.size()) return workers_[w]->Distance(s, t);
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    return overflow_->Distance(s, t);
+  }
+
+  bool SupportsKnn() const override { return true; }
+  std::vector<std::pair<VertexId, double>> Knn(VertexId s,
+                                               size_t k) override {
+    const size_t w = ThreadPool::CurrentWorkerIndex();
+    if (w < workers_.size()) return KnnWith(*workers_[w], s, k);
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    return KnnWith(*overflow_, s, k);
+  }
+
+ private:
+  static std::vector<std::pair<VertexId, double>> KnnWith(DijkstraSearch& dij,
+                                                          VertexId s,
+                                                          size_t k) {
+    const std::vector<double>& dist = dij.AllDistances(s);
+    std::vector<std::pair<double, VertexId>> order;
+    order.reserve(dist.size());
+    for (VertexId v = 0; v < dist.size(); ++v) {
+      if (dist[v] != kInfDistance) order.emplace_back(dist[v], v);
+    }
+    const size_t take = std::min(k, order.size());
+    std::partial_sort(order.begin(), order.begin() + take, order.end());
+    std::vector<std::pair<VertexId, double>> out;
+    out.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out.emplace_back(order[i].second, order[i].first);
+    }
+    return out;
+  }
+
+  const Graph& graph_;
+  std::vector<std::unique_ptr<DijkstraSearch>> workers_;
+  std::unique_ptr<DijkstraSearch> overflow_;
+  std::mutex overflow_mu_;
+};
+
+/// Mutex-serialized adapter for search-based DistanceMethods whose Query()
+/// mutates an internal workspace (CH, H2H, LT, G-tree). Parallelism is
+/// sacrificed; use per-worker or shared-read backends on hot chains.
+template <typename MethodT>
+class SerializedBackend : public QueryBackend {
+ public:
+  template <typename... Args>
+  explicit SerializedBackend(size_t num_vertices, Args&&... args)
+      : method_(std::forward<Args>(args)...), num_vertices_(num_vertices) {}
+
+  std::string Name() const override { return method_.Name(); }
+  bool IsExact() const override { return method_.IsExact(); }
+  size_t NumVertices() const override { return num_vertices_; }
+  size_t IndexBytes() const override { return method_.IndexBytes(); }
+  double Distance(VertexId s, VertexId t) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return method_.Query(s, t);
+  }
+
+ protected:
+  std::mutex mu_;
+  MethodT method_;
+  size_t num_vertices_ = 0;
+};
+
+class GTreeBackend : public SerializedBackend<GTree> {
+ public:
+  GTreeBackend(const Graph& g, const GTreeOptions& options)
+      : SerializedBackend<GTree>(g.NumVertices(), g, options) {}
+  bool SupportsKnn() const override { return true; }
+  std::vector<std::pair<VertexId, double>> Knn(VertexId s,
+                                               size_t k) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return method_.Knn(s, k);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, BackendFactory> factories;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    r->factories["rne"] =
+        [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {
+      auto model = Rne::Load(ctx.model_path);
+      if (!model.ok()) return model.status();
+      return std::unique_ptr<QueryBackend>(
+          new RneBackend(std::move(model).value()));
+    };
+    r->factories["rne-quantized"] =
+        [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {
+      auto model = QuantizedRne::Load(ctx.model_path);
+      if (!model.ok()) return model.status();
+      return std::unique_ptr<QueryBackend>(
+          new QuantizedRneBackend(std::move(model).value()));
+    };
+    r->factories["dijkstra"] =
+        [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {
+      RNE_RETURN_IF_ERROR(RequireGraph(ctx, "dijkstra"));
+      return std::unique_ptr<QueryBackend>(
+          new DijkstraBackend(*ctx.graph, ctx.num_workers));
+    };
+    r->factories["ch"] =
+        [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {
+      RNE_RETURN_IF_ERROR(RequireGraph(ctx, "ch"));
+      return std::unique_ptr<QueryBackend>(
+          new SerializedBackend<ContractionHierarchy>(
+              ctx.graph->NumVertices(), *ctx.graph, ChOptions{}));
+    };
+    r->factories["h2h"] =
+        [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {
+      RNE_RETURN_IF_ERROR(RequireGraph(ctx, "h2h"));
+      return std::unique_ptr<QueryBackend>(
+          new SerializedBackend<H2HIndex>(ctx.graph->NumVertices(),
+                                          *ctx.graph));
+    };
+    r->factories["alt"] =
+        [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {
+      RNE_RETURN_IF_ERROR(RequireGraph(ctx, "alt"));
+      Rng rng(ctx.seed);
+      return std::unique_ptr<QueryBackend>(new SerializedBackend<AltIndex>(
+          ctx.graph->NumVertices(), *ctx.graph, ctx.alt_landmarks, rng));
+    };
+    r->factories["gtree"] =
+        [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {
+      RNE_RETURN_IF_ERROR(RequireGraph(ctx, "gtree"));
+      GTreeOptions options;
+      options.seed = ctx.seed;
+      return std::unique_ptr<QueryBackend>(
+          new GTreeBackend(*ctx.graph, options));
+    };
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+void RegisterBackendFactory(const std::string& name, BackendFactory factory) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.factories[name] = std::move(factory);
+}
+
+StatusOr<std::unique_ptr<QueryBackend>> MakeBackend(const std::string& name,
+                                                    const BackendContext& ctx) {
+  BackendFactory factory;
+  {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    const auto it = registry.factories.find(name);
+    if (it == registry.factories.end()) {
+      return Status::NotFound("no backend registered as '" + name + "'");
+    }
+    factory = it->second;
+  }
+  return factory(ctx);
+}
+
+std::unique_ptr<QueryBackend> MakeSharedModelBackend(const Rne& model) {
+  return std::make_unique<RneBackend>(&model);
+}
+
+std::vector<std::string> RegisteredBackendNames() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.factories.size());
+  for (const auto& [name, factory] : registry.factories) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace rne::serve

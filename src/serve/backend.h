@@ -1,0 +1,99 @@
+// Serving backends: thread-safe adapters that put the repo's distance
+// indexes (RNE, quantized RNE, CH, H2H, ALT/LT, G-tree, exact Dijkstra —
+// all DistanceMethod implementations) behind one concurrency-safe query
+// surface, plus a string-keyed factory registry so the QueryEngine, the
+// rne_server tool, and tests can assemble fallback chains by name.
+//
+// DistanceMethod::Query is documented as not thread-safe (search methods
+// reuse internal workspaces), so each adapter picks its own strategy:
+//   * shared-read      — const lookups, served lock-free (RNE, quantized);
+//   * per-worker state — one scratch workspace per pool worker, picked via
+//                        ThreadPool::CurrentWorkerIndex() (exact Dijkstra);
+//   * serialized       — an internal mutex around the index (CH, H2H, LT,
+//                        G-tree), trading parallelism for correctness.
+#ifndef RNE_SERVE_BACKEND_H_
+#define RNE_SERVE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rne {
+class Rne;
+}
+
+namespace rne::serve {
+
+/// A loaded index serving point-to-point distance (and optionally kNN)
+/// queries. All methods are safe to call concurrently from pool workers.
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  virtual std::string Name() const = 0;
+  /// True when Distance() returns exact shortest-path distances.
+  virtual bool IsExact() const = 0;
+  virtual size_t NumVertices() const = 0;
+  /// Resident index footprint in bytes (0 for search-only backends).
+  virtual size_t IndexBytes() const = 0;
+
+  /// (Approximate) shortest-path distance s -> t; kInfDistance when
+  /// unreachable. Ids must be < NumVertices().
+  virtual double Distance(VertexId s, VertexId t) = 0;
+
+  /// Whether Knn() is implemented.
+  virtual bool SupportsKnn() const { return false; }
+  /// k nearest vertices to s by (approximate) network distance, sorted
+  /// ascending. Default: empty.
+  virtual std::vector<std::pair<VertexId, double>> Knn(VertexId /*s*/,
+                                                       size_t /*k*/) {
+    return {};
+  }
+};
+
+/// Everything a factory may need to materialize a backend. Pointees must
+/// outlive the backend.
+struct BackendContext {
+  /// Road network; required by graph-built backends (dijkstra, ch, h2h,
+  /// alt, gtree) and ignored by model-file backends.
+  const Graph* graph = nullptr;
+  /// Serialized model path; required by "rne" / "rne-quantized".
+  std::string model_path;
+  /// Worker count of the serving pool (sizes per-worker scratch).
+  size_t num_workers = 1;
+  /// Landmark count for the "alt" backend.
+  size_t alt_landmarks = 16;
+  uint64_t seed = 1;
+};
+
+using BackendFactory =
+    std::function<StatusOr<std::unique_ptr<QueryBackend>>(const BackendContext&)>;
+
+/// Registers `factory` under `name`, replacing any previous registration.
+/// Tests use this to inject stub backends; built-ins are pre-registered.
+void RegisterBackendFactory(const std::string& name, BackendFactory factory);
+
+/// Instantiates the backend registered under `name`. NotFound for unknown
+/// names; factory errors (missing model file, absent graph, ...) pass
+/// through.
+StatusOr<std::unique_ptr<QueryBackend>> MakeBackend(const std::string& name,
+                                                    const BackendContext& ctx);
+
+/// Sorted names of all registered backends ("alt", "ch", "dijkstra",
+/// "gtree", "h2h", "rne", "rne-quantized", plus test registrations).
+std::vector<std::string> RegisteredBackendNames();
+
+/// Wraps an in-process trained model the caller keeps alive (benchmarks,
+/// tests); identical serving behaviour to the "rne" backend but without the
+/// load-from-disk step. `model` must outlive the backend.
+std::unique_ptr<QueryBackend> MakeSharedModelBackend(const Rne& model);
+
+}  // namespace rne::serve
+
+#endif  // RNE_SERVE_BACKEND_H_

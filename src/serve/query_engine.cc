@@ -1,0 +1,279 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+namespace rne::serve {
+
+std::string MetricsSnapshot::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"served\": %llu, \"rejected\": %llu, \"failed\": %llu, "
+      "\"fell_back_load\": %llu, \"fell_back_deadline\": %llu, "
+      "\"qps\": %.1f, \"uptime_seconds\": %.3f, \"latency_ns\": "
+      "{\"p50\": %.0f, \"p95\": %.0f, \"p99\": %.0f, \"mean\": %.0f, "
+      "\"max\": %lld}}",
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(fell_back_load),
+      static_cast<unsigned long long>(fell_back_deadline), qps,
+      uptime_seconds, p50_ns, p95_ns, p99_ns, mean_ns,
+      static_cast<long long>(max_ns));
+  return buf;
+}
+
+QueryEngine::QueryEngine(const EngineOptions& options, ThreadPool* pool)
+    : options_(options),
+      owned_pool_(pool == nullptr
+                      ? std::make_unique<ThreadPool>(options.num_threads)
+                      : nullptr),
+      pool_(pool == nullptr ? owned_pool_.get() : pool),
+      start_(Clock::now()) {}
+
+QueryEngine::~QueryEngine() {
+  std::vector<std::thread> loaders;
+  {
+    std::lock_guard<std::mutex> lock(chain_mu_);
+    loaders.swap(loaders_);
+  }
+  for (auto& t : loaders) t.join();
+}
+
+void QueryEngine::AddBackend(const std::string& name, BackendContext ctx) {
+  ctx.num_workers = pool_->num_threads();
+  auto slot = std::make_unique<BackendSlot>();
+  slot->name = name;
+  BackendSlot* raw = slot.get();
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  chain_.push_back(std::move(slot));
+  // Loads run on dedicated threads, never on the serving pool: a query task
+  // blocked on a loading backend must not be able to starve the load itself.
+  loaders_.emplace_back([this, raw, name, ctx] {
+    auto result = MakeBackend(name, ctx);
+    {
+      std::lock_guard<std::mutex> inner(chain_mu_);
+      if (result.ok()) {
+        raw->backend = std::move(result).value();
+        raw->state = SlotState::kReady;
+      } else {
+        raw->load_status = result.status();
+        raw->state = SlotState::kFailed;
+      }
+    }
+    chain_changed_.notify_all();
+  });
+}
+
+void QueryEngine::AddReadyBackend(std::unique_ptr<QueryBackend> backend) {
+  auto slot = std::make_unique<BackendSlot>();
+  slot->name = backend->Name();
+  slot->backend = std::move(backend);
+  slot->state = SlotState::kReady;
+  {
+    std::lock_guard<std::mutex> lock(chain_mu_);
+    chain_.push_back(std::move(slot));
+  }
+  chain_changed_.notify_all();
+}
+
+Status QueryEngine::WaitUntilLoaded() {
+  std::unique_lock<std::mutex> lock(chain_mu_);
+  chain_changed_.wait(lock, [this] {
+    for (const auto& slot : chain_) {
+      if (slot->state == SlotState::kLoading) return false;
+    }
+    return true;
+  });
+  for (const auto& slot : chain_) {
+    if (slot->state == SlotState::kFailed) return slot->load_status;
+  }
+  return Status::Ok();
+}
+
+size_t QueryEngine::num_backends() const {
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  return chain_.size();
+}
+
+QueryBackend* QueryEngine::ChooseBackend(RequestKind kind,
+                                         Clock::time_point deadline,
+                                         bool* fell_back,
+                                         bool* deadline_fallback,
+                                         bool* load_fallback) {
+  const bool bounded = deadline != Clock::time_point::max();
+  std::unique_lock<std::mutex> lock(chain_mu_);
+  for (size_t i = 0; i < chain_.size(); ++i) {
+    BackendSlot& slot = *chain_[i];
+    // A still-loading backend is worth waiting for only until the request's
+    // deadline; past it, the request falls down the chain (learned ->
+    // exact) instead of stalling.
+    while (slot.state == SlotState::kLoading) {
+      if (!bounded) {
+        chain_changed_.wait(lock);
+      } else if (chain_changed_.wait_until(lock, deadline) ==
+                     std::cv_status::timeout &&
+                 slot.state == SlotState::kLoading) {
+        break;
+      }
+    }
+    if (slot.state == SlotState::kLoading) {
+      *fell_back = true;
+      *deadline_fallback = true;
+      continue;
+    }
+    if (slot.state == SlotState::kFailed) {
+      *fell_back = true;
+      *load_fallback = true;
+      continue;
+    }
+    if (kind == RequestKind::kKnn && !slot.backend->SupportsKnn()) continue;
+    return slot.backend.get();
+  }
+  return nullptr;
+}
+
+void QueryEngine::ExecuteChunk(std::span<const Request> requests,
+                               std::span<Response> out,
+                               Clock::time_point admitted,
+                               Clock::time_point deadline_default) {
+  LatencyHistogram local_latency;
+  uint64_t served = 0, failed = 0, fb_load = 0, fb_deadline = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = requests[i];
+    Clock::time_point deadline = deadline_default;
+    if (request.deadline.count() > 0) deadline = admitted + request.deadline;
+    bool fell_back = false, deadline_fb = false, load_fb = false;
+    Response response;
+    QueryBackend* backend = ChooseBackend(request.kind, deadline, &fell_back,
+                                          &deadline_fb, &load_fb);
+    if (backend == nullptr) {
+      response.status =
+          deadline_fb ? Status::DeadlineExceeded(
+                            "deadline expired before any backend became ready")
+                      : Status::Unavailable("no backend can serve this request");
+    } else {
+      const size_t n = backend->NumVertices();
+      const bool needs_t = request.kind == RequestKind::kDistance;
+      if (request.s >= n || (needs_t && request.t >= n)) {
+        response.status = Status::InvalidArgument(
+            "vertex id out of range [0, " + std::to_string(n) + ")");
+      } else {
+        try {
+          if (request.kind == RequestKind::kDistance) {
+            response.distance = backend->Distance(request.s, request.t);
+          } else {
+            response.knn = backend->Knn(request.s, request.k);
+          }
+          response.backend = backend->Name();
+          response.exact = backend->IsExact();
+          response.fell_back = fell_back;
+        } catch (const std::exception& e) {
+          response.status = Status::FailedPrecondition(
+              std::string("backend '") + backend->Name() + "' threw: " +
+              e.what());
+        }
+      }
+    }
+    response.latency_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             admitted)
+            .count();
+    if (response.status.ok()) {
+      ++served;
+      if (load_fb) ++fb_load;
+      if (deadline_fb) ++fb_deadline;
+    } else {
+      ++failed;
+    }
+    local_latency.Record(response.latency_ns);
+    out[i] = std::move(response);
+  }
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  latency_.Merge(local_latency);
+  served_ += served;
+  failed_ += failed;
+  fell_back_load_ += fb_load;
+  fell_back_deadline_ += fb_deadline;
+}
+
+Status QueryEngine::QueryBatch(std::span<const Request> requests,
+                               std::vector<Response>* out) {
+  out->clear();
+  out->resize(requests.size());
+  if (requests.empty()) return Status::Ok();
+  const Clock::time_point admitted = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (outstanding_ + requests.size() > options_.queue_capacity) {
+      std::lock_guard<std::mutex> mlock(metrics_mu_);
+      rejected_ += requests.size();
+      return Status::Unavailable(
+          "admission queue full: " + std::to_string(outstanding_) + " + " +
+          std::to_string(requests.size()) + " > capacity " +
+          std::to_string(options_.queue_capacity));
+    }
+    outstanding_ += requests.size();
+  }
+  const Clock::time_point deadline_default =
+      options_.default_deadline.count() > 0
+          ? admitted + options_.default_deadline
+          : Clock::time_point::max();
+  const size_t chunk = std::max<size_t>(1, options_.batch_chunk);
+  {
+    TaskGroup group(pool_);
+    for (size_t begin = 0; begin < requests.size(); begin += chunk) {
+      const size_t end = std::min(requests.size(), begin + chunk);
+      group.Submit([this, requests, out, begin, end, admitted,
+                    deadline_default] {
+        ExecuteChunk(requests.subspan(begin, end - begin),
+                     std::span<Response>(*out).subspan(begin, end - begin),
+                     admitted, deadline_default);
+      });
+    }
+    group.Wait();
+  }
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    outstanding_ -= requests.size();
+  }
+  return Status::Ok();
+}
+
+Response QueryEngine::Query(const Request& request) {
+  std::vector<Response> out;
+  const Status admitted = QueryBatch(std::span<const Request>(&request, 1),
+                                     &out);
+  if (!admitted.ok()) {
+    Response response;
+    response.status = admitted;
+    return response;
+  }
+  return std::move(out[0]);
+}
+
+MetricsSnapshot QueryEngine::Metrics() const {
+  MetricsSnapshot snapshot;
+  snapshot.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  snapshot.served = served_;
+  snapshot.rejected = rejected_;
+  snapshot.failed = failed_;
+  snapshot.fell_back_load = fell_back_load_;
+  snapshot.fell_back_deadline = fell_back_deadline_;
+  snapshot.qps = snapshot.uptime_seconds > 0.0
+                     ? static_cast<double>(served_) / snapshot.uptime_seconds
+                     : 0.0;
+  snapshot.p50_ns = latency_.PercentileNanos(50.0);
+  snapshot.p95_ns = latency_.PercentileNanos(95.0);
+  snapshot.p99_ns = latency_.PercentileNanos(99.0);
+  snapshot.mean_ns = latency_.MeanNanos();
+  snapshot.max_ns = latency_.MaxNanos();
+  return snapshot;
+}
+
+}  // namespace rne::serve

@@ -1,0 +1,178 @@
+// Concurrent batched query serving (the ROADMAP's "heavy traffic" path).
+//
+// A QueryEngine owns an ordered fallback chain of QueryBackends and executes
+// batched distance/kNN requests on a shared ThreadPool, one TaskGroup per
+// batch so concurrent batches never wait on each other. It enforces:
+//
+//  * Admission control — a bounded count of admitted-but-unfinished
+//    requests; a batch that would exceed it is rejected whole with
+//    Status::Unavailable (explicit backpressure instead of unbounded queue
+//    growth).
+//  * Per-request deadlines — measured from admission. Backends load
+//    asynchronously; a request whose primary is still loading waits only
+//    until its deadline, then falls back down the chain (learned backend ->
+//    exact Dijkstra), and a backend that failed to load is skipped
+//    immediately. A request that cannot be answered at all reports
+//    DeadlineExceeded/Unavailable rather than blocking forever.
+//  * Metrics — served/rejected/failed/fallback counters plus a merged
+//    per-batch latency histogram (p50/p95/p99 over admission-to-completion
+//    nanoseconds) and QPS since start, exported as a JSON-able snapshot.
+#ifndef RNE_SERVE_QUERY_ENGINE_H_
+#define RNE_SERVE_QUERY_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/backend.h"
+#include "util/histogram.h"
+#include "util/thread_pool.h"
+
+namespace rne::serve {
+
+struct EngineOptions {
+  /// Workers for an engine-owned pool when none is shared in (0 = hardware
+  /// concurrency).
+  size_t num_threads = 0;
+  /// Max admitted-but-unfinished requests across all concurrent batches;
+  /// batches beyond it are rejected with Unavailable.
+  size_t queue_capacity = 4096;
+  /// Requests per pool task; amortizes queue traffic for large batches.
+  size_t batch_chunk = 32;
+  /// Deadline for requests that do not carry their own (0 = none).
+  std::chrono::microseconds default_deadline{0};
+};
+
+enum class RequestKind { kDistance, kKnn };
+
+struct Request {
+  RequestKind kind = RequestKind::kDistance;
+  VertexId s = 0;
+  VertexId t = 0;
+  /// Neighbor count for kKnn.
+  size_t k = 0;
+  /// Per-request deadline from admission; 0 uses the engine default.
+  std::chrono::microseconds deadline{0};
+};
+
+struct Response {
+  Status status;
+  double distance = kInfDistance;
+  std::vector<std::pair<VertexId, double>> knn;
+  /// Name of the backend that answered (empty on failure).
+  std::string backend;
+  bool exact = false;
+  /// True when a non-primary backend answered (load failure or deadline).
+  bool fell_back = false;
+  /// Admission-to-completion latency.
+  int64_t latency_ns = 0;
+};
+
+struct MetricsSnapshot {
+  uint64_t served = 0;
+  uint64_t rejected = 0;   // admission-control rejections (requests)
+  uint64_t failed = 0;     // per-request errors (bad ids, no backend)
+  uint64_t fell_back_load = 0;      // served past a failed/absent backend
+  uint64_t fell_back_deadline = 0;  // served past a still-loading backend
+  double qps = 0.0;        // served / uptime
+  double uptime_seconds = 0.0;
+  double p50_ns = 0.0, p95_ns = 0.0, p99_ns = 0.0;
+  double mean_ns = 0.0;
+  int64_t max_ns = 0;
+
+  std::string ToJson() const;
+};
+
+class QueryEngine {
+ public:
+  /// Uses `pool` when given (not owned; must outlive the engine), otherwise
+  /// creates a private pool with options.num_threads workers.
+  explicit QueryEngine(const EngineOptions& options = {},
+                       ThreadPool* pool = nullptr);
+  /// Joins outstanding backend loads. Callers must have finished (or must
+  /// not start) QueryBatch calls.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Appends a backend to the fallback chain (first added = primary) and
+  /// starts loading it on a dedicated thread; queries arriving before the
+  /// load finishes wait up to their deadline. `ctx.num_workers` is
+  /// overwritten with the pool's worker count.
+  void AddBackend(const std::string& name, BackendContext ctx);
+  /// Appends an already-constructed backend, immediately ready (tests,
+  /// in-process indexes).
+  void AddReadyBackend(std::unique_ptr<QueryBackend> backend);
+
+  /// Blocks until every added backend finished loading; returns the first
+  /// load error (the engine still serves via the rest of the chain).
+  Status WaitUntilLoaded();
+
+  /// Executes `requests` as one batch: admits all-or-nothing (Unavailable
+  /// on queue-full), fans out onto the pool, and blocks until every
+  /// response is filled. `out` is resized to requests.size(); per-request
+  /// failures land in Response::status, not the return value.
+  Status QueryBatch(std::span<const Request> requests,
+                    std::vector<Response>* out);
+
+  /// Convenience single-request wrapper.
+  Response Query(const Request& request);
+
+  MetricsSnapshot Metrics() const;
+
+  ThreadPool& pool() { return *pool_; }
+  size_t num_backends() const;
+
+ private:
+  enum class SlotState { kLoading, kReady, kFailed };
+
+  struct BackendSlot {
+    std::string name;
+    SlotState state = SlotState::kLoading;
+    std::unique_ptr<QueryBackend> backend;
+    Status load_status;
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  void ExecuteChunk(std::span<const Request> requests,
+                    std::span<Response> out, Clock::time_point admitted,
+                    Clock::time_point deadline_default);
+  /// Picks the serving backend per the fallback policy; blocks on loading
+  /// slots until `deadline`. Returns nullptr when no backend can serve.
+  QueryBackend* ChooseBackend(RequestKind kind, Clock::time_point deadline,
+                              bool* fell_back, bool* deadline_fallback,
+                              bool* load_fallback);
+
+  const EngineOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+  const Clock::time_point start_;
+
+  mutable std::mutex chain_mu_;
+  std::condition_variable chain_changed_;
+  std::vector<std::unique_ptr<BackendSlot>> chain_;
+  std::vector<std::thread> loaders_;
+
+  mutable std::mutex metrics_mu_;
+  LatencyHistogram latency_;
+  uint64_t served_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t fell_back_load_ = 0;
+  uint64_t fell_back_deadline_ = 0;
+
+  std::mutex admission_mu_;
+  size_t outstanding_ = 0;
+};
+
+}  // namespace rne::serve
+
+#endif  // RNE_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,84 @@
+// Strict `--key value` command-line parsing shared by the CLI tools
+// (rne_tool, rne_server) and the serving load generator.
+//
+// The historical tool parser walked argv with a blind `i += 2` stride, so a
+// `--flag` missing its value silently consumed the next flag as its value
+// and shifted every later pair. Parse() rejects that with an error instead.
+#ifndef RNE_UTIL_ARG_PARSER_H_
+#define RNE_UTIL_ARG_PARSER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rne {
+
+/// Parsed `--key value` pairs plus bare positional tokens.
+class ArgParser {
+ public:
+  /// Parses argv[begin, argc). Every token starting with "--" is a flag and
+  /// must be followed by a value token (which must not itself start with
+  /// "--"); otherwise InvalidArgument names the offending flag. Flags named
+  /// in `switches` are boolean: they take no value and Has() reports their
+  /// presence. Tokens that are not flags and not flag values are collected
+  /// as positionals in order. Repeated flags keep the last value.
+  static StatusOr<ArgParser> Parse(int argc, char* const* argv, int begin = 1,
+                                   const std::set<std::string>& switches = {});
+
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const;
+  /// Integer flag; InvalidArgument when present but not a valid integer.
+  StatusOr<long> GetInt(const std::string& key, long fallback) const;
+  /// Real-valued flag; InvalidArgument when present but not a number.
+  StatusOr<double> GetDouble(const std::string& key, double fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  ArgParser() = default;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+/// Error-accumulating typed flag access: reads return the fallback on a
+/// malformed value and latch the first error into status(), so a command
+/// can read every flag up front and fail once with a precise message.
+class FlagReader {
+ public:
+  explicit FlagReader(const ArgParser& args) : args_(args) {}
+
+  std::string Str(const std::string& key, const std::string& fallback) const {
+    return args_.Get(key, fallback);
+  }
+  long Int(const std::string& key, long fallback) {
+    return Latch(args_.GetInt(key, fallback), fallback);
+  }
+  double Real(const std::string& key, double fallback) {
+    return Latch(args_.GetDouble(key, fallback), fallback);
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  template <typename T>
+  T Latch(StatusOr<T> value, T fallback) {
+    if (!value.ok()) {
+      if (status_.ok()) status_ = value.status();
+      return fallback;
+    }
+    return value.value();
+  }
+
+  const ArgParser& args_;
+  Status status_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_ARG_PARSER_H_

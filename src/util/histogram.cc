@@ -1,6 +1,8 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdio>
 
 #include "util/macros.h"
@@ -73,6 +75,77 @@ std::string Histogram::ToString() const {
     out += line;
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+LatencyHistogram::LatencyHistogram() : counts_(kNumBuckets, 0) {}
+
+size_t LatencyHistogram::BucketFor(int64_t nanos) {
+  const uint64_t v = nanos > 0 ? static_cast<uint64_t>(nanos) : 0;
+  constexpr uint64_t kSubMask = (uint64_t{1} << kSubBits) - 1;
+  if (v < (uint64_t{2} << kSubBits)) return static_cast<size_t>(v);
+  const unsigned msb = static_cast<unsigned>(std::bit_width(v)) - 1;
+  const uint64_t sub = (v >> (msb - kSubBits)) & kSubMask;
+  return ((static_cast<size_t>(msb) - kSubBits + 1) << kSubBits) +
+         static_cast<size_t>(sub);
+}
+
+int64_t LatencyHistogram::BucketLowerBound(size_t bucket) {
+  if (bucket < (size_t{2} << kSubBits)) return static_cast<int64_t>(bucket);
+  const size_t octave = bucket >> kSubBits;
+  const unsigned msb = static_cast<unsigned>(octave + kSubBits - 1);
+  const uint64_t sub = bucket & ((size_t{1} << kSubBits) - 1);
+  return static_cast<int64_t>((uint64_t{1} << msb) +
+                              (sub << (msb - kSubBits)));
+}
+
+void LatencyHistogram::Record(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  counts_[BucketFor(nanos)] += 1;
+  total_ += 1;
+  sum_nanos_ += static_cast<double>(nanos);
+  max_nanos_ = std::max(max_nanos_, nanos);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_nanos_ += other.sum_nanos_;
+  max_nanos_ = std::max(max_nanos_, other.max_nanos_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_nanos_ = 0.0;
+  max_nanos_ = 0;
+}
+
+double LatencyHistogram::MeanNanos() const {
+  return total_ == 0 ? 0.0 : sum_nanos_ / static_cast<double>(total_);
+}
+
+double LatencyHistogram::PercentileNanos(double p) const {
+  if (total_ == 0) return 0.0;
+  if (p >= 100.0) return static_cast<double>(max_nanos_);
+  const double clamped = std::max(p, 0.0);
+  const auto target = static_cast<uint64_t>(std::max(
+      1.0, std::ceil(clamped / 100.0 * static_cast<double>(total_))));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= target) {
+      const double lower = static_cast<double>(BucketLowerBound(b));
+      const double upper = b + 1 < kNumBuckets
+                               ? static_cast<double>(BucketLowerBound(b + 1))
+                               : lower;
+      return std::min((lower + upper) / 2.0,
+                      static_cast<double>(max_nanos_));
+    }
+  }
+  return static_cast<double>(max_nanos_);
 }
 
 }  // namespace rne

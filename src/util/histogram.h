@@ -1,8 +1,10 @@
-// Fixed-bucket histogram used for error-vs-distance analyses (Fig 8 / Fig 17).
+// Fixed-bucket histogram used for error-vs-distance analyses (Fig 8 / Fig 17)
+// and a log-bucketed latency histogram for serving-path percentiles.
 #ifndef RNE_UTIL_HISTOGRAM_H_
 #define RNE_UTIL_HISTOGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,41 @@ class Histogram {
   std::vector<size_t> counts_;
   std::vector<double> value_sums_;
   std::vector<double> aux_sums_;
+};
+
+/// Log-bucketed histogram of nanosecond latencies: geometric buckets with 16
+/// sub-buckets per power of two (<= ~4.5% relative bucket width), so queue
+/// waits spanning ns..minutes coexist in one fixed ~10 KiB structure with no
+/// per-sample allocation. Percentile() linearly scans the cumulative counts.
+/// Not thread-safe: record into per-worker instances and Merge() snapshots.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one latency sample; negative values count as zero.
+  void Record(int64_t nanos);
+  /// Adds every sample of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  size_t TotalCount() const { return total_; }
+  double MeanNanos() const;
+  int64_t MaxNanos() const { return max_nanos_; }
+  /// Value at percentile `p` in [0, 100] (bucket midpoint; exact for the
+  /// recorded max). Returns 0 when empty.
+  double PercentileNanos(double p) const;
+
+ private:
+  static size_t BucketFor(int64_t nanos);
+  static int64_t BucketLowerBound(size_t bucket);
+
+  static constexpr size_t kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr size_t kNumBuckets = (64 - kSubBits) << kSubBits;
+
+  std::vector<uint64_t> counts_;
+  size_t total_ = 0;
+  double sum_nanos_ = 0.0;
+  int64_t max_nanos_ = 0;
 };
 
 }  // namespace rne

@@ -17,6 +17,10 @@ const char* CodeName(StatusCode code) {
       return "CORRUPTION";
     case StatusCode::kFailedPrecondition:
       return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,8 @@ enum class StatusCode {
   kIoError,
   kCorruption,
   kFailedPrecondition,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -45,6 +47,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,18 +1,22 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
-#include <memory>
+#include <utility>
 
 namespace rne {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+namespace {
+thread_local size_t tls_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : default_group_(std::make_shared<GroupState>()) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -25,19 +29,36 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+size_t ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+void ThreadPool::SubmitToGroup(const std::shared_ptr<GroupState>& group,
+                               std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    ++group->pending;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    tasks_.push(QueuedTask{group, std::move(task)});
   }
   task_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+void ThreadPool::WaitOnGroup(GroupState& group) {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(group.mu);
+    group.done.wait(lock, [&group] { return group.pending == 0; });
+    error = std::exchange(group.first_error, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SubmitToGroup(default_group_, std::move(task));
+}
+
+void ThreadPool::Wait() { WaitOnGroup(*default_group_); }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
@@ -45,20 +66,22 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // per-index queue traffic for large n.
   const size_t chunks = std::min(n, num_threads() * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
+  TaskGroup group(this);
   for (size_t c = 0; c < chunks; ++c) {
     const size_t begin = c * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
     if (begin >= end) break;
-    Submit([&fn, begin, end] {
+    group.Submit([&fn, begin, end] {
       for (size_t i = begin; i < end; ++i) fn(i);
     });
   }
-  Wait();
+  group.Wait();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock,
@@ -70,13 +93,36 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // The worker boundary is the exception firewall: a throwing task must
+    // neither terminate the process nor leak its group's pending count.
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      std::lock_guard<std::mutex> lock(task.group->mu);
+      if (error && !task.group->first_error) {
+        task.group->first_error = error;
+      }
+      if (--task.group->pending == 0) task.group->done.notify_all();
     }
   }
 }
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<ThreadPool::GroupState>()) {}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done.wait(lock, [this] { return state_->pending == 0; });
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  pool_->SubmitToGroup(state_, std::move(task));
+}
+
+void TaskGroup::Wait() { ThreadPool::WaitOnGroup(*state_); }
 
 }  // namespace rne

@@ -1,11 +1,13 @@
 // Fixed-size thread pool for embarrassingly parallel work (batched SSSP for
-// training-sample generation, per-level training shards).
+// training-sample generation, per-level training shards, serving batches).
 #ifndef RNE_UTIL_THREAD_POOL_H_
 #define RNE_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -13,8 +15,18 @@
 
 namespace rne {
 
-/// Simple task-queue thread pool. Tasks are void() closures; Wait() blocks
-/// until every submitted task has finished. Not copyable or movable.
+class TaskGroup;
+
+/// Simple task-queue thread pool. Tasks are void() closures. Completion is
+/// tracked per task group, so independent clients (e.g. two concurrent
+/// serving batches, or a ParallelFor racing an engine batch) sharing one
+/// pool never wait on each other's work. Submit()/Wait() without an explicit
+/// group use a pool-default group, preserving the original single-client
+/// API. Not copyable or movable.
+///
+/// A task that throws does not take the process down: the first exception
+/// per group is captured at the worker boundary and rethrown from that
+/// group's Wait(); later exceptions in the same group are dropped.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means hardware concurrency (min 1).
@@ -24,27 +36,74 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task on the pool-default group.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until every task submitted via Submit() has completed, then
+  /// rethrows the first exception thrown by one of them (if any) and clears
+  /// it. Tasks owned by explicit TaskGroups are not waited on.
   void Wait();
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion
+  /// (of this call's tasks only). Rethrows the first exception from fn.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Index of the calling pool worker in [0, num_threads()), or
+  /// kNotAWorker when called from a thread that is not a pool worker.
+  /// Backends use this to pick a per-worker scratch slot without locking.
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+  static size_t CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  friend class TaskGroup;
+
+  /// Completion state shared by the tasks of one logical batch.
+  struct GroupState {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending = 0;
+    std::exception_ptr first_error;
+  };
+
+  void SubmitToGroup(const std::shared_ptr<GroupState>& group,
+                     std::function<void()> task);
+  /// Waits for `group` to drain, then rethrows and clears its first error.
+  static void WaitOnGroup(GroupState& group);
+  void WorkerLoop(size_t worker_index);
+
+  struct QueuedTask {
+    std::shared_ptr<GroupState> group;
+    std::function<void()> fn;
+  };
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
+  std::shared_ptr<GroupState> default_group_;
   bool shutdown_ = false;
+};
+
+/// Handle for one batch of tasks on a shared ThreadPool. Wait() blocks only
+/// on tasks submitted through this group and rethrows the first exception
+/// one of them threw. The destructor waits for stragglers (exceptions are
+/// swallowed there; call Wait() to observe them).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Submit(std::function<void()> task);
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::shared_ptr<ThreadPool::GroupState> state_;
 };
 
 }  // namespace rne

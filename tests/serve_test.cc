@@ -1,0 +1,371 @@
+// Serving subsystem: batched correctness vs exact Dijkstra, backend
+// registry, admission-control rejection, load-failure and deadline-triggered
+// fallback down the chain, metrics accounting, and a multi-threaded hammer
+// over a shared engine (the test tier-1 CI also runs under TSan).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "algo/dijkstra.h"
+#include "graph/generators.h"
+#include "serve/backend.h"
+#include "serve/query_engine.h"
+#include "util/rng.h"
+
+namespace rne::serve {
+namespace {
+
+Graph SmallNetwork() {
+  RoadNetworkConfig cfg;
+  cfg.rows = 12;
+  cfg.cols = 12;
+  cfg.seed = 42;
+  return MakeRoadNetwork(cfg);
+}
+
+std::vector<Request> RandomDistanceRequests(const Graph& g, size_t n,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Request> out(n);
+  for (auto& r : out) {
+    r.kind = RequestKind::kDistance;
+    r.s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+    r.t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+  }
+  return out;
+}
+
+/// Controllable stub: approximate answers, optional per-call block, and a
+/// name distinct from the built-ins.
+class StubBackend : public QueryBackend {
+ public:
+  std::string Name() const override { return "stub"; }
+  bool IsExact() const override { return false; }
+  size_t NumVertices() const override { return num_vertices_; }
+  size_t IndexBytes() const override { return 0; }
+  double Distance(VertexId s, VertexId t) override {
+    calls_.fetch_add(1);
+    if (hold_.valid()) hold_.wait();
+    return static_cast<double>(s) + static_cast<double>(t);
+  }
+
+  size_t num_vertices_ = 144;
+  std::atomic<size_t> calls_{0};
+  /// When valid, every Distance() call blocks until the future is ready.
+  std::shared_future<void> hold_;
+};
+
+TEST(BackendRegistryTest, BuiltinsAreRegistered) {
+  const auto names = RegisteredBackendNames();
+  for (const char* expected :
+       {"rne", "rne-quantized", "dijkstra", "ch", "h2h", "alt", "gtree"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  BackendContext ctx;
+  EXPECT_EQ(MakeBackend("no-such-backend", ctx).status().code(),
+            StatusCode::kNotFound);
+  // Graph-built backends refuse a context without a graph.
+  EXPECT_EQ(MakeBackend("dijkstra", ctx).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BackendRegistryTest, GraphBackendsAgreeWithDijkstra) {
+  const Graph g = SmallNetwork();
+  BackendContext ctx;
+  ctx.graph = &g;
+  ctx.num_workers = 2;
+  DijkstraSearch reference(g);
+  for (const char* name : {"dijkstra", "ch", "h2h", "gtree"}) {
+    auto backend = MakeBackend(name, ctx);
+    ASSERT_TRUE(backend.ok()) << name;
+    EXPECT_TRUE(backend.value()->IsExact()) << name;
+    Rng rng(5);
+    for (int i = 0; i < 25; ++i) {
+      const auto s = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+      const auto t = static_cast<VertexId>(rng.UniformIndex(g.NumVertices()));
+      EXPECT_NEAR(backend.value()->Distance(s, t), reference.Distance(s, t),
+                  1e-6)
+          << name;
+    }
+  }
+}
+
+TEST(QueryEngineTest, BatchedDistancesMatchExactDijkstra) {
+  const Graph g = SmallNetwork();
+  EngineOptions options;
+  options.num_threads = 4;
+  QueryEngine engine(options);
+  BackendContext ctx;
+  ctx.graph = &g;
+  engine.AddBackend("dijkstra", ctx);
+  ASSERT_TRUE(engine.WaitUntilLoaded().ok());
+
+  const auto requests = RandomDistanceRequests(g, 200, 7);
+  std::vector<Response> responses;
+  ASSERT_TRUE(engine.QueryBatch(requests, &responses).ok());
+  ASSERT_EQ(responses.size(), requests.size());
+  DijkstraSearch reference(g);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.ToString();
+    EXPECT_NEAR(responses[i].distance,
+                reference.Distance(requests[i].s, requests[i].t), 1e-6);
+    EXPECT_TRUE(responses[i].exact);
+    EXPECT_FALSE(responses[i].fell_back);
+    EXPECT_EQ(responses[i].backend, "dijkstra");
+    EXPECT_GE(responses[i].latency_ns, 0);
+  }
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.served, requests.size());
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_GT(metrics.p99_ns, 0.0);
+  EXPECT_GE(metrics.p99_ns, metrics.p50_ns);
+}
+
+TEST(QueryEngineTest, KnnRoutesToCapableBackendAndMatchesExact) {
+  const Graph g = SmallNetwork();
+  QueryEngine engine;
+  BackendContext ctx;
+  ctx.graph = &g;
+  engine.AddBackend("dijkstra", ctx);
+  ASSERT_TRUE(engine.WaitUntilLoaded().ok());
+
+  Request request;
+  request.kind = RequestKind::kKnn;
+  request.s = 17;
+  request.k = 5;
+  const Response response = engine.Query(request);
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_EQ(response.knn.size(), 5u);
+  DijkstraSearch reference(g);
+  const auto& dist = reference.AllDistances(17);
+  double prev = -1.0;
+  for (const auto& [v, d] : response.knn) {
+    EXPECT_NEAR(d, dist[v], 1e-6);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  EXPECT_NEAR(response.knn[0].second, 0.0, 1e-12);  // s itself
+}
+
+TEST(QueryEngineTest, InvalidVertexIdFailsPerRequestNotPerBatch) {
+  const Graph g = SmallNetwork();
+  QueryEngine engine;
+  BackendContext ctx;
+  ctx.graph = &g;
+  engine.AddBackend("dijkstra", ctx);
+  ASSERT_TRUE(engine.WaitUntilLoaded().ok());
+
+  std::vector<Request> requests(2);
+  requests[0].s = 0;
+  requests[0].t = 1;
+  requests[1].s = static_cast<VertexId>(g.NumVertices());  // out of range
+  requests[1].t = 0;
+  std::vector<Response> responses;
+  ASSERT_TRUE(engine.QueryBatch(requests, &responses).ok());
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kInvalidArgument);
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.served, 1u);
+  EXPECT_EQ(metrics.failed, 1u);
+}
+
+TEST(QueryEngineTest, QueueFullBatchesAreRejectedWhole) {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 4;
+  QueryEngine engine(options);
+  auto stub = std::make_unique<StubBackend>();
+  StubBackend* raw = stub.get();
+  std::promise<void> release;
+  raw->hold_ = release.get_future().share();
+  engine.AddReadyBackend(std::move(stub));
+
+  // Fill the admission window with a batch that blocks inside the backend.
+  std::vector<Request> big(4);
+  std::thread client([&engine, &big] {
+    std::vector<Response> responses;
+    EXPECT_TRUE(engine.QueryBatch(big, &responses).ok());
+  });
+  while (raw->calls_.load() == 0) std::this_thread::yield();
+
+  // Any further batch exceeds capacity and is rejected with backpressure.
+  std::vector<Request> one(1);
+  one[0].s = one[0].t = 0;
+  std::vector<Response> responses;
+  const Status admitted = engine.QueryBatch(one, &responses);
+  EXPECT_EQ(admitted.code(), StatusCode::kUnavailable);
+
+  release.set_value();
+  client.join();
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.rejected, 1u);
+  EXPECT_EQ(metrics.served, 4u);
+
+  // Capacity is released once the batch finishes.
+  raw->hold_ = {};
+  EXPECT_TRUE(engine.QueryBatch(one, &responses).ok());
+  EXPECT_TRUE(responses[0].status.ok());
+}
+
+TEST(QueryEngineTest, LoadFailureFallsBackToExactBackend) {
+  const Graph g = SmallNetwork();
+  EngineOptions options;
+  options.num_threads = 2;
+  QueryEngine engine(options);
+  BackendContext ctx;
+  ctx.graph = &g;
+  ctx.model_path = "/nonexistent/model.rne";  // primary load will fail
+  engine.AddBackend("rne", ctx);
+  engine.AddBackend("dijkstra", ctx);
+  EXPECT_FALSE(engine.WaitUntilLoaded().ok());  // reports the load error
+
+  const auto requests = RandomDistanceRequests(g, 20, 11);
+  std::vector<Response> responses;
+  ASSERT_TRUE(engine.QueryBatch(requests, &responses).ok());
+  DijkstraSearch reference(g);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok());
+    EXPECT_EQ(responses[i].backend, "dijkstra");
+    EXPECT_TRUE(responses[i].fell_back);
+    EXPECT_NEAR(responses[i].distance,
+                reference.Distance(requests[i].s, requests[i].t), 1e-6);
+  }
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.fell_back_load, requests.size());
+  EXPECT_EQ(metrics.served, requests.size());
+}
+
+TEST(QueryEngineTest, DeadlineMissOnLoadingPrimaryFallsBackToExact) {
+  const Graph g = SmallNetwork();
+  // A primary whose load we control: it stays kLoading until released.
+  std::promise<void> release_load;
+  std::shared_future<void> gate(release_load.get_future());
+  RegisterBackendFactory(
+      "held-primary",
+      [gate](const BackendContext&)
+          -> StatusOr<std::unique_ptr<QueryBackend>> {
+        gate.wait();
+        return std::unique_ptr<QueryBackend>(new StubBackend());
+      });
+  EngineOptions options;
+  options.num_threads = 2;
+  QueryEngine engine(options);
+  BackendContext ctx;
+  ctx.graph = &g;
+  ctx.num_workers = engine.pool().num_threads();
+  engine.AddBackend("held-primary", ctx);
+  // The exact fallback is added already-constructed so the test only races
+  // the primary's (held) load against the request deadline.
+  auto dijkstra = MakeBackend("dijkstra", ctx);
+  ASSERT_TRUE(dijkstra.ok());
+  engine.AddReadyBackend(std::move(dijkstra).value());
+
+  Request request;
+  request.s = 3;
+  request.t = 77;
+  request.deadline = std::chrono::microseconds(20000);
+  const Response response = engine.Query(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.backend, "dijkstra");
+  EXPECT_TRUE(response.fell_back);
+  EXPECT_TRUE(response.exact);
+  DijkstraSearch reference(g);
+  EXPECT_NEAR(response.distance, reference.Distance(3, 77), 1e-6);
+  EXPECT_GE(engine.Metrics().fell_back_deadline, 1u);
+
+  // Once the primary finishes loading it serves new queries directly.
+  release_load.set_value();
+  ASSERT_TRUE(engine.WaitUntilLoaded().ok());
+  const Response after = engine.Query(request);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.backend, "stub");
+  EXPECT_FALSE(after.fell_back);
+}
+
+TEST(QueryEngineTest, DeadlineWithNoFallbackReportsDeadlineExceeded) {
+  std::promise<void> never;
+  std::shared_future<void> gate(never.get_future());
+  RegisterBackendFactory(
+      "held-forever",
+      [gate](const BackendContext&)
+          -> StatusOr<std::unique_ptr<QueryBackend>> {
+        gate.wait();
+        return std::unique_ptr<QueryBackend>(new StubBackend());
+      });
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(options);
+  BackendContext ctx;
+  engine.AddBackend("held-forever", ctx);
+  Request request;
+  request.deadline = std::chrono::microseconds(5000);
+  const Response response = engine.Query(request);
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.Metrics().failed, 1u);
+  never.set_value();  // let the loader thread finish before teardown
+  (void)engine.WaitUntilLoaded();
+}
+
+TEST(QueryEngineTest, ConcurrentBatchHammerServesEverything) {
+  const Graph g = SmallNetwork();
+  EngineOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 1 << 16;
+  options.batch_chunk = 8;
+  QueryEngine engine(options);
+  BackendContext ctx;
+  ctx.graph = &g;
+  engine.AddBackend("dijkstra", ctx);
+  ASSERT_TRUE(engine.WaitUntilLoaded().ok());
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kBatches = 25;
+  constexpr size_t kBatchSize = 32;
+  std::atomic<size_t> ok_responses{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      DijkstraSearch reference(g);
+      for (size_t b = 0; b < kBatches; ++b) {
+        const auto requests =
+            RandomDistanceRequests(g, kBatchSize, 100 * c + b);
+        std::vector<Response> responses;
+        EXPECT_TRUE(engine.QueryBatch(requests, &responses).ok());
+        for (size_t i = 0; i < requests.size(); ++i) {
+          EXPECT_TRUE(responses[i].status.ok());
+          EXPECT_NEAR(responses[i].distance,
+                      reference.Distance(requests[i].s, requests[i].t),
+                      1e-6);
+          ok_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok_responses.load(), kClients * kBatches * kBatchSize);
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.served, kClients * kBatches * kBatchSize);
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_GT(metrics.qps, 0.0);
+}
+
+TEST(MetricsSnapshotTest, ToJsonIsWellFormed) {
+  MetricsSnapshot snapshot;
+  snapshot.served = 3;
+  snapshot.qps = 1234.5;
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"served\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace rne::serve

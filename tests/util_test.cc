@@ -7,8 +7,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <set>
+#include <stdexcept>
 
+#include "util/arg_parser.h"
 #include "util/crc32c.h"
 #include "util/fault_injection.h"
 #include "util/histogram.h"
@@ -393,6 +396,263 @@ TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
   ThreadPool pool(2);
   pool.Wait();  // must not deadlock
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsRethrownFromWaitAndPoolSurvives) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is cleared by Wait() and the workers are still alive.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPerBatchWins) {
+  ThreadPool pool(1);  // single worker => deterministic task order
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::logic_error("second"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [](size_t i) {
+                                  if (i == 13) throw std::runtime_error("13");
+                                }),
+               std::runtime_error);
+  // Pool remains usable after the failed ParallelFor.
+  std::atomic<int> hits{0};
+  pool.ParallelFor(8, [&hits](size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 8);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexIsStableAndBounded) {
+  ThreadPool pool(3);
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), ThreadPool::kNotAWorker);
+  std::vector<std::atomic<int>> per_worker(3);
+  pool.ParallelFor(256, [&per_worker](size_t) {
+    const size_t w = ThreadPool::CurrentWorkerIndex();
+    ASSERT_LT(w, 3u);
+    per_worker[w].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& c : per_worker) total += c.load();
+  EXPECT_EQ(total, 256);
+}
+
+// ------------------------------------------------------------- TaskGroup
+
+TEST(TaskGroupTest, WaitBlocksOnlyOnOwnTasks) {
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future().share());
+  TaskGroup blocked(&pool);
+  blocked.Submit([gate] { gate.wait(); });
+
+  // A second batch sharing the pool completes while the first is stuck.
+  TaskGroup quick(&pool);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    quick.Submit([&counter] { counter.fetch_add(1); });
+  }
+  quick.Wait();
+  EXPECT_EQ(counter.load(), 8);
+
+  release.set_value();
+  blocked.Wait();
+}
+
+TEST(TaskGroupTest, PoolDefaultWaitIgnoresGroupTasks) {
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future().share());
+  TaskGroup blocked(&pool);
+  blocked.Submit([gate] { gate.wait(); });
+
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();  // must not wait on `blocked`'s task
+  EXPECT_EQ(counter.load(), 1);
+
+  release.set_value();
+  blocked.Wait();
+}
+
+TEST(TaskGroupTest, ExceptionIsIsolatedToItsGroup) {
+  ThreadPool pool(2);
+  TaskGroup failing(&pool);
+  TaskGroup healthy(&pool);
+  failing.Submit([] { throw std::runtime_error("group"); });
+  std::atomic<int> counter{0};
+  healthy.Submit([&counter] { counter.fetch_add(1); });
+  healthy.Wait();  // no throw
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_THROW(failing.Wait(), std::runtime_error);
+  pool.Wait();  // default group untouched; no throw
+}
+
+TEST(TaskGroupTest, ConcurrentParallelForsDoNotCrossWait) {
+  ThreadPool pool(4);
+  std::atomic<int> a{0}, b{0};
+  std::thread first([&] {
+    pool.ParallelFor(500, [&a](size_t) { a.fetch_add(1); });
+  });
+  std::thread second([&] {
+    pool.ParallelFor(500, [&b](size_t) { b.fetch_add(1); });
+  });
+  first.join();
+  second.join();
+  EXPECT_EQ(a.load(), 500);
+  EXPECT_EQ(b.load(), 500);
+}
+
+// ------------------------------------------------------------- ArgParser
+
+TEST(ArgParserTest, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"tool", "verify", "file.rne", "--dim", "64",
+                        "--model", "m.rne"};
+  auto args = ArgParser::Parse(7, const_cast<char**>(argv), 1);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.value().positionals().size(), 2u);
+  EXPECT_EQ(args.value().positionals()[0], "verify");
+  EXPECT_EQ(args.value().positionals()[1], "file.rne");
+  EXPECT_EQ(args.value().Get("model", ""), "m.rne");
+  EXPECT_EQ(args.value().GetInt("dim", 0).value(), 64);
+  EXPECT_TRUE(args.value().Has("dim"));
+  EXPECT_FALSE(args.value().Has("absent"));
+  EXPECT_EQ(args.value().GetInt("absent", 7).value(), 7);
+}
+
+TEST(ArgParserTest, FlagMissingValueAtEndIsRejected) {
+  const char* argv[] = {"tool", "query", "--model"};
+  const auto args = ArgParser::Parse(3, const_cast<char**>(argv), 1);
+  ASSERT_FALSE(args.ok());
+  EXPECT_EQ(args.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(args.status().message().find("--model"), std::string::npos);
+}
+
+TEST(ArgParserTest, FlagFollowedByFlagIsRejectedNotShifted) {
+  // The historical parser would have bound --s to "--t" and shifted every
+  // later pair; this must be a parse error instead.
+  const char* argv[] = {"tool", "query", "--s", "--t", "9", "--model", "m"};
+  const auto args = ArgParser::Parse(7, const_cast<char**>(argv), 1);
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.status().message().find("--s"), std::string::npos);
+}
+
+TEST(ArgParserTest, NegativeNumbersAreValuesNotFlags) {
+  const char* argv[] = {"tool", "--s", "-3"};
+  const auto args = ArgParser::Parse(3, const_cast<char**>(argv), 1);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.value().GetInt("s", 0).value(), -3);
+}
+
+TEST(ArgParserTest, MalformedNumbersAreErrors) {
+  const char* argv[] = {"tool", "--dim", "64x", "--rate", "fast"};
+  const auto args = ArgParser::Parse(5, const_cast<char**>(argv), 1);
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args.value().GetInt("dim", 0).ok());
+  EXPECT_FALSE(args.value().GetDouble("rate", 0.0).ok());
+  FlagReader flags(args.value());
+  EXPECT_EQ(flags.Int("dim", 5), 5);  // fallback on error, status latched
+  EXPECT_FALSE(flags.status().ok());
+}
+
+TEST(ArgParserTest, DeclaredSwitchesTakeNoValue) {
+  const char* argv[] = {"tool", "--s", "5", "--exact", "--t", "7"};
+  const auto args =
+      ArgParser::Parse(6, const_cast<char**>(argv), 1, {"exact"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args.value().Has("exact"));
+  EXPECT_EQ(args.value().GetInt("s", 0).value(), 5);
+  EXPECT_EQ(args.value().GetInt("t", 0).value(), 7);
+  // Undeclared, the same argv is a missing-value error.
+  EXPECT_FALSE(ArgParser::Parse(6, const_cast<char**>(argv), 1).ok());
+}
+
+TEST(ArgParserTest, RepeatedFlagKeepsLastValue) {
+  const char* argv[] = {"tool", "--k", "1", "--k", "2"};
+  const auto args = ArgParser::Parse(5, const_cast<char**>(argv), 1);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.value().GetInt("k", 0).value(), 2);
+}
+
+// ----------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogramTest, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.MeanNanos(), 0.0);
+  EXPECT_EQ(h.MaxNanos(), 0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndBounded) {
+  LatencyHistogram h;
+  Rng rng(3);
+  int64_t max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.UniformInt(100, 1000000);
+    max_seen = std::max(max_seen, v);
+    h.Record(v);
+  }
+  EXPECT_EQ(h.TotalCount(), 20000u);
+  const double p50 = h.PercentileNanos(50.0);
+  const double p95 = h.PercentileNanos(95.0);
+  const double p99 = h.PercentileNanos(99.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, static_cast<double>(h.MaxNanos()));
+  EXPECT_EQ(h.MaxNanos(), max_seen);
+  // Uniform [100, 1e6]: the p50 bucket midpoint is within bucket error
+  // (<= ~4.5% half-width, be generous) of the true median.
+  EXPECT_NEAR(p50, 500000.0, 0.10 * 500000.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(100.0),
+                   static_cast<double>(h.MaxNanos()));
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (int v = 0; v < 32; ++v) h.Record(v);
+  // Values below 2^(sub-bits+1) land in exact unit buckets, so percentiles
+  // are within half a unit of the true sample.
+  EXPECT_NEAR(h.PercentileNanos(50.0), 15.5, 0.5 + 1e-9);
+  EXPECT_LE(h.PercentileNanos(0.0), 0.5);
+  EXPECT_EQ(h.MaxNanos(), 31);
+  h.Record(-5);  // clamped to zero, not UB
+  EXPECT_EQ(h.TotalCount(), 33u);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(1, 1 << 20);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.TotalCount(), combined.TotalCount());
+  EXPECT_EQ(a.MaxNanos(), combined.MaxNanos());
+  EXPECT_DOUBLE_EQ(a.PercentileNanos(50.0), combined.PercentileNanos(50.0));
+  EXPECT_DOUBLE_EQ(a.PercentileNanos(99.0), combined.PercentileNanos(99.0));
+  EXPECT_DOUBLE_EQ(a.MeanNanos(), combined.MeanNanos());
+  a.Reset();
+  EXPECT_EQ(a.TotalCount(), 0u);
 }
 
 // ----------------------------------------------------------------- stats

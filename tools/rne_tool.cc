@@ -10,12 +10,11 @@
 //
 // Serving commands (query/knn) degrade gracefully: when the model file is
 // missing or corrupt and --gr is given, they log the load failure and answer
-// exactly via Dijkstra instead of aborting.
+// exactly via Dijkstra instead of aborting. For sustained traffic use
+// rne_server, which keeps the index resident across queries.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
 #include <string>
 
 #include "algo/dijkstra.h"
@@ -24,6 +23,7 @@
 #include "core/rne_index.h"
 #include "graph/dimacs.h"
 #include "graph/generators.h"
+#include "util/arg_parser.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/timer.h"
@@ -31,46 +31,24 @@
 namespace rne::tool {
 namespace {
 
-/// --key value argument map; everything is optional with defaults.
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) == 0) {
-        values_[argv[i] + 2] = argv[i + 1];
-      }
-    }
-  }
-  std::string Get(const std::string& key, const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  long GetInt(const std::string& key, long fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::strtol(it->second.c_str(),
-                                                        nullptr, 10);
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
-
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
 }
 
-StatusOr<Graph> LoadGraphArg(const Args& args) {
+StatusOr<Graph> LoadGraphArg(const ArgParser& args) {
   const std::string gr = args.Get("gr", "");
   if (gr.empty()) return Status::InvalidArgument("--gr <file> is required");
   return LoadDimacs(gr, args.Get("co", ""));
 }
 
-int CmdGenerate(const Args& args) {
+int CmdGenerate(const ArgParser& args) {
+  FlagReader flags(args);
   RoadNetworkConfig cfg;
-  cfg.rows = static_cast<size_t>(args.GetInt("rows", 64));
-  cfg.cols = static_cast<size_t>(args.GetInt("cols", 64));
-  cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  cfg.rows = static_cast<size_t>(flags.Int("rows", 64));
+  cfg.cols = static_cast<size_t>(flags.Int("cols", 64));
+  cfg.seed = static_cast<uint64_t>(flags.Int("seed", 1));
+  if (!flags.status().ok()) return Fail(flags.status().ToString());
   const Graph g = MakeRoadNetwork(cfg);
   const std::string gr = args.Get("gr", "network.gr");
   const Status st = SaveDimacs(g, gr, args.Get("co", ""));
@@ -80,12 +58,14 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
-int CmdBuild(const Args& args) {
+int CmdBuild(const ArgParser& args) {
+  FlagReader flags(args);
+  RneConfig config;
+  config.dim = static_cast<size_t>(flags.Int("dim", 64));
+  config.train.seed = static_cast<uint64_t>(flags.Int("seed", 13));
+  if (!flags.status().ok()) return Fail(flags.status().ToString());
   auto graph = LoadGraphArg(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
-  RneConfig config;
-  config.dim = static_cast<size_t>(args.GetInt("dim", 64));
-  config.train.seed = static_cast<uint64_t>(args.GetInt("seed", 13));
   config.train.verbose = true;
   Timer timer;
   RneBuildStats stats;
@@ -100,7 +80,11 @@ int CmdBuild(const Args& args) {
   return 0;
 }
 
-int CmdEval(const Args& args) {
+int CmdEval(const ArgParser& args) {
+  FlagReader flags(args);
+  const auto n = static_cast<size_t>(flags.Int("pairs", 5000));
+  const auto seed = static_cast<uint64_t>(flags.Int("seed", 97));
+  if (!flags.status().ok()) return Fail(flags.status().ToString());
   auto graph = LoadGraphArg(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
   auto model = Rne::Load(args.Get("model", "model.rne"));
@@ -108,9 +92,8 @@ int CmdEval(const Args& args) {
   if (model.value().NumVertices() != graph.value().NumVertices()) {
     return Fail("model and graph vertex counts differ");
   }
-  const auto n = static_cast<size_t>(args.GetInt("pairs", 5000));
   DistanceSampler sampler(graph.value());
-  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 97)));
+  Rng rng(seed);
   const auto val = sampler.RandomPairs(n, rng);
   double err = 0.0;
   size_t count = 0;
@@ -144,7 +127,8 @@ Status CheckVertexId(const char* name, long raw, size_t n) {
 
 /// Loads the graph for exact-Dijkstra fallback after a model load failure.
 /// Returns the graph, or an error explaining both failures.
-StatusOr<Graph> FallbackGraph(const Args& args, const Status& load_status) {
+StatusOr<Graph> FallbackGraph(const ArgParser& args,
+                              const Status& load_status) {
   std::fprintf(stderr, "warning: model load failed (%s)\n",
                load_status.ToString().c_str());
   if (args.Get("gr", "").empty()) {
@@ -155,9 +139,23 @@ StatusOr<Graph> FallbackGraph(const Args& args, const Status& load_status) {
   return LoadGraphArg(args);
 }
 
-int CmdQuery(const Args& args) {
-  const long raw_s = args.GetInt("s", 0);
-  const long raw_t = args.GetInt("t", 1);
+int CmdQuery(const ArgParser& args) {
+  FlagReader flags(args);
+  const long raw_s = flags.Int("s", 0);
+  const long raw_t = flags.Int("t", 1);
+  if (!flags.status().ok()) return Fail(flags.status().ToString());
+  if (args.Has("exact")) {
+    auto graph = LoadGraphArg(args);
+    if (!graph.ok()) return Fail(graph.status().ToString());
+    const size_t n = graph.value().NumVertices();
+    Status st = CheckVertexId("s", raw_s, n);
+    if (st.ok()) st = CheckVertexId("t", raw_t, n);
+    if (!st.ok()) return Fail(st.ToString());
+    DijkstraSearch dij(graph.value());
+    std::printf("%.2f\n", dij.Distance(static_cast<VertexId>(raw_s),
+                                       static_cast<VertexId>(raw_t)));
+    return 0;
+  }
   auto model = Rne::Load(args.Get("model", "model.rne"));
   if (!model.ok()) {
     auto graph = FallbackGraph(args, model.status());
@@ -180,9 +178,11 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
-int CmdKnn(const Args& args) {
-  const long raw_s = args.GetInt("s", 0);
-  const auto k = static_cast<size_t>(std::max(0L, args.GetInt("k", 5)));
+int CmdKnn(const ArgParser& args) {
+  FlagReader flags(args);
+  const long raw_s = flags.Int("s", 0);
+  const auto k = static_cast<size_t>(std::max(0L, flags.Int("k", 5)));
+  if (!flags.status().ok()) return Fail(flags.status().ToString());
   auto model = Rne::Load(args.Get("model", "model.rne"));
   if (!model.ok()) {
     auto graph = FallbackGraph(args, model.status());
@@ -213,10 +213,10 @@ int CmdKnn(const Args& args) {
   return 0;
 }
 
-int CmdVerify(int argc, char** argv, const Args& args) {
+int CmdVerify(const ArgParser& args) {
   std::string path = args.Get("file", "");
-  if (path.empty() && argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
-    path = argv[2];
+  if (path.empty() && !args.positionals().empty()) {
+    path = args.positionals().front();
   }
   if (path.empty()) return Fail("usage: rne_tool verify <index-file>");
   auto info = InspectEnvelope(path);
@@ -235,14 +235,15 @@ int Main(int argc, char** argv) {
                  "[--key value ...]\n");
     return 1;
   }
-  const Args args(argc, argv);
+  auto args = ArgParser::Parse(argc, argv, 2, /*switches=*/{"exact"});
+  if (!args.ok()) return Fail(args.status().ToString());
   const std::string cmd = argv[1];
-  if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "build") return CmdBuild(args);
-  if (cmd == "eval") return CmdEval(args);
-  if (cmd == "query") return CmdQuery(args);
-  if (cmd == "knn") return CmdKnn(args);
-  if (cmd == "verify") return CmdVerify(argc, argv, args);
+  if (cmd == "generate") return CmdGenerate(args.value());
+  if (cmd == "build") return CmdBuild(args.value());
+  if (cmd == "eval") return CmdEval(args.value());
+  if (cmd == "query") return CmdQuery(args.value());
+  if (cmd == "knn") return CmdKnn(args.value());
+  if (cmd == "verify") return CmdVerify(args.value());
   return Fail("unknown command: " + cmd);
 }
 
