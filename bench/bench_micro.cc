@@ -1,8 +1,20 @@
 // Microbenchmarks (google-benchmark): the L1 query kernel vs the generic Lp
-// path, point-to-point search costs (Dijkstra / bidirectional / A*), and the
-// end-to-end RNE query for several dimensions. These are the "60-150 ns"
-// headline numbers of the paper's abstract.
+// path, SIMD vs scalar kernel backends, point-to-point search costs
+// (Dijkstra / bidirectional / A*), training throughput at several thread
+// counts, and the end-to-end RNE query. These are the "60-150 ns" headline
+// numbers of the paper's abstract.
+//
+// Unless --benchmark_out is given, results are written to
+// bench_results/perf_kernels.json (machine-readable; the JSON context block
+// records the dispatched kernel backend).
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "algo/astar.h"
 #include "algo/bidirectional_dijkstra.h"
@@ -11,9 +23,11 @@
 #include "baselines/ch.h"
 #include "baselines/gtree.h"
 #include "baselines/h2h.h"
+#include "core/kernels.h"
 #include "core/metric.h"
 #include "core/quantized.h"
 #include "core/rne.h"
+#include "core/trainer.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -46,6 +60,98 @@ void BM_L1Kernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_L1Kernel)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Scalar reference for the same sizes: the BM_L1Kernel/N vs
+// BM_L1KernelScalar/N ratio is the SIMD speedup on this machine.
+void BM_L1KernelScalar(benchmark::State& state) {
+  Rng rng(1);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(dim, rng);
+  const auto b = RandomVec(dim, rng);
+  const KernelOps& ops = ScalarKernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.l1(a.data(), b.data(), dim));
+  }
+}
+BENCHMARK(BM_L1KernelScalar)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Fused distance + sign gradient (one pass, used by the p=1 SGD loop).
+void BM_L1SignGradFused(benchmark::State& state) {
+  Rng rng(14);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(dim, rng);
+  const auto b = RandomVec(dim, rng);
+  std::vector<float> grad(dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L1DistWithSignGrad(a, b, grad));
+    benchmark::DoNotOptimize(grad.data());
+  }
+}
+BENCHMARK(BM_L1SignGradFused)->Arg(64)->Arg(128);
+
+// The pre-kernel path: separate distance pass + gradient pass (double
+// staging, as MetricDist + MetricGradient).
+void BM_L1SignGradSeparate(benchmark::State& state) {
+  Rng rng(14);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(dim, rng);
+  const auto b = RandomVec(dim, rng);
+  std::vector<double> grad(dim);
+  for (auto _ : state) {
+    const double dist = MetricDist(a, b, 1.0);
+    MetricGradient(a, b, 1.0, dist, grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+}
+BENCHMARK(BM_L1SignGradSeparate)->Arg(64)->Arg(128);
+
+// Fused row update (the SGD inner write): row += alpha * grad.
+void BM_AxpyKernel(benchmark::State& state) {
+  Rng rng(15);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  auto row = RandomVec(dim, rng);
+  const auto grad = RandomVec(dim, rng);
+  for (auto _ : state) {
+    AxpyKernel(std::span<float>(row), grad, 1e-6f);
+    benchmark::DoNotOptimize(row.data());
+  }
+}
+BENCHMARK(BM_AxpyKernel)->Arg(64)->Arg(128);
+
+std::vector<uint8_t> RandomBytes(size_t dim, Rng& rng) {
+  std::vector<uint8_t> v(dim);
+  for (uint8_t& x : v) x = static_cast<uint8_t>(rng.UniformIndex(256));
+  return v;
+}
+
+// uint8 SAD-style quantized distance kernel, dispatched vs scalar.
+void BM_QuantizedKernel(benchmark::State& state) {
+  Rng rng(16);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto a = RandomBytes(dim, rng);
+  const auto b = RandomBytes(dim, rng);
+  auto steps = RandomVec(dim, rng);
+  for (float& s : steps) s = std::abs(s) + 1e-3f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        QuantizedL1Kernel(a.data(), b.data(), steps.data(), dim));
+  }
+}
+BENCHMARK(BM_QuantizedKernel)->Arg(64)->Arg(128);
+
+void BM_QuantizedKernelScalar(benchmark::State& state) {
+  Rng rng(16);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto a = RandomBytes(dim, rng);
+  const auto b = RandomBytes(dim, rng);
+  auto steps = RandomVec(dim, rng);
+  for (float& s : steps) s = std::abs(s) + 1e-3f;
+  const KernelOps& ops = ScalarKernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.qdist(a.data(), b.data(), steps.data(), dim));
+  }
+}
+BENCHMARK(BM_QuantizedKernelScalar)->Arg(64)->Arg(128);
 
 void BM_GenericLpKernel(benchmark::State& state) {
   Rng rng(2);
@@ -206,7 +312,75 @@ void BM_LtQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_LtQuery);
 
+// SGD training throughput on a 64x64 road network at several thread counts
+// (items/s = samples/s). Samples are materialized once; each iteration
+// re-trains a fresh model on them, so the measured region is pure SGD.
+void BM_TrainThroughput(benchmark::State& state) {
+  static const Graph* g = [] {
+    RoadNetworkConfig cfg;
+    cfg.rows = 64;
+    cfg.cols = 64;
+    cfg.seed = 17;
+    return new Graph(MakeRoadNetwork(cfg));
+  }();
+  static const PartitionHierarchy* hier = new PartitionHierarchy(
+      PartitionHierarchy::Build(*g, HierarchyOptions{}));
+  static const std::vector<DistanceSample>* samples = [] {
+    TrainConfig cfg;
+    Trainer t(*g, *hier, cfg);
+    Rng rng(21);
+    return new std::vector<DistanceSample>(
+        t.Materialize(RandomVertexPairs(g->NumVertices(), 20000, rng, 8)));
+  }();
+
+  const size_t epochs = 2;
+  size_t samples_done = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TrainConfig cfg;
+    cfg.num_threads = static_cast<size_t>(state.range(0));
+    Trainer trainer(*g, *hier, cfg);
+    std::vector<double> lrs(trainer.model().num_levels() + 1, 0.0);
+    lrs[trainer.model().vertex_level()] = cfg.lr0;
+    state.ResumeTiming();
+    trainer.TrainOnSamples(*samples, lrs, epochs);
+    samples_done += trainer.total_samples_processed();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(samples_done));
+}
+BENCHMARK(BM_TrainThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace rne
 
-BENCHMARK_MAIN();
+// Custom main: defaults --benchmark_out to bench_results/perf_kernels.json
+// and records the dispatched kernel backend in the JSON context block.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=bench_results/perf_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_results", ec);
+    if (!ec) {
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+    }
+  }
+  benchmark::AddCustomContext("kernel_backend", rne::KernelBackendName());
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,508 @@
+#include "core/kernels.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define RNE_KERNELS_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__GNUC__)
+#define RNE_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace rne {
+namespace {
+
+// ----------------------------------------------------------------- scalar
+
+double L1Scalar(const float* a, const float* b, size_t n) {
+  // Four independent accumulators keep the dependency chain short.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += std::abs(static_cast<double>(a[i]) - b[i]);
+    s1 += std::abs(static_cast<double>(a[i + 1]) - b[i + 1]);
+    s2 += std::abs(static_cast<double>(a[i + 2]) - b[i + 2]);
+    s3 += std::abs(static_cast<double>(a[i + 3]) - b[i + 3]);
+  }
+  for (; i < n; ++i) s0 += std::abs(static_cast<double>(a[i]) - b[i]);
+  return (s0 + s1) + (s2 + s3);
+}
+
+double L2SqScalar(const float* a, const float* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double L1SignGradScalar(const float* a, const float* b, size_t n,
+                        float* grad) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    grad[i] = d > 0.0 ? 1.0f : (d < 0.0 ? -1.0f : 0.0f);
+    sum += std::abs(d);
+  }
+  return sum;
+}
+
+void AxpyScalar(float* row, const float* g, size_t n, float alpha) {
+  for (size_t i = 0; i < n; ++i) row[i] += alpha * g[i];
+}
+
+double QDistScalar(const uint8_t* a, const uint8_t* b, const float* steps,
+                   size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const int diff = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+    sum += steps[i] * static_cast<double>(diff < 0 ? -diff : diff);
+  }
+  return sum;
+}
+
+constexpr KernelOps kScalarOps = {L1Scalar, L2SqScalar, L1SignGradScalar,
+                                  AxpyScalar, QDistScalar};
+
+#if defined(RNE_KERNELS_X86)
+
+// ------------------------------------------------------------------- AVX2
+
+__attribute__((target("avx2,fma"))) inline double HSumPd(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+}
+
+__attribute__((target("avx2,fma"))) inline double HSumPs(__m256 v) {
+  // Convert halves to double before reducing, so long vectors keep the
+  // scalar backend's accumulation precision.
+  const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+  return HSumPd(_mm256_add_pd(lo, hi));
+}
+
+__attribute__((target("avx2,fma")))
+double L1Avx2(const float* a, const float* b, size_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Element difference in the float domain (correctly rounded, <= 1/2 ulp
+    // relative per element, sign exact); only the accumulation runs in
+    // double. Halves the cvtps_pd pressure vs converting both operands.
+    const __m256 ad = _mm256_andnot_ps(
+        sign, _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(ad)));
+    acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(ad, 1)));
+  }
+  double total = HSumPd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) total += static_cast<double>(std::abs(a[i] - b[i]));
+  return total;
+}
+
+__attribute__((target("avx2,fma")))
+double L2SqAvx2(const float* a, const float* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Difference in float (1/2 ulp per element), square + accumulate in
+    // double so the squares cannot overflow or lose low bits in the sum.
+    const __m256 fd = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                    _mm256_loadu_ps(b + i));
+    const __m256d dlo = _mm256_cvtps_pd(_mm256_castps256_ps128(fd));
+    const __m256d dhi = _mm256_cvtps_pd(_mm256_extractf128_ps(fd, 1));
+    acc0 = _mm256_fmadd_pd(dlo, dlo, acc0);
+    acc1 = _mm256_fmadd_pd(dhi, dhi, acc1);
+  }
+  double total = HSumPd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i] - b[i]);
+    total += d * d;
+  }
+  return total;
+}
+
+__attribute__((target("avx2,fma")))
+double L1SignGradAvx2(const float* a, const float* b, size_t n, float* grad) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 pos = _mm256_set1_ps(1.0f);
+  const __m256 neg = _mm256_set1_ps(-1.0f);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Sign from the float difference (exact: rounds to zero only at a == b);
+    // the same difference feeds the L1 sum, matching L1Avx2's convention.
+    const __m256 fd = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                    _mm256_loadu_ps(b + i));
+    const __m256 s =
+        _mm256_or_ps(_mm256_and_ps(_mm256_cmp_ps(fd, zero, _CMP_GT_OQ), pos),
+                     _mm256_and_ps(_mm256_cmp_ps(fd, zero, _CMP_LT_OQ), neg));
+    _mm256_storeu_ps(grad + i, s);
+    const __m256 ad = _mm256_andnot_ps(sign, fd);
+    acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(ad)));
+    acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(ad, 1)));
+  }
+  double total = HSumPd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    grad[i] = d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f);
+    total += static_cast<double>(std::abs(d));
+  }
+  return total;
+}
+
+__attribute__((target("avx2,fma")))
+void AxpyAvx2(float* row, const float* g, size_t n, float alpha) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        row + i,
+        _mm256_fmadd_ps(va, _mm256_loadu_ps(g + i), _mm256_loadu_ps(row + i)));
+  }
+  for (; i < n; ++i) row[i] += alpha * g[i];
+}
+
+__attribute__((target("avx2,fma")))
+double QDistAvx2(const uint8_t* a, const uint8_t* b, const float* steps,
+                 size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // |a - b| on unsigned bytes: max - min (the SAD building block).
+    const __m128i ad =
+        _mm_sub_epi8(_mm_max_epu8(va, vb), _mm_min_epu8(va, vb));
+    const __m256 dlo =
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(ad));
+    const __m256 dhi =
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_srli_si128(ad, 8)));
+    acc = _mm256_fmadd_ps(dlo, _mm256_loadu_ps(steps + i), acc);
+    acc = _mm256_fmadd_ps(dhi, _mm256_loadu_ps(steps + i + 8), acc);
+  }
+  double total = HSumPs(acc);
+  for (; i < n; ++i) {
+    const int diff = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+    total += steps[i] * static_cast<double>(diff < 0 ? -diff : diff);
+  }
+  return total;
+}
+
+constexpr KernelOps kAvx2Ops = {L1Avx2, L2SqAvx2, L1SignGradAvx2, AxpyAvx2,
+                                QDistAvx2};
+
+// ----------------------------------------------------------------- SSE4.2
+
+__attribute__((target("sse4.2"))) inline double HSum128Pd(__m128d v) {
+  return _mm_cvtsd_f64(_mm_add_sd(v, _mm_unpackhi_pd(v, v)));
+}
+
+__attribute__((target("sse4.2")))
+double L1Sse42(const float* a, const float* b, size_t n) {
+  const __m128 sign = _mm_set1_ps(-0.0f);
+  __m128d acc0 = _mm_setzero_pd();
+  __m128d acc1 = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Float-domain difference, double accumulation (see L1Avx2).
+    const __m128 ad =
+        _mm_andnot_ps(sign, _mm_sub_ps(_mm_loadu_ps(a + i),
+                                       _mm_loadu_ps(b + i)));
+    acc0 = _mm_add_pd(acc0, _mm_cvtps_pd(ad));
+    acc1 = _mm_add_pd(acc1, _mm_cvtps_pd(_mm_movehl_ps(ad, ad)));
+  }
+  double total = HSum128Pd(_mm_add_pd(acc0, acc1));
+  for (; i < n; ++i) total += static_cast<double>(std::abs(a[i] - b[i]));
+  return total;
+}
+
+__attribute__((target("sse4.2")))
+double L2SqSse42(const float* a, const float* b, size_t n) {
+  __m128d acc0 = _mm_setzero_pd();
+  __m128d acc1 = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 fd = _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    const __m128d dlo = _mm_cvtps_pd(fd);
+    const __m128d dhi = _mm_cvtps_pd(_mm_movehl_ps(fd, fd));
+    acc0 = _mm_add_pd(acc0, _mm_mul_pd(dlo, dlo));
+    acc1 = _mm_add_pd(acc1, _mm_mul_pd(dhi, dhi));
+  }
+  double total = HSum128Pd(_mm_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i] - b[i]);
+    total += d * d;
+  }
+  return total;
+}
+
+__attribute__((target("sse4.2")))
+double L1SignGradSse42(const float* a, const float* b, size_t n,
+                       float* grad) {
+  const __m128 sign = _mm_set1_ps(-0.0f);
+  const __m128 zero = _mm_setzero_ps();
+  const __m128 pos = _mm_set1_ps(1.0f);
+  const __m128 neg = _mm_set1_ps(-1.0f);
+  __m128d acc0 = _mm_setzero_pd();
+  __m128d acc1 = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 fd = _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    const __m128 s = _mm_or_ps(_mm_and_ps(_mm_cmpgt_ps(fd, zero), pos),
+                               _mm_and_ps(_mm_cmplt_ps(fd, zero), neg));
+    _mm_storeu_ps(grad + i, s);
+    const __m128 ad = _mm_andnot_ps(sign, fd);
+    acc0 = _mm_add_pd(acc0, _mm_cvtps_pd(ad));
+    acc1 = _mm_add_pd(acc1, _mm_cvtps_pd(_mm_movehl_ps(ad, ad)));
+  }
+  double total = HSum128Pd(_mm_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    grad[i] = d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f);
+    total += static_cast<double>(std::abs(d));
+  }
+  return total;
+}
+
+__attribute__((target("sse4.2")))
+void AxpySse42(float* row, const float* g, size_t n, float alpha) {
+  const __m128 va = _mm_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(row + i,
+                  _mm_add_ps(_mm_loadu_ps(row + i),
+                             _mm_mul_ps(va, _mm_loadu_ps(g + i))));
+  }
+  for (; i < n; ++i) row[i] += alpha * g[i];
+}
+
+__attribute__((target("sse4.2")))
+double QDistSse42(const uint8_t* a, const uint8_t* b, const float* steps,
+                  size_t n) {
+  __m128 acc = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i ad =
+        _mm_sub_epi8(_mm_max_epu8(va, vb), _mm_min_epu8(va, vb));
+    // Manually unrolled: _mm_srli_si128 needs a compile-time immediate, so
+    // a `4 * q` loop only compiles when the optimizer fully unrolls it
+    // (it does not under -O0 / sanitizer builds).
+    const __m128i d0 = _mm_cvtepu8_epi32(ad);
+    const __m128i d1 = _mm_cvtepu8_epi32(_mm_srli_si128(ad, 4));
+    const __m128i d2 = _mm_cvtepu8_epi32(_mm_srli_si128(ad, 8));
+    const __m128i d3 = _mm_cvtepu8_epi32(_mm_srli_si128(ad, 12));
+    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_cvtepi32_ps(d0),
+                                     _mm_loadu_ps(steps + i)));
+    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_cvtepi32_ps(d1),
+                                     _mm_loadu_ps(steps + i + 4)));
+    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_cvtepi32_ps(d2),
+                                     _mm_loadu_ps(steps + i + 8)));
+    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_cvtepi32_ps(d3),
+                                     _mm_loadu_ps(steps + i + 12)));
+  }
+  const __m128d accd =
+      _mm_add_pd(_mm_cvtps_pd(acc), _mm_cvtps_pd(_mm_movehl_ps(acc, acc)));
+  double total = HSum128Pd(accd);
+  for (; i < n; ++i) {
+    const int diff = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+    total += steps[i] * static_cast<double>(diff < 0 ? -diff : diff);
+  }
+  return total;
+}
+
+constexpr KernelOps kSse42Ops = {L1Sse42, L2SqSse42, L1SignGradSse42,
+                                 AxpySse42, QDistSse42};
+
+#endif  // RNE_KERNELS_X86
+
+#if defined(RNE_KERNELS_NEON)
+
+// ------------------------------------------------------------------- NEON
+
+double L1Neon(const float* a, const float* b, size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Float-domain |a-b| (one vabd), double accumulation (see L1Avx2).
+    const float32x4_t ad = vabdq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    acc0 = vaddq_f64(acc0, vcvt_f64_f32(vget_low_f32(ad)));
+    acc1 = vaddq_f64(acc1, vcvt_high_f64_f32(ad));
+  }
+  double total = vaddvq_f64(acc0) + vaddvq_f64(acc1);
+  for (; i < n; ++i) total += static_cast<double>(std::abs(a[i] - b[i]));
+  return total;
+}
+
+double L2SqNeon(const float* a, const float* b, size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t fd = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    const float64x2_t dlo = vcvt_f64_f32(vget_low_f32(fd));
+    const float64x2_t dhi = vcvt_high_f64_f32(fd);
+    acc0 = vfmaq_f64(acc0, dlo, dlo);
+    acc1 = vfmaq_f64(acc1, dhi, dhi);
+  }
+  double total = vaddvq_f64(acc0) + vaddvq_f64(acc1);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i] - b[i]);
+    total += d * d;
+  }
+  return total;
+}
+
+double L1SignGradNeon(const float* a, const float* b, size_t n, float* grad) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  const float32x4_t pos = vdupq_n_f32(1.0f);
+  const float32x4_t neg = vdupq_n_f32(-1.0f);
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t fd = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    const float32x4_t s =
+        vbslq_f32(vcgtq_f32(fd, zero), pos,
+                  vbslq_f32(vcltq_f32(fd, zero), neg, zero));
+    vst1q_f32(grad + i, s);
+    const float32x4_t ad = vabsq_f32(fd);
+    acc0 = vaddq_f64(acc0, vcvt_f64_f32(vget_low_f32(ad)));
+    acc1 = vaddq_f64(acc1, vcvt_high_f64_f32(ad));
+  }
+  double total = vaddvq_f64(acc0) + vaddvq_f64(acc1);
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    grad[i] = d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f);
+    total += static_cast<double>(std::abs(d));
+  }
+  return total;
+}
+
+void AxpyNeon(float* row, const float* g, size_t n, float alpha) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(row + i, vfmaq_n_f32(vld1q_f32(row + i), vld1q_f32(g + i),
+                                   alpha));
+  }
+  for (; i < n; ++i) row[i] += alpha * g[i];
+}
+
+double QDistNeon(const uint8_t* a, const uint8_t* b, const float* steps,
+                 size_t n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint8x8_t va = vld1_u8(a + i);
+    const uint8x8_t vb = vld1_u8(b + i);
+    const uint16x8_t ad = vmovl_u8(vabd_u8(va, vb));
+    const float32x4_t dlo = vcvtq_f32_u32(vmovl_u16(vget_low_u16(ad)));
+    const float32x4_t dhi = vcvtq_f32_u32(vmovl_u16(vget_high_u16(ad)));
+    acc = vfmaq_f32(acc, dlo, vld1q_f32(steps + i));
+    acc = vfmaq_f32(acc, dhi, vld1q_f32(steps + i + 4));
+  }
+  double total = static_cast<double>(vaddvq_f32(acc));
+  for (; i < n; ++i) {
+    const int diff = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+    total += steps[i] * static_cast<double>(diff < 0 ? -diff : diff);
+  }
+  return total;
+}
+
+constexpr KernelOps kNeonOps = {L1Neon, L2SqNeon, L1SignGradNeon, AxpyNeon,
+                                QDistNeon};
+
+#endif  // RNE_KERNELS_NEON
+
+// --------------------------------------------------------------- dispatch
+
+struct BackendEntry {
+  const char* name;
+  const KernelOps* ops;
+};
+
+/// CPU-supported backends, best first, null-name terminated. Filled once
+/// (thread-safe static init); at most 3 entries plus the terminator.
+const BackendEntry* SupportedBackends() {
+  static const BackendEntry* const entries = [] {
+    static BackendEntry list[4] = {};
+    size_t count = 0;
+#if defined(RNE_KERNELS_X86)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      list[count++] = {"avx2", &kAvx2Ops};
+    }
+    if (__builtin_cpu_supports("sse4.2")) {
+      list[count++] = {"sse42", &kSse42Ops};
+    }
+#elif defined(RNE_KERNELS_NEON)
+    list[count++] = {"neon", &kNeonOps};
+#endif
+    list[count++] = {"scalar", &kScalarOps};
+    return list;
+  }();
+  return entries;
+}
+
+const BackendEntry& SelectBackend() {
+  static const BackendEntry& selected = *[]() -> const BackendEntry* {
+    const BackendEntry* entries = SupportedBackends();
+    if (const char* force = std::getenv("RNE_KERNEL_BACKEND")) {
+      for (const BackendEntry* e = entries; e->name != nullptr; ++e) {
+        if (std::strcmp(e->name, force) == 0) return e;
+      }
+      std::fprintf(stderr,
+                   "[kernels] RNE_KERNEL_BACKEND=%s unsupported on this CPU; "
+                   "using %s\n",
+                   force, entries[0].name);
+    }
+    return &entries[0];
+  }();
+  return selected;
+}
+
+}  // namespace
+
+const KernelOps& ScalarKernels() { return kScalarOps; }
+
+const KernelOps& ActiveKernels() { return *SelectBackend().ops; }
+
+const char* KernelBackendName() { return SelectBackend().name; }
+
+const char* const* SupportedKernelBackends() {
+  static const char* const* const names = [] {
+    static const char* list[5] = {};
+    size_t count = 0;
+    for (const BackendEntry* e = SupportedBackends(); e->name != nullptr; ++e) {
+      list[count++] = e->name;
+    }
+    return list;
+  }();
+  return names;
+}
+
+const KernelOps* KernelBackendByName(const char* name) {
+  for (const BackendEntry* e = SupportedBackends(); e->name != nullptr; ++e) {
+    if (std::strcmp(e->name, name) == 0) return e->ops;
+  }
+  return nullptr;
+}
+
+}  // namespace rne

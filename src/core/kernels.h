@@ -1,0 +1,102 @@
+// Runtime-dispatched SIMD kernels for the distance/gradient hot paths.
+//
+// Every kernel has a scalar reference implementation plus hand-vectorized
+// variants (AVX2+FMA and SSE4.2 on x86-64, NEON on AArch64). The best
+// supported variant is selected ONCE at startup from CPUID (no -march=native
+// anywhere: vectorized bodies carry per-function target attributes, so the
+// binary stays portable and the dispatch is a single indirect call resolved
+// at first use). `RNE_KERNEL_BACKEND=scalar|sse42|avx2|neon` forces a
+// backend for A/B benchmarking and parity tests.
+//
+// Precision convention: the vectorized float kernels compute element
+// differences in the float domain (correctly rounded, <= 1/2 ulp relative
+// error per element) and accumulate in double, so the only deviation from
+// the all-double scalar reference is the per-element rounding — bounded by
+// eps_f/2 * result for L1 — while the sum itself never drifts. The L1 sign
+// gradient is exact: sign(float(a-b)) == sign(double(a)-double(b)) because
+// float subtraction only rounds to +/-0 when the operands are equal.
+// (Converting the float difference instead of both operands halves the
+// cvtps_pd pressure, which is what the convert-heavy ports bottleneck on.)
+#ifndef RNE_CORE_KERNELS_H_
+#define RNE_CORE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/macros.h"
+
+namespace rne {
+
+/// One backend's kernel set. All pointers are non-null.
+struct KernelOps {
+  /// sum_i |a[i] - b[i]|
+  double (*l1)(const float* a, const float* b, size_t n);
+  /// sum_i (a[i] - b[i])^2 (caller applies sqrt)
+  double (*l2sq)(const float* a, const float* b, size_t n);
+  /// Fused pass: writes sign(a[i] - b[i]) in {-1, 0, +1} into grad[i] and
+  /// returns the L1 distance. One memory sweep instead of MetricDist +
+  /// MetricGradient.
+  double (*l1_sign_grad)(const float* a, const float* b, size_t n,
+                         float* grad);
+  /// row[i] += alpha * g[i] (the SGD row update).
+  void (*axpy)(float* row, const float* g, size_t n, float alpha);
+  /// sum_i steps[i] * |a[i] - b[i]| over uint8 codes (quantized L1 serving;
+  /// byte absolute differences via the SAD-family max/min-subtract idiom,
+  /// widened and weighted by the per-dimension dequantization step).
+  double (*qdist)(const uint8_t* a, const uint8_t* b, const float* steps,
+                  size_t n);
+};
+
+/// The scalar reference backend (always available; parity baseline).
+const KernelOps& ScalarKernels();
+
+/// The backend selected at startup for this CPU (honours the
+/// RNE_KERNEL_BACKEND override). Stable for the process lifetime.
+const KernelOps& ActiveKernels();
+
+/// Name of the active backend: "avx2", "sse42", "neon", or "scalar".
+const char* KernelBackendName();
+
+/// Names of every backend the running CPU supports (for tests/benchmarks).
+/// Returns a null-terminated array of C strings.
+const char* const* SupportedKernelBackends();
+
+/// Looks up a backend by name; nullptr when unsupported on this CPU.
+const KernelOps* KernelBackendByName(const char* name);
+
+// ---------------------------------------------------------------- wrappers
+
+inline double L1Kernel(std::span<const float> a, std::span<const float> b) {
+  RNE_DCHECK(a.size() == b.size());
+  return ActiveKernels().l1(a.data(), b.data(), a.size());
+}
+
+inline double L2SquaredKernel(std::span<const float> a,
+                              std::span<const float> b) {
+  RNE_DCHECK(a.size() == b.size());
+  return ActiveKernels().l2sq(a.data(), b.data(), a.size());
+}
+
+inline double L1SignGradKernel(std::span<const float> a,
+                               std::span<const float> b,
+                               std::span<float> grad) {
+  RNE_DCHECK(a.size() == b.size() && grad.size() == a.size());
+  return ActiveKernels().l1_sign_grad(a.data(), b.data(), a.size(),
+                                      grad.data());
+}
+
+inline void AxpyKernel(std::span<float> row, std::span<const float> g,
+                       float alpha) {
+  RNE_DCHECK(row.size() == g.size());
+  ActiveKernels().axpy(row.data(), g.data(), row.size(), alpha);
+}
+
+inline double QuantizedL1Kernel(const uint8_t* a, const uint8_t* b,
+                                const float* steps, size_t n) {
+  return ActiveKernels().qdist(a, b, steps, n);
+}
+
+}  // namespace rne
+
+#endif  // RNE_CORE_KERNELS_H_

@@ -2,32 +2,25 @@
 
 #include <algorithm>
 
+#include "core/kernels.h"
+
 namespace rne {
 
 double L1Dist(std::span<const float> a, std::span<const float> b) {
   RNE_DCHECK(a.size() == b.size());
-  const size_t n = a.size();
-  // Four independent accumulators let the compiler vectorize.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += std::abs(static_cast<double>(a[i]) - b[i]);
-    s1 += std::abs(static_cast<double>(a[i + 1]) - b[i + 1]);
-    s2 += std::abs(static_cast<double>(a[i + 2]) - b[i + 2]);
-    s3 += std::abs(static_cast<double>(a[i + 3]) - b[i + 3]);
-  }
-  for (; i < n; ++i) s0 += std::abs(static_cast<double>(a[i]) - b[i]);
-  return (s0 + s1) + (s2 + s3);
+  return ActiveKernels().l1(a.data(), b.data(), a.size());
 }
 
 double L2Dist(std::span<const float> a, std::span<const float> b) {
   RNE_DCHECK(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
+  return std::sqrt(ActiveKernels().l2sq(a.data(), b.data(), a.size()));
+}
+
+double L1DistWithSignGrad(std::span<const float> a, std::span<const float> b,
+                          std::span<float> grad) {
+  RNE_DCHECK(a.size() == b.size() && grad.size() == a.size());
+  return ActiveKernels().l1_sign_grad(a.data(), b.data(), a.size(),
+                                      grad.data());
 }
 
 double LpDist(std::span<const float> a, std::span<const float> b, double p) {

@@ -38,6 +38,12 @@ inline double MetricDist(std::span<const float> a, std::span<const float> b,
 void MetricGradient(std::span<const float> a, std::span<const float> b,
                     double p, double dist, std::span<double> grad);
 
+/// Fused SGD kernel for the recommended p = 1 metric: one pass computes the
+/// L1 distance AND writes sign(a_i - b_i) in {-1, 0, +1} into `grad`
+/// (equivalent to L1Dist + MetricGradient(p=1) at half the memory traffic).
+double L1DistWithSignGrad(std::span<const float> a, std::span<const float> b,
+                          std::span<float> grad);
+
 }  // namespace rne
 
 #endif  // RNE_CORE_METRIC_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels.h"
+
 namespace rne {
 
 QuantizedRne::QuantizedRne(const Rne& model) {
@@ -44,14 +46,7 @@ QuantizedRne::QuantizedRne(const Rne& model) {
 
 double QuantizedRne::Query(VertexId s, VertexId t) const {
   RNE_DCHECK(s < rows_ && t < rows_);
-  const uint8_t* a = Row(s);
-  const uint8_t* b = Row(t);
-  double sum = 0.0;
-  for (size_t d = 0; d < dim_; ++d) {
-    const int diff = static_cast<int>(a[d]) - static_cast<int>(b[d]);
-    sum += steps_[d] * static_cast<double>(diff < 0 ? -diff : diff);
-  }
-  return sum * scale_;
+  return QuantizedL1Kernel(Row(s), Row(t), steps_.data(), dim_) * scale_;
 }
 
 Status QuantizedRne::Save(const std::string& path) const {

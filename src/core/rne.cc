@@ -3,6 +3,7 @@
 #include <queue>
 #include <utility>
 
+#include "core/kernels.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -30,9 +31,21 @@ Rne Rne::Build(const Graph& g, const RneConfig& config, RneBuildStats* stats) {
 
   Timer train_timer;
   Trainer trainer(g, *hierarchy, tcfg);
-  if (config.hierarchical) trainer.TrainHierarchyPhase();
-  trainer.TrainVertexPhase();
-  trainer.FineTunePhase();
+  double phase_seconds[3] = {0.0, 0.0, 0.0};
+  size_t phase_samples[3] = {0, 0, 0};
+  size_t samples_before = 0;
+  const auto run_phase = [&](int phase, auto&& fn) {
+    Timer phase_timer;
+    fn();
+    phase_seconds[phase] = phase_timer.ElapsedSeconds();
+    phase_samples[phase] = trainer.total_samples_processed() - samples_before;
+    samples_before = trainer.total_samples_processed();
+  };
+  if (config.hierarchical) {
+    run_phase(0, [&] { trainer.TrainHierarchyPhase(); });
+  }
+  run_phase(1, [&] { trainer.TrainVertexPhase(); });
+  run_phase(2, [&] { trainer.FineTunePhase(); });
   const double train_seconds = train_timer.ElapsedSeconds();
 
   Rne model;
@@ -48,6 +61,11 @@ Rne Rne::Build(const Graph& g, const RneConfig& config, RneBuildStats* stats) {
     stats->total_seconds = total.ElapsedSeconds();
     stats->samples_processed = trainer.total_samples_processed();
     stats->num_tree_nodes = model.hierarchy_->num_nodes();
+    for (int i = 0; i < 3; ++i) {
+      stats->phase_seconds[i] = phase_seconds[i];
+      stats->phase_samples[i] = phase_samples[i];
+    }
+    stats->train_threads = trainer.sgd_threads();
   }
   return model;
 }
@@ -90,6 +108,7 @@ void Rne::RefineOnline(const std::vector<DistanceSample>& samples,
   const size_t dim = vertex_emb_.dim();
   const double lr_norm = 1.0 / (4.0 * static_cast<double>(dim));
   std::vector<double> grad(dim);
+  std::vector<float> fgrad(dim);
   std::vector<uint32_t> order(samples.size());
   for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
@@ -103,15 +122,24 @@ void Rne::RefineOnline(const std::vector<DistanceSample>& samples,
       if (sample.dist == kInfDistance) continue;
       auto vs = vertex_emb_.Row(sample.s);
       auto vt = vertex_emb_.Row(sample.t);
-      const double dist = MetricDist(vs, vt, p_);
+      double dist;
+      if (p_ == 1.0) {
+        dist = L1DistWithSignGrad(vs, vt, fgrad);
+      } else {
+        dist = MetricDist(vs, vt, p_);
+      }
       const double err = dist - sample.dist / scale_;
       if (err == 0.0) continue;
       const double coeff = 2.0 * err * lr * lr_norm;
-      MetricGradient(vs, vt, p_, dist, grad);
-      for (size_t d = 0; d < dim; ++d) {
-        vs[d] -= static_cast<float>(coeff * grad[d]);
-        vt[d] += static_cast<float>(coeff * grad[d]);
+      if (p_ != 1.0) {
+        MetricGradient(vs, vt, p_, dist, grad);
+        for (size_t d = 0; d < dim; ++d) {
+          fgrad[d] = static_cast<float>(grad[d]);
+        }
       }
+      const float alpha = static_cast<float>(coeff);
+      AxpyKernel(vs, fgrad, -alpha);
+      AxpyKernel(vt, fgrad, alpha);
     }
   }
 }

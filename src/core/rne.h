@@ -41,13 +41,18 @@ struct RneConfig {
   bool fine_tune = true;
 };
 
-/// Build-time breakdown reported by Build().
+/// Build-time breakdown reported by Build(). Phase indexes: 0 = hierarchy
+/// embedding, 1 = vertex embedding, 2 = active fine-tuning.
 struct RneBuildStats {
   double partition_seconds = 0.0;
   double train_seconds = 0.0;
   double total_seconds = 0.0;
   size_t samples_processed = 0;
   size_t num_tree_nodes = 0;
+  double phase_seconds[3] = {0.0, 0.0, 0.0};
+  size_t phase_samples[3] = {0, 0, 0};
+  /// SGD worker threads actually used by the trainer (1 = sequential).
+  size_t train_threads = 1;
 };
 
 /// Immutable trained model. Copyable (matrices + tree); cheap to move.

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <queue>
 
+#include "util/thread_pool.h"
+
 namespace rne {
 
-RneIndex::RneIndex(const Rne* model) : model_(model) {
+RneIndex::RneIndex(const Rne* model, size_t num_threads) : model_(model) {
   std::vector<VertexId> all(model->NumVertices());
   for (VertexId v = 0; v < all.size(); ++v) all[v] = v;
   leaf_targets_.assign(model_->hierarchy().num_nodes(), {});
@@ -13,10 +15,11 @@ RneIndex::RneIndex(const Rne* model) : model_(model) {
     leaf_targets_[model_->hierarchy().LeafOf(v)].push_back(v);
   }
   num_targets_ = all.size();
-  BuildRadii();
+  BuildRadii(num_threads);
 }
 
-RneIndex::RneIndex(const Rne* model, std::vector<VertexId> targets)
+RneIndex::RneIndex(const Rne* model, std::vector<VertexId> targets,
+                   size_t num_threads)
     : model_(model) {
   leaf_targets_.assign(model_->hierarchy().num_nodes(), {});
   for (const VertexId v : targets) {
@@ -24,10 +27,10 @@ RneIndex::RneIndex(const Rne* model, std::vector<VertexId> targets)
     leaf_targets_[model_->hierarchy().LeafOf(v)].push_back(v);
   }
   num_targets_ = targets.size();
-  BuildRadii();
+  BuildRadii(num_threads);
 }
 
-void RneIndex::BuildRadii() {
+void RneIndex::BuildRadii(size_t num_threads) {
   const PartitionHierarchy& hier = model_->hierarchy();
   const double scale = model_->scale();
   radius_.assign(hier.num_nodes(), -1.0);
@@ -39,8 +42,12 @@ void RneIndex::BuildRadii() {
   });
   // Radius must be measured from the node's own embedding to the target
   // vertices' embeddings, so compute it directly per node over the targets
-  // in its subtree. Collect subtree targets bottom-up.
+  // in its subtree. Collect subtree targets bottom-up (cheap list splicing),
+  // then scan the distance maxima — the O(levels * |targets| * dim) hot part
+  // — in parallel over nodes: every node writes only its own radius_ slot.
   std::vector<std::vector<VertexId>> subtree(hier.num_nodes());
+  std::vector<uint32_t> populated;
+  populated.reserve(hier.num_nodes());
   for (const uint32_t id : order) {
     const auto& node = hier.node(id);
     std::vector<VertexId>& mine = subtree[id];
@@ -51,14 +58,23 @@ void RneIndex::BuildRadii() {
         mine.insert(mine.end(), subtree[c].begin(), subtree[c].end());
       }
     }
-    if (mine.empty()) continue;
+    if (!mine.empty()) populated.push_back(id);
+  }
+  const auto radius_of = [&](uint32_t id) {
     const auto center = model_->node_embeddings().Row(id);
     double r = 0.0;
-    for (const VertexId v : mine) {
+    for (const VertexId v : subtree[id]) {
       r = std::max(r, MetricDist(center, model_->vertex_embeddings().Row(v),
                                  model_->p()));
     }
     radius_[id] = r * scale;
+  };
+  if (num_threads > 1 && populated.size() > 1) {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(populated.size(),
+                     [&](size_t i) { radius_of(populated[i]); });
+  } else {
+    for (const uint32_t id : populated) radius_of(id);
   }
 }
 

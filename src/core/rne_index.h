@@ -21,9 +21,12 @@ namespace rne {
 class RneIndex {
  public:
   /// Indexes every vertex as a target. `model` must outlive the index.
-  explicit RneIndex(const Rne* model);
+  /// `num_threads` > 1 parallelizes the radius computation of the build
+  /// (queries are unaffected); 0/1 builds sequentially.
+  explicit RneIndex(const Rne* model, size_t num_threads = 1);
   /// Indexes only `targets` (must be valid vertex ids).
-  RneIndex(const Rne* model, std::vector<VertexId> targets);
+  RneIndex(const Rne* model, std::vector<VertexId> targets,
+           size_t num_threads = 1);
 
   /// All targets whose estimated distance to `source` is <= tau,
   /// unordered.
@@ -40,7 +43,7 @@ class RneIndex {
   size_t MemoryBytes() const;
 
  private:
-  void BuildRadii();
+  void BuildRadii(size_t num_threads);
 
   const Rne* model_;
   /// radius per tree node in the edge-weight unit; negative = no targets.

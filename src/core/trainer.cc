@@ -1,12 +1,25 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
 
 #include "algo/landmarks.h"
+#include "core/kernels.h"
 #include "core/metric.h"
+
+// Detect ThreadSanitizer builds: the Hogwild vertex-row path switches to
+// relaxed atomics there (plain movs on x86, so semantics match the release
+// build's benign races) so TSan runs are genuinely race-free.
+#if defined(__SANITIZE_THREAD__)
+#define RNE_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RNE_TSAN_BUILD 1
+#endif
+#endif
 
 namespace rne {
 
@@ -14,6 +27,33 @@ namespace {
 /// Caps per-sample error in normalized units; protects the embedding from
 /// rare outlier pairs early in training.
 constexpr double kErrorClip = 10.0;
+
+/// row[i] += alpha * g[i] on a row that other workers may be updating
+/// concurrently (Hogwild). Lost updates are SGD noise; see trainer.h.
+void HogwildAxpy(std::span<float> row, std::span<const float> g,
+                 float alpha) {
+#if defined(RNE_TSAN_BUILD)
+  for (size_t i = 0; i < row.size(); ++i) {
+    std::atomic_ref<float> cell(row[i]);
+    cell.store(cell.load(std::memory_order_relaxed) + alpha * g[i],
+               std::memory_order_relaxed);
+  }
+#else
+  AxpyKernel(row, g, alpha);
+#endif
+}
+
+/// out = row, tolerating concurrent HogwildAxpy writers on `row`.
+void HogwildCopy(std::span<float> row, std::span<float> out) {
+#if defined(RNE_TSAN_BUILD)
+  for (size_t i = 0; i < row.size(); ++i) {
+    std::atomic_ref<float> cell(row[i]);
+    out[i] = cell.load(std::memory_order_relaxed);
+  }
+#else
+  std::copy(row.begin(), row.end(), out.begin());
+#endif
+}
 }  // namespace
 
 Trainer::Trainer(const Graph& g, const PartitionHierarchy& hier,
@@ -23,10 +63,7 @@ Trainer::Trainer(const Graph& g, const PartitionHierarchy& hier,
       config_(config),
       model_(&hier, config.dim, config.p),
       dist_sampler_(g, config.num_threads),
-      rng_(config.seed),
-      vs_(config.dim),
-      vt_(config.dim),
-      grad_(config.dim) {
+      rng_(config.seed) {
   RNE_CHECK(hier.num_vertices() == g.NumVertices());
   // Init spread ~ init_scale / dim keeps the initial L1 estimate O(1) in
   // normalized units for every dimension choice.
@@ -35,6 +72,21 @@ Trainer::Trainer(const Graph& g, const PartitionHierarchy& hier,
   // L1 estimate by ~4 * dim * lr * err; dividing by 4 * dim makes lr0 the
   // fraction of the error corrected per update, independent of dim.
   lr_norm_ = 1.0 / (4.0 * static_cast<double>(config_.dim));
+
+  sgd_threads_ = config_.num_threads > 1 ? config_.num_threads : 1;
+  if (sgd_threads_ > 1) pool_ = std::make_unique<ThreadPool>(sgd_threads_);
+  scratch_.resize(sgd_threads_);
+  for (SgdScratch& scr : scratch_) {
+    scr.vs.resize(config_.dim);
+    scr.vt.resize(config_.dim);
+    scr.grad.resize(config_.dim);
+    scr.dgrad.resize(config_.dim);
+    if (pool_) {
+      scr.node_delta.assign(hier_.num_nodes() * config_.dim, 0.0f);
+      scr.is_touched.assign(hier_.num_nodes(), 0);
+    }
+  }
+  if (pool_) merge_count_.assign(hier_.num_nodes(), 0);
 }
 
 void Trainer::MaybeInitScale(const std::vector<DistanceSample>& samples) {
@@ -56,50 +108,167 @@ std::vector<DistanceSample> Trainer::Materialize(
   return dist_sampler_.ComputeDistances(pairs);
 }
 
+bool Trainer::ComputeGradient(const DistanceSample& sample, SgdScratch& scr,
+                              double* coeff) {
+  double dist;
+  if (config_.p == 1.0) {
+    // Fused kernel: distance and sign gradient in one memory sweep.
+    dist = L1DistWithSignGrad(scr.vs, scr.vt, scr.grad);
+  } else {
+    dist = MetricDist(scr.vs, scr.vt, config_.p);
+  }
+  const double target = sample.dist / scale_;
+  const double err = std::clamp(dist - target, -kErrorClip, kErrorClip);
+  if (err == 0.0) return false;
+  if (config_.p != 1.0) {
+    MetricGradient(scr.vs, scr.vt, config_.p, dist, scr.dgrad);
+    for (size_t i = 0; i < scr.grad.size(); ++i) {
+      scr.grad[i] = static_cast<float>(scr.dgrad[i]);
+    }
+  }
+  *coeff = 2.0 * err * lr_norm_;  // dL/d(dist), dim-normalized
+  return true;
+}
+
 void Trainer::SgdStep(const DistanceSample& sample,
                       const std::vector<double>& level_lrs) {
   if (sample.dist == kInfDistance) return;  // unreachable pair
-  model_.GlobalOf(sample.s, vs_);
-  model_.GlobalOf(sample.t, vt_);
-  const double dist = MetricDist(vs_, vt_, config_.p);
-  const double target = sample.dist / scale_;
-  const double err = std::clamp(dist - target, -kErrorClip, kErrorClip);
-  if (err == 0.0) return;
-  const double coeff = 2.0 * err * lr_norm_;  // dL/d(dist), dim-normalized
-  MetricGradient(vs_, vt_, config_.p, dist, grad_);
+  SgdScratch& scr = scratch_[0];
+  model_.GlobalOf(sample.s, scr.vs);
+  model_.GlobalOf(sample.t, scr.vt);
+  double coeff;
+  if (!ComputeGradient(sample, scr, &coeff)) return;
 
   const uint32_t vertex_level = model_.vertex_level();
-  // Source side: d(dist)/d(v_s) = grad_.
+  // Source side: d(dist)/d(v_s) = grad.
   for (const uint32_t node : hier_.AncestorsOf(sample.s)) {
     const double lr = level_lrs[hier_.node(node).level];
     if (lr == 0.0) continue;
-    auto row = model_.NodeLocal(node);
-    for (size_t i = 0; i < row.size(); ++i) {
-      row[i] -= static_cast<float>(lr * coeff * grad_[i]);
-    }
+    AxpyKernel(model_.NodeLocal(node), scr.grad,
+               -static_cast<float>(lr * coeff));
   }
   if (level_lrs[vertex_level] != 0.0) {
-    const double lr = level_lrs[vertex_level];
-    auto row = model_.VertexLocal(sample.s);
-    for (size_t i = 0; i < row.size(); ++i) {
-      row[i] -= static_cast<float>(lr * coeff * grad_[i]);
-    }
+    AxpyKernel(model_.VertexLocal(sample.s), scr.grad,
+               -static_cast<float>(level_lrs[vertex_level] * coeff));
   }
-  // Target side: d(dist)/d(v_t) = -grad_.
+  // Target side: d(dist)/d(v_t) = -grad.
   for (const uint32_t node : hier_.AncestorsOf(sample.t)) {
     const double lr = level_lrs[hier_.node(node).level];
     if (lr == 0.0) continue;
-    auto row = model_.NodeLocal(node);
-    for (size_t i = 0; i < row.size(); ++i) {
-      row[i] += static_cast<float>(lr * coeff * grad_[i]);
-    }
+    AxpyKernel(model_.NodeLocal(node), scr.grad,
+               static_cast<float>(lr * coeff));
   }
   if (level_lrs[vertex_level] != 0.0) {
-    const double lr = level_lrs[vertex_level];
-    auto row = model_.VertexLocal(sample.t);
-    for (size_t i = 0; i < row.size(); ++i) {
-      row[i] += static_cast<float>(lr * coeff * grad_[i]);
+    AxpyKernel(model_.VertexLocal(sample.t), scr.grad,
+               static_cast<float>(level_lrs[vertex_level] * coeff));
+  }
+}
+
+void Trainer::GlobalOfHogwild(VertexId v, std::span<float> out,
+                              const SgdScratch& scr, bool nodes_training) {
+  HogwildCopy(model_.VertexLocal(v), out);
+  const size_t dim = config_.dim;
+  for (const uint32_t node : hier_.AncestorsOf(v)) {
+    // Shared node rows are frozen between merge barriers, so plain SIMD
+    // adds are safe here.
+    AxpyKernel(out, model_.NodeLocal(node), 1.0f);
+    if (nodes_training) {
+      // Plus this worker's own pending displacement: the worker must see
+      // its earlier node updates immediately (sequential-style telescoping)
+      // even though they reach the shared model only at the next barrier.
+      AxpyKernel(out,
+                 std::span<const float>(scr.node_delta.data() + node * dim,
+                                        dim),
+                 1.0f);
     }
+  }
+}
+
+void Trainer::ParallelSgdStep(const DistanceSample& sample,
+                              const std::vector<double>& level_lrs,
+                              SgdScratch& scr, bool nodes_training) {
+  if (sample.dist == kInfDistance) return;
+  GlobalOfHogwild(sample.s, scr.vs, scr, nodes_training);
+  GlobalOfHogwild(sample.t, scr.vt, scr, nodes_training);
+  double coeff;
+  if (!ComputeGradient(sample, scr, &coeff)) return;
+
+  const size_t dim = config_.dim;
+  const uint32_t vertex_level = model_.vertex_level();
+  const auto accumulate_delta = [&](uint32_t node, float alpha) {
+    if (!scr.is_touched[node]) {
+      scr.is_touched[node] = 1;
+      scr.touched.push_back(node);
+    }
+    AxpyKernel({scr.node_delta.data() + node * dim, dim}, scr.grad, alpha);
+  };
+  for (const uint32_t node : hier_.AncestorsOf(sample.s)) {
+    const double lr = level_lrs[hier_.node(node).level];
+    if (lr != 0.0) accumulate_delta(node, -static_cast<float>(lr * coeff));
+  }
+  for (const uint32_t node : hier_.AncestorsOf(sample.t)) {
+    const double lr = level_lrs[hier_.node(node).level];
+    if (lr != 0.0) accumulate_delta(node, static_cast<float>(lr * coeff));
+  }
+  if (level_lrs[vertex_level] != 0.0) {
+    const float alpha = static_cast<float>(level_lrs[vertex_level] * coeff);
+    HogwildAxpy(model_.VertexLocal(sample.s), scr.grad, -alpha);
+    HogwildAxpy(model_.VertexLocal(sample.t), scr.grad, alpha);
+  }
+}
+
+void Trainer::MergeNodeDeltas() {
+  const size_t dim = config_.dim;
+  // Pass 1: how many workers moved each node this round.
+  for (const SgdScratch& scr : scratch_) {
+    for (const uint32_t node : scr.touched) {
+      if (merge_count_[node]++ == 0) merged_nodes_.push_back(node);
+    }
+  }
+  // Pass 2: fold the AVERAGE displacement into the shared row (see the
+  // header comment for why summing would diverge) and clear the buffers.
+  for (SgdScratch& scr : scratch_) {
+    for (const uint32_t node : scr.touched) {
+      float* delta = scr.node_delta.data() + node * dim;
+      AxpyKernel(model_.NodeLocal(node), {delta, dim},
+                 1.0f / static_cast<float>(merge_count_[node]));
+      std::fill(delta, delta + dim, 0.0f);
+      scr.is_touched[node] = 0;
+    }
+    scr.touched.clear();
+  }
+  for (const uint32_t node : merged_nodes_) merge_count_[node] = 0;
+  merged_nodes_.clear();
+}
+
+void Trainer::ParallelEpoch(const std::vector<DistanceSample>& samples,
+                            const std::vector<double>& level_lrs) {
+  const size_t workers = sgd_threads_;
+  const size_t n = shuffle_.size();
+  const size_t chunk = std::max<size_t>(1, config_.sgd_chunk);
+  const uint32_t vertex_level = model_.vertex_level();
+  bool nodes_training = false;
+  for (uint32_t l = 1; l < vertex_level; ++l) {
+    nodes_training |= level_lrs[l] != 0.0;
+  }
+  size_t pos = 0;
+  while (pos < n) {
+    // One round: up to `chunk` samples per worker, then a barrier at which
+    // the main thread folds the upper-level displacements into the model.
+    const size_t round_end = std::min(n, pos + chunk * workers);
+    const size_t per = (round_end - pos + workers - 1) / workers;
+    pool_->ParallelFor(workers, [&](size_t w) {
+      const size_t begin = std::min(round_end, pos + w * per);
+      const size_t end = std::min(round_end, begin + per);
+      // Scratch is per pool-worker thread (two shards that land on the same
+      // worker run sequentially and may share a slot).
+      SgdScratch& scr = scratch_[ThreadPool::CurrentWorkerIndex()];
+      for (size_t k = begin; k < end; ++k) {
+        ParallelSgdStep(samples[shuffle_[k]], level_lrs, scr, nodes_training);
+      }
+    });
+    if (nodes_training) MergeNodeDeltas();
+    pos = round_end;
   }
 }
 
@@ -123,8 +292,12 @@ void Trainer::TrainOnSamples(const std::vector<DistanceSample>& samples,
                         static_cast<double>(epoch) /
                         static_cast<double>(epochs - 1);
     for (size_t l = 0; l < lrs.size(); ++l) lrs[l] = level_lrs[l] * decay;
-    for (const uint32_t idx : shuffle_) {
-      SgdStep(samples[idx], lrs);
+    if (pool_ && samples.size() >= sgd_threads_ * 2) {
+      ParallelEpoch(samples, lrs);
+    } else {
+      for (const uint32_t idx : shuffle_) {
+        SgdStep(samples[idx], lrs);
+      }
     }
     samples_processed_ += samples.size();
     RecordProgress();
@@ -215,7 +388,9 @@ void Trainer::FineTunePhase() {
     const std::vector<VertexPair> pairs =
         ErrorBasedPairs(grid, bucket_errors, config_.finetune_strategy,
                         config_.finetune_samples, rng_, config_.source_reuse);
-    if (pairs.empty()) return;
+    // An empty round (e.g. every bucket already converged) must not abort
+    // the remaining rounds: later rounds re-measure and may find new work.
+    if (pairs.empty()) continue;
     const std::vector<DistanceSample> samples = Materialize(pairs);
     TrainOnSamples(samples, lrs, config_.finetune_epochs);
     if (config_.verbose) {
@@ -234,17 +409,46 @@ void Trainer::TrainAll() {
 
 double Trainer::MeanRelativeError(
     const std::vector<DistanceSample>& val) const {
+  const auto eval_range = [this](const DistanceSample* begin,
+                                 const DistanceSample* end, SgdScratch& scr,
+                                 double* sum_out, size_t* count_out) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (const DistanceSample* s = begin; s != end; ++s) {
+      if (s->dist <= 0.0 || s->dist == kInfDistance) continue;
+      model_.GlobalOf(s->s, scr.vs);
+      model_.GlobalOf(s->t, scr.vt);
+      const double est = MetricDist(scr.vs, scr.vt, config_.p) * scale_;
+      sum += std::abs(est - s->dist) / s->dist;
+      ++count;
+    }
+    *sum_out = sum;
+    *count_out = count;
+  };
+
+  // Runs every epoch on the full validation set (RecordProgress), so large
+  // sets fan out across the SGD pool.
+  if (pool_ && val.size() >= 512) {
+    const size_t workers = sgd_threads_;
+    const size_t per = (val.size() + workers - 1) / workers;
+    std::vector<double> sums(workers, 0.0);
+    std::vector<size_t> counts(workers, 0);
+    pool_->ParallelFor(workers, [&](size_t w) {
+      const size_t begin = std::min(val.size(), w * per);
+      const size_t end = std::min(val.size(), begin + per);
+      eval_range(val.data() + begin, val.data() + end,
+                 scratch_[ThreadPool::CurrentWorkerIndex()], &sums[w],
+                 &counts[w]);
+    });
+    const double sum = std::accumulate(sums.begin(), sums.end(), 0.0);
+    const size_t count = std::accumulate(counts.begin(), counts.end(),
+                                         static_cast<size_t>(0));
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
   double sum = 0.0;
   size_t count = 0;
-  std::vector<float> vs(config_.dim), vt(config_.dim);
-  for (const DistanceSample& s : val) {
-    if (s.dist <= 0.0 || s.dist == kInfDistance) continue;
-    model_.GlobalOf(s.s, vs);
-    model_.GlobalOf(s.t, vt);
-    const double est = MetricDist(vs, vt, config_.p) * scale_;
-    sum += std::abs(est - s.dist) / s.dist;
-    ++count;
-  }
+  eval_range(val.data(), val.data() + val.size(), scratch_[0], &sum, &count);
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 

@@ -13,16 +13,32 @@
 //
 // Distances are normalized by a scale factor (mean sample distance) so the
 // same learning rate works across datasets; the factor is part of the model.
+//
+// Parallel training (num_threads > 1): each epoch's shuffled sample order is
+// cut into per-worker shards processed Hogwild-style — vertex-local rows are
+// updated in place without locks (each sample touches only its two endpoint
+// rows, so concurrent writes to the same row are rare and the occasional
+// lost update is SGD noise), while upper-level node rows — touched by every
+// sample in their subtree and therefore heavily contended — use local SGD:
+// each worker accumulates its node-row updates into a private displacement
+// buffer that it also reads back during its own gathers (so its local
+// trajectory telescopes exactly like sequential SGD), and at chunk barriers
+// (every sgd_chunk samples per worker) the main thread folds the AVERAGE of
+// the workers' displacements into the shared rows. Under TSan the
+// vertex-row accesses go through relaxed std::atomic_ref operations so the
+// build is race-free; release builds use the raw SIMD kernels.
 #ifndef RNE_CORE_TRAINER_H_
 #define RNE_CORE_TRAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "algo/distance_sampler.h"
 #include "core/hierarchical_model.h"
 #include "core/sampler.h"
+#include "util/thread_pool.h"
 
 namespace rne {
 
@@ -66,7 +82,15 @@ struct TrainConfig {
   /// (amortizes exact-distance searches; marginal distribution unchanged).
   size_t source_reuse = 8;
 
+  /// Worker threads. Sample materialization (exact Dijkstra) always
+  /// parallelizes (0 = all cores, matching DistanceSampler). The SGD loop
+  /// itself shards epochs across a pool only when num_threads > 1 — 0/1
+  /// keeps the exact sequential reference semantics.
   size_t num_threads = 0;
+  /// Samples each SGD worker processes between upper-level delta merges;
+  /// smaller chunks track the sequential trajectory more closely at the cost
+  /// of more barriers.
+  size_t sgd_chunk = 1024;
   uint64_t seed = 13;
   bool verbose = false;
 };
@@ -95,8 +119,11 @@ class Trainer {
   /// Distance normalization factor: model estimates * scale() = meters.
   double scale() const { return scale_; }
   size_t total_samples_processed() const { return samples_processed_; }
+  /// SGD worker threads actually in use (1 = sequential).
+  size_t sgd_threads() const { return sgd_threads_; }
 
-  /// Mean relative error of the current model on exact samples.
+  /// Mean relative error of the current model on exact samples
+  /// (parallelized across the SGD pool for large sets).
   double MeanRelativeError(const std::vector<DistanceSample>& val) const;
 
   /// Installs a validation set; every epoch appends a ProgressPoint.
@@ -114,9 +141,47 @@ class Trainer {
       const std::vector<VertexPair>& pairs) const;
 
  private:
+  /// Per-worker SGD scratch: embedding/gradient staging plus the node-row
+  /// delta buffer for the Hogwild sharded path. Slot 0 doubles as the
+  /// sequential path's scratch.
+  struct SgdScratch {
+    std::vector<float> vs, vt;
+    std::vector<float> grad;    // float gradient (SIMD row updates)
+    std::vector<double> dgrad;  // general-p gradient staging
+    /// Dense num_nodes x dim delta accumulator for upper-level rows.
+    std::vector<float> node_delta;
+    std::vector<uint32_t> touched;    // node ids with a nonzero delta
+    std::vector<uint8_t> is_touched;  // per-node flag backing `touched`
+  };
+
   /// One SGD update; level_lrs[level] = learning rate for that model level.
   void SgdStep(const DistanceSample& sample,
                const std::vector<double>& level_lrs);
+  /// One epoch over shuffle_ sharded across the pool (num_threads > 1).
+  void ParallelEpoch(const std::vector<DistanceSample>& samples,
+                     const std::vector<double>& level_lrs);
+  /// Hogwild SGD update running on a pool worker; vertex rows in place,
+  /// node rows into scr.node_delta (the worker's local displacement).
+  /// `nodes_training` = some node level has a nonzero learning rate.
+  void ParallelSgdStep(const DistanceSample& sample,
+                       const std::vector<double>& level_lrs, SgdScratch& scr,
+                       bool nodes_training);
+  /// Averages the workers' node-row displacements into the model (main
+  /// thread, after a barrier) and clears them. Averaging — not summing — is
+  /// what keeps parity with sequential SGD: every worker's local trajectory
+  /// already applies a full-strength correction to the shared row, so
+  /// summing W displacements would correct the same error W times over and
+  /// diverge (local SGD / model averaging).
+  void MergeNodeDeltas();
+  /// Global embedding gather that tolerates concurrent vertex-row writers.
+  /// Adds the worker's own pending node displacements on top of the shared
+  /// node rows, so each worker trains against its local model view.
+  void GlobalOfHogwild(VertexId v, std::span<float> out,
+                       const SgdScratch& scr, bool nodes_training);
+  /// Computes dist and the float gradient for `sample` into scr; returns
+  /// false for unreachable pairs or zero error.
+  bool ComputeGradient(const DistanceSample& sample, SgdScratch& scr,
+                       double* coeff);
   /// Sets scale_ from the mean of `samples` if not yet set.
   void MaybeInitScale(const std::vector<DistanceSample>& samples);
   void RecordProgress();
@@ -132,12 +197,17 @@ class Trainer {
   double lr_norm_ = 1.0;
   size_t samples_processed_ = 0;
 
+  size_t sgd_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // created only when sgd_threads_ > 1
+  mutable std::vector<SgdScratch> scratch_;  // one slot per SGD worker
+  /// Merge staging: per-node contributing-worker count + the union of
+  /// touched nodes (parallel path only).
+  std::vector<uint32_t> merge_count_;
+  std::vector<uint32_t> merged_nodes_;
+
   std::vector<DistanceSample> validation_;
   std::vector<ProgressPoint> progress_;
 
-  // Scratch buffers for SgdStep.
-  std::vector<float> vs_, vt_;
-  std::vector<double> grad_;
   std::vector<uint32_t> shuffle_;
 };
 

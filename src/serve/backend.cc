@@ -31,13 +31,15 @@ Status RequireGraph(const BackendContext& ctx, const char* name) {
 /// tree index (also const).
 class RneBackend : public QueryBackend {
  public:
-  /// Owns a freshly loaded model.
-  explicit RneBackend(Rne model)
+  /// Owns a freshly loaded model. `num_workers` parallelizes the kNN-index
+  /// build (query serving itself is unaffected).
+  explicit RneBackend(Rne model, size_t num_workers = 1)
       : owned_(std::make_unique<Rne>(std::move(model))),
         model_(owned_.get()),
-        index_(model_) {}
+        index_(model_, num_workers) {}
   /// Borrows a caller-owned model (must outlive the backend).
-  explicit RneBackend(const Rne* model) : model_(model), index_(model_) {}
+  explicit RneBackend(const Rne* model, size_t num_workers = 1)
+      : model_(model), index_(model_, num_workers) {}
 
   std::string Name() const override { return "rne"; }
   bool IsExact() const override { return false; }
@@ -189,7 +191,7 @@ Registry& GlobalRegistry() {
       auto model = Rne::Load(ctx.model_path);
       if (!model.ok()) return model.status();
       return std::unique_ptr<QueryBackend>(
-          new RneBackend(std::move(model).value()));
+          new RneBackend(std::move(model).value(), ctx.num_workers));
     };
     r->factories["rne-quantized"] =
         [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {

@@ -307,6 +307,39 @@ TEST(TrainerTest, ProgressCurveRecorded) {
   EXPECT_LT(progress.back().mean_rel_error, progress.front().mean_rel_error);
 }
 
+// Hogwild sharded SGD must converge to the same quality as the sequential
+// reference: same seed, same samples, only num_threads differs. The
+// trajectories diverge (update interleaving differs), so compare final
+// validation error, not weights.
+TEST(TrainerTest, ThreadCountInvariance) {
+  const Graph g = SmallRoadNetwork();
+  const PartitionHierarchy h = SmallHierarchy(g);
+  DistanceSampler sampler(g);
+  Rng rng(23);
+  const auto val = sampler.RandomPairs(400, rng);
+
+  const auto train_with = [&](size_t threads) {
+    TrainConfig cfg;
+    cfg.dim = 32;
+    cfg.level_samples = 4000;
+    cfg.vertex_samples = 20000;
+    cfg.finetune_rounds = 0;
+    cfg.num_threads = threads;
+    cfg.seed = 13;
+    Trainer trainer(g, h, cfg);
+    trainer.TrainAll();
+    EXPECT_EQ(trainer.sgd_threads(), threads > 1 ? threads : 1);
+    return trainer.MeanRelativeError(val);
+  };
+
+  const double sequential = train_with(1);
+  const double parallel = train_with(4);
+  EXPECT_LT(sequential, 0.15);
+  EXPECT_LT(parallel, 0.15);
+  // Within 10% absolute-quality drift of each other (acceptance criterion).
+  EXPECT_NEAR(parallel, sequential, 0.1 * (sequential + 0.01) + 0.02);
+}
+
 TEST(TrainerTest, FlatModelTrains) {
   const Graph g = SmallRoadNetwork();
   HierarchyOptions opt;

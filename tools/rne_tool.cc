@@ -3,6 +3,7 @@
 //
 //   rne_tool generate --rows 64 --cols 64 --seed 1 --gr net.gr --co net.co
 //   rne_tool build    --gr net.gr --co net.co --dim 64 --model city.rne
+//   rne_tool train    (alias for build) ... --threads 8 for parallel SGD
 //   rne_tool eval     --gr net.gr --co net.co --model city.rne --pairs 5000
 //   rne_tool query    --model city.rne --s 17 --t 9000
 //   rne_tool knn      --model city.rne --s 17 --k 5
@@ -19,6 +20,7 @@
 
 #include "algo/dijkstra.h"
 #include "algo/distance_sampler.h"
+#include "core/kernels.h"
 #include "core/rne.h"
 #include "core/rne_index.h"
 #include "graph/dimacs.h"
@@ -63,6 +65,7 @@ int CmdBuild(const ArgParser& args) {
   RneConfig config;
   config.dim = static_cast<size_t>(flags.Int("dim", 64));
   config.train.seed = static_cast<uint64_t>(flags.Int("seed", 13));
+  config.train.num_threads = static_cast<size_t>(flags.Int("threads", 1));
   if (!flags.status().ok()) return Fail(flags.status().ToString());
   auto graph = LoadGraphArg(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
@@ -73,10 +76,25 @@ int CmdBuild(const ArgParser& args) {
   const std::string out = args.Get("model", "model.rne");
   const Status st = model.Save(out);
   if (!st.ok()) return Fail(st.ToString());
+  static const char* const kPhaseNames[3] = {"hierarchy", "vertex",
+                                             "fine-tune"};
+  for (int phase = 0; phase < 3; ++phase) {
+    if (stats.phase_samples[phase] == 0) continue;
+    const double secs = stats.phase_seconds[phase];
+    std::printf("  phase %d (%s): %.1fs, %zu samples (%.0f samples/s)\n",
+                phase + 1, kPhaseNames[phase], secs,
+                stats.phase_samples[phase],
+                secs > 0.0 ? static_cast<double>(stats.phase_samples[phase]) /
+                                 secs
+                           : 0.0);
+  }
   std::printf(
-      "trained d=%zu model in %.1fs (%zu samples) and wrote %s (%.1f MB)\n",
+      "trained d=%zu model in %.1fs (%zu samples, %zu SGD thread%s, kernel "
+      "backend %s) and wrote %s (%.1f MB)\n",
       model.dim(), timer.ElapsedSeconds(), stats.samples_processed,
-      out.c_str(), static_cast<double>(model.IndexBytes()) / 1048576.0);
+      stats.train_threads, stats.train_threads == 1 ? "" : "s",
+      KernelBackendName(), out.c_str(),
+      static_cast<double>(model.IndexBytes()) / 1048576.0);
   return 0;
 }
 
@@ -231,7 +249,7 @@ int CmdVerify(const ArgParser& args) {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: rne_tool <generate|build|eval|query|knn|verify> "
+                 "usage: rne_tool <generate|build|train|eval|query|knn|verify> "
                  "[--key value ...]\n");
     return 1;
   }
@@ -239,7 +257,8 @@ int Main(int argc, char** argv) {
   if (!args.ok()) return Fail(args.status().ToString());
   const std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(args.value());
-  if (cmd == "build") return CmdBuild(args.value());
+  // `train` is an alias for `build` (the build IS the training run).
+  if (cmd == "build" || cmd == "train") return CmdBuild(args.value());
   if (cmd == "eval") return CmdEval(args.value());
   if (cmd == "query") return CmdQuery(args.value());
   if (cmd == "knn") return CmdKnn(args.value());
