@@ -29,6 +29,7 @@
 #include "bench/bench_common.h"
 #include "core/rne.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 #include "util/arg_parser.h"
 #include "util/rng.h"
@@ -330,7 +331,11 @@ int Main(int argc, char** argv) {
     AppendPointJson(&json, points[i]);
     json += i + 1 < points.size() ? ",\n" : "\n";
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+  // Process-global registry (per-backend latency histograms, persistence
+  // and kNN counters accumulated across the whole sweep).
+  json += "  \"metrics\": " + obs::MetricsRegistry::Global().ToJson() + "\n";
+  json += "}\n";
 
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {

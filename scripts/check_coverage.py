@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Line-coverage report + gate built directly on gcov.
+
+The CI image has gcc/gcov but no gcovr, so this walks every .gcda profile a
+test run produced, asks gcov for its JSON intermediate records, merges them
+per source line (the same header or template line is profiled by many
+translation units), and enforces a minimum aggregate line coverage over the
+gated path prefixes.
+
+Usage:
+  python3 scripts/check_coverage.py --build-dir build \
+      [--include src/core --include src/serve] \
+      [--fail-under 70] [--out coverage.json]
+
+Exit status 1 when the aggregate coverage of the gated prefixes is below
+--fail-under; 2 when no profile data was found (a miswired build would
+otherwise "pass" with 0/0 lines).
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_profile_dirs(build_dir):
+    """Object directories containing .gcda files, with the files grouped."""
+    groups = {}
+    # Absolute paths: gcov runs from a scratch cwd and resolves the .gcno
+    # notes file relative to the .gcda argument.
+    for root, _dirs, files in os.walk(os.path.abspath(build_dir)):
+        gcda = [os.path.join(root, f) for f in files if f.endswith(".gcda")]
+        if gcda:
+            groups[root] = sorted(gcda)
+    return groups
+
+
+def run_gcov(gcda_files, scratch):
+    """Runs gcov in JSON mode; returns parsed records from *.gcov.json.gz.
+
+    One gcov invocation per .gcda: gcov locates the matching .gcno next to
+    the .gcda itself (--object-directory mis-resolves CMake's nested
+    `__/sub/file.cc.gcda` object paths), and per-file runs keep same-named
+    sources from different subdirectories from clobbering each other's
+    output in the scratch directory.
+    """
+    records = []
+    for gcda in gcda_files:
+        subprocess.run(
+            ["gcov", "--json-format", gcda],
+            cwd=scratch,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            check=False,
+        )
+        for name in os.listdir(scratch):
+            if not name.endswith(".gcov.json.gz"):
+                continue
+            path = os.path.join(scratch, name)
+            try:
+                with gzip.open(path, "rt", encoding="utf-8") as f:
+                    records.append(json.load(f))
+            except (OSError, json.JSONDecodeError):
+                pass
+            os.remove(path)
+    return records
+
+
+def collect(build_dir, repo_root):
+    """{source_path: {line_number: hit_bool}} merged across all profiles."""
+    coverage = {}
+    groups = find_profile_dirs(build_dir)
+    with tempfile.TemporaryDirectory() as scratch:
+        for gcda_files in groups.values():
+            for record in run_gcov(gcda_files, scratch):
+                for file_record in record.get("files", []):
+                    path = file_record.get("file", "")
+                    if not os.path.isabs(path):
+                        path = os.path.normpath(os.path.join(repo_root, path))
+                    rel = os.path.relpath(path, repo_root)
+                    if rel.startswith(".."):
+                        continue  # system or third-party header
+                    lines = coverage.setdefault(rel, {})
+                    for line in file_record.get("lines", []):
+                        number = line.get("line_number")
+                        if number is None:
+                            continue
+                        hit = line.get("count", 0) > 0
+                        lines[number] = lines.get(number, False) or hit
+    return coverage
+
+
+def summarize(coverage, prefixes):
+    per_file = {}
+    total_lines = 0
+    total_hit = 0
+    for rel in sorted(coverage):
+        if not any(rel.startswith(p) for p in prefixes):
+            continue
+        lines = coverage[rel]
+        hit = sum(1 for h in lines.values() if h)
+        per_file[rel] = {
+            "lines": len(lines),
+            "covered": hit,
+            "percent": round(100.0 * hit / len(lines), 2) if lines else 0.0,
+        }
+        total_lines += len(lines)
+        total_hit += hit
+    percent = 100.0 * total_hit / total_lines if total_lines else 0.0
+    return per_file, total_lines, total_hit, percent
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument(
+        "--include",
+        action="append",
+        default=None,
+        help="gated path prefix, repeatable (default: src/core, src/serve)",
+    )
+    parser.add_argument("--fail-under", type=float, default=70.0)
+    parser.add_argument("--out", default=None, help="JSON report path")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    prefixes = args.include or ["src/core", "src/serve"]
+
+    coverage = collect(args.build_dir, repo_root)
+    if not coverage:
+        print(
+            "check_coverage: no .gcda profile data under"
+            f" '{args.build_dir}' — build with --coverage and run the tests"
+            " first",
+            file=sys.stderr,
+        )
+        return 2
+
+    per_file, total_lines, total_hit, percent = summarize(coverage, prefixes)
+    for rel, stats in per_file.items():
+        print(
+            f"{stats['percent']:6.2f}%  {stats['covered']:5d}/"
+            f"{stats['lines']:<5d} {rel}"
+        )
+    print(
+        f"\nTOTAL ({', '.join(prefixes)}): {total_hit}/{total_lines} lines ="
+        f" {percent:.2f}% (gate: {args.fail_under:.2f}%)"
+    )
+
+    if args.out:
+        report = {
+            "prefixes": prefixes,
+            "fail_under": args.fail_under,
+            "total_lines": total_lines,
+            "covered_lines": total_hit,
+            "percent": round(percent, 2),
+            "files": per_file,
+        }
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    if percent < args.fail_under:
+        print(
+            f"check_coverage: FAIL — {percent:.2f}% <"
+            f" {args.fail_under:.2f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/kernels.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -20,8 +21,12 @@ Rne Rne::Build(const Graph& g, const RneConfig& config, RneBuildStats* stats) {
     hopt.max_levels = 1;
   }
   Timer partition_timer;
-  auto hierarchy =
-      std::make_shared<PartitionHierarchy>(PartitionHierarchy::Build(g, hopt));
+  std::shared_ptr<PartitionHierarchy> hierarchy;
+  {
+    RNE_SPAN("build.partition");
+    hierarchy = std::make_shared<PartitionHierarchy>(
+        PartitionHierarchy::Build(g, hopt));
+  }
   const double partition_seconds = partition_timer.ElapsedSeconds();
 
   TrainConfig tcfg = config.train;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace rne {
@@ -84,14 +85,19 @@ std::vector<VertexId> RneIndex::Range(VertexId source, double tau) const {
   const double scale = model_->scale();
   std::vector<VertexId> result;
   std::vector<uint32_t> stack = {hier.root()};
+  uint64_t visited = 0, pruned = 0;
   while (!stack.empty()) {
     const uint32_t id = stack.back();
     stack.pop_back();
     if (radius_[id] < 0.0) continue;  // no targets below
+    ++visited;
     const double center_dist =
         MetricDist(src, model_->node_embeddings().Row(id), model_->p()) *
         scale;
-    if (center_dist - radius_[id] > tau) continue;  // triangle-inequality cut
+    if (center_dist - radius_[id] > tau) {  // triangle-inequality cut
+      ++pruned;
+      continue;
+    }
     const auto& node = hier.node(id);
     if (node.IsLeaf()) {
       for (const VertexId v : leaf_targets_[id]) {
@@ -101,6 +107,9 @@ std::vector<VertexId> RneIndex::Range(VertexId source, double tau) const {
       for (const uint32_t c : node.children) stack.push_back(c);
     }
   }
+  RNE_COUNTER_ADD("index.range.queries", 1);
+  RNE_COUNTER_ADD("index.range.nodes_visited", visited);
+  RNE_COUNTER_ADD("index.range.nodes_pruned", pruned);
   return result;
 }
 
@@ -122,12 +131,14 @@ std::vector<std::pair<VertexId, double>> RneIndex::Knn(VertexId source,
   std::vector<std::pair<VertexId, double>> result;
   if (k == 0 || num_targets_ == 0) return result;
 
+  uint64_t nodes_pushed = 0, nodes_visited = 0;
   if (radius_[hier.root()] >= 0.0) {
     const double d =
         MetricDist(src, model_->node_embeddings().Row(hier.root()),
                    model_->p()) *
         scale;
     queue.push({std::max(d - radius_[hier.root()], 0.0), hier.root(), false});
+    ++nodes_pushed;
   }
   while (!queue.empty() && result.size() < k) {
     const Entry e = queue.top();
@@ -136,6 +147,7 @@ std::vector<std::pair<VertexId, double>> RneIndex::Knn(VertexId source,
       result.emplace_back(static_cast<VertexId>(e.id), e.key);
       continue;
     }
+    ++nodes_visited;
     const auto& node = hier.node(e.id);
     if (node.IsLeaf()) {
       for (const VertexId v : leaf_targets_[e.id]) {
@@ -148,9 +160,15 @@ std::vector<std::pair<VertexId, double>> RneIndex::Knn(VertexId source,
             MetricDist(src, model_->node_embeddings().Row(c), model_->p()) *
             scale;
         queue.push({std::max(d - radius_[c], 0.0), c, false});
+        ++nodes_pushed;
       }
     }
   }
+  // Pushed-but-never-popped nodes are exactly those the best-first bound
+  // pruned: the search terminated with them still enqueued.
+  RNE_COUNTER_ADD("index.knn.queries", 1);
+  RNE_COUNTER_ADD("index.knn.nodes_visited", nodes_visited);
+  RNE_COUNTER_ADD("index.knn.nodes_pruned", nodes_pushed - nodes_visited);
   return result;
 }
 

@@ -9,6 +9,8 @@
 #include "algo/landmarks.h"
 #include "core/kernels.h"
 #include "core/metric.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 // Detect ThreadSanitizer builds: the Hogwild vertex-row path switches to
 // relaxed atomics there (plain movs on x86, so semantics match the release
@@ -105,6 +107,7 @@ void Trainer::MaybeInitScale(const std::vector<DistanceSample>& samples) {
 
 std::vector<DistanceSample> Trainer::Materialize(
     const std::vector<VertexPair>& pairs) const {
+  RNE_SPAN("train.materialize");
   return dist_sampler_.ComputeDistances(pairs);
 }
 
@@ -127,6 +130,10 @@ bool Trainer::ComputeGradient(const DistanceSample& sample, SgdScratch& scr,
     }
   }
   *coeff = 2.0 * err * lr_norm_;  // dL/d(dist), dim-normalized
+#if !defined(RNE_OBS_DISABLED)
+  scr.coeff_abs_sum += std::abs(err);
+  ++scr.coeff_count;
+#endif
   return true;
 }
 
@@ -282,6 +289,7 @@ void Trainer::TrainOnSamples(const std::vector<DistanceSample>& samples,
   std::iota(shuffle_.begin(), shuffle_.end(), 0);
   std::vector<double> lrs = level_lrs;
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    const Timer epoch_timer;
     rng_.Shuffle(shuffle_);
     // Linear decay to lr_final_fraction anneals the SGD noise floor at the
     // tail of each phase.
@@ -300,13 +308,40 @@ void Trainer::TrainOnSamples(const std::vector<DistanceSample>& samples,
       }
     }
     samples_processed_ += samples.size();
+#if !defined(RNE_OBS_DISABLED)
+    if (obs::Enabled()) {
+      const double secs = epoch_timer.ElapsedSeconds();
+      RNE_GAUGE_SET("train.samples_per_sec",
+                    secs > 0.0 ? static_cast<double>(samples.size()) / secs
+                               : 0.0);
+      RNE_COUNTER_ADD("train.samples_processed", samples.size());
+      // Mean clipped |dist error| per SGD update this epoch — the
+      // dim-normalized gradient magnitude (grad coeff = 2 * err / (4 dim)).
+      double err_sum = 0.0;
+      size_t err_count = 0;
+      for (SgdScratch& scr : scratch_) {
+        err_sum += scr.coeff_abs_sum;
+        err_count += scr.coeff_count;
+        scr.coeff_abs_sum = 0.0;
+        scr.coeff_count = 0;
+      }
+      if (err_count > 0) {
+        RNE_GAUGE_SET("train.grad_err_mean",
+                      err_sum / static_cast<double>(err_count));
+      }
+    }
+#else
+    (void)epoch_timer;
+#endif
     RecordProgress();
   }
 }
 
 void Trainer::TrainHierarchyPhase() {
+  RNE_SPAN("train.phase1");
   const uint32_t num_levels = model_.num_levels();
   for (uint32_t lev = 1; lev <= num_levels; ++lev) {
+    RNE_SPAN("train.phase1.level", lev);
     // Sub-graph level samples for the focused level; the vertex level uses
     // leaf partitions (the deepest sub-graph granularity).
     const uint32_t sample_level = std::min(lev, hier_.max_level());
@@ -330,6 +365,7 @@ void Trainer::TrainHierarchyPhase() {
 }
 
 void Trainer::TrainVertexPhase() {
+  RNE_SPAN("train.phase2");
   std::vector<VertexPair> pairs;
   if (config_.landmark_sampling) {
     const std::vector<VertexId> landmarks =
@@ -355,39 +391,51 @@ void Trainer::TrainVertexPhase() {
 
 void Trainer::FineTunePhase() {
   if (config_.finetune_rounds == 0) return;
+  RNE_SPAN("train.phase3");
   const SpatialGrid grid(g_, config_.grid_k);
   std::vector<double> lrs(model_.num_levels() + 1, 0.0);
   lrs[model_.vertex_level()] = config_.lr0 * 0.5;
 
   for (size_t round = 0; round < config_.finetune_rounds; ++round) {
+    RNE_SPAN("train.phase3.round", round);
     // Estimate the error-vs-distance distribution of the current model.
     std::vector<double> bucket_errors(grid.num_buckets(), 0.0);
-    for (size_t b = 0; b < grid.num_buckets(); ++b) {
-      if (!grid.BucketNonEmpty(b)) continue;
-      std::vector<VertexPair> eval_pairs;
-      eval_pairs.reserve(config_.finetune_eval_pairs_per_bucket);
-      while (eval_pairs.size() < config_.finetune_eval_pairs_per_bucket) {
-        VertexId s, t;
-        if (!grid.SamplePair(b, rng_, &s, &t)) break;
-        // Source reuse: several targets from the drawn cell share one search.
-        const auto& cell = grid.CellVertices(grid.CellOf(t));
-        for (size_t r = 0; r < config_.source_reuse &&
-                           eval_pairs.size() <
-                               config_.finetune_eval_pairs_per_bucket;
-             ++r) {
-          const VertexId tt =
-              r == 0 ? t : cell[rng_.UniformIndex(cell.size())];
-          if (s != tt) eval_pairs.emplace_back(s, tt);
+    {
+      RNE_SPAN("train.phase3.eval", round);
+      for (size_t b = 0; b < grid.num_buckets(); ++b) {
+        if (!grid.BucketNonEmpty(b)) continue;
+        std::vector<VertexPair> eval_pairs;
+        eval_pairs.reserve(config_.finetune_eval_pairs_per_bucket);
+        while (eval_pairs.size() < config_.finetune_eval_pairs_per_bucket) {
+          VertexId s, t;
+          if (!grid.SamplePair(b, rng_, &s, &t)) break;
+          // Source reuse: several targets from the drawn cell share one
+          // search.
+          const auto& cell = grid.CellVertices(grid.CellOf(t));
+          for (size_t r = 0; r < config_.source_reuse &&
+                             eval_pairs.size() <
+                                 config_.finetune_eval_pairs_per_bucket;
+               ++r) {
+            const VertexId tt =
+                r == 0 ? t : cell[rng_.UniformIndex(cell.size())];
+            if (s != tt) eval_pairs.emplace_back(s, tt);
+          }
         }
+        if (eval_pairs.empty()) continue;
+        const auto eval = Materialize(eval_pairs);
+        bucket_errors[b] = MeanRelativeError(eval);
       }
-      if (eval_pairs.empty()) continue;
-      const auto eval = Materialize(eval_pairs);
-      bucket_errors[b] = MeanRelativeError(eval);
+    }
+    if (!bucket_errors.empty()) {
+      RNE_GAUGE_SET("train.finetune.max_bucket_error",
+                    *std::max_element(bucket_errors.begin(),
+                                      bucket_errors.end()));
     }
 
     const std::vector<VertexPair> pairs =
         ErrorBasedPairs(grid, bucket_errors, config_.finetune_strategy,
                         config_.finetune_samples, rng_, config_.source_reuse);
+    RNE_GAUGE_SET("train.finetune.refill_pairs", pairs.size());
     // An empty round (e.g. every bucket already converged) must not abort
     // the remaining rounds: later rounds re-measure and may find new work.
     if (pairs.empty()) continue;

@@ -152,6 +152,10 @@ class Trainer {
     std::vector<float> node_delta;
     std::vector<uint32_t> touched;    // node ids with a nonzero delta
     std::vector<uint8_t> is_touched;  // per-node flag backing `touched`
+    /// Observability accumulators (per-epoch mean |dL/d dist| gauge):
+    /// two scalar ops per sample, folded across workers at epoch end.
+    double coeff_abs_sum = 0.0;
+    size_t coeff_count = 0;
   };
 
   /// One SGD update; level_lrs[level] = learning rate for that model level.

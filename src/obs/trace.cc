@@ -1,0 +1,187 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "util/timer.h"
+
+namespace rne::obs {
+namespace {
+
+/// Bounded ring of completed spans. A single mutex is fine: spans close at
+/// phase/level/round granularity, orders of magnitude below lock-contention
+/// rates.
+class TraceRing {
+ public:
+  static TraceRing& Global() {
+    static TraceRing* const ring = new TraceRing();
+    return *ring;
+  }
+
+  void Append(const SpanEvent& ev) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < capacity_) {
+      events_.push_back(ev);
+    } else {
+      events_[next_overwrite_] = ev;
+      next_overwrite_ = (next_overwrite_ + 1) % capacity_;
+      ++dropped_;
+    }
+  }
+
+  uint64_t Snapshot(std::vector<SpanEvent>* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    out->clear();
+    out->reserve(events_.size());
+    // Oldest-first: the slot about to be overwritten is the oldest event.
+    for (size_t i = 0; i < events_.size(); ++i) {
+      out->push_back(events_[(next_overwrite_ + i) % events_.size()]);
+    }
+    return dropped_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    next_overwrite_ = 0;
+    dropped_ = 0;
+  }
+
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+
+  void set_capacity(size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+    if (events_.size() > capacity_) {
+      // Keep the newest `capacity_` events, oldest-first at index 0.
+      std::vector<SpanEvent> kept;
+      kept.reserve(capacity_);
+      const size_t n = events_.size();
+      for (size_t i = n - capacity_; i < n; ++i) {
+        kept.push_back(events_[(next_overwrite_ + i) % n]);
+      }
+      events_ = std::move(kept);
+      next_overwrite_ = 0;
+    }
+  }
+
+ private:
+  TraceRing() { events_.reserve(capacity_); }
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 16384;
+  std::vector<SpanEvent> events_;
+  size_t next_overwrite_ = 0;  // oldest slot once the ring is full
+  uint64_t dropped_ = 0;
+};
+
+const Timer& TraceEpoch() {
+  static const Timer* const epoch = new Timer();
+  return *epoch;
+}
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local uint16_t t_span_depth = 0;
+
+}  // namespace
+
+int64_t TraceNowNanos() { return TraceEpoch().ElapsedNanos(); }
+
+void SpanGuard::Begin(const char* name, size_t index, bool indexed) {
+  active_ = Enabled();
+  if (!active_) return;
+  if (indexed) {
+    std::snprintf(name_, sizeof(name_), "%s.%zu", name, index);
+  } else {
+    std::snprintf(name_, sizeof(name_), "%s", name);
+  }
+  depth_ = t_span_depth++;
+  start_ns_ = TraceNowNanos();
+}
+
+SpanGuard::SpanGuard(const char* name) { Begin(name, 0, false); }
+SpanGuard::SpanGuard(const char* name, size_t index) {
+  Begin(name, index, true);
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  SpanEvent ev;
+  std::memcpy(ev.name, name_, sizeof(ev.name));
+  ev.start_ns = start_ns_;
+  ev.dur_ns = TraceNowNanos() - start_ns_;
+  ev.tid = TraceThreadId();
+  ev.depth = depth_;
+  --t_span_depth;
+  TraceRing::Global().Append(ev);
+}
+
+uint64_t TraceSnapshot(std::vector<SpanEvent>* out) {
+  return TraceRing::Global().Snapshot(out);
+}
+
+std::string TraceJson() {
+  std::vector<SpanEvent> events;
+  const uint64_t dropped = TraceSnapshot(&events);
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "{\"dropped\":%" PRIu64 ",\"spans\":[",
+                dropped);
+  out.append(buf);
+  bool first = true;
+  for (const SpanEvent& ev : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, ev.name);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"start_ns\":%" PRId64 ",\"dur_ns\":%" PRId64
+                  ",\"tid\":%u,\"depth\":%u}",
+                  ev.start_ns, ev.dur_ns, ev.tid, ev.depth);
+    out.append(buf);
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string TraceChromeJson() {
+  std::vector<SpanEvent> events;
+  TraceSnapshot(&events);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[96];
+  for (const SpanEvent& ev : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, ev.name);
+    // chrome://tracing timestamps are microseconds; fractional is accepted.
+    out.append(",\"ph\":\"X\",\"ts\":");
+    AppendJsonDouble(&out, static_cast<double>(ev.start_ns) / 1e3);
+    out.append(",\"dur\":");
+    AppendJsonDouble(&out, static_cast<double>(ev.dur_ns) / 1e3);
+    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u}", ev.tid);
+    out.append(buf);
+  }
+  out.append("]}");
+  return out;
+}
+
+void ResetTrace() { TraceRing::Global().Reset(); }
+
+size_t TraceRingCapacity() { return TraceRing::Global().capacity(); }
+void SetTraceRingCapacity(size_t capacity) {
+  TraceRing::Global().set_capacity(capacity);
+}
+
+}  // namespace rne::obs

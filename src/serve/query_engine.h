@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/backend.h"
 #include "util/histogram.h"
 #include "util/thread_pool.h"
@@ -138,6 +139,9 @@ class QueryEngine {
     SlotState state = SlotState::kLoading;
     std::unique_ptr<QueryBackend> backend;
     Status load_status;
+    /// Registry histogram "serve.backend.<name>.latency_ns" (backend-call
+    /// time only, excluding queue wait). Resolved once at AddBackend.
+    obs::LatencyStat* latency = nullptr;
   };
 
   using Clock = std::chrono::steady_clock;
@@ -145,11 +149,13 @@ class QueryEngine {
   void ExecuteChunk(std::span<const Request> requests,
                     std::span<Response> out, Clock::time_point admitted,
                     Clock::time_point deadline_default);
-  /// Picks the serving backend per the fallback policy; blocks on loading
+  /// Picks the serving slot per the fallback policy; blocks on loading
   /// slots until `deadline`. Returns nullptr when no backend can serve.
-  QueryBackend* ChooseBackend(RequestKind kind, Clock::time_point deadline,
-                              bool* fell_back, bool* deadline_fallback,
-                              bool* load_fallback);
+  /// The returned slot's backend/latency pointers are stable (slots are
+  /// never removed and a slot that reached kReady never changes again).
+  BackendSlot* ChooseBackend(RequestKind kind, Clock::time_point deadline,
+                             bool* fell_back, bool* deadline_fallback,
+                             bool* load_fallback);
 
   const EngineOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;
@@ -161,13 +167,20 @@ class QueryEngine {
   std::vector<std::unique_ptr<BackendSlot>> chain_;
   std::vector<std::thread> loaders_;
 
+  /// Engine-wide admission-to-completion latency; LatencyHistogram is not
+  /// thread-safe, so chunk-local histograms merge under this mutex.
   mutable std::mutex metrics_mu_;
   LatencyHistogram latency_;
-  uint64_t served_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t fell_back_load_ = 0;
-  uint64_t fell_back_deadline_ = 0;
+  /// Counters are registry-style atomics (TSan-clean, no lock on the update
+  /// path); MetricsSnapshot stays a thin view over their Value()s. They are
+  /// engine-owned — not global registry entries — because tests run several
+  /// engines per process and assert exact per-engine counts; ExecuteChunk
+  /// mirrors the totals into the global registry under "serve.*".
+  obs::Counter served_;
+  obs::Counter rejected_;
+  obs::Counter failed_;
+  obs::Counter fell_back_load_;
+  obs::Counter fell_back_deadline_;
 
   std::mutex admission_mu_;
   size_t outstanding_ = 0;

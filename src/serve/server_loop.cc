@@ -1,0 +1,118 @@
+#include "serve/server_loop.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rne::serve {
+namespace {
+
+void PrintResponse(const Request& request, const Response& response,
+                   std::ostream& out) {
+  if (!response.status.ok()) {
+    out << "ERR " << response.status.ToString() << "\n";
+    return;
+  }
+  char buf[64];
+  if (request.kind == RequestKind::kDistance) {
+    std::snprintf(buf, sizeof(buf), "DIST %.2f ", response.distance);
+    out << buf << "backend=" << response.backend
+        << " exact=" << (response.exact ? 1 : 0)
+        << " fallback=" << (response.fell_back ? 1 : 0) << "\n";
+    return;
+  }
+  out << "KNN";
+  for (const auto& [v, d] : response.knn) {
+    std::snprintf(buf, sizeof(buf), " %u:%.2f", v, d);
+    out << buf;
+  }
+  out << "\n";
+}
+
+/// Runs `pending` through the engine and prints every answer in order.
+void Flush(QueryEngine& engine, std::vector<Request>* pending,
+           std::ostream& out) {
+  if (pending->empty()) return;
+  std::vector<Response> responses;
+  const Status admitted = engine.QueryBatch(*pending, &responses);
+  if (!admitted.ok()) {
+    for (size_t i = 0; i < pending->size(); ++i) {
+      out << "ERR " << admitted.ToString() << "\n";
+    }
+  } else {
+    for (size_t i = 0; i < pending->size(); ++i) {
+      PrintResponse((*pending)[i], responses[i], out);
+    }
+  }
+  pending->clear();
+  out.flush();
+}
+
+}  // namespace
+
+size_t RunServerLoop(std::istream& in, std::ostream& out, QueryEngine& engine,
+                     const ServerLoopOptions& options) {
+  const size_t batch = options.batch == 0 ? 1 : options.batch;
+  std::vector<Request> pending;
+  pending.reserve(batch);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream parser(line);
+    std::string verb;
+    parser >> verb;
+    if (verb.empty()) continue;
+    ++lines;
+    if (verb == "STATS") {
+      Flush(engine, &pending, out);
+      out << "STATS " << engine.Metrics().ToJson() << "\n";
+      out.flush();
+      continue;
+    }
+    if (verb == "METRICS") {
+      Flush(engine, &pending, out);
+      out << "METRICS " << obs::MetricsRegistry::Global().ToJson() << "\n";
+      out.flush();
+      continue;
+    }
+    Request request;
+    if (verb == "QUERY") {
+      long s = -1, t = -1;
+      parser >> s >> t;
+      if (parser.fail() || s < 0 || t < 0) {
+        Flush(engine, &pending, out);  // keep answers in request order
+        out << "ERR INVALID_ARGUMENT: usage: QUERY <s> <t>\n";
+        continue;
+      }
+      request.kind = RequestKind::kDistance;
+      request.s = static_cast<VertexId>(s);
+      request.t = static_cast<VertexId>(t);
+    } else if (verb == "KNN") {
+      long s = -1, k = -1;
+      parser >> s >> k;
+      if (parser.fail() || s < 0 || k < 0) {
+        Flush(engine, &pending, out);
+        out << "ERR INVALID_ARGUMENT: usage: KNN <s> <k>\n";
+        continue;
+      }
+      request.kind = RequestKind::kKnn;
+      request.s = static_cast<VertexId>(s);
+      request.k = static_cast<size_t>(k);
+    } else {
+      Flush(engine, &pending, out);
+      out << "ERR INVALID_ARGUMENT: unknown verb '" << verb << "'\n";
+      continue;
+    }
+    pending.push_back(request);
+    if (pending.size() >= batch) Flush(engine, &pending, out);
+  }
+  Flush(engine, &pending, out);
+  return lines;
+}
+
+}  // namespace rne::serve

@@ -1,0 +1,37 @@
+// Newline-delimited query protocol shared by rne_server and the protocol
+// tests: the tool binary wires it to stdin/stdout, tests drive it with
+// string streams in-process.
+//
+// Verbs (answers in request order):
+//   QUERY <s> <t>  ->  DIST <value> backend=<name> exact=<0|1> fallback=<0|1>
+//   KNN <s> <k>    ->  KNN <v>:<dist> ... (one line, ascending distance)
+//   STATS          ->  STATS <engine metrics json>   (flushes pending batch)
+//   METRICS        ->  METRICS <global registry json> (counters, gauges, and
+//                      per-backend latency histograms; flushes pending batch)
+//   anything else  ->  ERR <message>
+// Per-request failures print `ERR <status>`; a batch rejected by admission
+// control prints one ERR line per request in it (explicit backpressure).
+#ifndef RNE_SERVE_SERVER_LOOP_H_
+#define RNE_SERVE_SERVER_LOOP_H_
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "serve/query_engine.h"
+
+namespace rne::serve {
+
+struct ServerLoopOptions {
+  /// Requests buffered before a batched engine call; STATS/METRICS, a
+  /// malformed line, or EOF flush early so answers stay in request order.
+  size_t batch = 64;
+};
+
+/// Reads protocol lines from `in` until EOF, writing every answer to `out`.
+/// Returns the number of protocol lines processed (including errors).
+size_t RunServerLoop(std::istream& in, std::ostream& out, QueryEngine& engine,
+                     const ServerLoopOptions& options = {});
+
+}  // namespace rne::serve
+
+#endif  // RNE_SERVE_SERVER_LOOP_H_

@@ -34,6 +34,15 @@ StatusOr<ArgParser> ArgParser::Parse(int argc, char* const* argv, int begin,
   return args;
 }
 
+Status ArgParser::RequireKnown(const std::set<std::string>& allowed) const {
+  for (const auto& [key, value] : values_) {
+    if (allowed.count(key) == 0) {
+      return Status::InvalidArgument("unknown flag --" + key);
+    }
+  }
+  return Status::Ok();
+}
+
 std::string ArgParser::Get(const std::string& key,
                            const std::string& fallback) const {
   const auto it = values_.find(key);

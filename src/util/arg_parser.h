@@ -39,6 +39,10 @@ class ArgParser {
 
   const std::vector<std::string>& positionals() const { return positionals_; }
 
+  /// InvalidArgument naming the first parsed flag not in `allowed` (catches
+  /// typos like --thread instead of --threads); Ok when every flag is known.
+  Status RequireKnown(const std::set<std::string>& allowed) const;
+
  private:
   ArgParser() = default;
 

@@ -103,24 +103,37 @@ int64_t LatencyHistogram::BucketLowerBound(size_t bucket) {
 
 void LatencyHistogram::Record(int64_t nanos) {
   if (nanos < 0) nanos = 0;
-  counts_[BucketFor(nanos)] += 1;
+  const size_t b = BucketFor(nanos);
+  counts_[b] += 1;
   total_ += 1;
   sum_nanos_ += static_cast<double>(nanos);
   max_nanos_ = std::max(max_nanos_, nanos);
+  lo_bucket_ = std::min(lo_bucket_, b);
+  hi_bucket_ = std::max(hi_bucket_, b);
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  for (size_t b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
+  if (other.total_ == 0) return;
+  for (size_t b = other.lo_bucket_; b <= other.hi_bucket_; ++b) {
+    counts_[b] += other.counts_[b];
+  }
   total_ += other.total_;
   sum_nanos_ += other.sum_nanos_;
   max_nanos_ = std::max(max_nanos_, other.max_nanos_);
+  lo_bucket_ = std::min(lo_bucket_, other.lo_bucket_);
+  hi_bucket_ = std::max(hi_bucket_, other.hi_bucket_);
 }
 
 void LatencyHistogram::Reset() {
-  std::fill(counts_.begin(), counts_.end(), 0);
+  if (total_ != 0) {
+    std::fill(counts_.begin() + static_cast<ptrdiff_t>(lo_bucket_),
+              counts_.begin() + static_cast<ptrdiff_t>(hi_bucket_) + 1, 0);
+  }
   total_ = 0;
   sum_nanos_ = 0.0;
   max_nanos_ = 0;
+  lo_bucket_ = kNumBuckets;
+  hi_bucket_ = 0;
 }
 
 double LatencyHistogram::MeanNanos() const {
@@ -134,7 +147,7 @@ double LatencyHistogram::PercentileNanos(double p) const {
   const auto target = static_cast<uint64_t>(std::max(
       1.0, std::ceil(clamped / 100.0 * static_cast<double>(total_))));
   uint64_t seen = 0;
-  for (size_t b = 0; b < kNumBuckets; ++b) {
+  for (size_t b = lo_bucket_; b <= hi_bucket_; ++b) {
     seen += counts_[b];
     if (seen >= target) {
       const double lower = static_cast<double>(BucketLowerBound(b));

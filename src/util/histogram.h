@@ -79,6 +79,12 @@ class LatencyHistogram {
   size_t total_ = 0;
   double sum_nanos_ = 0.0;
   int64_t max_nanos_ = 0;
+  // Populated bucket range [lo_bucket_, hi_bucket_]; a chunk-local histogram
+  // holds a few dozen samples in a handful of buckets, so bounding Merge()
+  // and PercentileNanos() to this range keeps the serving path's per-chunk
+  // flush from walking all ~960 buckets.
+  size_t lo_bucket_ = kNumBuckets;
+  size_t hi_bucket_ = 0;
 };
 
 }  // namespace rne

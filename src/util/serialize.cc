@@ -8,8 +8,10 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.h"
 #include "util/crc32c.h"
 #include "util/fault_injection.h"
+#include "util/timer.h"
 
 namespace rne {
 namespace {
@@ -134,9 +136,14 @@ Status BinaryWriter::Finish() {
     return Status::IoError("write failed for " + path_);
   }
   out_.close();
-  if (!SyncFile(tmp_path_)) {
-    Discard();
-    return Status::IoError("fsync failed for " + tmp_path_);
+  {
+    const Timer fsync_timer;
+    const bool synced = SyncFile(tmp_path_);
+    RNE_HIST_RECORD("persist.fsync_ns", fsync_timer.ElapsedNanos());
+    if (!synced) {
+      Discard();
+      return Status::IoError("fsync failed for " + tmp_path_);
+    }
   }
   if (fault::RenameSuppressed()) {
     injected_fault_ = true;
@@ -149,6 +156,10 @@ Status BinaryWriter::Finish() {
   }
   SyncParentDir(path_);
   finished_ = true;
+  RNE_COUNTER_ADD("persist.writes", 1);
+  RNE_COUNTER_ADD("persist.bytes_written", kEnvelopeHeaderSize +
+                                               payload_bytes_ +
+                                               kEnvelopeTrailerSize);
   return Status::Ok();
 }
 
@@ -264,6 +275,10 @@ bool BinaryReader::ReadString(std::string* s) {
 Status BinaryReader::Finish() {
   if (!status_.ok()) return status_;
   // Checksum any payload the loader did not consume, then check the trailer.
+  // The drain + trailer comparison is the CRC verification cost of a load
+  // (incremental Crc32cExtend during ReadRaw is inseparable from the reads
+  // themselves, so the histogram covers the residual-verify step).
+  const Timer verify_timer;
   char buf[1 << 16];
   while (remaining_ > 0) {
     const size_t chunk =
@@ -278,6 +293,13 @@ Status BinaryReader::Finish() {
   }
   if (stored_crc != payload_crc_) {
     status_ = Status::Corruption("payload checksum mismatch in " + path_);
+    RNE_COUNTER_ADD("persist.crc_failures", 1);
+  } else {
+    RNE_HIST_RECORD("persist.crc_verify_ns", verify_timer.ElapsedNanos());
+    RNE_COUNTER_ADD("persist.reads", 1);
+    RNE_COUNTER_ADD("persist.bytes_read", kEnvelopeHeaderSize +
+                                              info_.payload_size +
+                                              kEnvelopeTrailerSize);
   }
   return status_;
 }

@@ -1,0 +1,174 @@
+// rne_server line-protocol tests: RunServerLoop driven in-process through
+// stringstreams against a real engine (exact Dijkstra backend on a small
+// generator graph). Covers malformed lines, boundary kNN parameters (k=0,
+// k > |V|), out-of-range vertex ids, answer ordering around parse errors,
+// and the STATS / METRICS response shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "serve/server_loop.h"
+
+namespace rne::serve {
+namespace {
+
+Graph SmallNetwork() {
+  RoadNetworkConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  cfg.seed = 7;
+  return MakeRoadNetwork(cfg);
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+class ServerProtocolTest : public ::testing::Test {
+ protected:
+  ServerProtocolTest() : graph_(SmallNetwork()), engine_(MakeOptions()) {
+    BackendContext ctx;
+    ctx.graph = &graph_;
+    engine_.AddBackend("dijkstra", ctx);
+    EXPECT_TRUE(engine_.WaitUntilLoaded().ok());
+  }
+
+  static EngineOptions MakeOptions() {
+    EngineOptions options;
+    options.num_threads = 2;
+    return options;
+  }
+
+  std::vector<std::string> Run(const std::string& input, size_t batch = 4) {
+    std::istringstream in(input);
+    std::ostringstream out;
+    ServerLoopOptions options;
+    options.batch = batch;
+    RunServerLoop(in, out, engine_, options);
+    return Lines(out.str());
+  }
+
+  Graph graph_;
+  QueryEngine engine_;
+};
+
+TEST_F(ServerProtocolTest, AnswersDistanceAndKnn) {
+  const auto lines = Run("QUERY 0 5\nKNN 0 3\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("DIST ", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find("backend=dijkstra"), std::string::npos);
+  EXPECT_NE(lines[0].find("exact=1"), std::string::npos);
+  // k=3 from vertex 0 always includes 0 itself at distance 0.
+  EXPECT_EQ(lines[1].rfind("KNN 0:0.00", 0), 0u) << lines[1];
+  EXPECT_EQ(Lines(lines[1]).size(), 1u);
+}
+
+TEST_F(ServerProtocolTest, MalformedLinesGetUsageErrors) {
+  const auto lines = Run(
+      "QUERY 1\n"          // missing target
+      "QUERY a b\n"        // non-numeric
+      "QUERY -1 5\n"       // negative id
+      "KNN\n"              // missing everything
+      "KNN 3 -2\n"         // negative k
+      "FROBNICATE 1 2\n"   // unknown verb
+      "\n"                 // blank: ignored entirely
+      "QUERY 2 3\n");
+  ASSERT_EQ(lines.size(), 7u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(lines[i], "ERR INVALID_ARGUMENT: usage: QUERY <s> <t>") << i;
+  }
+  EXPECT_EQ(lines[3], "ERR INVALID_ARGUMENT: usage: KNN <s> <k>");
+  EXPECT_EQ(lines[4], "ERR INVALID_ARGUMENT: usage: KNN <s> <k>");
+  EXPECT_EQ(lines[5], "ERR INVALID_ARGUMENT: unknown verb 'FROBNICATE'");
+  EXPECT_EQ(lines[6].rfind("DIST ", 0), 0u) << lines[6];
+}
+
+TEST_F(ServerProtocolTest, AnswersStayInRequestOrderAroundParseErrors) {
+  // The bad line arrives while two queries are still buffered (batch=8
+  // would otherwise hold them); its error must not overtake their answers.
+  const auto lines = Run("QUERY 0 1\nQUERY 0 2\nQUERY oops\nQUERY 0 3\n",
+                         /*batch=*/8);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("DIST ", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("DIST ", 0), 0u);
+  EXPECT_EQ(lines[2], "ERR INVALID_ARGUMENT: usage: QUERY <s> <t>");
+  EXPECT_EQ(lines[3].rfind("DIST ", 0), 0u);
+}
+
+TEST_F(ServerProtocolTest, OutOfRangeIdsAreEngineErrorsNotCrashes) {
+  const size_t n = graph_.NumVertices();
+  const auto lines = Run("QUERY 0 " + std::to_string(n) + "\nQUERY " +
+                         std::to_string(10 * n) + " 0\nKNN " +
+                         std::to_string(n) + " 2\n");
+  ASSERT_EQ(lines.size(), 3u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+    EXPECT_NE(line.find("out of range"), std::string::npos) << line;
+  }
+}
+
+TEST_F(ServerProtocolTest, KnnBoundaryKs) {
+  const size_t n = graph_.NumVertices();
+  const auto lines =
+      Run("KNN 0 0\nKNN 0 " + std::to_string(4 * n) + "\n");
+  ASSERT_EQ(lines.size(), 2u);
+  // k=0 is a well-formed request with an empty answer.
+  EXPECT_EQ(lines[0], "KNN");
+  // k > |V| clamps to every reachable vertex.
+  std::istringstream big(lines[1]);
+  std::string verb;
+  big >> verb;
+  EXPECT_EQ(verb, "KNN");
+  size_t results = 0;
+  std::string entry;
+  while (big >> entry) ++results;
+  EXPECT_EQ(results, n);
+}
+
+TEST_F(ServerProtocolTest, StatsReportsEngineCounters) {
+  const auto lines = Run("QUERY 0 1\nSTATS\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1].rfind("STATS {", 0), 0u) << lines[1];
+  EXPECT_NE(lines[1].find("\"served\": 1"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("\"latency_ns\""), std::string::npos);
+}
+
+TEST_F(ServerProtocolTest, MetricsReportsRegistryJson) {
+  const auto lines = Run("QUERY 0 1\nKNN 0 2\nMETRICS\n");
+  ASSERT_EQ(lines.size(), 3u);
+  const std::string& metrics = lines[2];
+  EXPECT_EQ(metrics.rfind("METRICS {", 0), 0u) << metrics;
+  for (const char* key : {"\"counters\"", "\"gauges\"", "\"histograms\"",
+                          "\"serve.backend.dijkstra.latency_ns\"",
+                          "\"serve.served\""}) {
+    EXPECT_NE(metrics.find(key), std::string::npos) << key;
+  }
+}
+
+TEST_F(ServerProtocolTest, StatsFlushesBufferedRequestsFirst) {
+  // STATS forces the pending batch out, so its snapshot includes the
+  // preceding queries even when the batch threshold was not reached.
+  const auto lines = Run("QUERY 0 1\nQUERY 0 2\nSTATS\n", /*batch=*/64);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("DIST ", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("DIST ", 0), 0u);
+  EXPECT_NE(lines[2].find("\"served\": 2"), std::string::npos) << lines[2];
+}
+
+TEST_F(ServerProtocolTest, ReturnsNonEmptyLineCount) {
+  std::istringstream in("QUERY 0 1\n\n\nSTATS\nBAD\n");
+  std::ostringstream out;
+  EXPECT_EQ(RunServerLoop(in, out, engine_), 3u);
+}
+
+}  // namespace
+}  // namespace rne::serve

@@ -655,6 +655,110 @@ TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
   EXPECT_EQ(a.TotalCount(), 0u);
 }
 
+// Property: splitting one sample stream across any number of per-worker
+// histograms and merging MUST be indistinguishable from recording into a
+// single histogram — identical counts, mean, max, and every quantile (bucket
+// counts add exactly, so there is no "within resolution" slack to grant).
+// This is the contract the serving path's chunk-local flush relies on.
+TEST(LatencyHistogramTest, ShardedMergeEqualsConcatForAnySplit) {
+  for (const uint64_t seed : {1u, 7u, 42u}) {
+    for (const size_t shards : {2u, 3u, 8u}) {
+      Rng rng(seed);
+      std::vector<LatencyHistogram> parts(shards);
+      LatencyHistogram concat;
+      for (int i = 0; i < 3000; ++i) {
+        // Heavy-tailed: exercise unit buckets, mid octaves, and the tail.
+        const auto v = rng.UniformInt(0, int64_t{1} << rng.UniformIndex(40));
+        parts[rng.UniformIndex(shards)].Record(v);
+        concat.Record(v);
+      }
+      LatencyHistogram merged;
+      for (const auto& p : parts) merged.Merge(p);
+      EXPECT_EQ(merged.TotalCount(), concat.TotalCount());
+      EXPECT_EQ(merged.MaxNanos(), concat.MaxNanos());
+      EXPECT_DOUBLE_EQ(merged.MeanNanos(), concat.MeanNanos());
+      for (const double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(merged.PercentileNanos(p), concat.PercentileNanos(p))
+            << "seed=" << seed << " shards=" << shards << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h, empty;
+  for (int i = 0; i < 50; ++i) h.Record(1000 + i);
+  const double p50_before = h.PercentileNanos(50.0);
+  h.Merge(empty);
+  EXPECT_EQ(h.TotalCount(), 50u);
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(50.0), p50_before);
+  empty.Merge(h);
+  EXPECT_EQ(empty.TotalCount(), 50u);
+  EXPECT_DOUBLE_EQ(empty.PercentileNanos(50.0), p50_before);
+}
+
+// Regression for the populated-range optimization: a Reset() after large
+// samples must not leave stale range state that skews later percentiles.
+TEST(LatencyHistogramTest, ResetThenReuseIsClean) {
+  LatencyHistogram h;
+  h.Record(int64_t{1} << 40);
+  h.Record(int64_t{1} << 50);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(50.0), 0.0);
+  for (int v = 10; v < 20; ++v) h.Record(v);
+  EXPECT_EQ(h.TotalCount(), 10u);
+  EXPECT_EQ(h.MaxNanos(), 19);
+  EXPECT_NEAR(h.PercentileNanos(50.0), 14.5, 0.5 + 1e-9);
+  EXPECT_NEAR(h.PercentileNanos(100.0), 19.0, 1e-9);
+}
+
+// Property: any set of well-formed `--key value` pairs round-trips through
+// Parse() regardless of order, with positionals preserved in sequence.
+TEST(ArgParserTest, RandomFlagSetsRoundTrip) {
+  Rng rng(11);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::map<std::string, std::string> want;
+    std::vector<std::string> tokens = {"tool"};
+    const size_t flags = 1 + rng.UniformIndex(6);
+    for (size_t i = 0; i < flags; ++i) {
+      const std::string key = "flag" + std::to_string(i);
+      const std::string value = std::to_string(rng.UniformInt(-1000, 1000));
+      want[key] = value;
+      tokens.push_back("--" + key);
+      tokens.push_back(value);
+    }
+    // Insert at a pair boundary only — a positional between a flag and its
+    // value would (correctly) be taken as the flag's value.
+    tokens.insert(tokens.begin() + 1 + 2 * rng.UniformIndex(flags + 1),
+                  "positional");
+    std::vector<char*> argv;
+    argv.reserve(tokens.size());
+    for (auto& t : tokens) argv.push_back(t.data());
+    auto parsed = ArgParser::Parse(static_cast<int>(argv.size()), argv.data());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    for (const auto& [key, value] : want) {
+      EXPECT_EQ(parsed.value().Get(key, "<missing>"), value) << key;
+    }
+    ASSERT_EQ(parsed.value().positionals().size(), 1u);
+    EXPECT_EQ(parsed.value().positionals()[0], "positional");
+  }
+}
+
+TEST(ArgParserTest, RequireKnownNamesTheUnknownFlag) {
+  std::vector<std::string> tokens = {"tool", "--threads", "4", "--thread",
+                                     "2"};
+  std::vector<char*> argv;
+  for (auto& t : tokens) argv.push_back(t.data());
+  auto parsed = ArgParser::Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().RequireKnown({"threads", "thread"}).ok());
+  const Status bad = parsed.value().RequireKnown({"threads", "queue"});
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.ToString().find("--thread"), std::string::npos)
+      << bad.ToString();
+}
+
 // ----------------------------------------------------------------- stats
 
 TEST(StatsTest, MeanVarianceQuantile) {

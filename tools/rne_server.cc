@@ -7,21 +7,19 @@
 //              [--backends rne,dijkstra] [--threads 4] [--queue 4096]
 //              [--deadline-us 0] [--batch 64]
 //
-// Protocol (newline-delimited, answers in request order):
-//   QUERY <s> <t>   ->  DIST <value> backend=<name> exact=<0|1> fallback=<0|1>
-//   KNN <s> <k>     ->  KNN <v>:<dist> ... (one line, ascending distance)
-//   STATS           ->  STATS <metrics json>      (flushes pending batch)
-//   anything else   ->  ERR <message>
-// Per-request failures print `ERR <status>`; a batch rejected by admission
-// control prints one ERR line per request in it (explicit backpressure).
+// The line protocol (QUERY/KNN/STATS/METRICS) lives in
+// serve/server_loop.h; this binary only parses flags, builds the engine,
+// and wires the loop to stdin/stdout.
 #include <cstdio>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "graph/dimacs.h"
 #include "serve/query_engine.h"
+#include "serve/server_loop.h"
 #include "util/arg_parser.h"
 
 namespace rne::serve {
@@ -42,51 +40,22 @@ std::vector<std::string> SplitCommas(const std::string& csv) {
   return out;
 }
 
-void PrintResponse(const Request& request, const Response& response) {
-  if (!response.status.ok()) {
-    std::printf("ERR %s\n", response.status.ToString().c_str());
-    return;
-  }
-  if (request.kind == RequestKind::kDistance) {
-    std::printf("DIST %.2f backend=%s exact=%d fallback=%d\n",
-                response.distance, response.backend.c_str(),
-                response.exact ? 1 : 0, response.fell_back ? 1 : 0);
-    return;
-  }
-  std::printf("KNN");
-  for (const auto& [v, d] : response.knn) std::printf(" %u:%.2f", v, d);
-  std::printf("\n");
-}
-
-/// Runs `pending` through the engine and prints every answer in order.
-void Flush(QueryEngine& engine, std::vector<Request>* pending) {
-  if (pending->empty()) return;
-  std::vector<Response> responses;
-  const Status admitted = engine.QueryBatch(*pending, &responses);
-  if (!admitted.ok()) {
-    for (size_t i = 0; i < pending->size(); ++i) {
-      std::printf("ERR %s\n", admitted.ToString().c_str());
-    }
-  } else {
-    for (size_t i = 0; i < pending->size(); ++i) {
-      PrintResponse((*pending)[i], responses[i]);
-    }
-  }
-  pending->clear();
-  std::fflush(stdout);
-}
-
 int Main(int argc, char** argv) {
   auto parsed = ArgParser::Parse(argc, argv, 1);
   if (!parsed.ok()) return Fail(parsed.status().ToString());
   const ArgParser& args = parsed.value();
+  const Status known = args.RequireKnown(
+      {"model", "gr", "co", "backends", "threads", "queue", "deadline-us",
+       "batch", "seed"});
+  if (!known.ok()) return Fail(known.ToString());
   FlagReader flags(args);
   EngineOptions options;
   options.num_threads = static_cast<size_t>(flags.Int("threads", 0));
   options.queue_capacity = static_cast<size_t>(flags.Int("queue", 4096));
   options.default_deadline =
       std::chrono::microseconds(flags.Int("deadline-us", 0));
-  const auto batch = static_cast<size_t>(flags.Int("batch", 64));
+  ServerLoopOptions loop_options;
+  loop_options.batch = static_cast<size_t>(flags.Int("batch", 64));
   const auto seed = static_cast<uint64_t>(flags.Int("seed", 1));
   if (!flags.status().ok()) return Fail(flags.status().ToString());
 
@@ -115,52 +84,7 @@ int Main(int argc, char** argv) {
   std::fprintf(stderr, "rne_server ready: %zu backend(s), %zu worker(s)\n",
                engine.num_backends(), engine.pool().num_threads());
 
-  std::vector<Request> pending;
-  pending.reserve(batch);
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string verb;
-    in >> verb;
-    if (verb.empty()) continue;
-    if (verb == "STATS") {
-      Flush(engine, &pending);
-      std::printf("STATS %s\n", engine.Metrics().ToJson().c_str());
-      std::fflush(stdout);
-      continue;
-    }
-    Request request;
-    if (verb == "QUERY") {
-      long s = -1, t = -1;
-      in >> s >> t;
-      if (in.fail() || s < 0 || t < 0) {
-        Flush(engine, &pending);  // keep answers in request order
-        std::printf("ERR INVALID_ARGUMENT: usage: QUERY <s> <t>\n");
-        continue;
-      }
-      request.kind = RequestKind::kDistance;
-      request.s = static_cast<VertexId>(s);
-      request.t = static_cast<VertexId>(t);
-    } else if (verb == "KNN") {
-      long s = -1, k = -1;
-      in >> s >> k;
-      if (in.fail() || s < 0 || k < 0) {
-        Flush(engine, &pending);
-        std::printf("ERR INVALID_ARGUMENT: usage: KNN <s> <k>\n");
-        continue;
-      }
-      request.kind = RequestKind::kKnn;
-      request.s = static_cast<VertexId>(s);
-      request.k = static_cast<size_t>(k);
-    } else {
-      Flush(engine, &pending);
-      std::printf("ERR INVALID_ARGUMENT: unknown verb '%s'\n", verb.c_str());
-      continue;
-    }
-    pending.push_back(request);
-    if (pending.size() >= batch) Flush(engine, &pending);
-  }
-  Flush(engine, &pending);
+  RunServerLoop(std::cin, std::cout, engine, loop_options);
   std::fprintf(stderr, "rne_server done: %s\n",
                engine.Metrics().ToJson().c_str());
   return 0;

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "algo/dijkstra.h"
@@ -25,6 +26,7 @@
 #include "core/rne_index.h"
 #include "graph/dimacs.h"
 #include "graph/generators.h"
+#include "obs/trace.h"
 #include "util/arg_parser.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -58,6 +60,15 @@ int CmdGenerate(const ArgParser& args) {
   std::printf("wrote %s: %zu vertices, %zu edges\n", gr.c_str(),
               g.NumVertices(), g.NumEdges());
   return 0;
+}
+
+/// Writes `content` to `path` (plain write; metrics/trace sidecars do not
+/// need the crash-safe envelope).
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content << "\n";
+  if (!out) return Status::IoError("cannot write " + path);
+  return Status::Ok();
 }
 
 int CmdBuild(const ArgParser& args) {
@@ -95,6 +106,25 @@ int CmdBuild(const ArgParser& args) {
       stats.train_threads, stats.train_threads == 1 ? "" : "s",
       KernelBackendName(), out.c_str(),
       static_cast<double>(model.IndexBytes()) / 1048576.0);
+  // --metrics-out: registry counters/gauges/histograms plus the per-phase
+  // span ring in one JSON object. --trace-out: the same spans in
+  // chrome://tracing "traceEvents" form (open via chrome://tracing or
+  // https://ui.perfetto.dev).
+  if (args.Has("metrics-out")) {
+    const std::string json = "{\"metrics\":" +
+                             obs::MetricsRegistry::Global().ToJson() +
+                             ",\"trace\":" + obs::TraceJson() + "}";
+    const Status ws = WriteTextFile(args.Get("metrics-out", ""), json);
+    if (!ws.ok()) return Fail(ws.ToString());
+    std::printf("wrote metrics to %s\n", args.Get("metrics-out", "").c_str());
+  }
+  if (args.Has("trace-out")) {
+    const Status ws =
+        WriteTextFile(args.Get("trace-out", ""), obs::TraceChromeJson());
+    if (!ws.ok()) return Fail(ws.ToString());
+    std::printf("wrote chrome://tracing events to %s\n",
+                args.Get("trace-out", "").c_str());
+  }
   return 0;
 }
 
