@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Self-test for rne_lint: every rule must fire on a known-bad fixture,
+stay quiet on the matching known-good one, and honor suppressions.
+
+Fixtures are written to a temp dir at run time (committed fixture files
+would themselves be flagged when the gate lints the tree). Runs standalone
+(`python3 scripts/lint/lint_test.py`) or under pytest.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import rne_lint  # noqa: E402
+
+
+def lint_source(relpath, source):
+    """Findings for one in-memory fixture file."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(source)
+        return rne_lint.lint_file(path, rne_lint.ALL_RULES)
+
+
+def rules_fired(findings):
+    return sorted({f.rule for f in findings})
+
+
+GUARD = "#ifndef FIXTURE_H_\n#define FIXTURE_H_\n"
+GUARD_END = "#endif  // FIXTURE_H_\n"
+
+
+def test_raw_mutex_fires_and_wrapper_is_clean():
+    bad = GUARD + "#include <mutex>\nstd::mutex mu;\n" + GUARD_END
+    assert "raw-mutex" in rules_fired(lint_source("src/x/a.h", bad))
+    good = GUARD + '#include "util/annotations.h"\nrne::Mutex mu;\n' + GUARD_END
+    assert "raw-mutex" not in rules_fired(lint_source("src/x/a.h", good))
+    # The wrapper header itself is exempt by path.
+    exempt = GUARD + "std::mutex mu_;\n" + GUARD_END
+    assert not lint_source("src/util/annotations.h", exempt)
+
+
+def test_raw_mutex_ignores_comments_and_strings():
+    src = (GUARD
+           + "// std::mutex is banned here\n"
+           + 'const char* kMsg = "std::mutex";\n' + GUARD_END)
+    assert "raw-mutex" not in rules_fired(lint_source("src/x/a.h", src))
+
+
+def test_raw_random_fires_and_rng_is_clean():
+    bad = "#include <random>\nint f() { return rand(); }\n"
+    assert "raw-random" in rules_fired(lint_source("src/x/a.cc", bad))
+    bad2 = "std::mt19937 gen;\n"
+    assert "raw-random" in rules_fired(lint_source("src/x/a.cc", bad2))
+    # rne::Rng uses and the rng.h implementation itself are fine.
+    assert "raw-random" not in rules_fired(
+        lint_source("src/x/a.cc", "rne::Rng rng(7);\n"))
+    assert not lint_source("src/util/rng.h",
+                           GUARD + "std::mt19937_64 gen_;\n" + GUARD_END)
+
+
+def test_wire_resize_fires_without_bounds_check():
+    bad = (
+        '#include "util/serialize.h"\n'
+        "void Load(rne::BinaryReader& r, std::vector<int>* v) {\n"
+        "  uint64_t n = 0;\n"
+        "  if (!r.ReadPod(&n)) return;\n"
+        "  v->resize(n);\n"
+        "}\n"
+    )
+    findings = lint_source("src/x/a.cc", bad)
+    assert "wire-resize" in rules_fired(findings)
+    assert any(f.line == 5 for f in findings if f.rule == "wire-resize")
+
+
+def test_wire_resize_quiet_with_bounds_check():
+    good = (
+        '#include "util/serialize.h"\n'
+        "void Load(rne::BinaryReader& r, std::vector<int>* v) {\n"
+        "  uint64_t n = 0;\n"
+        "  if (!r.ReadPod(&n)) return;\n"
+        "  if (n > r.remaining() / sizeof(int)) return;\n"
+        "  v->resize(n);\n"
+        "}\n"
+    )
+    assert "wire-resize" not in rules_fired(lint_source("src/x/a.cc", good))
+    # Sizes that never touched the wire are not flagged.
+    local = (
+        '#include "util/serialize.h"\n'
+        "void F(std::vector<int>* v, size_t k) { v->resize(k); }\n"
+    )
+    assert "wire-resize" not in rules_fired(lint_source("src/x/a.cc", local))
+
+
+def test_obs_hot_loop_fires_only_in_core_loops():
+    bad = (
+        "void Kernel(size_t n) {\n"
+        "  for (size_t i = 0; i < n; ++i) {\n"
+        '    RNE_SPAN("k.elem");\n'
+        "  }\n"
+        "}\n"
+    )
+    assert "obs-hot-loop" in rules_fired(lint_source("src/core/k.cc", bad))
+    # Same code outside src/core is another subsystem's call to make.
+    assert "obs-hot-loop" not in rules_fired(lint_source("src/serve/k.cc", bad))
+    # A span before the loop is the intended pattern.
+    good = (
+        "void Kernel(size_t n) {\n"
+        '  RNE_SPAN("k");\n'
+        "  for (size_t i = 0; i < n; ++i) {\n"
+        "  }\n"
+        "}\n"
+    )
+    assert "obs-hot-loop" not in rules_fired(lint_source("src/core/k.cc", good))
+
+
+def test_header_guard_fires_on_unguarded_header():
+    assert "header-guard" in rules_fired(
+        lint_source("src/x/a.h", "struct S {};\n"))
+    assert "header-guard" not in rules_fired(
+        lint_source("src/x/a.h", GUARD + "struct S {};\n" + GUARD_END))
+    assert "header-guard" not in rules_fired(
+        lint_source("src/x/a.h", "#pragma once\nstruct S {};\n"))
+    # A guard below a long top-of-file comment still counts (the rule scans
+    # the whole file, not just the first lines).
+    commented = ("// line1\n" * 30) + GUARD + "struct S {};\n" + GUARD_END
+    assert "header-guard" not in rules_fired(
+        lint_source("src/x/a.h", commented))
+    # .cc files are never checked for guards.
+    assert "header-guard" not in rules_fired(
+        lint_source("src/x/a.cc", "struct S {};\n"))
+
+
+def test_suppression_same_line_and_preceding_line():
+    same = GUARD + "std::mutex mu;  // rne-lint: allow(raw-mutex)\n" + GUARD_END
+    assert "raw-mutex" not in rules_fired(lint_source("src/x/a.h", same))
+    above = (GUARD + "// rne-lint: allow(raw-mutex) — fixture reason\n"
+             + "std::mutex mu;\n" + GUARD_END)
+    assert "raw-mutex" not in rules_fired(lint_source("src/x/a.h", above))
+    # A suppression names specific rules; others on the line still fire.
+    wrong = (GUARD + "std::mutex mu;  // rne-lint: allow(raw-random)\n"
+             + GUARD_END)
+    assert "raw-mutex" in rules_fired(lint_source("src/x/a.h", wrong))
+    # Two lines down is out of scope: no file-wide suppressions.
+    far = (GUARD + "// rne-lint: allow(raw-mutex)\n\nstd::mutex mu;\n"
+           + GUARD_END)
+    assert "raw-mutex" in rules_fired(lint_source("src/x/a.h", far))
+
+
+def test_json_output_and_exit_codes():
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = os.path.join(tmp, "bad.h")
+        with open(bad, "w", encoding="utf-8") as f:
+            f.write("std::mutex mu;\n")
+        stream = io.StringIO()
+        code = rne_lint.run([tmp], json_out=True, stream=stream)
+        assert code == 1
+        report = json.loads(stream.getvalue())
+        assert report["checked_files"] == 1
+        fired = {f["rule"] for f in report["findings"]}
+        assert fired == {"raw-mutex", "header-guard"}
+        for f in report["findings"]:
+            assert f["path"] == bad and f["line"] >= 1 and f["message"]
+
+        good = os.path.join(tmp, "good.cc")
+        with open(good, "w", encoding="utf-8") as f:
+            f.write("int main() { return 0; }\n")
+        stream = io.StringIO()
+        assert rne_lint.run([good], json_out=True, stream=stream) == 0
+        assert json.loads(stream.getvalue())["findings"] == []
+
+
+def test_cli_reports_missing_path():
+    assert rne_lint.main(["/nonexistent/definitely-missing"]) == 2
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failures = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError:
+            failures += 1
+            import traceback
+            traceback.print_exc()
+            print(f"FAIL {name}")
+    print(f"lint_test: {len(tests) - failures}/{len(tests)} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

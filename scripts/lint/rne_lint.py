@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules the compilers cannot express.
+
+Each rule encodes a repo contract documented in DESIGN.md §11; violations
+are almost always real bugs or contract erosion, so the default run is a
+gate (exit 1 on any finding). Rules are deliberately line-based and
+deterministic — no clang tooling required — so the gate runs anywhere
+python3 does.
+
+Rules:
+  raw-mutex    std::mutex / lock_guard / unique_lock / condition_variable
+               outside util/annotations.h. Everything else must use the
+               annotated rne::Mutex wrappers or Clang's thread-safety
+               analysis is blind to it.
+  raw-random   rand() / std::random_device / std::mt19937 outside
+               util/rng.h. Reproducibility contract: all randomness flows
+               through the seeded rne::Rng.
+  wire-resize  .resize(n)/.reserve(n) where n came straight off the wire
+               (a BinaryReader::ReadPod target) with no bounds check in
+               between — a corrupt length field becomes a multi-GB
+               allocation. Checked in files that use BinaryReader.
+  obs-hot-loop RNE_SPAN / RNE_HIST_RECORD inside a loop in src/core —
+               observability macros cost a clock read (and a mutex on
+               span close); per-element use turns a kernel into a
+               benchmark of the tracer.
+  header-guard every .h must have #pragma once or an #ifndef/#define
+               include guard.
+
+Suppression: append `// rne-lint: allow(<rule>)` to the offending line or
+the line directly above it. Suppressions are for documented, deliberate
+exceptions — the comment should say why.
+
+Usage:
+  python3 scripts/lint/rne_lint.py [--json] [--list-rules] [paths...]
+
+Paths default to src tools tests bench examples under the repo root. Exit
+status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".h", ".cc")
+DEFAULT_PATHS = ["src", "tools", "tests", "bench", "examples"]
+
+SUPPRESS_RE = re.compile(r"//\s*rne-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line  # 1-based
+        self.message = message
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def suppressed_rules(lines, index):
+    """Rules allowed on line `index` (0-based): same line or the line above."""
+    allowed = set()
+    for i in (index, index - 1):
+        if 0 <= i < len(lines):
+            m = SUPPRESS_RE.search(lines[i])
+            if m:
+                allowed.update(r.strip() for r in m.group(1).split(","))
+    return allowed
+
+
+def strip_comments_and_strings(line):
+    """Crude single-line scrub so matches in comments/strings don't fire.
+
+    Good enough for lint: the repo style keeps string literals and comments
+    on one line; block comments spanning lines are rare and reviewed.
+    """
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    line = re.sub(r"/\*.*?\*/", "", line)
+    return line.split("//", 1)[0]
+
+
+class Rule:
+    """Base: subclasses set `name`/`description` and implement check()."""
+
+    name = ""
+    description = ""
+
+    def applies_to(self, path):
+        return path.endswith(CXX_EXTENSIONS)
+
+    def check(self, path, lines):
+        raise NotImplementedError
+
+
+class RawMutexRule(Rule):
+    name = "raw-mutex"
+    description = (
+        "raw std::mutex/lock primitives outside util/annotations.h; use the"
+        " annotated rne::Mutex wrappers"
+    )
+    PATTERN = re.compile(
+        r"std::(mutex|recursive_mutex|timed_mutex|shared_mutex|lock_guard"
+        r"|unique_lock|scoped_lock|shared_lock|condition_variable"
+        r"|condition_variable_any)\b"
+    )
+
+    def applies_to(self, path):
+        return super().applies_to(path) and not path.endswith(
+            os.path.join("util", "annotations.h")
+        )
+
+    def check(self, path, lines):
+        for i, raw in enumerate(lines):
+            m = self.PATTERN.search(strip_comments_and_strings(raw))
+            if m:
+                yield Finding(
+                    self.name, path, i + 1,
+                    f"std::{m.group(1)} bypasses the thread-safety-annotated"
+                    " rne::Mutex wrappers (util/annotations.h)",
+                )
+
+
+class RawRandomRule(Rule):
+    name = "raw-random"
+    description = (
+        "rand()/std::random_device/std::mt19937 outside util/rng.h; all"
+        " randomness must flow through the seeded rne::Rng"
+    )
+    PATTERN = re.compile(
+        r"std::(random_device|mt19937(_64)?|default_random_engine)\b"
+        r"|(?<![\w:])s?rand\s*\("
+    )
+
+    def applies_to(self, path):
+        return super().applies_to(path) and not path.endswith(
+            os.path.join("util", "rng.h")
+        )
+
+    def check(self, path, lines):
+        for i, raw in enumerate(lines):
+            if self.PATTERN.search(strip_comments_and_strings(raw)):
+                yield Finding(
+                    self.name, path, i + 1,
+                    "unseeded/raw randomness breaks run-to-run"
+                    " reproducibility; use rne::Rng (util/rng.h)",
+                )
+
+
+class WireResizeRule(Rule):
+    name = "wire-resize"
+    description = (
+        "resize/reserve with a wire-read length and no bounds check — a"
+        " corrupt length field becomes an unbounded allocation"
+    )
+    READ_RE = re.compile(r"ReadPod\s*\(\s*&\s*(\w+)\s*\)")
+    CALL_RE = re.compile(
+        r"(?:\.|->)\s*(resize|reserve)\s*\(\s*[^)]*\b(\w+)\b[^)]*\)")
+    BOUND_TOKENS = ("remaining", "<", ">", "RNE_CHECK", "kMax", "Min(", "min(")
+
+    def check(self, path, lines):
+        if not any("BinaryReader" in l or "util/serialize.h" in l
+                   for l in lines):
+            return
+        # Wire-read variables seen so far: name -> line index of the read.
+        wire_vars = {}
+        for i, raw in enumerate(lines):
+            line = strip_comments_and_strings(raw)
+            for m in self.READ_RE.finditer(line):
+                wire_vars[m.group(1)] = i
+            m = self.CALL_RE.search(line)
+            if not m:
+                continue
+            var = m.group(2)
+            if var not in wire_vars:
+                continue
+            read_at = wire_vars[var]
+            checked = any(
+                var in strip_comments_and_strings(lines[j])
+                and any(tok in lines[j] for tok in self.BOUND_TOKENS)
+                for j in range(read_at, i)
+            )
+            if not checked:
+                yield Finding(
+                    self.name, path, i + 1,
+                    f"{m.group(1)}({var}) uses a length read from the wire"
+                    f" at line {read_at + 1} with no bounds check in"
+                    " between; validate against remaining() first",
+                )
+
+
+class ObsHotLoopRule(Rule):
+    name = "obs-hot-loop"
+    description = (
+        "RNE_SPAN/RNE_HIST_RECORD inside a src/core loop body — per-element"
+        " observability turns the kernel into a tracer benchmark"
+    )
+    MACRO_RE = re.compile(r"\b(RNE_SPAN\w*|RNE_HIST_RECORD)\s*\(")
+    LOOP_RE = re.compile(r"\b(for|while)\s*\(")
+
+    def applies_to(self, path):
+        norm = path.replace(os.sep, "/")
+        return super().applies_to(path) and "src/core/" in norm
+
+    def check(self, path, lines):
+        # Brace-depth scope stack; a scope is "hot" when opened by for/while.
+        scopes = []  # True = loop scope
+        pending_loop = False
+        for i, raw in enumerate(lines):
+            line = strip_comments_and_strings(raw)
+            m = self.MACRO_RE.search(line)
+            if m and (any(scopes) or (pending_loop and self.LOOP_RE.search(
+                    line) is None)):
+                yield Finding(
+                    self.name, path, i + 1,
+                    f"{m.group(1)} inside a kernel loop; hoist it outside"
+                    " the per-element loop (one span per phase, not per"
+                    " element)",
+                )
+            if self.LOOP_RE.search(line):
+                pending_loop = True
+            for ch in line:
+                if ch == "{":
+                    scopes.append(pending_loop)
+                    pending_loop = False
+                elif ch == "}" and scopes:
+                    scopes.pop()
+
+
+class HeaderGuardRule(Rule):
+    name = "header-guard"
+    description = "headers need #pragma once or an #ifndef/#define guard"
+    IFNDEF_RE = re.compile(r"^\s*#ifndef\s+(\w+)")
+
+    def applies_to(self, path):
+        return path.endswith(".h")
+
+    def check(self, path, lines):
+        guard = None
+        for raw in lines:
+            if raw.lstrip().startswith("#pragma once"):
+                return
+            m = self.IFNDEF_RE.match(raw)
+            if m and guard is None:
+                guard = m.group(1)
+            elif guard is not None and re.match(
+                    rf"^\s*#define\s+{re.escape(guard)}\b", raw):
+                return
+        yield Finding(
+            self.name, path, 1,
+            "no include guard (#pragma once or #ifndef/#define) found",
+        )
+
+
+ALL_RULES = [
+    RawMutexRule(),
+    RawRandomRule(),
+    WireResizeRule(),
+    ObsHotLoopRule(),
+    HeaderGuardRule(),
+]
+
+
+def iter_source_files(paths):
+    for base in paths:
+        if os.path.isfile(base):
+            yield base
+            continue
+        for root, dirs, files in os.walk(base):
+            dirs[:] = sorted(
+                d for d in dirs
+                if d not in {".git", "build", "__pycache__"}
+                and not d.startswith("build-")
+            )
+            for name in sorted(files):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(root, name)
+
+
+def lint_file(path, rules):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        return [Finding("io", path, 0, f"unreadable: {e}")]
+    findings = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(path, lines):
+            if rule.name not in suppressed_rules(lines, finding.line - 1):
+                findings.append(finding)
+    return findings
+
+
+def run(paths, rules=None, json_out=False, stream=sys.stdout):
+    rules = rules if rules is not None else ALL_RULES
+    findings = []
+    checked = 0
+    for path in iter_source_files(paths):
+        checked += 1
+        findings.extend(lint_file(path, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    if json_out:
+        json.dump(
+            {
+                "checked_files": checked,
+                "findings": [f.to_dict() for f in findings],
+            },
+            stream,
+            indent=2,
+        )
+        stream.write("\n")
+    else:
+        for f in findings:
+            stream.write(f"{f.path}:{f.line}: [{f.rule}] {f.message}\n")
+        stream.write(
+            f"rne_lint: {checked} files, {len(findings)} finding(s)\n"
+        )
+    return 1 if findings else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Project lint gate; see module docstring for the rules."
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: the repo tree)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:14s} {rule.description}")
+        return 0
+
+    if args.paths:
+        paths = args.paths
+    else:
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        paths = [os.path.join(repo_root, p) for p in DEFAULT_PATHS]
+        paths = [p for p in paths if os.path.isdir(p)]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"rne_lint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    return run(paths, json_out=args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

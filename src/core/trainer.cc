@@ -341,7 +341,9 @@ void Trainer::TrainHierarchyPhase() {
   RNE_SPAN("train.phase1");
   const uint32_t num_levels = model_.num_levels();
   for (uint32_t lev = 1; lev <= num_levels; ++lev) {
-    RNE_SPAN("train.phase1.level", lev);
+    // One span per hierarchy level (a level trains thousands of samples);
+    // this is the ring's documented granularity, not a per-element span.
+    RNE_SPAN("train.phase1.level", lev);  // rne-lint: allow(obs-hot-loop)
     // Sub-graph level samples for the focused level; the vertex level uses
     // leaf partitions (the deepest sub-graph granularity).
     const uint32_t sample_level = std::min(lev, hier_.max_level());
@@ -397,11 +399,14 @@ void Trainer::FineTunePhase() {
   lrs[model_.vertex_level()] = config_.lr0 * 0.5;
 
   for (size_t round = 0; round < config_.finetune_rounds; ++round) {
-    RNE_SPAN("train.phase3.round", round);
+    // Per-round, not per-element: a fine-tune round spans full bucket
+    // evaluation plus an entire training pass.
+    RNE_SPAN("train.phase3.round", round);  // rne-lint: allow(obs-hot-loop)
     // Estimate the error-vs-distance distribution of the current model.
     std::vector<double> bucket_errors(grid.num_buckets(), 0.0);
     {
-      RNE_SPAN("train.phase3.eval", round);
+      // Covers the whole eval sweep for the round (one span per round).
+      RNE_SPAN("train.phase3.eval", round);  // rne-lint: allow(obs-hot-loop)
       for (size_t b = 0; b < grid.num_buckets(); ++b) {
         if (!grid.BucketNonEmpty(b)) continue;
         std::vector<VertexPair> eval_pairs;

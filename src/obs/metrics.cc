@@ -27,20 +27,20 @@ void SetEnabled(bool enabled) {
 
 void LatencyStat::Record(int64_t nanos) {
   Shard& s = shards_[DenseThreadId() % kShards];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   s.hist.Record(nanos);
 }
 
 void LatencyStat::Merge(const LatencyHistogram& local) {
   Shard& s = shards_[DenseThreadId() % kShards];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   s.hist.Merge(local);
 }
 
 LatencyHistogram LatencyStat::Snapshot() const {
   LatencyHistogram out;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     out.Merge(s.hist);
   }
   return out;
@@ -48,7 +48,7 @@ LatencyHistogram LatencyStat::Snapshot() const {
 
 void LatencyStat::Reset() {
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     s.hist.Reset();
   }
 }
@@ -59,21 +59,21 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 LatencyStat* MetricsRegistry::GetLatency(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = latencies_[name];
   if (!slot) slot = std::make_unique<LatencyStat>();
   return slot.get();
@@ -127,7 +127,7 @@ void AppendJsonString(std::string* out, const std::string& s) {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -174,7 +174,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : latencies_) h->Reset();

@@ -26,9 +26,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "util/annotations.h"
 #include "util/histogram.h"
 
 namespace rne::obs {
@@ -77,8 +77,8 @@ class LatencyStat {
  private:
   static constexpr size_t kShards = 8;
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    LatencyHistogram hist;
+    mutable Mutex mu;
+    LatencyHistogram hist RNE_GUARDED_BY(mu);
   };
   Shard shards_[kShards];
 };
@@ -109,10 +109,12 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyStat>> latencies_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      RNE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ RNE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyStat>> latencies_
+      RNE_GUARDED_BY(mu_);
 };
 
 /// Appends `v` to `out` in a JSON-safe format (finite -> shortest-ish

@@ -3,8 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 
+#include "util/annotations.h"
 #include "util/timer.h"
 
 namespace rne::obs {
@@ -21,7 +21,7 @@ class TraceRing {
   }
 
   void Append(const SpanEvent& ev) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (events_.size() < capacity_) {
       events_.push_back(ev);
     } else {
@@ -32,7 +32,7 @@ class TraceRing {
   }
 
   uint64_t Snapshot(std::vector<SpanEvent>* out) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out->clear();
     out->reserve(events_.size());
     // Oldest-first: the slot about to be overwritten is the oldest event.
@@ -43,19 +43,19 @@ class TraceRing {
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     events_.clear();
     next_overwrite_ = 0;
     dropped_ = 0;
   }
 
   size_t capacity() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return capacity_;
   }
 
   void set_capacity(size_t capacity) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     capacity_ = capacity == 0 ? 1 : capacity;
     if (events_.size() > capacity_) {
       // Keep the newest `capacity_` events, oldest-first at index 0.
@@ -73,11 +73,11 @@ class TraceRing {
  private:
   TraceRing() { events_.reserve(capacity_); }
 
-  mutable std::mutex mu_;
-  size_t capacity_ = 16384;
-  std::vector<SpanEvent> events_;
-  size_t next_overwrite_ = 0;  // oldest slot once the ring is full
-  uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  size_t capacity_ RNE_GUARDED_BY(mu_) = 16384;
+  std::vector<SpanEvent> events_ RNE_GUARDED_BY(mu_);
+  size_t next_overwrite_ RNE_GUARDED_BY(mu_) = 0;  // oldest once full
+  uint64_t dropped_ RNE_GUARDED_BY(mu_) = 0;
 };
 
 const Timer& TraceEpoch() {

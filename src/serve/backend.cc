@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 
 #include "algo/dijkstra.h"
 #include "baselines/alt.h"
@@ -12,6 +11,7 @@
 #include "core/quantized.h"
 #include "core/rne.h"
 #include "core/rne_index.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -99,7 +99,7 @@ class DijkstraBackend : public QueryBackend {
   double Distance(VertexId s, VertexId t) override {
     const size_t w = ThreadPool::CurrentWorkerIndex();
     if (w < workers_.size()) return workers_[w]->Distance(s, t);
-    std::lock_guard<std::mutex> lock(overflow_mu_);
+    MutexLock lock(&overflow_mu_);
     return overflow_->Distance(s, t);
   }
 
@@ -108,7 +108,7 @@ class DijkstraBackend : public QueryBackend {
                                                size_t k) override {
     const size_t w = ThreadPool::CurrentWorkerIndex();
     if (w < workers_.size()) return KnnWith(*workers_[w], s, k);
-    std::lock_guard<std::mutex> lock(overflow_mu_);
+    MutexLock lock(&overflow_mu_);
     return KnnWith(*overflow_, s, k);
   }
 
@@ -134,8 +134,8 @@ class DijkstraBackend : public QueryBackend {
 
   const Graph& graph_;
   std::vector<std::unique_ptr<DijkstraSearch>> workers_;
-  std::unique_ptr<DijkstraSearch> overflow_;
-  std::mutex overflow_mu_;
+  Mutex overflow_mu_;
+  std::unique_ptr<DijkstraSearch> overflow_ RNE_PT_GUARDED_BY(overflow_mu_);
 };
 
 /// Mutex-serialized adapter for search-based DistanceMethods whose Query()
@@ -148,18 +148,27 @@ class SerializedBackend : public QueryBackend {
   explicit SerializedBackend(size_t num_vertices, Args&&... args)
       : method_(std::forward<Args>(args)...), num_vertices_(num_vertices) {}
 
-  std::string Name() const override { return method_.Name(); }
-  bool IsExact() const override { return method_.IsExact(); }
+  std::string Name() const override {
+    MutexLock lock(&mu_);
+    return method_.Name();
+  }
+  bool IsExact() const override {
+    MutexLock lock(&mu_);
+    return method_.IsExact();
+  }
   size_t NumVertices() const override { return num_vertices_; }
-  size_t IndexBytes() const override { return method_.IndexBytes(); }
+  size_t IndexBytes() const override {
+    MutexLock lock(&mu_);
+    return method_.IndexBytes();
+  }
   double Distance(VertexId s, VertexId t) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return method_.Query(s, t);
   }
 
  protected:
-  std::mutex mu_;
-  MethodT method_;
+  mutable Mutex mu_;
+  MethodT method_ RNE_GUARDED_BY(mu_);
   size_t num_vertices_ = 0;
 };
 
@@ -170,7 +179,7 @@ class GTreeBackend : public SerializedBackend<GTree> {
   bool SupportsKnn() const override { return true; }
   std::vector<std::pair<VertexId, double>> Knn(VertexId s,
                                                size_t k) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return method_.Knn(s, k);
   }
 };
@@ -179,8 +188,8 @@ class GTreeBackend : public SerializedBackend<GTree> {
 // Registry
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, BackendFactory> factories;
+  Mutex mu;
+  std::map<std::string, BackendFactory> factories RNE_GUARDED_BY(mu);
 };
 
 Registry& GlobalRegistry() {
@@ -244,7 +253,7 @@ Registry& GlobalRegistry() {
 
 void RegisterBackendFactory(const std::string& name, BackendFactory factory) {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   registry.factories[name] = std::move(factory);
 }
 
@@ -253,7 +262,7 @@ StatusOr<std::unique_ptr<QueryBackend>> MakeBackend(const std::string& name,
   BackendFactory factory;
   {
     Registry& registry = GlobalRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(&registry.mu);
     const auto it = registry.factories.find(name);
     if (it == registry.factories.end()) {
       return Status::NotFound("no backend registered as '" + name + "'");
@@ -269,7 +278,7 @@ std::unique_ptr<QueryBackend> MakeSharedModelBackend(const Rne& model) {
 
 std::vector<std::string> RegisteredBackendNames() {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   std::vector<std::string> names;
   names.reserve(registry.factories.size());
   for (const auto& [name, factory] : registry.factories) {

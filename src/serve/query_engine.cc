@@ -48,7 +48,7 @@ QueryEngine::QueryEngine(const EngineOptions& options, ThreadPool* pool)
 QueryEngine::~QueryEngine() {
   std::vector<std::thread> loaders;
   {
-    std::lock_guard<std::mutex> lock(chain_mu_);
+    MutexLock lock(&chain_mu_);
     loaders.swap(loaders_);
   }
   for (auto& t : loaders) t.join();
@@ -60,14 +60,14 @@ void QueryEngine::AddBackend(const std::string& name, BackendContext ctx) {
   slot->name = name;
   slot->latency = BackendLatencyStat(name);
   BackendSlot* raw = slot.get();
-  std::lock_guard<std::mutex> lock(chain_mu_);
+  MutexLock lock(&chain_mu_);
   chain_.push_back(std::move(slot));
   // Loads run on dedicated threads, never on the serving pool: a query task
   // blocked on a loading backend must not be able to starve the load itself.
   loaders_.emplace_back([this, raw, name, ctx] {
     auto result = MakeBackend(name, ctx);
     {
-      std::lock_guard<std::mutex> inner(chain_mu_);
+      MutexLock inner(&chain_mu_);
       if (result.ok()) {
         raw->backend = std::move(result).value();
         raw->state = SlotState::kReady;
@@ -76,7 +76,7 @@ void QueryEngine::AddBackend(const std::string& name, BackendContext ctx) {
         raw->state = SlotState::kFailed;
       }
     }
-    chain_changed_.notify_all();
+    chain_changed_.NotifyAll();
   });
 }
 
@@ -87,20 +87,22 @@ void QueryEngine::AddReadyBackend(std::unique_ptr<QueryBackend> backend) {
   slot->backend = std::move(backend);
   slot->state = SlotState::kReady;
   {
-    std::lock_guard<std::mutex> lock(chain_mu_);
+    MutexLock lock(&chain_mu_);
     chain_.push_back(std::move(slot));
   }
-  chain_changed_.notify_all();
+  chain_changed_.NotifyAll();
+}
+
+bool QueryEngine::AnyBackendLoading() const {
+  for (const auto& slot : chain_) {
+    if (slot->state == SlotState::kLoading) return true;
+  }
+  return false;
 }
 
 Status QueryEngine::WaitUntilLoaded() {
-  std::unique_lock<std::mutex> lock(chain_mu_);
-  chain_changed_.wait(lock, [this] {
-    for (const auto& slot : chain_) {
-      if (slot->state == SlotState::kLoading) return false;
-    }
-    return true;
-  });
+  MutexLock lock(&chain_mu_);
+  while (AnyBackendLoading()) chain_changed_.Wait(&lock);
   for (const auto& slot : chain_) {
     if (slot->state == SlotState::kFailed) return slot->load_status;
   }
@@ -108,7 +110,7 @@ Status QueryEngine::WaitUntilLoaded() {
 }
 
 size_t QueryEngine::num_backends() const {
-  std::lock_guard<std::mutex> lock(chain_mu_);
+  MutexLock lock(&chain_mu_);
   return chain_.size();
 }
 
@@ -116,7 +118,7 @@ QueryEngine::BackendSlot* QueryEngine::ChooseBackend(
     RequestKind kind, Clock::time_point deadline, bool* fell_back,
     bool* deadline_fallback, bool* load_fallback) {
   const bool bounded = deadline != Clock::time_point::max();
-  std::unique_lock<std::mutex> lock(chain_mu_);
+  MutexLock lock(&chain_mu_);
   for (size_t i = 0; i < chain_.size(); ++i) {
     BackendSlot& slot = *chain_[i];
     // A still-loading backend is worth waiting for only until the request's
@@ -124,8 +126,8 @@ QueryEngine::BackendSlot* QueryEngine::ChooseBackend(
     // exact) instead of stalling.
     while (slot.state == SlotState::kLoading) {
       if (!bounded) {
-        chain_changed_.wait(lock);
-      } else if (chain_changed_.wait_until(lock, deadline) ==
+        chain_changed_.Wait(&lock);
+      } else if (chain_changed_.WaitUntil(&lock, deadline) ==
                      std::cv_status::timeout &&
                  slot.state == SlotState::kLoading) {
         break;
@@ -209,6 +211,14 @@ void QueryEngine::ExecuteChunk(std::span<const Request> requests,
           response.status = Status::FailedPrecondition(
               std::string("backend '") + backend->Name() + "' threw: " +
               e.what());
+        } catch (...) {
+          // A non-std::exception must not escape: it would unwind through
+          // the pool's TaskGroup, rethrow from QueryBatch, and skip the
+          // admission release — every per-request failure becomes a
+          // Response, never an exception.
+          response.status = Status::FailedPrecondition(
+              std::string("backend '") + backend->Name() +
+              "' threw a non-standard exception");
         }
       }
     }
@@ -227,7 +237,7 @@ void QueryEngine::ExecuteChunk(std::span<const Request> requests,
     out[i] = std::move(response);
   }
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(&metrics_mu_);
     latency_.Merge(local_latency);
   }
   served_.Add(served);
@@ -249,7 +259,7 @@ Status QueryEngine::QueryBatch(std::span<const Request> requests,
   if (requests.empty()) return Status::Ok();
   const Clock::time_point admitted = Clock::now();
   {
-    std::lock_guard<std::mutex> lock(admission_mu_);
+    MutexLock lock(&admission_mu_);
     if (outstanding_ + requests.size() > options_.queue_capacity) {
       rejected_.Add(requests.size());
       RNE_COUNTER_ADD("serve.rejected", requests.size());
@@ -260,6 +270,18 @@ Status QueryEngine::QueryBatch(std::span<const Request> requests,
     }
     outstanding_ += requests.size();
   }
+  // Admitted count must be released on EVERY exit path. Before this guard a
+  // chunk task that threw past ExecuteChunk (rethrown from TaskGroup::Wait)
+  // skipped the decrement, permanently shrinking admission capacity until
+  // the engine rejected all traffic.
+  struct AdmissionRelease {
+    QueryEngine* engine;
+    size_t count;
+    ~AdmissionRelease() {
+      MutexLock lock(&engine->admission_mu_);
+      engine->outstanding_ -= count;
+    }
+  } release{this, requests.size()};
   const Clock::time_point deadline_default =
       options_.default_deadline.count() > 0
           ? admitted + options_.default_deadline
@@ -277,10 +299,6 @@ Status QueryEngine::QueryBatch(std::span<const Request> requests,
       });
     }
     group.Wait();
-  }
-  {
-    std::lock_guard<std::mutex> lock(admission_mu_);
-    outstanding_ -= requests.size();
   }
   return Status::Ok();
 }
@@ -310,7 +328,7 @@ MetricsSnapshot QueryEngine::Metrics() const {
       snapshot.uptime_seconds > 0.0
           ? static_cast<double>(snapshot.served) / snapshot.uptime_seconds
           : 0.0;
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MutexLock lock(&metrics_mu_);
   snapshot.p50_ns = latency_.PercentileNanos(50.0);
   snapshot.p95_ns = latency_.PercentileNanos(95.0);
   snapshot.p99_ns = latency_.PercentileNanos(99.0);

@@ -21,10 +21,8 @@
 #define RNE_SERVE_QUERY_ENGINE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -32,6 +30,7 @@
 
 #include "obs/metrics.h"
 #include "serve/backend.h"
+#include "util/annotations.h"
 #include "util/histogram.h"
 #include "util/thread_pool.h"
 
@@ -155,22 +154,24 @@ class QueryEngine {
   /// never removed and a slot that reached kReady never changes again).
   BackendSlot* ChooseBackend(RequestKind kind, Clock::time_point deadline,
                              bool* fell_back, bool* deadline_fallback,
-                             bool* load_fallback);
+                             bool* load_fallback) RNE_EXCLUDES(chain_mu_);
+  /// True while any slot is still kLoading.
+  bool AnyBackendLoading() const RNE_REQUIRES(chain_mu_);
 
   const EngineOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
   const Clock::time_point start_;
 
-  mutable std::mutex chain_mu_;
-  std::condition_variable chain_changed_;
-  std::vector<std::unique_ptr<BackendSlot>> chain_;
-  std::vector<std::thread> loaders_;
+  mutable Mutex chain_mu_;
+  CondVar chain_changed_;
+  std::vector<std::unique_ptr<BackendSlot>> chain_ RNE_GUARDED_BY(chain_mu_);
+  std::vector<std::thread> loaders_ RNE_GUARDED_BY(chain_mu_);
 
   /// Engine-wide admission-to-completion latency; LatencyHistogram is not
   /// thread-safe, so chunk-local histograms merge under this mutex.
-  mutable std::mutex metrics_mu_;
-  LatencyHistogram latency_;
+  mutable Mutex metrics_mu_;
+  LatencyHistogram latency_ RNE_GUARDED_BY(metrics_mu_);
   /// Counters are registry-style atomics (TSan-clean, no lock on the update
   /// path); MetricsSnapshot stays a thin view over their Value()s. They are
   /// engine-owned — not global registry entries — because tests run several
@@ -182,8 +183,8 @@ class QueryEngine {
   obs::Counter fell_back_load_;
   obs::Counter fell_back_deadline_;
 
-  std::mutex admission_mu_;
-  size_t outstanding_ = 0;
+  Mutex admission_mu_;
+  size_t outstanding_ RNE_GUARDED_BY(admission_mu_) = 0;
 };
 
 }  // namespace rne::serve

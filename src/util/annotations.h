@@ -1,0 +1,153 @@
+// Clang thread-safety annotations plus the annotated mutex vocabulary the
+// whole project locks with.
+//
+// Every RNE_* macro below expands to the corresponding Clang
+// `__attribute__((...))` when the compiler supports thread-safety analysis
+// and to nothing otherwise, so GCC builds are unaffected while Clang builds
+// with `-Wthread-safety -Werror=thread-safety` turn lock-discipline
+// violations (reading a RNE_GUARDED_BY member without its mutex, forgetting
+// to release, acquiring in the wrong function) into compile errors.
+//
+// Raw std::mutex / std::lock_guard / std::condition_variable are banned
+// outside this header (enforced by `scripts/lint/rne_lint.py` rule
+// `raw-mutex`): code must use rne::Mutex, rne::MutexLock, and rne::CondVar
+// so the analysis sees every acquisition. The wrappers are zero-cost —
+// each is a thin inline shell over the std primitive it replaces.
+//
+// Usage:
+//   class Queue {
+//    public:
+//     void Push(Item item) {
+//       MutexLock lock(&mu_);
+//       items_.push_back(std::move(item));   // OK: mu_ held
+//       ready_.NotifyOne();
+//     }
+//    private:
+//     Mutex mu_;
+//     CondVar ready_;
+//     std::vector<Item> items_ RNE_GUARDED_BY(mu_);
+//   };
+//
+// Condition waits: Clang's analysis cannot see through std::function or
+// lambda predicates, so waits are written as explicit loops — the guarded
+// state is then read in the annotated enclosing scope:
+//   MutexLock lock(&mu_);
+//   while (items_.empty()) ready_.Wait(&lock);
+#ifndef RNE_UTIL_ANNOTATIONS_H_
+#define RNE_UTIL_ANNOTATIONS_H_
+
+// rne-lint: allow(raw-mutex) — this header defines the annotated wrappers.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RNE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(RNE_THREAD_ANNOTATION)
+#define RNE_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define RNE_CAPABILITY(x) RNE_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define RNE_SCOPED_CAPABILITY RNE_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while `x` is held.
+#define RNE_GUARDED_BY(x) RNE_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose pointee is protected by `x` (the pointer itself is
+/// not).
+#define RNE_PT_GUARDED_BY(x) RNE_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the listed capabilities to be held by the caller.
+#define RNE_REQUIRES(...) \
+  RNE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock-prevention contract).
+#define RNE_EXCLUDES(...) RNE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the capability and does not release it.
+#define RNE_ACQUIRE(...) \
+  RNE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability.
+#define RNE_RELEASE(...) \
+  RNE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability when it returns `ret`.
+#define RNE_TRY_ACQUIRE(ret, ...) \
+  RNE_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+/// Documents lock-ordering between two mutexes.
+#define RNE_ACQUIRED_BEFORE(...) \
+  RNE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RNE_ACQUIRED_AFTER(...) \
+  RNE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot model; every use must carry a
+/// comment explaining why it is correct.
+#define RNE_NO_THREAD_SAFETY_ANALYSIS \
+  RNE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace rne {
+
+class CondVar;
+
+/// Annotated mutex. Prefer MutexLock for scoped acquisition; Lock()/Unlock()
+/// exist for the rare manually balanced section.
+class RNE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RNE_ACQUIRE() { mu_.lock(); }
+  void Unlock() RNE_RELEASE() { mu_.unlock(); }
+  bool TryLock() RNE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+
+  std::mutex mu_;
+};
+
+/// RAII lock over an rne::Mutex; the only way to wait on an rne::CondVar.
+class RNE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RNE_ACQUIRE(mu) : lock_(mu->mu_) {}
+  ~MutexLock() RNE_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with rne::Mutex/MutexLock. Wait() releases the
+/// lock while blocked and reacquires before returning, so from the
+/// analysis's point of view the capability is continuously held — which is
+/// exactly the guarantee the caller observes.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock* lock) { cv_.wait(lock->lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock* lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock->lock_, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_ANNOTATIONS_H_

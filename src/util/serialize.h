@@ -135,13 +135,13 @@ class BinaryReader {
   const EnvelopeInfo& info() const { return info_; }
 
   template <typename T>
-  bool ReadPod(T* value) {
+  [[nodiscard]] bool ReadPod(T* value) {
     static_assert(std::is_trivially_copyable_v<T>);
     return ReadRaw(value, sizeof(T));
   }
 
   template <typename T>
-  bool ReadVector(std::vector<T>* v) {
+  [[nodiscard]] bool ReadVector(std::vector<T>* v) {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t n = 0;
     if (!ReadPod(&n)) return false;
@@ -155,7 +155,7 @@ class BinaryReader {
     return n == 0 || ReadRaw(v->data(), n * sizeof(T));
   }
 
-  bool ReadString(std::string* s);
+  [[nodiscard]] bool ReadString(std::string* s);
 
   /// Drains any unread payload and verifies the payload CRC trailer. Call
   /// after the last Read; Status::Corruption on checksum mismatch.

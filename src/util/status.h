@@ -26,7 +26,11 @@ enum class StatusCode {
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
-class Status {
+/// [[nodiscard]] at class level: any call returning Status whose result is
+/// dropped is a compile error under -Werror=unused-result — a silently
+/// ignored save/load failure is exactly how a corrupt index reaches
+/// serving. Intentional discards must say why: `(void)DoIt();  // reason`.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -69,7 +73,7 @@ class Status {
 
 /// Either a value or an error Status. Access to the value requires ok().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
   StatusOr(Status status) : status_(std::move(status)) {

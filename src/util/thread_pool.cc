@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -34,21 +34,21 @@ size_t ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
 void ThreadPool::SubmitToGroup(const std::shared_ptr<GroupState>& group,
                                std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(group->mu);
+    MutexLock lock(&group->mu);
     ++group->pending;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push(QueuedTask{group, std::move(task)});
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::WaitOnGroup(GroupState& group) {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(group.mu);
-    group.done.wait(lock, [&group] { return group.pending == 0; });
+    MutexLock lock(&group.mu);
+    while (group.pending != 0) group.done.Wait(&lock);
     error = std::exchange(group.first_error, nullptr);
   }
   if (error) std::rethrow_exception(error);
@@ -83,13 +83,11 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(&mu_);
+      while (!shutdown_ && tasks_.empty()) task_available_.Wait(&lock);
+      // Drain remaining tasks even after shutdown is flagged; exit only
+      // once the queue is empty.
+      if (tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
@@ -102,11 +100,11 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(task.group->mu);
+      MutexLock lock(&task.group->mu);
       if (error && !task.group->first_error) {
         task.group->first_error = error;
       }
-      if (--task.group->pending == 0) task.group->done.notify_all();
+      if (--task.group->pending == 0) task.group->done.NotifyAll();
     }
   }
 }
@@ -115,8 +113,8 @@ TaskGroup::TaskGroup(ThreadPool* pool)
     : pool_(pool), state_(std::make_shared<ThreadPool::GroupState>()) {}
 
 TaskGroup::~TaskGroup() {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->done.wait(lock, [this] { return state_->pending == 0; });
+  MutexLock lock(&state_->mu);
+  while (state_->pending != 0) state_->done.Wait(&lock);
 }
 
 void TaskGroup::Submit(std::function<void()> task) {

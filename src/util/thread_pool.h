@@ -3,15 +3,15 @@
 #ifndef RNE_UTIL_THREAD_POOL_H_
 #define RNE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace rne {
 
@@ -61,10 +61,10 @@ class ThreadPool {
 
   /// Completion state shared by the tasks of one logical batch.
   struct GroupState {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t pending = 0;
-    std::exception_ptr first_error;
+    Mutex mu;
+    CondVar done;
+    size_t pending RNE_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error RNE_GUARDED_BY(mu);
   };
 
   void SubmitToGroup(const std::shared_ptr<GroupState>& group,
@@ -79,11 +79,11 @@ class ThreadPool {
   };
 
   std::vector<std::thread> workers_;
-  std::queue<QueuedTask> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
+  Mutex mu_;
+  CondVar task_available_;
+  std::queue<QueuedTask> tasks_ RNE_GUARDED_BY(mu_);
+  bool shutdown_ RNE_GUARDED_BY(mu_) = false;
   std::shared_ptr<GroupState> default_group_;
-  bool shutdown_ = false;
 };
 
 /// Handle for one batch of tasks on a shared ThreadPool. Wait() blocks only

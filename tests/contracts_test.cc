@@ -2,6 +2,8 @@
 // databases-style fail-fast discipline) rather than corrupt an index.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "core/embedding.h"
 #include "core/rne.h"
 #include "core/spatial_grid.h"
@@ -47,6 +49,17 @@ TEST(ContractDeathTest, HistogramRejectsEmptyRange) {
 
 TEST(ContractDeathTest, StatusOrFromOkStatusAborts) {
   EXPECT_DEATH(StatusOr<int>(Status::Ok()), "OK status");
+}
+
+TEST(ContractDeathTest, StatusOrValueBeforeOkCheckAborts) {
+  // Access-before-check: value() on an error StatusOr must abort with the
+  // underlying status, not return an indeterminate T.
+  StatusOr<int> failed(Status::NotFound("missing index file"));
+  EXPECT_DEATH((void)failed.value(), "NOT_FOUND: missing index file");
+  // Same contract through the rvalue overload (move-out path).
+  EXPECT_DEATH(
+      (void)std::move(StatusOr<int>(Status::Corruption("bad magic"))).value(),
+      "CORRUPTION: bad magic");
 }
 
 TEST(ContractDeathTest, OneToManyRejectsSizeMismatch) {

@@ -1,0 +1,17 @@
+// Positive control for the negative-compile check: identical to
+// discarded_read.cc except the result is checked, so it MUST build. If
+// this one fails, the fixture setup is broken (bad include path, flag
+// typo), not the [[nodiscard]] contract.
+#include <cstdint>
+
+#include "util/serialize.h"
+
+namespace rne {
+
+bool ChecksReadResult(BinaryReader& reader) {
+  uint32_t n = 0;
+  if (!reader.ReadPod(&n)) return false;
+  return n > 0;
+}
+
+}  // namespace rne

@@ -1,0 +1,15 @@
+// Negative-compile fixture: MUST NOT build. BinaryReader::ReadPod is
+// [[nodiscard]] and the result is dropped here; tests/CMakeLists.txt
+// try_compiles this file and fails the configure if it ever compiles.
+#include <cstdint>
+
+#include "util/serialize.h"
+
+namespace rne {
+
+void DiscardsReadResult(BinaryReader& reader) {
+  uint32_t n = 0;
+  reader.ReadPod(&n);  // discarded result — the contract under test
+}
+
+}  // namespace rne

@@ -213,6 +213,42 @@ TEST(QueryEngineTest, QueueFullBatchesAreRejectedWhole) {
   EXPECT_TRUE(responses[0].status.ok());
 }
 
+// Regression: a backend throwing a non-std::exception used to escape
+// ExecuteChunk's catch(const std::exception&), unwind through the pool's
+// TaskGroup, rethrow from QueryBatch, and skip the admission release —
+// permanently shrinking queue capacity until the engine rejected all
+// traffic. Both halves are covered: the throw becomes a per-request error
+// Response, and the admitted count is released on the unwind path.
+TEST(QueryEngineTest, ThrowingBackendDoesNotLeakAdmissionCapacity) {
+  struct Boom {};  // deliberately not derived from std::exception
+  class ThrowingBackend : public StubBackend {
+   public:
+    std::string Name() const override { return "throwing"; }
+    double Distance(VertexId, VertexId) override { throw Boom(); }
+  };
+  EngineOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 4;  // == batch size: any leak blocks batch 2
+  QueryEngine engine(options);
+  engine.AddReadyBackend(std::make_unique<ThrowingBackend>());
+
+  std::vector<Request> requests(4);
+  std::vector<Response> responses;
+  ASSERT_TRUE(engine.QueryBatch(requests, &responses).ok());
+  ASSERT_EQ(responses.size(), requests.size());
+  for (const Response& r : responses) {
+    EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition)
+        << r.status.ToString();
+  }
+  EXPECT_EQ(engine.Metrics().failed, requests.size());
+
+  // The full admission window must be available again: a second batch of
+  // exactly queue_capacity requests is admitted, not rejected Unavailable.
+  const Status admitted = engine.QueryBatch(requests, &responses);
+  EXPECT_TRUE(admitted.ok()) << admitted.ToString();
+  EXPECT_EQ(engine.Metrics().rejected, 0u);
+}
+
 TEST(QueryEngineTest, LoadFailureFallsBackToExactBackend) {
   const Graph g = SmallNetwork();
   EngineOptions options;
@@ -309,6 +345,8 @@ TEST(QueryEngineTest, DeadlineWithNoFallbackReportsDeadlineExceeded) {
   EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(engine.Metrics().failed, 1u);
   never.set_value();  // let the loader thread finish before teardown
+  // Discard OK: only joining the loader thread before teardown; the
+  // load outcome is irrelevant once the deadline assertion ran.
   (void)engine.WaitUntilLoaded();
 }
 

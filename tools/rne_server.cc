@@ -84,9 +84,9 @@ int Main(int argc, char** argv) {
   std::fprintf(stderr, "rne_server ready: %zu backend(s), %zu worker(s)\n",
                engine.num_backends(), engine.pool().num_threads());
 
-  RunServerLoop(std::cin, std::cout, engine, loop_options);
-  std::fprintf(stderr, "rne_server done: %s\n",
-               engine.Metrics().ToJson().c_str());
+  const size_t lines = RunServerLoop(std::cin, std::cout, engine, loop_options);
+  std::fprintf(stderr, "rne_server done: %zu line(s) processed, metrics %s\n",
+               lines, engine.Metrics().ToJson().c_str());
   return 0;
 }
 
