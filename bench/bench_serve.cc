@@ -11,9 +11,15 @@
 //
 // Sweeps thread counts x batch sizes, writes bench_results/serve_report.json.
 //
+// A final brownout leg injects a 100% error rate into the learned primary,
+// reports the throughput dip while the exact fallback carries traffic, and
+// measures the time from clearing the fault to regaining 90% of healthy
+// throughput with the breaker re-closed.
+//
 //   bench_serve [--rows 64] [--cols 64] [--dim 32] [--seconds 1.0]
 //               [--threads 1,2,4] [--batches 1,16,64,256]
 //               [--queue 8192] [--baseline-queries 20] [--out <path>]
+//               [--brownout-seconds 1.5]   (0 skips the brownout leg)
 //
 // Smoke run (CI): bench_serve --seconds 0.2 --threads 2 --batches 64
 #include <atomic>
@@ -32,6 +38,7 @@
 #include "obs/metrics.h"
 #include "serve/query_engine.h"
 #include "util/arg_parser.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -171,6 +178,96 @@ SweepPoint RunOpenLoop(const Rne& model, const Graph& g, size_t threads,
   return point;
 }
 
+/// Brownout leg: drive a closed loop, inject a 100% error rate into the
+/// learned primary mid-run, then disarm and measure how long the engine
+/// takes to climb back to 90% of its healthy throughput with the primary's
+/// breaker closed again. During the fault the exact fallback keeps serving
+/// (throughput dips, it does not zero) — that dip and the recovery time are
+/// the resilience layer's headline numbers.
+struct BrownoutReport {
+  double healthy_qps = 0.0;
+  double faulted_qps = 0.0;
+  double recovered_qps = 0.0;
+  double recovery_ms = -1.0;  // disarm -> recovered; -1 = never recovered
+  uint64_t breaker_trips = 0;
+  bool breaker_reclosed = false;
+  uint64_t fell_back_breaker = 0;
+  uint64_t retries = 0;
+};
+
+BrownoutReport RunBrownout(const Rne& model, const Graph& g, size_t threads,
+                           size_t batch, size_t queue_capacity,
+                           double seconds) {
+  serve::EngineOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = queue_capacity;
+  // Fast probe cadence so recovery fits a short bench run; production keeps
+  // the (longer) defaults.
+  options.breaker.initial_backoff = std::chrono::milliseconds(20);
+  options.breaker.max_backoff = std::chrono::milliseconds(200);
+  auto engine = std::make_unique<serve::QueryEngine>(options);
+  engine->AddReadyBackend(serve::MakeSharedModelBackend(model));
+  serve::BackendContext ctx;
+  ctx.graph = &g;
+  engine->AddBackend("dijkstra", ctx);
+  (void)engine->WaitUntilLoaded();  // Discard OK: graph-built, cannot fail.
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < threads; ++c) {
+    clients.emplace_back([&, c] {
+      const auto requests = RandomRequests(g, batch, 3000 + c);
+      std::vector<serve::Response> responses;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Discard OK: rejected batches are visible in engine metrics.
+        (void)engine->QueryBatch(requests, &responses);
+      }
+    });
+  }
+  const auto measure_qps = [&](double secs) {
+    const uint64_t before = engine->Metrics().served;
+    Timer timer;
+    std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+    return static_cast<double>(engine->Metrics().served - before) /
+           timer.ElapsedSeconds();
+  };
+  const auto rne_breaker_closed = [&] {
+    for (const auto& h : engine->Health()) {
+      if (h.name == "rne") return h.breaker == serve::BreakerState::kClosed;
+    }
+    return false;
+  };
+
+  BrownoutReport report;
+  const double phase = seconds / 3.0;
+  report.healthy_qps = measure_qps(phase);
+  fault::RuntimeFaultConfig outage;
+  outage.error_probability = 1.0;
+  fault::ArmRuntimeFaultsAt("serve.backend.rne", outage);
+  report.faulted_qps = measure_qps(phase);
+  fault::DisarmRuntimeFaults();
+  Timer recovery;
+  while (recovery.ElapsedSeconds() < std::max(phase * 4.0, 2.0)) {
+    const double window_qps = measure_qps(0.02);
+    if (rne_breaker_closed() && window_qps >= 0.9 * report.healthy_qps) {
+      report.recovery_ms = recovery.ElapsedSeconds() * 1000.0;
+      break;
+    }
+  }
+  report.recovered_qps = measure_qps(phase);
+  stop.store(true);
+  for (auto& t : clients) t.join();
+
+  report.breaker_reclosed = rne_breaker_closed();
+  for (const auto& h : engine->Health()) {
+    if (h.name == "rne") report.breaker_trips = h.breaker_trips;
+  }
+  const serve::MetricsSnapshot metrics = engine->Metrics();
+  report.fell_back_breaker = metrics.fell_back_breaker;
+  report.retries = metrics.retries;
+  return report;
+}
+
 /// QPS of the pre-engine serving path: one `rne_tool query` style
 /// invocation per query, i.e. a full model load followed by one lookup.
 double PerInvocationBaselineQps(const std::string& model_path, const Graph& g,
@@ -240,6 +337,7 @@ int Main(int argc, char** argv) {
   const auto queue = static_cast<size_t>(flags.Int("queue", 8192));
   const auto baseline_queries =
       static_cast<size_t>(flags.Int("baseline-queries", 20));
+  const double brownout_seconds = flags.Real("brownout-seconds", 1.5);
   const auto threads = ParseSizeList(args.Get("threads", "1,2,4"));
   const auto batches = ParseSizeList(args.Get("batches", "1,16,64,256"));
   const std::string out_path =
@@ -313,6 +411,22 @@ int Main(int argc, char** argv) {
     points.push_back(std::move(p));
   }
 
+  BrownoutReport brownout;
+  bool ran_brownout = false;
+  if (brownout_seconds > 0.0) {
+    brownout = RunBrownout(model, g, best_threads, best_batch, queue,
+                           brownout_seconds);
+    ran_brownout = true;
+    std::printf(
+        "brownout: healthy %.0f q/s -> faulted %.0f q/s -> recovered %.0f "
+        "q/s; recovery %.0f ms, breaker trips %llu, re-closed %s\n",
+        brownout.healthy_qps, brownout.faulted_qps, brownout.recovered_qps,
+        brownout.recovery_ms,
+        static_cast<unsigned long long>(brownout.breaker_trips),
+        brownout.breaker_reclosed ? "yes" : "no");
+    std::fflush(stdout);
+  }
+
   std::string json = "{\n";
   char buf[512];
   std::snprintf(buf, sizeof(buf),
@@ -334,6 +448,21 @@ int Main(int argc, char** argv) {
     json += i + 1 < points.size() ? ",\n" : "\n";
   }
   json += "  ],\n";
+  if (ran_brownout) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"brownout\": {\"healthy_qps\": %.1f, \"faulted_qps\": %.1f, "
+        "\"recovered_qps\": %.1f, \"recovery_ms\": %.1f, "
+        "\"breaker_trips\": %llu, \"breaker_reclosed\": %s, "
+        "\"fell_back_breaker\": %llu, \"retries\": %llu},\n",
+        brownout.healthy_qps, brownout.faulted_qps, brownout.recovered_qps,
+        brownout.recovery_ms,
+        static_cast<unsigned long long>(brownout.breaker_trips),
+        brownout.breaker_reclosed ? "true" : "false",
+        static_cast<unsigned long long>(brownout.fell_back_breaker),
+        static_cast<unsigned long long>(brownout.retries));
+    json += buf;
+  }
   // Process-global registry (per-backend latency histograms, persistence
   // and kNN counters accumulated across the whole sweep).
   json += "  \"metrics\": " + obs::MetricsRegistry::Global().ToJson() + "\n";

@@ -136,6 +136,87 @@ def test_header_guard_fires_on_unguarded_header():
         lint_source("src/x/a.cc", "struct S {};\n"))
 
 
+def test_silent_catch_all_fires_on_swallowed_exception():
+    bad = (
+        "void F() {\n"
+        "  try {\n"
+        "    G();\n"
+        "  } catch (...) {\n"
+        "    // nothing\n"
+        "  }\n"
+        "}\n"
+    )
+    findings = lint_source("src/x/a.cc", bad)
+    assert "silent-catch-all" in rules_fired(findings)
+    assert any(f.line == 4 for f in findings if f.rule == "silent-catch-all")
+    # Single-line empty handler fires too.
+    one_liner = "void F() { try { G(); } catch (...) {} }\n"
+    assert "silent-catch-all" in rules_fired(
+        lint_source("src/x/a.cc", one_liner))
+
+
+def test_silent_catch_all_quiet_when_handled():
+    rethrow = (
+        "void F() {\n"
+        "  try { G(); } catch (...) {\n"
+        "    Cleanup();\n"
+        "    throw;\n"
+        "  }\n"
+        "}\n"
+    )
+    assert "silent-catch-all" not in rules_fired(
+        lint_source("src/x/a.cc", rethrow))
+    to_status = (
+        "rne::Status F() {\n"
+        "  try { G(); } catch (...) {\n"
+        '    return Status::FailedPrecondition("non-standard exception");\n'
+        "  }\n"
+        "  return Status::Ok();\n"
+        "}\n"
+    )
+    assert "silent-catch-all" not in rules_fired(
+        lint_source("src/x/a.cc", to_status))
+    captured = (
+        "void F() {\n"
+        "  try { G(); } catch (...) {\n"
+        "    error = std::current_exception();\n"
+        "  }\n"
+        "}\n"
+    )
+    assert "silent-catch-all" not in rules_fired(
+        lint_source("src/x/a.cc", captured))
+    logged = (
+        "void F() {\n"
+        "  try { G(); } catch (...) {\n"
+        '    std::fprintf(stderr, "G failed\\n");\n'
+        "  }\n"
+        "}\n"
+    )
+    assert "silent-catch-all" not in rules_fired(
+        lint_source("src/x/a.cc", logged))
+    # Typed catches are out of scope: they name what they expect.
+    typed = (
+        "void F() {\n"
+        "  try { G(); } catch (const std::exception&) {\n"
+        "  }\n"
+        "}\n"
+    )
+    assert "silent-catch-all" not in rules_fired(
+        lint_source("src/x/a.cc", typed))
+
+
+def test_silent_catch_all_suppression():
+    src = (
+        "void F() {\n"
+        "  // rne-lint: allow(silent-catch-all) — best-effort teardown\n"
+        "  try { G(); } catch (...) {\n"
+        "  }\n"
+        "}\n"
+    )
+    assert "silent-catch-all" not in rules_fired(
+        lint_source("src/x/a.cc", src))
+
+
 def test_suppression_same_line_and_preceding_line():
     same = GUARD + "std::mutex mu;  // rne-lint: allow(raw-mutex)\n" + GUARD_END
     assert "raw-mutex" not in rules_fired(lint_source("src/x/a.h", same))

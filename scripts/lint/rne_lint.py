@@ -25,6 +25,10 @@ Rules:
                benchmark of the tracer.
   header-guard every .h must have #pragma once or an #ifndef/#define
                include guard.
+  silent-catch-all
+               a `catch (...)` block that neither rethrows nor records the
+               failure (Status, log, abort, test failure) — it converts
+               unknown exceptions into silent wrong behavior.
 
 Suppression: append `// rne-lint: allow(<rule>)` to the offending line or
 the line directly above it. Suppressions are for documented, deliberate
@@ -260,12 +264,63 @@ class HeaderGuardRule(Rule):
         )
 
 
+class SilentCatchAllRule(Rule):
+    name = "silent-catch-all"
+    description = (
+        "catch (...) that neither rethrows nor records the failure — unknown"
+        " exceptions vanish into silent wrong behavior"
+    )
+    CATCH_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+    # Any of these inside the handler counts as acknowledging the exception:
+    # rethrow, converting to Status, capturing it, logging, aborting, or
+    # failing a test.
+    EVIDENCE_RE = re.compile(
+        r"\b(throw|Status|status|current_exception|fprintf|printf|cerr|clog"
+        r"|log|abort|exit|RNE_CHECK|FAIL|ADD_FAILURE|EXPECT_\w+|ASSERT_\w+)\b"
+    )
+    MAX_BODY_LINES = 200  # lint sanity bound; real handlers are short
+
+    def check(self, path, lines):
+        for i, raw in enumerate(lines):
+            line = strip_comments_and_strings(raw)
+            if not self.CATCH_RE.search(line):
+                continue
+            # Walk the brace-balanced handler body that follows the catch.
+            depth = 0
+            opened = False
+            body = []
+            for j in range(i, min(len(lines), i + self.MAX_BODY_LINES)):
+                scanned = strip_comments_and_strings(lines[j])
+                if j == i:
+                    scanned = scanned[self.CATCH_RE.search(scanned).end():]
+                for k, ch in enumerate(scanned):
+                    if ch == "{":
+                        depth += 1
+                        opened = True
+                    elif ch == "}":
+                        depth -= 1
+                        if opened and depth == 0:
+                            scanned = scanned[:k]
+                            break
+                body.append(scanned)
+                if opened and depth <= 0:
+                    break
+            if not any(self.EVIDENCE_RE.search(b) for b in body):
+                yield Finding(
+                    self.name, path, i + 1,
+                    "catch (...) swallows the exception: rethrow, convert it"
+                    " to a Status, or at least log/abort so the failure is"
+                    " observable",
+                )
+
+
 ALL_RULES = [
     RawMutexRule(),
     RawRandomRule(),
     WireResizeRule(),
     ObsHotLoopRule(),
     HeaderGuardRule(),
+    SilentCatchAllRule(),
 ]
 
 

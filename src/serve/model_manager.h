@@ -1,0 +1,96 @@
+// Hot model swap for the serving path (the swap primitive the ROADMAP's
+// dynamic-edge-weights item reuses): a ModelManager owns the published RNE
+// model + its kNN index as one immutable snapshot behind an atomic
+// shared_ptr. Load() verifies and materializes a replacement entirely off
+// the serving path — envelope/structural verify (the same check as
+// `rne_tool verify`), full typed deserialize, kNN index build — and only
+// then publishes with a single lock-free pointer swap. In-flight queries
+// keep the snapshot they started with, so a swap never fails a query; a
+// corrupt or mismatched replacement is rejected and the previous snapshot
+// keeps serving (rollback is the default because publish is the last step).
+//
+// The `RELOAD` verb in serve/server_loop.h is a thin wrapper over Load().
+#ifndef RNE_SERVE_MODEL_MANAGER_H_
+#define RNE_SERVE_MODEL_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/rne.h"
+#include "core/rne_index.h"
+#include "serve/backend.h"
+#include "util/annotations.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace rne::serve {
+
+/// Structural verification shared with `rne_tool verify`: envelope header
+/// fields, file size, header and payload checksums — without deserializing.
+/// When `expected_magic` is nonzero the index kind must match it too.
+StatusOr<EnvelopeInfo> VerifyIndexFile(const std::string& path,
+                                       uint32_t expected_magic = 0);
+
+class ModelManager {
+ public:
+  struct Options {
+    /// Parallelizes the kNN index build of a freshly loaded model.
+    size_t num_workers = 1;
+    /// Reject a replacement whose vertex count differs from the published
+    /// model (ids in flight would silently change meaning).
+    bool require_same_vertex_count = true;
+  };
+
+  ModelManager();
+  explicit ModelManager(const Options& options);
+
+  /// Verifies, loads, and publishes the model at `path`. Synchronous, but
+  /// runs entirely off the serving threads: queries keep reading the old
+  /// snapshot until the final atomic publish. On any failure the previous
+  /// snapshot (if any) keeps serving unchanged.
+  Status Load(const std::string& path);
+
+  /// Re-runs Load() on the most recently attempted path (RELOAD with no
+  /// argument). FailedPrecondition when nothing was ever loaded.
+  Status Reload();
+
+  /// One published model generation. Immutable; index points into model.
+  struct Snapshot {
+    std::shared_ptr<const Rne> model;
+    std::shared_ptr<const RneIndex> index;
+    uint64_t version = 0;
+    std::string path;
+  };
+
+  /// Lock-free acquire of the current snapshot; null before the first
+  /// successful Load().
+  std::shared_ptr<const Snapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the published snapshot (0 = none).
+  uint64_t version() const;
+
+  /// Backend adapter serving whatever snapshot is published at each call.
+  /// The manager must outlive the returned backend. A backend created
+  /// before the first successful Load() throws from Distance()/Knn() —
+  /// the engine converts that to a failure and falls down the chain.
+  std::unique_ptr<QueryBackend> MakeManagedBackend() const;
+
+ private:
+  const Options options_;
+
+  std::atomic<std::shared_ptr<const Snapshot>> current_{nullptr};
+
+  /// Serializes concurrent Load()s (last successful publisher wins is not a
+  /// useful semantic for operators; one reload at a time is).
+  mutable Mutex load_mu_;
+  uint64_t next_version_ RNE_GUARDED_BY(load_mu_) = 1;
+  std::string last_path_ RNE_GUARDED_BY(load_mu_);
+};
+
+}  // namespace rne::serve
+
+#endif  // RNE_SERVE_MODEL_MANAGER_H_

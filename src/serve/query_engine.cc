@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace rne::serve {
@@ -16,14 +17,21 @@ obs::LatencyStat* BackendLatencyStat(const std::string& name) {
                                                    ".latency_ns");
 }
 
+obs::Gauge* BackendBreakerGauge(const std::string& name) {
+  return obs::MetricsRegistry::Global().GetGauge("serve.breaker." + name +
+                                                 ".state");
+}
+
 }  // namespace
 
 std::string MetricsSnapshot::ToJson() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"served\": %llu, \"rejected\": %llu, \"failed\": %llu, "
       "\"fell_back_load\": %llu, \"fell_back_deadline\": %llu, "
+      "\"fell_back_breaker\": %llu, \"shed\": %llu, \"retries\": %llu, "
+      "\"fast_fails\": %llu, "
       "\"qps\": %.1f, \"uptime_seconds\": %.3f, \"latency_ns\": "
       "{\"p50\": %.0f, \"p95\": %.0f, \"p99\": %.0f, \"mean\": %.0f, "
       "\"max\": %lld}}",
@@ -31,9 +39,12 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(fell_back_load),
-      static_cast<unsigned long long>(fell_back_deadline), qps,
-      uptime_seconds, p50_ns, p95_ns, p99_ns, mean_ns,
-      static_cast<long long>(max_ns));
+      static_cast<unsigned long long>(fell_back_deadline),
+      static_cast<unsigned long long>(fell_back_breaker),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(fast_fails), qps, uptime_seconds,
+      p50_ns, p95_ns, p99_ns, mean_ns, static_cast<long long>(max_ns));
   return buf;
 }
 
@@ -43,7 +54,14 @@ QueryEngine::QueryEngine(const EngineOptions& options, ThreadPool* pool)
                       ? std::make_unique<ThreadPool>(options.num_threads)
                       : nullptr),
       pool_(pool == nullptr ? owned_pool_.get() : pool),
-      start_(Clock::now()) {}
+      start_(Clock::now()) {
+  if (options_.shedder.enabled) {
+    ShedderOptions shed = options_.shedder;
+    shed.max_limit = std::min(shed.max_limit, options_.queue_capacity);
+    shed.min_limit = std::min(shed.min_limit, shed.max_limit);
+    shedder_ = std::make_unique<AimdLoadShedder>(shed);
+  }
+}
 
 QueryEngine::~QueryEngine() {
   std::vector<std::thread> loaders;
@@ -54,11 +72,19 @@ QueryEngine::~QueryEngine() {
   for (auto& t : loaders) t.join();
 }
 
-void QueryEngine::AddBackend(const std::string& name, BackendContext ctx) {
-  ctx.num_workers = pool_->num_threads();
+std::unique_ptr<QueryEngine::BackendSlot> QueryEngine::MakeSlot(
+    const std::string& name) {
   auto slot = std::make_unique<BackendSlot>();
   slot->name = name;
   slot->latency = BackendLatencyStat(name);
+  slot->breaker = std::make_unique<CircuitBreaker>(options_.breaker);
+  slot->breaker_gauge = BackendBreakerGauge(name);
+  return slot;
+}
+
+void QueryEngine::AddBackend(const std::string& name, BackendContext ctx) {
+  ctx.num_workers = pool_->num_threads();
+  auto slot = MakeSlot(name);
   BackendSlot* raw = slot.get();
   MutexLock lock(&chain_mu_);
   chain_.push_back(std::move(slot));
@@ -81,9 +107,7 @@ void QueryEngine::AddBackend(const std::string& name, BackendContext ctx) {
 }
 
 void QueryEngine::AddReadyBackend(std::unique_ptr<QueryBackend> backend) {
-  auto slot = std::make_unique<BackendSlot>();
-  slot->name = backend->Name();
-  slot->latency = BackendLatencyStat(slot->name);
+  auto slot = MakeSlot(backend->Name());
   slot->backend = std::move(backend);
   slot->state = SlotState::kReady;
   {
@@ -114,12 +138,37 @@ size_t QueryEngine::num_backends() const {
   return chain_.size();
 }
 
+std::vector<BackendHealth> QueryEngine::Health() const {
+  std::vector<BackendHealth> out;
+  MutexLock lock(&chain_mu_);
+  out.reserve(chain_.size());
+  for (const auto& slot : chain_) {
+    BackendHealth health;
+    health.name = slot->name;
+    switch (slot->state) {
+      case SlotState::kLoading:
+        health.load_state = "loading";
+        break;
+      case SlotState::kReady:
+        health.load_state = "ready";
+        break;
+      case SlotState::kFailed:
+        health.load_state = "failed";
+        break;
+    }
+    health.breaker = slot->breaker->state();
+    health.breaker_trips = slot->breaker->trips();
+    out.push_back(std::move(health));
+  }
+  return out;
+}
+
 QueryEngine::BackendSlot* QueryEngine::ChooseBackend(
-    RequestKind kind, Clock::time_point deadline, bool* fell_back,
-    bool* deadline_fallback, bool* load_fallback) {
+    RequestKind kind, Clock::time_point deadline, size_t start,
+    FallbackFlags* flags, size_t* index) {
   const bool bounded = deadline != Clock::time_point::max();
   MutexLock lock(&chain_mu_);
-  for (size_t i = 0; i < chain_.size(); ++i) {
+  for (size_t i = start; i < chain_.size(); ++i) {
     BackendSlot& slot = *chain_[i];
     // A still-loading backend is worth waiting for only until the request's
     // deadline; past it, the request falls down the chain (learned ->
@@ -134,16 +183,25 @@ QueryEngine::BackendSlot* QueryEngine::ChooseBackend(
       }
     }
     if (slot.state == SlotState::kLoading) {
-      *fell_back = true;
-      *deadline_fallback = true;
+      flags->any = true;
+      flags->deadline = true;
       continue;
     }
     if (slot.state == SlotState::kFailed) {
-      *fell_back = true;
-      *load_fallback = true;
+      flags->any = true;
+      flags->load = true;
       continue;
     }
     if (kind == RequestKind::kKnn && !slot.backend->SupportsKnn()) continue;
+    // Breaker check comes last so a half-open probe slot is never consumed
+    // by a backend this request cannot use anyway. Lock order is always
+    // chain_mu_ -> breaker mu_; breakers never reach back into the chain.
+    if (!slot.breaker->Allow(Clock::now())) {
+      flags->any = true;
+      flags->breaker = true;
+      continue;
+    }
+    *index = i;
     return &slot;
   }
   return nullptr;
@@ -155,27 +213,79 @@ void QueryEngine::ExecuteChunk(std::span<const Request> requests,
                                Clock::time_point deadline_default) {
   LatencyHistogram local_latency;
   uint64_t served = 0, failed = 0, fb_load = 0, fb_deadline = 0;
+  uint64_t fb_breaker = 0, retries = 0, fast_fails = 0;
+  if (shedder_ != nullptr) {
+    // Admission-to-execution wait for this chunk — the shedder's pressure
+    // signal. One sample per chunk keeps the cost off the per-request path.
+    const Clock::time_point chunk_start = Clock::now();
+    shedder_->RecordQueueWait(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(chunk_start -
+                                                             admitted)
+            .count(),
+        chunk_start);
+  }
+  // Outcome reporting shared by every dispatch result. The breaker contract
+  // requires an outcome for every Allow() (a consumed half-open probe must
+  // be resolved), and the gauge mirrors the post-outcome state.
+  const auto record_outcome = [](BackendSlot* slot, bool ok) {
+    const Clock::time_point now = Clock::now();
+    if (ok) {
+      slot->breaker->RecordSuccess(now);
+    } else {
+      slot->breaker->RecordFailure(now);
+    }
+    slot->breaker_gauge->Set(static_cast<double>(slot->breaker->state()));
+  };
   for (size_t i = 0; i < requests.size(); ++i) {
     const Request& request = requests[i];
     Clock::time_point deadline = deadline_default;
     if (request.deadline.count() > 0) deadline = admitted + request.deadline;
-    bool fell_back = false, deadline_fb = false, load_fb = false;
+    const bool bounded = deadline != Clock::time_point::max();
     Response response;
-    BackendSlot* slot = ChooseBackend(request.kind, deadline, &fell_back,
-                                      &deadline_fb, &load_fb);
-    if (slot == nullptr) {
+    if (bounded && Clock::now() >= deadline) {
+      // Deadline burned entirely by queue wait: fail fast without touching
+      // any backend — the answer would be useless and the dispatch would
+      // only add load while the engine is already behind.
       response.status =
-          deadline_fb ? Status::DeadlineExceeded(
-                            "deadline expired before any backend became ready")
-                      : Status::Unavailable("no backend can serve this request");
+          Status::DeadlineExceeded("deadline expired while queued");
+      ++fast_fails;
     } else {
-      QueryBackend* backend = slot->backend.get();
-      const size_t n = backend->NumVertices();
-      const bool needs_t = request.kind == RequestKind::kDistance;
-      if (request.s >= n || (needs_t && request.t >= n)) {
-        response.status = Status::InvalidArgument(
-            "vertex id out of range [0, " + std::to_string(n) + ")");
-      } else {
+      FallbackFlags flags;
+      size_t next = 0;
+      bool attempted = false;
+      while (true) {
+        size_t index = 0;
+        BackendSlot* slot =
+            ChooseBackend(request.kind, deadline, next, &flags, &index);
+        if (slot == nullptr) {
+          // Out of chain. Keep the last attempt's failure status if there
+          // was one — it names the actual error.
+          if (!attempted) {
+            response.status =
+                flags.deadline
+                    ? Status::DeadlineExceeded(
+                          "deadline expired before any backend became ready")
+                    : Status::Unavailable(
+                          "no backend can serve this request");
+          }
+          break;
+        }
+        if (attempted) ++retries;
+        QueryBackend* backend = slot->backend.get();
+        const size_t n = backend->NumVertices();
+        const bool needs_t = request.kind == RequestKind::kDistance;
+        // n == 0 means the backend cannot vouch for the id space (e.g. a
+        // managed slot before its first publish); dispatch anyway and let
+        // the failure path walk the chain.
+        if (n > 0 && (request.s >= n || (needs_t && request.t >= n))) {
+          response.status = Status::InvalidArgument(
+              "vertex id out of range [0, " + std::to_string(n) + ")");
+          // Client error, not backend health: report success so a consumed
+          // half-open probe is released instead of wedging the breaker.
+          record_outcome(slot, true);
+          break;
+        }
+        bool attempt_ok = false;
 #if !defined(RNE_OBS_DISABLED)
         // Per-backend call timing is SAMPLED 1-in-32: two clock reads plus
         // a shard-mutex Record would cost ~25% of a fast learned-backend
@@ -189,24 +299,34 @@ void QueryEngine::ExecuteChunk(std::span<const Request> requests,
             timed ? Clock::now() : Clock::time_point();
 #endif
         try {
-          if (request.kind == RequestKind::kDistance) {
-            response.distance = backend->Distance(request.s, request.t);
+          // The chaos harness's hook: may sleep, throw, or hand back an
+          // error Status — all indistinguishable from a sick backend.
+          const Status injected =
+              fault::MaybeInjectRuntimeFault("serve.backend." + slot->name);
+          if (!injected.ok()) {
+            response.status = injected;
           } else {
-            response.knn = backend->Knn(request.s, request.k);
-          }
+            if (request.kind == RequestKind::kDistance) {
+              response.distance = backend->Distance(request.s, request.t);
+            } else {
+              response.knn = backend->Knn(request.s, request.k);
+            }
 #if !defined(RNE_OBS_DISABLED)
-          // Backend-call time only: together with the admission-to-
-          // completion histogram this splits queue wait from compute.
-          if (timed) {
-            slot->latency->Record(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    Clock::now() - backend_start)
-                    .count());
-          }
+            // Backend-call time only: together with the admission-to-
+            // completion histogram this splits queue wait from compute.
+            if (timed) {
+              slot->latency->Record(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - backend_start)
+                      .count());
+            }
 #endif
-          response.backend = backend->Name();
-          response.exact = backend->IsExact();
-          response.fell_back = fell_back;
+            response.status = Status::Ok();  // clear any prior attempt's error
+            response.backend = backend->Name();
+            response.exact = backend->IsExact();
+            response.fell_back = flags.any || index > 0;
+            attempt_ok = true;
+          }
         } catch (const std::exception& e) {
           response.status = Status::FailedPrecondition(
               std::string("backend '") + backend->Name() + "' threw: " +
@@ -220,6 +340,18 @@ void QueryEngine::ExecuteChunk(std::span<const Request> requests,
               std::string("backend '") + backend->Name() +
               "' threw a non-standard exception");
         }
+        record_outcome(slot, attempt_ok);
+        if (attempt_ok) {
+          if (flags.load) ++fb_load;
+          if (flags.deadline) ++fb_deadline;
+          if (flags.breaker) ++fb_breaker;
+          break;
+        }
+        // Retry down the chain while deadline budget remains; the last
+        // failure status stands if the budget (or the chain) runs out.
+        attempted = true;
+        next = index + 1;
+        if (bounded && Clock::now() >= deadline) break;
       }
     }
     response.latency_ns =
@@ -228,8 +360,6 @@ void QueryEngine::ExecuteChunk(std::span<const Request> requests,
             .count();
     if (response.status.ok()) {
       ++served;
-      if (load_fb) ++fb_load;
-      if (deadline_fb) ++fb_deadline;
     } else {
       ++failed;
     }
@@ -244,11 +374,17 @@ void QueryEngine::ExecuteChunk(std::span<const Request> requests,
   failed_.Add(failed);
   fell_back_load_.Add(fb_load);
   fell_back_deadline_.Add(fb_deadline);
+  fell_back_breaker_.Add(fb_breaker);
+  retries_.Add(retries);
+  fast_fails_.Add(fast_fails);
   // Process-global aggregates (across all engines) for the METRICS verb.
   RNE_COUNTER_ADD("serve.served", served);
   RNE_COUNTER_ADD("serve.failed", failed);
   RNE_COUNTER_ADD("serve.fallback_load", fb_load);
   RNE_COUNTER_ADD("serve.fallback_deadline", fb_deadline);
+  RNE_COUNTER_ADD("serve.fallback_breaker", fb_breaker);
+  RNE_COUNTER_ADD("serve.retries", retries);
+  RNE_COUNTER_ADD("serve.fast_fails", fast_fails);
   RNE_HIST_RECORD_MERGE("serve.latency_ns", local_latency);
 }
 
@@ -267,6 +403,19 @@ Status QueryEngine::QueryBatch(std::span<const Request> requests,
           "admission queue full: " + std::to_string(outstanding_) + " + " +
           std::to_string(requests.size()) + " > capacity " +
           std::to_string(options_.queue_capacity));
+    }
+    if (shedder_ != nullptr) {
+      // Adaptive limit under the hard capacity: shed before the queue-wait
+      // p95 degrades into deadline misses.
+      const size_t limit = shedder_->CurrentLimit(admitted);
+      if (outstanding_ + requests.size() > limit) {
+        shed_.Add(requests.size());
+        RNE_COUNTER_ADD("serve.shed", requests.size());
+        return Status::Unavailable(
+            "load shed: " + std::to_string(outstanding_) + " + " +
+            std::to_string(requests.size()) + " > adaptive limit " +
+            std::to_string(limit));
+      }
     }
     outstanding_ += requests.size();
   }
@@ -324,6 +473,10 @@ MetricsSnapshot QueryEngine::Metrics() const {
   snapshot.failed = failed_.Value();
   snapshot.fell_back_load = fell_back_load_.Value();
   snapshot.fell_back_deadline = fell_back_deadline_.Value();
+  snapshot.fell_back_breaker = fell_back_breaker_.Value();
+  snapshot.shed = shed_.Value();
+  snapshot.retries = retries_.Value();
+  snapshot.fast_fails = fast_fails_.Value();
   snapshot.qps =
       snapshot.uptime_seconds > 0.0
           ? static_cast<double>(snapshot.served) / snapshot.uptime_seconds

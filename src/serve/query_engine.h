@@ -14,9 +14,17 @@
 //    exact Dijkstra), and a backend that failed to load is skipped
 //    immediately. A request that cannot be answered at all reports
 //    DeadlineExceeded/Unavailable rather than blocking forever.
-//  * Metrics — served/rejected/failed/fallback counters plus a merged
-//    per-batch latency histogram (p50/p95/p99 over admission-to-completion
-//    nanoseconds) and QPS since start, exported as a JSON-able snapshot.
+//  * Resilience (DESIGN.md §12) — a circuit breaker per backend slot trips
+//    on consecutive failures or windowed error rate and takes the backend
+//    out of the chain until a jittered-backoff probe succeeds; failed
+//    attempts retry down the chain while deadline budget remains; a request
+//    whose deadline expired while queued fails fast without touching any
+//    backend; optional AIMD load shedding keeps the admitted depth at a
+//    level the queue-wait p95 can sustain.
+//  * Metrics — served/rejected/failed/fallback/shed/retry counters plus a
+//    merged per-batch latency histogram (p50/p95/p99 over
+//    admission-to-completion nanoseconds) and QPS since start, exported as
+//    a JSON-able snapshot.
 #ifndef RNE_SERVE_QUERY_ENGINE_H_
 #define RNE_SERVE_QUERY_ENGINE_H_
 
@@ -30,6 +38,7 @@
 
 #include "obs/metrics.h"
 #include "serve/backend.h"
+#include "serve/resilience.h"
 #include "util/annotations.h"
 #include "util/histogram.h"
 #include "util/thread_pool.h"
@@ -47,6 +56,12 @@ struct EngineOptions {
   size_t batch_chunk = 32;
   /// Deadline for requests that do not carry their own (0 = none).
   std::chrono::microseconds default_deadline{0};
+  /// Per-backend circuit breaker configuration (enabled by default; set
+  /// breaker.enabled = false for the pre-resilience dispatch behaviour).
+  BreakerOptions breaker;
+  /// Adaptive load shedding (disabled by default; shedder.max_limit is
+  /// clamped to queue_capacity when enabled).
+  ShedderOptions shedder;
 };
 
 enum class RequestKind { kDistance, kKnn };
@@ -80,6 +95,10 @@ struct MetricsSnapshot {
   uint64_t failed = 0;     // per-request errors (bad ids, no backend)
   uint64_t fell_back_load = 0;      // served past a failed/absent backend
   uint64_t fell_back_deadline = 0;  // served past a still-loading backend
+  uint64_t fell_back_breaker = 0;   // served past an open-breaker backend
+  uint64_t shed = 0;        // requests shed by the AIMD admission limit
+  uint64_t retries = 0;     // failed attempts retried down the chain
+  uint64_t fast_fails = 0;  // deadline expired while queued; not dispatched
   double qps = 0.0;        // served / uptime
   double uptime_seconds = 0.0;
   double p50_ns = 0.0, p95_ns = 0.0, p99_ns = 0.0;
@@ -87,6 +106,17 @@ struct MetricsSnapshot {
   int64_t max_ns = 0;
 
   std::string ToJson() const;
+};
+
+/// Health of one fallback-chain slot, for the chaos harness, the brownout
+/// bench, and operator tooling.
+struct BackendHealth {
+  std::string name;
+  /// kLoading/kReady/kFailed mirrored as a string ("loading", "ready",
+  /// "failed").
+  std::string load_state;
+  BreakerState breaker = BreakerState::kClosed;
+  uint64_t breaker_trips = 0;
 };
 
 class QueryEngine {
@@ -127,6 +157,9 @@ class QueryEngine {
 
   MetricsSnapshot Metrics() const;
 
+  /// Per-slot load state and breaker health, in chain order.
+  std::vector<BackendHealth> Health() const;
+
   ThreadPool& pool() { return *pool_; }
   size_t num_backends() const;
 
@@ -141,20 +174,37 @@ class QueryEngine {
     /// Registry histogram "serve.backend.<name>.latency_ns" (backend-call
     /// time only, excluding queue wait). Resolved once at AddBackend.
     obs::LatencyStat* latency = nullptr;
+    /// Per-backend health model; consulted before every dispatch and fed
+    /// every outcome. Never null.
+    std::unique_ptr<CircuitBreaker> breaker;
+    /// Registry gauge "serve.breaker.<name>.state" (0 closed, 1 half-open,
+    /// 2 open). Resolved once at Add time.
+    obs::Gauge* breaker_gauge = nullptr;
   };
 
   using Clock = std::chrono::steady_clock;
 
+  std::unique_ptr<BackendSlot> MakeSlot(const std::string& name);
+
   void ExecuteChunk(std::span<const Request> requests,
                     std::span<Response> out, Clock::time_point admitted,
                     Clock::time_point deadline_default);
-  /// Picks the serving slot per the fallback policy; blocks on loading
-  /// slots until `deadline`. Returns nullptr when no backend can serve.
-  /// The returned slot's backend/latency pointers are stable (slots are
-  /// never removed and a slot that reached kReady never changes again).
+  /// Flags accumulated while walking the chain for one request.
+  struct FallbackFlags {
+    bool any = false;       // a non-primary consideration happened
+    bool deadline = false;  // skipped a still-loading backend at deadline
+    bool load = false;      // skipped a failed-to-load backend
+    bool breaker = false;   // skipped an open-breaker backend
+  };
+  /// Picks the first servable slot at index >= `start` per the fallback
+  /// policy; blocks on loading slots until `deadline`. Returns nullptr when
+  /// no backend can serve; `*index` receives the chosen slot's position so
+  /// retries resume after it. The returned slot's backend/latency pointers
+  /// are stable (slots are never removed and a slot that reached kReady
+  /// never changes again).
   BackendSlot* ChooseBackend(RequestKind kind, Clock::time_point deadline,
-                             bool* fell_back, bool* deadline_fallback,
-                             bool* load_fallback) RNE_EXCLUDES(chain_mu_);
+                             size_t start, FallbackFlags* flags,
+                             size_t* index) RNE_EXCLUDES(chain_mu_);
   /// True while any slot is still kLoading.
   bool AnyBackendLoading() const RNE_REQUIRES(chain_mu_);
 
@@ -182,6 +232,13 @@ class QueryEngine {
   obs::Counter failed_;
   obs::Counter fell_back_load_;
   obs::Counter fell_back_deadline_;
+  obs::Counter fell_back_breaker_;
+  obs::Counter shed_;
+  obs::Counter retries_;
+  obs::Counter fast_fails_;
+
+  /// Null unless options.shedder.enabled; internally thread-safe.
+  std::unique_ptr<AimdLoadShedder> shedder_;
 
   Mutex admission_mu_;
   size_t outstanding_ RNE_GUARDED_BY(admission_mu_) = 0;

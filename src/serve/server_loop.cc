@@ -62,7 +62,9 @@ size_t RunServerLoop(std::istream& in, std::ostream& out, QueryEngine& engine,
   pending.reserve(batch);
   size_t lines = 0;
   std::string line;
-  while (std::getline(in, line)) {
+  while ((options.stop == nullptr ||
+          !options.stop->load(std::memory_order_acquire)) &&
+         std::getline(in, line)) {
     std::istringstream parser(line);
     std::string verb;
     parser >> verb;
@@ -77,6 +79,32 @@ size_t RunServerLoop(std::istream& in, std::ostream& out, QueryEngine& engine,
     if (verb == "METRICS") {
       Flush(engine, &pending, out);
       out << "METRICS " << obs::MetricsRegistry::Global().ToJson() << "\n";
+      out.flush();
+      continue;
+    }
+    if (verb == "RELOAD") {
+      // Flush first so answers stay ordered AND no buffered request can
+      // straddle the swap ambiguously (each in-flight query still pins its
+      // snapshot; ordering here is for the protocol transcript).
+      Flush(engine, &pending, out);
+      if (options.model_manager == nullptr) {
+        out << "ERR FAILED_PRECONDITION: no model manager attached "
+               "(start rne_server with --model)\n";
+        out.flush();
+        continue;
+      }
+      std::string path;
+      parser >> path;
+      const Status swapped = path.empty()
+                                 ? options.model_manager->Reload()
+                                 : options.model_manager->Load(path);
+      if (swapped.ok()) {
+        const auto snapshot = options.model_manager->Current();
+        out << "RELOAD OK version=" << snapshot->version
+            << " vertices=" << snapshot->model->NumVertices() << "\n";
+      } else {
+        out << "ERR " << swapped.ToString() << "\n";
+      }
       out.flush();
       continue;
     }

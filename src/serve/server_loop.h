@@ -8,15 +8,20 @@
 //   STATS          ->  STATS <engine metrics json>   (flushes pending batch)
 //   METRICS        ->  METRICS <global registry json> (counters, gauges, and
 //                      per-backend latency histograms; flushes pending batch)
+//   RELOAD [path]  ->  RELOAD OK version=<v> vertices=<n> | ERR <status>
+//                      (hot model swap via ModelManager; no argument re-runs
+//                      the last path; flushes pending batch first)
 //   anything else  ->  ERR <message>
 // Per-request failures print `ERR <status>`; a batch rejected by admission
 // control prints one ERR line per request in it (explicit backpressure).
 #ifndef RNE_SERVE_SERVER_LOOP_H_
 #define RNE_SERVE_SERVER_LOOP_H_
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 
+#include "serve/model_manager.h"
 #include "serve/query_engine.h"
 
 namespace rne::serve {
@@ -25,10 +30,18 @@ struct ServerLoopOptions {
   /// Requests buffered before a batched engine call; STATS/METRICS, a
   /// malformed line, or EOF flush early so answers stay in request order.
   size_t batch = 64;
+  /// Serves the RELOAD verb when set (not owned; must outlive the loop).
+  /// Without it RELOAD answers ERR FAILED_PRECONDITION.
+  ModelManager* model_manager = nullptr;
+  /// Graceful-drain flag, checked between lines: once true the loop stops
+  /// reading, flushes the pending batch, and returns (rne_server sets it
+  /// from its SIGINT/SIGTERM handler).
+  const std::atomic<bool>* stop = nullptr;
 };
 
-/// Reads protocol lines from `in` until EOF, writing every answer to `out`.
-/// Returns the number of protocol lines processed (including errors).
+/// Reads protocol lines from `in` until EOF (or `options.stop`), writing
+/// every answer to `out`. Returns the number of protocol lines processed
+/// (including errors).
 size_t RunServerLoop(std::istream& in, std::ostream& out, QueryEngine& engine,
                      const ServerLoopOptions& options = {});
 

@@ -21,6 +21,10 @@ StatusOr<ArgParser> ArgParser::Parse(int argc, char* const* argv, int begin,
     if (key.empty()) {
       return Status::InvalidArgument("bare '--' is not a valid flag");
     }
+    if (args.values_.count(key) > 0) {
+      return Status::InvalidArgument("flag --" + key +
+                                     " given more than once");
+    }
     if (switches.count(key) > 0) {
       args.values_[key] = "1";
       continue;

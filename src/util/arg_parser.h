@@ -24,7 +24,9 @@ class ArgParser {
   /// "--"); otherwise InvalidArgument names the offending flag. Flags named
   /// in `switches` are boolean: they take no value and Has() reports their
   /// presence. Tokens that are not flags and not flag values are collected
-  /// as positionals in order. Repeated flags keep the last value.
+  /// as positionals in order. A flag given more than once (including
+  /// switches) is InvalidArgument — silently keeping one value hides which
+  /// occurrence the user meant.
   static StatusOr<ArgParser> Parse(int argc, char* const* argv, int begin = 1,
                                    const std::set<std::string>& switches = {});
 

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <fstream>
+#include <map>
+#include <thread>
+
+#include "util/annotations.h"
 
 namespace rne::fault {
 namespace {
@@ -12,6 +17,58 @@ std::atomic<uint64_t> g_fail_writes_after{0};
 std::atomic<bool> g_crash_before_rename{false};
 std::atomic<uint64_t> g_max_allocation{0};
 
+// --- runtime fault state ---------------------------------------------------
+
+/// Fast-path gate: MaybeInjectRuntimeFault is on the serving hot path, so a
+/// disarmed process pays one relaxed load and returns.
+std::atomic<bool> g_runtime_armed{false};
+/// Global decision ordinal; combined with the seed it makes every decision
+/// a pure function of (seed, ordinal), independent of thread interleaving.
+std::atomic<uint64_t> g_runtime_ordinal{0};
+std::atomic<uint64_t> g_runtime_injected{0};
+
+constexpr size_t kFaultLogCap = 65536;
+
+struct RuntimeFaultState {
+  Mutex mu;
+  uint64_t seed RNE_GUARDED_BY(mu) = 0;
+  bool seed_set RNE_GUARDED_BY(mu) = false;
+  bool default_armed RNE_GUARDED_BY(mu) = false;
+  RuntimeFaultConfig default_config RNE_GUARDED_BY(mu);
+  std::map<std::string, RuntimeFaultConfig> overrides RNE_GUARDED_BY(mu);
+  std::vector<RuntimeFaultEvent> log RNE_GUARDED_BY(mu);
+  uint64_t dropped RNE_GUARDED_BY(mu) = 0;
+};
+
+RuntimeFaultState& RuntimeState() {
+  static RuntimeFaultState* state = new RuntimeFaultState();
+  return *state;
+}
+
+/// splitmix64 finalizer: stateless hash of (seed, ordinal) — deterministic
+/// and thread-safe without a shared engine (raw std engines are banned by
+/// the raw-random lint rule anyway).
+uint64_t MixRandom(uint64_t seed, uint64_t ordinal) {
+  uint64_t z = seed + ordinal * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitFromBits(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+void LogEvent(RuntimeFaultEvent event) {
+  RuntimeFaultState& state = RuntimeState();
+  MutexLock lock(&state.mu);
+  if (state.log.size() >= kFaultLogCap) {
+    ++state.dropped;
+    return;
+  }
+  state.log.push_back(std::move(event));
+}
+
 }  // namespace
 
 void Reset() {
@@ -19,6 +76,15 @@ void Reset() {
   g_fail_writes_after.store(0, std::memory_order_relaxed);
   g_crash_before_rename.store(false, std::memory_order_relaxed);
   g_max_allocation.store(0, std::memory_order_relaxed);
+  DisarmRuntimeFaults();
+  RuntimeFaultState& state = RuntimeState();
+  MutexLock lock(&state.mu);
+  state.seed = 0;
+  state.seed_set = false;
+  state.log.clear();
+  state.dropped = 0;
+  g_runtime_ordinal.store(0, std::memory_order_relaxed);
+  g_runtime_injected.store(0, std::memory_order_relaxed);
 }
 
 void FailWritesAfter(uint64_t bytes) {
@@ -49,6 +115,134 @@ void OnAllocation(uint64_t bytes) {
 
 uint64_t MaxAllocationObserved() {
   return g_max_allocation.load(std::memory_order_relaxed);
+}
+
+void ArmRuntimeFaults(uint64_t seed, const RuntimeFaultConfig& config) {
+  RuntimeFaultState& state = RuntimeState();
+  {
+    MutexLock lock(&state.mu);
+    if (!state.seed_set) {
+      state.seed = seed;
+      state.seed_set = true;
+    }
+    state.default_config = config;
+    state.default_armed = true;
+  }
+  g_runtime_armed.store(true, std::memory_order_release);
+}
+
+void ArmRuntimeFaultsAt(const std::string& point,
+                        const RuntimeFaultConfig& config) {
+  RuntimeFaultState& state = RuntimeState();
+  {
+    MutexLock lock(&state.mu);
+    if (!state.seed_set) {
+      state.seed = 1;
+      state.seed_set = true;
+    }
+    state.overrides[point] = config;
+  }
+  g_runtime_armed.store(true, std::memory_order_release);
+}
+
+void DisarmRuntimeFaults() {
+  g_runtime_armed.store(false, std::memory_order_release);
+  RuntimeFaultState& state = RuntimeState();
+  MutexLock lock(&state.mu);
+  state.default_armed = false;
+  state.overrides.clear();
+}
+
+bool RuntimeFaultsArmed() {
+  return g_runtime_armed.load(std::memory_order_acquire);
+}
+
+Status MaybeInjectRuntimeFault(const std::string& point) {
+  if (!g_runtime_armed.load(std::memory_order_acquire)) return Status::Ok();
+  RuntimeFaultConfig config;
+  uint64_t seed = 0;
+  {
+    RuntimeFaultState& state = RuntimeState();
+    MutexLock lock(&state.mu);
+    const auto it = state.overrides.find(point);
+    if (it != state.overrides.end()) {
+      config = it->second;
+    } else if (state.default_armed) {
+      config = state.default_config;
+    } else {
+      return Status::Ok();  // armed for other points only
+    }
+    seed = state.seed;
+  }
+  const uint64_t ordinal =
+      g_runtime_ordinal.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t bits = MixRandom(seed, ordinal);
+  const double u = UnitFromBits(bits);
+  // One draw, banded by priority: throw | error | latency | none.
+  if (u < config.throw_probability) {
+    g_runtime_injected.fetch_add(1, std::memory_order_relaxed);
+    LogEvent({ordinal, point, 'T', 0});
+    if ((bits & 1u) != 0) throw InjectedThrow();
+    throw InjectedChaos();
+  }
+  if (u < config.throw_probability + config.error_probability) {
+    g_runtime_injected.fetch_add(1, std::memory_order_relaxed);
+    LogEvent({ordinal, point, 'E', 0});
+    return (bits & 1u) != 0
+               ? Status::Unavailable("injected fault at " + point)
+               : Status::IoError("injected fault at " + point);
+  }
+  if (u < config.throw_probability + config.error_probability +
+              config.latency_probability) {
+    const auto span_us = static_cast<uint64_t>(
+        std::max<int64_t>(0, (config.latency_max - config.latency_min)
+                                 .count()));
+    // Second independent draw for the latency magnitude.
+    const uint64_t amount =
+        span_us == 0 ? 0 : MixRandom(seed ^ 0xc0ffee, ordinal) % (span_us + 1);
+    const auto delay =
+        config.latency_min + std::chrono::microseconds(amount);
+    g_runtime_injected.fetch_add(1, std::memory_order_relaxed);
+    LogEvent({ordinal, point, 'L',
+              static_cast<uint32_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(delay)
+                      .count())});
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+  return Status::Ok();
+}
+
+uint64_t RuntimeFaultCount() {
+  return g_runtime_injected.load(std::memory_order_relaxed);
+}
+
+std::vector<RuntimeFaultEvent> RuntimeFaultLog() {
+  RuntimeFaultState& state = RuntimeState();
+  MutexLock lock(&state.mu);
+  return state.log;
+}
+
+std::string RuntimeFaultLogJson() {
+  RuntimeFaultState& state = RuntimeState();
+  MutexLock lock(&state.mu);
+  std::string out = "{\"seed\": " + std::to_string(state.seed) +
+                    ", \"injected\": " +
+                    std::to_string(RuntimeFaultCount()) +
+                    ", \"dropped\": " + std::to_string(state.dropped) +
+                    ", \"events\": [";
+  for (size_t i = 0; i < state.log.size(); ++i) {
+    const RuntimeFaultEvent& e = state.log[i];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"ordinal\": %llu, \"point\": \"%s\", \"kind\": "
+                  "\"%c\", \"latency_us\": %u}",
+                  i == 0 ? "" : ", ",
+                  static_cast<unsigned long long>(e.ordinal),
+                  e.point.c_str(), e.kind, e.latency_us);
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {

@@ -1,0 +1,218 @@
+// Runtime chaos harness (DESIGN.md §12): randomized fault schedules —
+// throws, error Statuses, latency spikes — injected at the backend dispatch
+// seam while client threads hammer a fully exact fallback chain. Invariants
+// checked every round:
+//
+//   1. No crash, no stuck thread (the test finishing is the assertion).
+//   2. No wrong successful answer: every OK response must match the exact
+//      Dijkstra oracle (all chain members are exact, so fallback never
+//      changes the correct value).
+//   3. Failures surface only as the documented status codes, never as
+//      mangled distances.
+//   4. After DisarmRuntimeFaults() the engine heals on its own: the primary
+//      breaker re-closes via a backoff probe, full-size batches are
+//      admitted again, and answers come from the primary without fallback.
+//
+// The schedule derives from RNE_CHAOS_SEED (CI sweeps several), and the
+// exact injected schedule is exported to RNE_CHAOS_SCHEDULE_OUT when set,
+// so a failing run replays from its artifact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/dijkstra.h"
+#include "graph/generators.h"
+#include "serve/backend.h"
+#include "serve/query_engine.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace rne::serve {
+namespace {
+
+Graph ChaosNetwork() {
+  RoadNetworkConfig cfg;
+  cfg.rows = 10;
+  cfg.cols = 10;
+  cfg.seed = 42;
+  return MakeRoadNetwork(cfg);
+}
+
+uint64_t ChaosSeed() {
+  if (const char* env = std::getenv("RNE_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0xC4A05u;
+}
+
+/// Failure codes the serving contract allows under faults. Anything else
+/// (or an OK answer that disagrees with the oracle) is a harness failure.
+bool IsAllowedFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kIoError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(ChaosTest, RandomizedFaultScheduleKeepsInvariants) {
+  const uint64_t seed = ChaosSeed();
+  SCOPED_TRACE("RNE_CHAOS_SEED=" + std::to_string(seed));
+  const Graph g = ChaosNetwork();
+
+  EngineOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 128;
+  options.default_deadline = std::chrono::microseconds(200000);
+  options.breaker.consecutive_failures = 3;
+  options.breaker.initial_backoff = std::chrono::milliseconds(5);
+  options.breaker.max_backoff = std::chrono::milliseconds(40);
+  options.shedder.enabled = true;
+  options.shedder.min_limit = 16;
+  options.shedder.max_limit = 128;
+  QueryEngine engine(options);
+  BackendContext ctx;
+  ctx.graph = &g;
+  engine.AddBackend("dijkstra", ctx);
+  engine.AddBackend("gtree", ctx);
+  engine.AddBackend("ch", ctx);
+  ASSERT_TRUE(engine.WaitUntilLoaded().ok());
+
+  constexpr int kRounds = 5;
+  constexpr size_t kClients = 4;
+  constexpr size_t kBatchesPerClient = 10;
+  constexpr size_t kBatchSize = 16;
+  std::atomic<size_t> wrong_answers{0};
+  std::atomic<size_t> bad_codes{0};
+  std::atomic<size_t> ok_responses{0};
+  std::atomic<size_t> failed_responses{0};
+
+  for (int round = 0; round < kRounds; ++round) {
+    // Per-round fault mix, derived from the seed (Rng is splitmix-based;
+    // std engines are lint-banned and non-reproducible anyway).
+    Rng rng(seed * 1000003u + static_cast<uint64_t>(round));
+    fault::RuntimeFaultConfig config;
+    config.throw_probability = 0.05 + 0.20 * rng.UniformReal(0.0, 1.0);
+    config.error_probability = 0.05 + 0.20 * rng.UniformReal(0.0, 1.0);
+    config.latency_probability = 0.10 * rng.UniformReal(0.0, 1.0);
+    config.latency_min = std::chrono::microseconds(50);
+    config.latency_max = std::chrono::microseconds(1000);
+    fault::ArmRuntimeFaults(seed + static_cast<uint64_t>(round), config);
+
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c, round] {
+        DijkstraSearch oracle(g);
+        Rng req_rng(seed ^ (round * 131u + c));
+        for (size_t b = 0; b < kBatchesPerClient; ++b) {
+          std::vector<Request> requests(kBatchSize);
+          for (auto& r : requests) {
+            r.s = static_cast<VertexId>(req_rng.UniformIndex(g.NumVertices()));
+            r.t = static_cast<VertexId>(req_rng.UniformIndex(g.NumVertices()));
+          }
+          std::vector<Response> responses;
+          const Status admitted = engine.QueryBatch(requests, &responses);
+          if (!admitted.ok()) {
+            // Shed or queue-full backpressure is the only legal batch-level
+            // outcome under chaos.
+            if (admitted.code() != StatusCode::kUnavailable) {
+              bad_codes.fetch_add(kBatchSize);
+            }
+            continue;
+          }
+          for (size_t i = 0; i < requests.size(); ++i) {
+            if (responses[i].status.ok()) {
+              ok_responses.fetch_add(1);
+              const double expected =
+                  oracle.Distance(requests[i].s, requests[i].t);
+              if (std::abs(responses[i].distance - expected) > 1e-6) {
+                wrong_answers.fetch_add(1);
+              }
+            } else {
+              failed_responses.fetch_add(1);
+              if (!IsAllowedFailure(responses[i].status.code())) {
+                ADD_FAILURE() << "unexpected failure code: "
+                              << responses[i].status.ToString();
+                bad_codes.fetch_add(1);
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  fault::DisarmRuntimeFaults();
+
+  EXPECT_EQ(wrong_answers.load(), 0u)
+      << "an OK response disagreed with the exact oracle";
+  EXPECT_EQ(bad_codes.load(), 0u);
+  EXPECT_GT(ok_responses.load(), 0u) << "chaos mix starved every request";
+  EXPECT_GT(fault::RuntimeFaultCount(), 0u)
+      << "no fault ever fired; the schedule is not exercising anything";
+
+  // Export the schedule for post-mortem before any teardown clears it.
+  if (const char* out_path = std::getenv("RNE_CHAOS_SCHEDULE_OUT")) {
+    std::ofstream out(out_path);
+    out << fault::RuntimeFaultLogJson() << "\n";
+  }
+
+  // Recovery: with faults disarmed the engine must heal unattended — the
+  // primary breaker re-closes off a successful backoff probe, the adaptive
+  // admission limit climbs back, and a full batch serves from the primary
+  // with zero failures. Breakers of deeper chain slots stay wherever the
+  // brownout left them until traffic reaches them again (transitions are
+  // lazy, taken on dispatch) — the primary is the one that matters here.
+  const auto recovery_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  DijkstraSearch oracle(g);
+  bool recovered = false;
+  while (std::chrono::steady_clock::now() < recovery_deadline) {
+    std::vector<Request> requests(kBatchSize);
+    Rng req_rng(seed + 999u);
+    for (auto& r : requests) {
+      r.s = static_cast<VertexId>(req_rng.UniformIndex(g.NumVertices()));
+      r.t = static_cast<VertexId>(req_rng.UniformIndex(g.NumVertices()));
+    }
+    std::vector<Response> responses;
+    const Status admitted = engine.QueryBatch(requests, &responses);
+    if (admitted.ok()) {
+      bool all_primary_ok = true;
+      for (size_t i = 0; i < requests.size(); ++i) {
+        if (!responses[i].status.ok() || responses[i].fell_back ||
+            responses[i].backend != "dijkstra") {
+          all_primary_ok = false;
+          break;
+        }
+        EXPECT_NEAR(responses[i].distance,
+                    oracle.Distance(requests[i].s, requests[i].t), 1e-6);
+      }
+      const auto health = engine.Health();
+      ASSERT_FALSE(health.empty());
+      if (all_primary_ok && health[0].breaker == BreakerState::kClosed) {
+        recovered = true;
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(recovered)
+      << "engine did not heal within 10s of disarming faults";
+
+  fault::Reset();
+}
+
+}  // namespace
+}  // namespace rne::serve

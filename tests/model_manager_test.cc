@@ -1,0 +1,244 @@
+// Hot model swap: ModelManager verify/load/publish pipeline, rollback on a
+// corrupt or incompatible replacement, the unpublished managed backend
+// falling down the engine chain, and the headline invariant — concurrent
+// queries through a swapping engine never observe a failed response.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/dijkstra.h"
+#include "core/rne.h"
+#include "graph/generators.h"
+#include "serve/backend.h"
+#include "serve/model_manager.h"
+#include "serve/query_engine.h"
+#include "util/fault_injection.h"
+#include "util/serialize.h"
+
+namespace rne::serve {
+namespace {
+
+Graph SmallNetwork(uint32_t rows = 8, uint32_t cols = 8) {
+  RoadNetworkConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.seed = 42;
+  return MakeRoadNetwork(cfg);
+}
+
+/// Flat (non-hierarchical) build: seconds of training are irrelevant here —
+/// the swap machinery only cares that the file is a valid RNE model.
+Rne TinyModel(const Graph& g) {
+  RneConfig config;
+  config.dim = 16;
+  config.hierarchical = false;
+  config.fine_tune = false;
+  config.train.vertex_samples = 5000;
+  config.train.vertex_epochs = 2;
+  return Rne::Build(g, config);
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Builds and saves a tiny model for `g`, returning the file path.
+std::string SaveTinyModel(const Graph& g, const std::string& name) {
+  const std::string path = TempPath(name);
+  const Rne model = TinyModel(g);
+  EXPECT_TRUE(model.Save(path).ok());
+  return path;
+}
+
+TEST(VerifyIndexFileTest, AcceptsValidFileAndChecksMagic) {
+  const Graph g = SmallNetwork();
+  const std::string path = SaveTinyModel(g, "rne_mm_verify.bin");
+  const auto info = VerifyIndexFile(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().index_magic, kRneMagic);
+  EXPECT_TRUE(VerifyIndexFile(path, kRneMagic).ok());
+  // Same file, wrong expected kind: structural pass, magic gate fails.
+  const auto wrong = VerifyIndexFile(path, kChMagic);
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(VerifyIndexFile("/nonexistent/model.rne").ok());
+  std::filesystem::remove(path);
+}
+
+TEST(ModelManagerTest, LoadPublishesSnapshotAndBumpsVersion) {
+  const Graph g = SmallNetwork();
+  const std::string v1 = SaveTinyModel(g, "rne_mm_v1.bin");
+  const std::string v2 = SaveTinyModel(g, "rne_mm_v2.bin");
+
+  ModelManager manager;
+  EXPECT_EQ(manager.version(), 0u);
+  EXPECT_EQ(manager.Current(), nullptr);
+  EXPECT_EQ(manager.Reload().code(), StatusCode::kFailedPrecondition)
+      << "Reload before any Load has no path to retry";
+
+  ASSERT_TRUE(manager.Load(v1).ok());
+  const auto first = manager.Current();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->version, 1u);
+  EXPECT_EQ(first->path, v1);
+  EXPECT_EQ(first->model->NumVertices(), g.NumVertices());
+  ASSERT_NE(first->index, nullptr);
+
+  ASSERT_TRUE(manager.Load(v2).ok());
+  EXPECT_EQ(manager.version(), 2u);
+  // The old snapshot stays valid for readers that still hold it.
+  EXPECT_EQ(first->version, 1u);
+  EXPECT_GT(first->model->Query(0, 5), 0.0);
+
+  ASSERT_TRUE(manager.Reload().ok());  // re-runs the last path
+  EXPECT_EQ(manager.version(), 3u);
+  EXPECT_EQ(manager.Current()->path, v2);
+
+  std::filesystem::remove(v1);
+  std::filesystem::remove(v2);
+}
+
+TEST(ModelManagerTest, CorruptReplacementIsRejectedAndOldKeepsServing) {
+  const Graph g = SmallNetwork();
+  const std::string good = SaveTinyModel(g, "rne_mm_good.bin");
+  const std::string bad = TempPath("rne_mm_corrupt.bin");
+  const uint64_t size = std::filesystem::file_size(good);
+  ASSERT_TRUE(fault::FlipBitCopy(good, bad, size / 2, 3).ok());
+
+  ModelManager manager;
+  ASSERT_TRUE(manager.Load(good).ok());
+  const auto before = manager.Current();
+
+  EXPECT_FALSE(manager.Load(bad).ok());
+  // Rollback by default: publish never happened, the old snapshot serves.
+  EXPECT_EQ(manager.version(), 1u);
+  EXPECT_EQ(manager.Current(), before);
+  EXPECT_EQ(manager.Current()->path, good);
+
+  // A truncated file is caught by the structural verify stage too.
+  const std::string cut = TempPath("rne_mm_truncated.bin");
+  ASSERT_TRUE(fault::TruncateCopy(good, cut, size / 3).ok());
+  EXPECT_FALSE(manager.Load(cut).ok());
+  EXPECT_EQ(manager.version(), 1u);
+
+  std::filesystem::remove(good);
+  std::filesystem::remove(bad);
+  std::filesystem::remove(cut);
+}
+
+TEST(ModelManagerTest, VertexCountMismatchIsRejected) {
+  const Graph g = SmallNetwork(8, 8);
+  const Graph smaller = SmallNetwork(6, 6);
+  const std::string v1 = SaveTinyModel(g, "rne_mm_64.bin");
+  const std::string v2 = SaveTinyModel(smaller, "rne_mm_36.bin");
+
+  ModelManager manager;
+  ASSERT_TRUE(manager.Load(v1).ok());
+  const Status mismatch = manager.Load(v2);
+  EXPECT_EQ(mismatch.code(), StatusCode::kFailedPrecondition)
+      << mismatch.ToString();
+  EXPECT_EQ(manager.version(), 1u);
+  EXPECT_EQ(manager.Current()->model->NumVertices(), g.NumVertices());
+
+  // Opting out of the gate admits the differently-sized replacement.
+  ModelManager::Options options;
+  options.require_same_vertex_count = false;
+  ModelManager permissive(options);
+  ASSERT_TRUE(permissive.Load(v1).ok());
+  EXPECT_TRUE(permissive.Load(v2).ok());
+  EXPECT_EQ(permissive.Current()->model->NumVertices(),
+            smaller.NumVertices());
+
+  std::filesystem::remove(v1);
+  std::filesystem::remove(v2);
+}
+
+TEST(ModelManagerTest, UnpublishedManagedBackendFallsDownChain) {
+  const Graph g = SmallNetwork();
+  ModelManager manager;  // nothing loaded: the managed slot cannot serve
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(options);
+  engine.AddReadyBackend(manager.MakeManagedBackend());
+  BackendContext ctx;
+  ctx.graph = &g;
+  engine.AddBackend("dijkstra", ctx);
+  ASSERT_TRUE(engine.WaitUntilLoaded().ok());
+
+  Request request;
+  request.s = 1;
+  request.t = 40;
+  const Response response = engine.Query(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.backend, "dijkstra");
+  EXPECT_TRUE(response.fell_back);
+  DijkstraSearch reference(g);
+  EXPECT_NEAR(response.distance, reference.Distance(1, 40), 1e-6);
+  EXPECT_GE(engine.Metrics().retries, 1u);
+}
+
+// The headline swap invariant: with clients hammering the engine, repeated
+// RELOADs (publish = one atomic pointer swap) never fail a single query —
+// each in-flight query keeps the snapshot generation it started with.
+TEST(ModelManagerTest, HotSwapUnderConcurrentQueriesNeverFailsAQuery) {
+  const Graph g = SmallNetwork();
+  const std::string v1 = SaveTinyModel(g, "rne_mm_swap_a.bin");
+  const std::string v2 = SaveTinyModel(g, "rne_mm_swap_b.bin");
+
+  ModelManager::Options manager_options;
+  manager_options.num_workers = 2;
+  ModelManager manager(manager_options);
+  ASSERT_TRUE(manager.Load(v1).ok());
+
+  EngineOptions options;
+  options.num_threads = 2;
+  QueryEngine engine(options);
+  engine.AddReadyBackend(manager.MakeManagedBackend());
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      size_t i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        Request request;
+        request.s = static_cast<VertexId>((c * 13 + i) % g.NumVertices());
+        request.t = static_cast<VertexId>((i * 7 + 3) % g.NumVertices());
+        const Response response = engine.Query(request);
+        if (!response.status.ok() || response.backend != "rne") {
+          failures.fetch_add(1);
+        }
+        answered.fetch_add(1);
+        ++i;
+      }
+    });
+  }
+  // Ten swaps while the clients run; every Load publishes a new generation.
+  // Each swap waits for fresh query traffic first so publishes genuinely
+  // interleave with serving (a tiny model loads faster than one query).
+  for (int swap = 0; swap < 10; ++swap) {
+    const size_t progress = answered.load() + 20;
+    while (answered.load() < progress) std::this_thread::yield();
+    ASSERT_TRUE(manager.Load(swap % 2 == 0 ? v2 : v1).ok()) << swap;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_EQ(manager.version(), 11u);
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(metrics.served, answered.load());
+
+  std::filesystem::remove(v1);
+  std::filesystem::remove(v2);
+}
+
+}  // namespace
+}  // namespace rne::serve

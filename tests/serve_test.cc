@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -392,6 +393,137 @@ TEST(QueryEngineTest, ConcurrentBatchHammerServesEverything) {
   EXPECT_EQ(metrics.failed, 0u);
   EXPECT_EQ(metrics.rejected, 0u);
   EXPECT_GT(metrics.qps, 0.0);
+}
+
+// Satellite: a request whose deadline expires while it sits in the pool
+// queue must fail fast without ever invoking a backend. One worker thread,
+// one blocking batch in front — the probe request's deadline (5ms) is long
+// gone by the time its chunk runs (>=30ms later).
+TEST(QueryEngineTest, DeadlineExpiredWhileQueuedFailsFastWithoutDispatch) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 8;
+  QueryEngine engine(options);
+  auto stub = std::make_unique<StubBackend>();
+  StubBackend* raw = stub.get();
+  std::promise<void> release;
+  raw->hold_ = release.get_future().share();
+  engine.AddReadyBackend(std::move(stub));
+
+  std::vector<Request> blocker(1);
+  std::thread client([&engine, &blocker] {
+    std::vector<Response> responses;
+    EXPECT_TRUE(engine.QueryBatch(blocker, &responses).ok());
+  });
+  while (raw->calls_.load() == 0) std::this_thread::yield();
+
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    release.set_value();
+  });
+  Request probe;
+  probe.s = probe.t = 1;
+  probe.deadline = std::chrono::microseconds(5000);
+  const Response response = engine.Query(probe);
+  client.join();
+  releaser.join();
+
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(raw->calls_.load(), 1u) << "expired request must not dispatch";
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.fast_fails, 1u);
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_EQ(metrics.served, 1u);  // the blocker
+}
+
+// Tentpole: repeated primary failures retry down the chain, trip the
+// primary's breaker, and subsequent requests skip it entirely (no wasted
+// dispatch) until the backoff-gated probe — which this test pushes out of
+// reach with a 100s initial backoff.
+TEST(QueryEngineTest, BreakerTripsOnFailingPrimaryAndSkipsIt) {
+  class FlakyBackend : public StubBackend {
+   public:
+    std::string Name() const override { return "flaky"; }
+    double Distance(VertexId, VertexId) override {
+      calls_.fetch_add(1);
+      throw std::runtime_error("flaky backend outage");
+    }
+  };
+  const Graph g = SmallNetwork();
+  EngineOptions options;
+  options.num_threads = 1;  // serialize outcomes: counter asserts are exact
+  options.breaker.consecutive_failures = 3;
+  options.breaker.initial_backoff = std::chrono::milliseconds(100000);
+  QueryEngine engine(options);
+  auto flaky = std::make_unique<FlakyBackend>();
+  FlakyBackend* raw = flaky.get();
+  engine.AddReadyBackend(std::move(flaky));
+  BackendContext ctx;
+  ctx.graph = &g;
+  engine.AddBackend("dijkstra", ctx);
+  ASSERT_TRUE(engine.WaitUntilLoaded().ok());
+
+  DijkstraSearch reference(g);
+  for (int i = 0; i < 5; ++i) {
+    Request request;
+    request.s = 3;
+    request.t = 140;
+    const Response response = engine.Query(request);
+    ASSERT_TRUE(response.status.ok()) << i << ": "
+                                      << response.status.ToString();
+    EXPECT_EQ(response.backend, "dijkstra");
+    EXPECT_TRUE(response.fell_back);
+    EXPECT_NEAR(response.distance, reference.Distance(3, 140), 1e-6);
+  }
+  // Three real attempts tripped the breaker; the last two never dispatched.
+  EXPECT_EQ(raw->calls_.load(), 3u);
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.retries, 3u);
+  EXPECT_EQ(metrics.fell_back_breaker, 2u);
+  EXPECT_EQ(metrics.served, 5u);
+  EXPECT_EQ(metrics.failed, 0u);
+
+  const auto health = engine.Health();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_EQ(health[0].name, "flaky");
+  EXPECT_EQ(health[0].breaker, BreakerState::kOpen);
+  EXPECT_EQ(health[0].breaker_trips, 1u);
+  EXPECT_EQ(health[1].name, "dijkstra");
+  EXPECT_EQ(health[1].breaker, BreakerState::kClosed);
+}
+
+// Tentpole: with the AIMD shedder pinned to a limit of 2, a batch of 4 is
+// shed with Unavailable before touching hard admission control, and a batch
+// within the limit still serves.
+TEST(QueryEngineTest, AdaptiveShedderRejectsBatchesOverItsLimit) {
+  const Graph g = SmallNetwork();
+  EngineOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 8;
+  options.shedder.enabled = true;
+  options.shedder.min_limit = 2;
+  options.shedder.max_limit = 2;
+  QueryEngine engine(options);
+  BackendContext ctx;
+  ctx.graph = &g;
+  engine.AddBackend("dijkstra", ctx);
+  ASSERT_TRUE(engine.WaitUntilLoaded().ok());
+
+  std::vector<Response> responses;
+  const auto four = RandomDistanceRequests(g, 4, 21);
+  const Status shed = engine.QueryBatch(four, &responses);
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.ToString().find("load shed"), std::string::npos)
+      << shed.ToString();
+
+  const auto two = RandomDistanceRequests(g, 2, 22);
+  ASSERT_TRUE(engine.QueryBatch(two, &responses).ok());
+  for (const Response& r : responses) EXPECT_TRUE(r.status.ok());
+
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.shed, 4u);
+  EXPECT_EQ(metrics.rejected, 0u);  // shedding is distinct from queue-full
+  EXPECT_EQ(metrics.served, 2u);
 }
 
 TEST(MetricsSnapshotTest, ToJsonIsWellFormed) {

@@ -5,12 +5,16 @@
 // and the STATS / METRICS response shapes.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/rne.h"
 #include "graph/generators.h"
 #include "obs/metrics.h"
+#include "serve/model_manager.h"
 #include "serve/query_engine.h"
 #include "serve/server_loop.h"
 
@@ -168,6 +172,64 @@ TEST_F(ServerProtocolTest, ReturnsNonEmptyLineCount) {
   std::istringstream in("QUERY 0 1\n\n\nSTATS\nBAD\n");
   std::ostringstream out;
   EXPECT_EQ(RunServerLoop(in, out, engine_), 3u);
+}
+
+TEST_F(ServerProtocolTest, ReloadWithoutManagerReportsFailedPrecondition) {
+  const auto lines = Run("RELOAD /tmp/whatever.rne\nQUERY 0 1\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "ERR FAILED_PRECONDITION: no model manager attached "
+            "(start rne_server with --model)");
+  EXPECT_EQ(lines[1].rfind("DIST ", 0), 0u) << "loop keeps serving after";
+}
+
+TEST_F(ServerProtocolTest, ReloadVerbSwapsAndReportsVersion) {
+  // A real (tiny, flat) model file; swap correctness itself is covered in
+  // model_manager_test — this exercises the protocol wrapper.
+  RneConfig config;
+  config.dim = 16;
+  config.hierarchical = false;
+  config.fine_tune = false;
+  config.train.vertex_samples = 5000;
+  config.train.vertex_epochs = 2;
+  const Rne model = Rne::Build(graph_, config);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rne_proto_reload.bin")
+          .string();
+  ASSERT_TRUE(model.Save(path).ok());
+
+  ModelManager manager;
+  std::istringstream in("QUERY 0 5\nRELOAD " + path +
+                        "\nRELOAD\nRELOAD /nonexistent/model.rne\n");
+  std::ostringstream out;
+  ServerLoopOptions options;
+  options.batch = 64;  // the buffered query must be flushed by RELOAD
+  options.model_manager = &manager;
+  RunServerLoop(in, out, engine_, options);
+  const auto lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("DIST ", 0), 0u) << "answers stay ordered";
+  EXPECT_EQ(lines[1], "RELOAD OK version=1 vertices=" +
+                          std::to_string(graph_.NumVertices()));
+  // Bare RELOAD re-runs the last path and publishes a new generation.
+  EXPECT_EQ(lines[2], "RELOAD OK version=2 vertices=" +
+                          std::to_string(graph_.NumVertices()));
+  // A bad path is an ERR line and the published model is untouched.
+  EXPECT_EQ(lines[3].rfind("ERR ", 0), 0u) << lines[3];
+  EXPECT_EQ(manager.version(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ServerProtocolTest, StopFlagHaltsTheLoopBeforeNewReads) {
+  // Graceful drain: with the stop flag already raised, the loop exits
+  // without consuming queued input (rne_server raises it from SIGINT).
+  std::atomic<bool> stop{true};
+  std::istringstream in("QUERY 0 1\nQUERY 0 2\n");
+  std::ostringstream out;
+  ServerLoopOptions options;
+  options.stop = &stop;
+  EXPECT_EQ(RunServerLoop(in, out, engine_, options), 0u);
+  EXPECT_TRUE(out.str().empty()) << out.str();
 }
 
 }  // namespace

@@ -580,11 +580,29 @@ TEST(ArgParserTest, DeclaredSwitchesTakeNoValue) {
   EXPECT_FALSE(ArgParser::Parse(6, const_cast<char**>(argv), 1).ok());
 }
 
-TEST(ArgParserTest, RepeatedFlagKeepsLastValue) {
+TEST(ArgParserTest, RepeatedFlagIsRejectedWithClearError) {
+  // Silently keeping one of the two values would hide which occurrence the
+  // user meant (`--k 1 ... --k 2` across a long command line).
   const char* argv[] = {"tool", "--k", "1", "--k", "2"};
   const auto args = ArgParser::Parse(5, const_cast<char**>(argv), 1);
-  ASSERT_TRUE(args.ok());
-  EXPECT_EQ(args.value().GetInt("k", 0).value(), 2);
+  ASSERT_FALSE(args.ok());
+  EXPECT_EQ(args.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(args.status().message().find("--k"), std::string::npos);
+  EXPECT_NE(args.status().message().find("more than once"),
+            std::string::npos);
+}
+
+TEST(ArgParserTest, RepeatedSwitchIsRejectedToo) {
+  const char* argv[] = {"tool", "--exact", "--exact"};
+  const auto args =
+      ArgParser::Parse(3, const_cast<char**>(argv), 1, {"exact"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_EQ(args.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(args.status().message().find("--exact"), std::string::npos);
+  // A switch mixed with distinct value flags stays fine.
+  const char* ok_argv[] = {"tool", "--exact", "--k", "2"};
+  EXPECT_TRUE(
+      ArgParser::Parse(4, const_cast<char**>(ok_argv), 1, {"exact"}).ok());
 }
 
 // ----------------------------------------------------- LatencyHistogram

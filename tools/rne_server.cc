@@ -5,25 +5,51 @@
 //
 //   rne_server --model city.rne --gr net.gr [--co net.co]
 //              [--backends rne,dijkstra] [--threads 4] [--queue 4096]
-//              [--deadline-us 0] [--batch 64]
+//              [--deadline-us 0] [--batch 64] [--shed]
 //
-// The line protocol (QUERY/KNN/STATS/METRICS) lives in
+// The line protocol (QUERY/KNN/STATS/METRICS/RELOAD) lives in
 // serve/server_loop.h; this binary only parses flags, builds the engine,
 // and wires the loop to stdin/stdout.
+//
+// With --model the "rne" backend is served through a ModelManager, so the
+// RELOAD verb hot-swaps the model without restarting. SIGINT/SIGTERM drain
+// gracefully: stop reading, flush the in-flight batch, print final stats.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/dimacs.h"
+#include "serve/model_manager.h"
 #include "serve/query_engine.h"
 #include "serve/server_loop.h"
 #include "util/arg_parser.h"
 
 namespace rne::serve {
 namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleShutdownSignal(int) {
+  g_shutdown.store(true, std::memory_order_release);
+}
+
+/// SIGINT/SIGTERM set the drain flag. Deliberately NO SA_RESTART: the
+/// signal must interrupt the blocking stdin read (EINTR) so the loop
+/// observes the flag instead of waiting for the next input line.
+void InstallShutdownHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
@@ -41,12 +67,12 @@ std::vector<std::string> SplitCommas(const std::string& csv) {
 }
 
 int Main(int argc, char** argv) {
-  auto parsed = ArgParser::Parse(argc, argv, 1);
+  auto parsed = ArgParser::Parse(argc, argv, 1, {"shed"});
   if (!parsed.ok()) return Fail(parsed.status().ToString());
   const ArgParser& args = parsed.value();
   const Status known = args.RequireKnown(
       {"model", "gr", "co", "backends", "threads", "queue", "deadline-us",
-       "batch", "seed"});
+       "batch", "seed", "shed"});
   if (!known.ok()) return Fail(known.ToString());
   FlagReader flags(args);
   EngineOptions options;
@@ -54,6 +80,7 @@ int Main(int argc, char** argv) {
   options.queue_capacity = static_cast<size_t>(flags.Int("queue", 4096));
   options.default_deadline =
       std::chrono::microseconds(flags.Int("deadline-us", 0));
+  options.shedder.enabled = args.Has("shed");
   ServerLoopOptions loop_options;
   loop_options.batch = static_cast<size_t>(flags.Int("batch", 64));
   const auto seed = static_cast<uint64_t>(flags.Int("seed", 1));
@@ -70,10 +97,36 @@ int Main(int argc, char** argv) {
     ctx.graph = &graph;
   }
 
+  // Declared before the engine: backends created from the manager hold a
+  // pointer into it, so it must be destroyed after the engine.
+  ModelManager::Options manager_options;
+  manager_options.num_workers = options.num_threads == 0
+                                    ? std::thread::hardware_concurrency()
+                                    : options.num_threads;
+  ModelManager manager(manager_options);
+
   QueryEngine engine(options);
   const auto names = SplitCommas(args.Get("backends", "rne,dijkstra"));
   if (names.empty()) return Fail("--backends must name at least one backend");
-  for (const auto& name : names) engine.AddBackend(name, ctx);
+  bool managed_rne = false;
+  for (const auto& name : names) {
+    if (name == "rne" && !ctx.model_path.empty()) {
+      // Serve the learned backend through the manager so RELOAD can swap
+      // the model in place. A failed initial load is a warning, not fatal:
+      // the rest of the chain serves and RELOAD can fix it later.
+      const Status first = manager.Load(ctx.model_path);
+      if (!first.ok()) {
+        std::fprintf(stderr,
+                     "warning: model load failed (%s); 'rne' joins the "
+                     "chain unpublished until a successful RELOAD\n",
+                     first.ToString().c_str());
+      }
+      engine.AddReadyBackend(manager.MakeManagedBackend());
+      managed_rne = true;
+    } else {
+      engine.AddBackend(name, ctx);
+    }
+  }
   const Status loaded = engine.WaitUntilLoaded();
   if (!loaded.ok()) {
     std::fprintf(stderr,
@@ -81,10 +134,19 @@ int Main(int argc, char** argv) {
                  "of the chain\n",
                  loaded.ToString().c_str());
   }
-  std::fprintf(stderr, "rne_server ready: %zu backend(s), %zu worker(s)\n",
-               engine.num_backends(), engine.pool().num_threads());
+  if (managed_rne) loop_options.model_manager = &manager;
+  loop_options.stop = &g_shutdown;
+  InstallShutdownHandlers();
+  std::fprintf(stderr, "rne_server ready: %zu backend(s), %zu worker(s)%s\n",
+               engine.num_backends(), engine.pool().num_threads(),
+               managed_rne ? ", hot reload enabled" : "");
 
   const size_t lines = RunServerLoop(std::cin, std::cout, engine, loop_options);
+  if (g_shutdown.load(std::memory_order_acquire)) {
+    std::fprintf(stderr,
+                 "rne_server draining: signal received, in-flight batch "
+                 "flushed\n");
+  }
   std::fprintf(stderr, "rne_server done: %zu line(s) processed, metrics %s\n",
                lines, engine.Metrics().ToJson().c_str());
   return 0;

@@ -7,7 +7,7 @@
 //   rne_tool eval     --gr net.gr --co net.co --model city.rne --pairs 5000
 //   rne_tool query    --model city.rne --s 17 --t 9000
 //   rne_tool knn      --model city.rne --s 17 --k 5
-//   rne_tool verify   city.rne
+//   rne_tool verify   city.rne [--deep]
 //
 // Serving commands (query/knn) degrade gracefully: when the model file is
 // missing or corrupt and --gr is given, they log the load failure and answer
@@ -27,6 +27,7 @@
 #include "graph/dimacs.h"
 #include "graph/generators.h"
 #include "obs/trace.h"
+#include "serve/model_manager.h"
 #include "util/arg_parser.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -266,13 +267,30 @@ int CmdVerify(const ArgParser& args) {
   if (path.empty() && !args.positionals().empty()) {
     path = args.positionals().front();
   }
-  if (path.empty()) return Fail("usage: rne_tool verify <index-file>");
-  auto info = InspectEnvelope(path);
+  if (path.empty()) {
+    return Fail("usage: rne_tool verify <index-file> [--deep]");
+  }
+  // Same structural check ModelManager runs before a hot swap, so a file
+  // that passes here is exactly a file RELOAD would accept structurally.
+  auto info = serve::VerifyIndexFile(path);
   if (!info.ok()) return Fail(path + ": " + info.status().ToString());
   std::printf("%s: OK (%s, format v%u, %llu payload bytes)\n", path.c_str(),
               IndexKindName(info.value().index_magic),
               info.value().format_version,
               static_cast<unsigned long long>(info.value().payload_size));
+  if (args.Has("deep")) {
+    // Full typed deserialize — catches payload-level problems the envelope
+    // checksums cannot see (e.g. inconsistent section lengths).
+    if (info.value().index_magic != kRneMagic) {
+      std::printf("%s: deep verify skipped (only %s payloads supported)\n",
+                  path.c_str(), IndexKindName(kRneMagic));
+      return 0;
+    }
+    auto model = Rne::Load(path);
+    if (!model.ok()) return Fail(path + ": " + model.status().ToString());
+    std::printf("%s: deep OK (%zu vertices, dim %zu)\n", path.c_str(),
+                model.value().NumVertices(), model.value().dim());
+  }
   return 0;
 }
 
@@ -283,7 +301,7 @@ int Main(int argc, char** argv) {
                  "[--key value ...]\n");
     return 1;
   }
-  auto args = ArgParser::Parse(argc, argv, 2, /*switches=*/{"exact"});
+  auto args = ArgParser::Parse(argc, argv, 2, /*switches=*/{"exact", "deep"});
   if (!args.ok()) return Fail(args.status().ToString());
   const std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(args.value());
