@@ -153,6 +153,25 @@ std::vector<std::vector<DistanceSample>> DistanceScaleGroups(
   return groups;
 }
 
+ZipfSampler::ZipfSampler(size_t n, double s) : s_(s) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, s);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformReal(0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<size_t>(it - cdf_.begin());
+}
+
 std::string ResultsDir() { return "bench_results"; }
 
 void Emit(const TableWriter& table, const std::string& title,

@@ -87,6 +87,27 @@ class RneMethod : public DistanceMethod {
   const Rne* model_;
 };
 
+/// Zipf-distributed rank sampler: P(rank = r) proportional to 1/(r+1)^s
+/// over ranks [0, n). s = 0 degenerates to uniform; s around 1 matches the
+/// skew of real road-network query logs (a few hot origin/destination
+/// pairs dominate). Sampling is a binary search over the precomputed CDF,
+/// so draws are O(log n) and deterministic given the Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+  double skew() const { return s_; }
+
+ private:
+  double s_;
+  /// cdf_[r] = P(rank <= r); last entry is exactly 1.
+  std::vector<double> cdf_;
+};
+
 /// Output directory for CSV mirrors of the printed tables.
 std::string ResultsDir();
 /// Prints the table and writes bench_results/<csv_name>.csv.

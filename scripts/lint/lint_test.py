@@ -217,6 +217,67 @@ def test_silent_catch_all_suppression():
         lint_source("src/x/a.cc", src))
 
 
+def test_raw_syscall_retry_fires_on_bare_calls():
+    bad = (
+        "#include <unistd.h>\n"
+        "ssize_t F(int fd, char* buf, size_t n) {\n"
+        "  return read(fd, buf, n);\n"
+        "}\n"
+    )
+    findings = lint_source("src/x/a.cc", bad)
+    assert "raw-syscall-retry" in rules_fired(findings)
+    assert any(f.line == 3 for f in findings if f.rule == "raw-syscall-retry")
+    accept = (
+        "#include <sys/socket.h>\n"
+        "int G(int fd) { return accept(fd, nullptr, nullptr); }\n"
+    )
+    assert "raw-syscall-retry" in rules_fired(lint_source("src/x/a.cc", accept))
+
+
+def test_raw_syscall_retry_quiet_with_retry_loop():
+    good = (
+        "#include <errno.h>\n"
+        "#include <unistd.h>\n"
+        "ssize_t F(int fd, char* buf, size_t n) {\n"
+        "  ssize_t rc;\n"
+        "  do {\n"
+        "    rc = read(fd, buf, n);\n"
+        "  } while (rc < 0 && errno == EINTR);\n"
+        "  return rc;\n"
+        "}\n"
+    )
+    assert "raw-syscall-retry" not in rules_fired(
+        lint_source("src/x/a.cc", good))
+
+
+def test_raw_syscall_retry_scope():
+    # The wrapped helpers are not syscalls; capitalization keeps them clean.
+    helper = (
+        "#include <unistd.h>\n"
+        "void F(int fd, const char* p, size_t n) { WriteAllFd(fd, p, n); }\n"
+    )
+    assert "raw-syscall-retry" not in rules_fired(
+        lint_source("src/x/a.cc", helper))
+    # Without the posix headers the identifiers are ordinary C++ (e.g. an
+    # istream's read()); the rule never looks at such files.
+    ungated = "void F(std::istream& s, char* b) { s.read(b, 8); }\n"
+    assert "raw-syscall-retry" not in rules_fired(
+        lint_source("src/x/a.cc", ungated))
+    member = (
+        "#include <unistd.h>\n"
+        "void F(std::istream& s, char* b) { s.read(b, 8); }\n"
+    )
+    assert "raw-syscall-retry" not in rules_fired(
+        lint_source("src/x/a.cc", member))
+    suppressed = (
+        "#include <unistd.h>\n"
+        "// rne-lint: allow(raw-syscall-retry) — startup, no handlers yet\n"
+        "ssize_t F(int fd, char* b, size_t n) { return read(fd, b, n); }\n"
+    )
+    assert "raw-syscall-retry" not in rules_fired(
+        lint_source("src/x/a.cc", suppressed))
+
+
 def test_suppression_same_line_and_preceding_line():
     same = GUARD + "std::mutex mu;  // rne-lint: allow(raw-mutex)\n" + GUARD_END
     assert "raw-mutex" not in rules_fired(lint_source("src/x/a.h", same))

@@ -29,6 +29,13 @@ Rules:
                a `catch (...)` block that neither rethrows nor records the
                failure (Status, log, abort, test failure) — it converts
                unknown exceptions into silent wrong behavior.
+  raw-syscall-retry
+               bare read()/write()/accept() in files doing raw fd I/O with
+               no EINTR handling nearby. The serving binaries install
+               signal handlers without SA_RESTART (graceful drain needs
+               the interrupt), so any unwrapped syscall can fail spuriously
+               under load; call the net::*Fd helpers (src/net/fd.h) or
+               keep the retry loop next to the call.
 
 Suppression: append `// rne-lint: allow(<rule>)` to the offending line or
 the line directly above it. Suppressions are for documented, deliberate
@@ -314,6 +321,42 @@ class SilentCatchAllRule(Rule):
                 )
 
 
+class RawSyscallRetryRule(Rule):
+    name = "raw-syscall-retry"
+    description = (
+        "bare read()/write()/accept() with no EINTR handling nearby; the"
+        " serving binaries run without SA_RESTART, so use the net::*Fd"
+        " helpers (src/net/fd.h) or keep the retry loop beside the call"
+    )
+    # Only files doing raw fd I/O are in scope; C++ iostream code never
+    # includes these headers.
+    GATE_RE = re.compile(r'#include\s+<(unistd\.h|sys/socket\.h)>')
+    CALL_RE = re.compile(r"(?<![\w.>\"])(?:::\s*)?(read|write|accept4?)\s*\(")
+    # EINTR on the line, or within this many lines either side, is taken as
+    # evidence of a retry loop around the call.
+    EINTR_WINDOW = 2
+
+    def check(self, path, lines):
+        if not any(self.GATE_RE.search(l) for l in lines):
+            return
+        for i, raw in enumerate(lines):
+            line = strip_comments_and_strings(raw)
+            m = self.CALL_RE.search(line)
+            if not m:
+                continue
+            lo = max(0, i - self.EINTR_WINDOW)
+            hi = min(len(lines), i + self.EINTR_WINDOW + 1)
+            if any("EINTR" in lines[j] for j in range(lo, hi)):
+                continue
+            yield Finding(
+                self.name, path, i + 1,
+                f"{m.group(1)}() without EINTR handling; a signal during"
+                " graceful drain makes it fail spuriously — use"
+                f" net::{m.group(1).capitalize()}Fd (src/net/fd.h) or wrap"
+                " it in a do/while-EINTR loop",
+            )
+
+
 ALL_RULES = [
     RawMutexRule(),
     RawRandomRule(),
@@ -321,6 +364,7 @@ ALL_RULES = [
     ObsHotLoopRule(),
     HeaderGuardRule(),
     SilentCatchAllRule(),
+    RawSyscallRetryRule(),
 ]
 
 

@@ -1,0 +1,121 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "net/fd.h"
+
+namespace rne::net {
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + strerror(errno);
+}
+
+}  // namespace
+
+BlockingClient::~BlockingClient() { Close(); }
+
+Status BlockingClient::Connect(const std::string& host, uint16_t port,
+                               std::chrono::milliseconds recv_timeout) {
+  Close();
+  // Writes racing a server-side close must fail with EPIPE, not a signal.
+  (void)signal(SIGPIPE, SIG_IGN);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(ErrnoMessage("socket"));
+  if (recv_timeout.count() > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(recv_timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((recv_timeout.count() % 1000) * 1000);
+    (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  // The protocol is small pipelined lines; answer latency matters more
+  // than segment count.
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const Status status = Status::IoError(ErrnoMessage("connect"));
+    CloseFd(fd);
+    return status;
+  }
+  fd_ = fd;
+  buffer_.clear();
+  eof_ = false;
+  return Status::Ok();
+}
+
+Status BlockingClient::Send(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (WriteAllFd(fd_, data.data(), data.size()) < 0) {
+    return Status::IoError(ErrnoMessage("write"));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> BlockingClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return Status::NotFound("connection closed");
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      return line;
+    }
+    char buf[16 * 1024];
+    const ssize_t n = ReadFd(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      buffer_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timeout waiting for a line");
+    }
+    return Status::IoError(ErrnoMessage("read"));
+  }
+}
+
+void BlockingClient::ShutdownWrite() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+  eof_ = false;
+}
+
+}  // namespace rne::net

@@ -1,0 +1,71 @@
+// Minimal blocking TCP client for the line protocol — the counterpart the
+// tests and bench_serve's socket legs use to drive net::TcpServer. One
+// connection, blocking writes, buffered line reads with an optional receive
+// timeout. Not thread-safe; one conversation per instance.
+#ifndef RNE_NET_CLIENT_H_
+#define RNE_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rne::net {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Movable: fixtures hand connected clients around by value.
+  BlockingClient(BlockingClient&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)),
+        buffer_(std::move(other.buffer_)),
+        eof_(std::exchange(other.eof_, false)) {}
+  BlockingClient& operator=(BlockingClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+      buffer_ = std::move(other.buffer_);
+      eof_ = std::exchange(other.eof_, false);
+    }
+    return *this;
+  }
+
+  /// Connects to `host:port`. `host` must be a numeric IPv4 address (or
+  /// "localhost"). `recv_timeout` bounds every subsequent ReadLine (0 =
+  /// block forever).
+  Status Connect(const std::string& host, uint16_t port,
+                 std::chrono::milliseconds recv_timeout =
+                     std::chrono::milliseconds(0));
+
+  /// Writes the full buffer (append '\n' yourself — pipelined callers send
+  /// many lines per call on purpose).
+  Status Send(std::string_view data);
+
+  /// Next '\n'-terminated line, without the terminator. NotFound on EOF
+  /// with no buffered data, DeadlineExceeded when recv_timeout expires.
+  StatusOr<std::string> ReadLine();
+
+  /// Half-closes the write side (server sees EOF) while reads stay open.
+  void ShutdownWrite();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace rne::net
+
+#endif  // RNE_NET_CLIENT_H_

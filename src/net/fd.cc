@@ -1,0 +1,56 @@
+#include "net/fd.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rne::net {
+
+ssize_t ReadFd(int fd, void* buf, size_t count) {
+  ssize_t n;
+  do {
+    n = read(fd, buf, count);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+ssize_t WriteFd(int fd, const void* buf, size_t count) {
+  ssize_t n;
+  do {
+    n = write(fd, buf, count);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+int WriteAllFd(int fd, const void* buf, size_t count) {
+  const char* p = static_cast<const char*>(buf);
+  size_t remaining = count;
+  while (remaining > 0) {
+    const ssize_t n = WriteFd(fd, p, remaining);
+    if (n < 0) return -1;
+    p += static_cast<size_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+  return 0;
+}
+
+int AcceptFd(int fd, struct sockaddr* addr, socklen_t* addrlen) {
+  int client;
+  do {
+    client = accept(fd, addr, addrlen);
+  } while (client < 0 && errno == EINTR);
+  return client;
+}
+
+int SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -1;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+}  // namespace rne::net

@@ -1,0 +1,43 @@
+// EINTR-safe syscall wrappers and small fd utilities for the TCP serving
+// path. Every read/write/accept in src/net and the tools goes through these
+// helpers — rne_server installs its SIGINT/SIGTERM handlers *without*
+// SA_RESTART (so a blocked syscall returns and the drain flag is observed),
+// which makes spurious EINTR a normal event, not an error. The project lint
+// rule `raw-syscall-retry` flags bare read()/write()/accept() calls that
+// bypass this file.
+#ifndef RNE_NET_FD_H_
+#define RNE_NET_FD_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace rne::net {
+
+/// read(2) retried on EINTR. Returns bytes read (0 = EOF) or -1 with errno
+/// set (EAGAIN/EWOULDBLOCK on a drained non-blocking fd).
+ssize_t ReadFd(int fd, void* buf, size_t count);
+
+/// write(2) retried on EINTR. Returns bytes written or -1 with errno set.
+/// May write fewer than `count` bytes (short write); callers loop.
+ssize_t WriteFd(int fd, const void* buf, size_t count);
+
+/// Writes the full buffer, looping over short writes and EINTR. Returns 0
+/// on success, -1 with errno set on the first hard error (including
+/// EAGAIN on a non-blocking fd — use buffered writes there instead).
+int WriteAllFd(int fd, const void* buf, size_t count);
+
+/// accept(2) retried on EINTR. Returns the new fd or -1 with errno set.
+int AcceptFd(int fd, struct sockaddr* addr, socklen_t* addrlen);
+
+/// Sets O_NONBLOCK. Returns 0 on success, -1 with errno set.
+int SetNonBlocking(int fd);
+
+/// close(2); EINTR is ignored per POSIX (the fd is released either way,
+/// and retrying risks closing a recycled descriptor).
+void CloseFd(int fd);
+
+}  // namespace rne::net
+
+#endif  // RNE_NET_FD_H_

@@ -1,0 +1,397 @@
+#include "net/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/fd.h"
+#include "obs/metrics.h"
+
+namespace rne::net {
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + strerror(errno);
+}
+
+}  // namespace
+
+struct TcpServer::Connection {
+  Connection(serve::QueryEngine& engine, const serve::ServerLoopOptions& loop)
+      : handler(engine, loop) {}
+
+  int fd = -1;
+  serve::LineProtocolHandler handler;
+  /// Bytes received but not yet terminated by '\n'.
+  std::string in;
+  /// Answer bytes not yet accepted by the kernel; [out_off, size) is live.
+  std::string out;
+  size_t out_off = 0;
+  bool want_write = false;
+  /// Peer sent EOF (or drain started): close as soon as `out` is flushed.
+  bool closing = false;
+  std::chrono::steady_clock::time_point last_active;
+};
+
+TcpServer::TcpServer(serve::QueryEngine& engine,
+                     const TcpServerOptions& options)
+    : engine_(engine), options_(options) {
+  // Every handler reports this server's live connection count via STATS.
+  options_.loop.active_connections = &active_;
+}
+
+TcpServer::~TcpServer() {
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) CloseConnection(fd, CloseReason::kNormal);
+  if (epoll_fd_ >= 0) CloseFd(epoll_fd_);
+  if (listen_fd_ >= 0) CloseFd(listen_fd_);
+}
+
+Status TcpServer::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("TcpServer already started");
+  }
+  // A peer that disappears mid-write must surface as EPIPE on the write
+  // path, not kill the process.
+  (void)signal(SIGPIPE, SIG_IGN);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(ErrnoMessage("socket"));
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::IoError(ErrnoMessage("bind"));
+    CloseFd(fd);
+    return status;
+  }
+  if (listen(fd, options_.backlog) < 0) {
+    const Status status = Status::IoError(ErrnoMessage("listen"));
+    CloseFd(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status status = Status::IoError(ErrnoMessage("getsockname"));
+    CloseFd(fd);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (SetNonBlocking(fd) < 0) {
+    const Status status = Status::IoError(ErrnoMessage("fcntl"));
+    CloseFd(fd);
+    return status;
+  }
+  const int efd = epoll_create1(0);
+  if (efd < 0) {
+    const Status status = Status::IoError(ErrnoMessage("epoll_create1"));
+    CloseFd(fd);
+    return status;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(efd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    const Status status = Status::IoError(ErrnoMessage("epoll_ctl"));
+    CloseFd(efd);
+    CloseFd(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  epoll_fd_ = efd;
+  return Status::Ok();
+}
+
+bool TcpServer::StopRequested() const {
+  if (shutdown_.load(std::memory_order_acquire)) return true;
+  return options_.loop.stop != nullptr &&
+         options_.loop.stop->load(std::memory_order_acquire);
+}
+
+Status TcpServer::Serve() {
+  if (listen_fd_ < 0 || epoll_fd_ < 0) {
+    return Status::FailedPrecondition("TcpServer::Start() has not succeeded");
+  }
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  const int timeout_ms = static_cast<int>(options_.poll_interval.count());
+  while (!StopRequested()) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal — loop re-checks the stop flag
+      return Status::IoError(ErrnoMessage("epoll_wait"));
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptNew();
+        continue;
+      }
+      // An earlier event in this batch may have closed the connection.
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        if (!HandleReadable(conn)) continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        conn->last_active = std::chrono::steady_clock::now();
+        if (!FlushWrites(conn)) continue;
+      }
+    }
+    if (options_.idle_timeout.count() > 0) SweepIdle();
+  }
+  // Graceful drain: stop accepting first, then flush what we owe.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  DrainAndCloseAll();
+  CloseFd(epoll_fd_);
+  epoll_fd_ = -1;
+  return Status::Ok();
+}
+
+void TcpServer::AcceptNew() {
+  for (;;) {
+    const int fd = AcceptFd(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == ECONNABORTED) continue;  // peer vanished mid-handshake
+      return;  // EAGAIN (drained) or a transient accept error; epoll re-arms
+    }
+    if (connections_.size() >= options_.max_connections) {
+      CloseFd(fd);
+      refused_.Add(1);
+      RNE_COUNTER_ADD("net.refused", 1);
+      continue;
+    }
+    if (SetNonBlocking(fd) < 0) {
+      CloseFd(fd);
+      continue;
+    }
+    if (options_.send_buffer_bytes > 0) {
+      const int v = options_.send_buffer_bytes;
+      (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, sizeof(v));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      CloseFd(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>(engine_, options_.loop);
+    conn->fd = fd;
+    conn->last_active = std::chrono::steady_clock::now();
+    connections_.emplace(fd, std::move(conn));
+    active_.store(connections_.size(), std::memory_order_release);
+    RNE_GAUGE_SET("net.active_connections",
+                  static_cast<double>(connections_.size()));
+    accepted_.Add(1);
+    RNE_COUNTER_ADD("net.accepted", 1);
+  }
+}
+
+bool TcpServer::HandleReadable(Connection* conn) {
+  conn->last_active = std::chrono::steady_clock::now();
+  char buf[16 * 1024];
+  bool saw_eof = false;
+  // Byte cap per event, not read-until-EAGAIN: a client that writes faster
+  // than the engine serves would otherwise pin the reactor in this loop
+  // (and grow `in` unboundedly) before a single answer went out.
+  // Level-triggered epoll re-signals immediately for the remainder.
+  size_t budget = 16 * sizeof(buf);
+  for (;;) {
+    if (budget == 0) break;
+    const ssize_t n =
+        ReadFd(conn->fd, buf, std::min(sizeof(buf), budget));
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      budget -= static_cast<size_t>(n);
+      bytes_in_.Add(static_cast<uint64_t>(n));
+      RNE_COUNTER_ADD("net.bytes_in", n);
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn->fd, CloseReason::kNormal);
+    return false;
+  }
+  // Handle every complete line from this burst; answers accumulate in the
+  // userspace write buffer and go out in one flush below.
+  size_t start = 0;
+  size_t nl;
+  while ((nl = conn->in.find('\n', start)) != std::string::npos) {
+    std::string_view line(conn->in.data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines_.Add(1);
+    RNE_COUNTER_ADD("net.lines", 1);
+    conn->handler.HandleLine(line, &conn->out);
+    start = nl + 1;
+  }
+  conn->in.erase(0, start);
+  if (conn->in.size() > options_.max_line_bytes) {
+    conn->out.append("ERR INVALID_ARGUMENT: line exceeds ");
+    conn->out.append(std::to_string(options_.max_line_bytes));
+    conn->out.append(" bytes\n");
+    conn->closing = true;
+    conn->in.clear();
+    if (FlushWrites(conn)) {
+      CloseConnection(conn->fd, CloseReason::kOversize);
+    } else {
+      evicted_oversize_.Add(1);
+      RNE_COUNTER_ADD("net.evicted_oversize", 1);
+    }
+    return false;
+  }
+  // The read side went dry: flush the half-full batch so a synchronous
+  // client gets its answer now instead of after the next arrival.
+  conn->handler.Flush(&conn->out);
+  if (saw_eof) conn->closing = true;
+  return FlushWrites(conn);
+}
+
+bool TcpServer::FlushWrites(Connection* conn) {
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n = WriteFd(conn->fd, conn->out.data() + conn->out_off,
+                              conn->out.size() - conn->out_off);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn->fd, CloseReason::kNormal);
+      return false;
+    }
+    conn->out_off += static_cast<size_t>(n);
+    bytes_out_.Add(static_cast<uint64_t>(n));
+    RNE_COUNTER_ADD("net.bytes_out", n);
+  }
+  if (conn->out_off >= conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  } else if (conn->out_off > 64 * 1024) {
+    // Reclaim the consumed prefix so a long-lived slow reader does not pin
+    // already-delivered bytes.
+    conn->out.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+  const size_t backlog = conn->out.size() - conn->out_off;
+  if (backlog > options_.write_buffer_cap) {
+    CloseConnection(conn->fd, CloseReason::kSlow);
+    return false;
+  }
+  if (backlog == 0 && conn->closing) {
+    CloseConnection(conn->fd, CloseReason::kNormal);
+    return false;
+  }
+  const bool want = backlog > 0;
+  if (want != conn->want_write) {
+    conn->want_write = want;
+    UpdateEpollInterest(conn);
+  }
+  return true;
+}
+
+void TcpServer::UpdateEpollInterest(Connection* conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void TcpServer::CloseConnection(int fd, CloseReason reason) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (epoll_fd_ >= 0) epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  CloseFd(fd);
+  connections_.erase(it);
+  active_.store(connections_.size(), std::memory_order_release);
+  RNE_GAUGE_SET("net.active_connections",
+                static_cast<double>(connections_.size()));
+  closed_.Add(1);
+  RNE_COUNTER_ADD("net.closed", 1);
+  switch (reason) {
+    case CloseReason::kNormal:
+      break;
+    case CloseReason::kSlow:
+      evicted_slow_.Add(1);
+      RNE_COUNTER_ADD("net.evicted_slow", 1);
+      break;
+    case CloseReason::kIdle:
+      evicted_idle_.Add(1);
+      RNE_COUNTER_ADD("net.evicted_idle", 1);
+      break;
+    case CloseReason::kOversize:
+      evicted_oversize_.Add(1);
+      RNE_COUNTER_ADD("net.evicted_oversize", 1);
+      break;
+  }
+}
+
+void TcpServer::SweepIdle() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : connections_) {
+    if (now - conn->last_active >= options_.idle_timeout) idle.push_back(fd);
+  }
+  for (const int fd : idle) CloseConnection(fd, CloseReason::kIdle);
+}
+
+void TcpServer::DrainAndCloseAll() {
+  // Answer everything already parsed, then give the kernel a bounded
+  // window to accept the buffered bytes before hard-closing.
+  for (auto& [fd, conn] : connections_) {
+    conn->handler.Flush(&conn->out);
+    conn->closing = true;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  while (!connections_.empty() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::vector<int> fds;
+    fds.reserve(connections_.size());
+    for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+    for (const int fd : fds) {
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      (void)FlushWrites(it->second.get());  // closes the fd once drained
+    }
+    if (connections_.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) CloseConnection(fd, CloseReason::kNormal);
+}
+
+NetStatsSnapshot TcpServer::Stats() const {
+  NetStatsSnapshot s;
+  s.accepted = accepted_.Value();
+  s.closed = closed_.Value();
+  s.refused = refused_.Value();
+  s.evicted_slow = evicted_slow_.Value();
+  s.evicted_idle = evicted_idle_.Value();
+  s.evicted_oversize = evicted_oversize_.Value();
+  s.lines = lines_.Value();
+  s.bytes_in = bytes_in_.Value();
+  s.bytes_out = bytes_out_.Value();
+  s.active_connections = active_.load(std::memory_order_acquire);
+  return s;
+}
+
+}  // namespace rne::net

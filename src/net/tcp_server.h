@@ -1,0 +1,158 @@
+// Epoll-based TCP front end for the serving stack (DESIGN.md §13): a
+// single-threaded, level-triggered reactor that speaks the same
+// newline-delimited protocol as the stdin loop, one
+// serve::LineProtocolHandler per connection.
+//
+// Threading model: the reactor thread owns every socket and all connection
+// state — reads, line parsing, and write buffering never race. The heavy
+// lifting (QueryBatch) runs inline on the reactor thread but fans the batch
+// out onto the engine's ThreadPool, so CPU parallelism comes from batching,
+// not from per-connection threads. Pipelined clients amortize a whole batch
+// per read burst; a half-full batch is flushed as soon as the read side
+// goes dry, so a lone synchronous client never waits on a timer.
+//
+// Protection against misbehaving clients:
+//   * Slow-client eviction — answers buffer in userspace when the socket's
+//     send buffer is full; a connection whose backlog exceeds
+//     `write_buffer_cap` is dropped (counted net.evicted_slow) instead of
+//     growing without bound.
+//   * Oversized lines — a line longer than `max_line_bytes` with no newline
+//     gets one ERR and the connection is closed (net.evicted_oversize).
+//   * Idle timeout — connections silent for `idle_timeout` are reaped
+//     (net.evicted_idle); 0 disables.
+//   * Connection cap — accepts beyond `max_connections` are closed
+//     immediately (net.refused).
+//
+// Graceful drain: Shutdown() (or the shared `loop.stop` flag set by
+// rne_server's SIGINT/SIGTERM handlers) makes Serve() stop accepting,
+// flush every connection's pending batch, attempt a bounded best-effort
+// write of buffered answers, close everything, and return.
+#ifndef RNE_NET_TCP_SERVER_H_
+#define RNE_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "serve/server_loop.h"
+#include "util/status.h"
+
+namespace rne::net {
+
+struct TcpServerOptions {
+  /// Port to bind (loopback-only). 0 = ephemeral; read the outcome from
+  /// port() after Start().
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Accepts beyond this are closed immediately (counted net.refused).
+  size_t max_connections = 1024;
+  /// A line longer than this without a newline answers ERR and closes the
+  /// connection.
+  size_t max_line_bytes = 64 * 1024;
+  /// Userspace write-backlog cap per connection; exceeding it evicts the
+  /// client (it is not reading its answers).
+  size_t write_buffer_cap = 4 * 1024 * 1024;
+  /// SO_SNDBUF for accepted sockets (0 = OS default). Tests shrink it so a
+  /// non-reading client backs up into the userspace buffer quickly.
+  int send_buffer_bytes = 0;
+  /// Reap connections with no traffic for this long (0 = never).
+  std::chrono::milliseconds idle_timeout{0};
+  /// epoll_wait timeout — the latency floor for noticing stop/idle sweeps.
+  std::chrono::milliseconds poll_interval{50};
+  /// Protocol options shared with the stdin loop (batch size, model
+  /// manager, result cache, stop flag). `active_connections` is overwritten
+  /// to point at this server's own counter.
+  serve::ServerLoopOptions loop;
+};
+
+/// Point-in-time reactor counters (mirrored into the global registry under
+/// "net.*").
+struct NetStatsSnapshot {
+  uint64_t accepted = 0;
+  uint64_t closed = 0;
+  uint64_t refused = 0;
+  uint64_t evicted_slow = 0;
+  uint64_t evicted_idle = 0;
+  uint64_t evicted_oversize = 0;
+  uint64_t lines = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  size_t active_connections = 0;
+};
+
+class TcpServer {
+ public:
+  /// `engine` is not owned and must outlive the server; so must every
+  /// pointer inside `options.loop`.
+  TcpServer(serve::QueryEngine& engine, const TcpServerOptions& options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:<port>. After Ok, port() returns the
+  /// bound port (resolves ephemeral port 0).
+  Status Start();
+
+  /// Runs the reactor until Shutdown() or the external stop flag; returns
+  /// after the graceful drain finished. FailedPrecondition unless Start()
+  /// succeeded. Call from exactly one thread.
+  Status Serve();
+
+  /// Asks Serve() to drain and return. Safe from any thread and from
+  /// signal-handler-adjacent contexts (it only stores an atomic).
+  void Shutdown() { shutdown_.store(true, std::memory_order_release); }
+
+  uint16_t port() const { return port_; }
+  NetStatsSnapshot Stats() const;
+  /// Live connection count — STATS wiring and tests.
+  const std::atomic<size_t>& active_connections() const { return active_; }
+
+ private:
+  struct Connection;
+
+  enum class CloseReason { kNormal, kSlow, kIdle, kOversize };
+
+  bool StopRequested() const;
+  void AcceptNew();
+  /// Reads until EAGAIN/EOF, handles complete lines, flushes the batch.
+  /// Returns false when the connection was closed.
+  bool HandleReadable(Connection* conn);
+  /// Writes buffered output; arms/disarms EPOLLOUT. Returns false when the
+  /// connection was closed (write error or slow-client eviction).
+  bool FlushWrites(Connection* conn);
+  void UpdateEpollInterest(Connection* conn);
+  void CloseConnection(int fd, CloseReason reason);
+  void SweepIdle();
+  void DrainAndCloseAll();
+
+  serve::QueryEngine& engine_;
+  TcpServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<size_t> active_{0};
+
+  /// Reactor-thread-only state (single-threaded by contract).
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+
+  obs::Counter accepted_;
+  obs::Counter closed_;
+  obs::Counter refused_;
+  obs::Counter evicted_slow_;
+  obs::Counter evicted_idle_;
+  obs::Counter evicted_oversize_;
+  obs::Counter lines_;
+  obs::Counter bytes_in_;
+  obs::Counter bytes_out_;
+};
+
+}  // namespace rne::net
+
+#endif  // RNE_NET_TCP_SERVER_H_

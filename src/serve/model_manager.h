@@ -15,8 +15,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/rne.h"
 #include "core/rne_index.h"
@@ -73,6 +75,15 @@ class ModelManager {
   /// Version of the published snapshot (0 = none).
   uint64_t version() const;
 
+  /// Registers a callback invoked after every successful publish with the
+  /// new snapshot's version — the seam the serving stack uses to invalidate
+  /// its ResultCache on hot swap, so a RELOAD can never serve a stale
+  /// cached distance. Listeners run on the Load() caller's thread, after
+  /// the atomic publish, while the load mutex is still held (so they
+  /// observe swaps in order). Register during setup: adding listeners
+  /// concurrently with Load() is not supported.
+  void AddPublishListener(std::function<void(uint64_t version)> listener);
+
   /// Backend adapter serving whatever snapshot is published at each call.
   /// The manager must outlive the returned backend. A backend created
   /// before the first successful Load() throws from Distance()/Knn() —
@@ -89,6 +100,8 @@ class ModelManager {
   mutable Mutex load_mu_;
   uint64_t next_version_ RNE_GUARDED_BY(load_mu_) = 1;
   std::string last_path_ RNE_GUARDED_BY(load_mu_);
+  std::vector<std::function<void(uint64_t)>> publish_listeners_
+      RNE_GUARDED_BY(load_mu_);
 };
 
 }  // namespace rne::serve

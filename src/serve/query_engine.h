@@ -85,6 +85,8 @@ struct Response {
   bool exact = false;
   /// True when a non-primary backend answered (load failure or deadline).
   bool fell_back = false;
+  /// True when the answer came from a ResultCache hit, not a backend call.
+  bool cached = false;
   /// Admission-to-completion latency.
   int64_t latency_ns = 0;
 };

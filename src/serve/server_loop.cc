@@ -13,134 +13,195 @@ namespace rne::serve {
 namespace {
 
 void PrintResponse(const Request& request, const Response& response,
-                   std::ostream& out) {
+                   std::string* out) {
   if (!response.status.ok()) {
-    out << "ERR " << response.status.ToString() << "\n";
+    out->append("ERR ");
+    out->append(response.status.ToString());
+    out->push_back('\n');
     return;
   }
   char buf[64];
   if (request.kind == RequestKind::kDistance) {
     std::snprintf(buf, sizeof(buf), "DIST %.2f ", response.distance);
-    out << buf << "backend=" << response.backend
-        << " exact=" << (response.exact ? 1 : 0)
-        << " fallback=" << (response.fell_back ? 1 : 0) << "\n";
+    out->append(buf);
+    out->append("backend=");
+    out->append(response.backend);
+    out->append(" exact=");
+    out->append(response.exact ? "1" : "0");
+    out->append(" fallback=");
+    out->append(response.fell_back ? "1" : "0");
+    out->append(" cached=");
+    out->append(response.cached ? "1" : "0");
+    out->push_back('\n');
     return;
   }
-  out << "KNN";
+  out->append("KNN");
   for (const auto& [v, d] : response.knn) {
     std::snprintf(buf, sizeof(buf), " %u:%.2f", v, d);
-    out << buf;
+    out->append(buf);
   }
-  out << "\n";
-}
-
-/// Runs `pending` through the engine and prints every answer in order.
-void Flush(QueryEngine& engine, std::vector<Request>* pending,
-           std::ostream& out) {
-  if (pending->empty()) return;
-  std::vector<Response> responses;
-  const Status admitted = engine.QueryBatch(*pending, &responses);
-  if (!admitted.ok()) {
-    for (size_t i = 0; i < pending->size(); ++i) {
-      out << "ERR " << admitted.ToString() << "\n";
-    }
-  } else {
-    for (size_t i = 0; i < pending->size(); ++i) {
-      PrintResponse((*pending)[i], responses[i], out);
-    }
-  }
-  pending->clear();
-  out.flush();
+  out->push_back('\n');
 }
 
 }  // namespace
 
+LineProtocolHandler::LineProtocolHandler(QueryEngine& engine,
+                                         const ServerLoopOptions& options)
+    : engine_(engine),
+      options_(options),
+      cached_(&engine, options.cache) {
+  pending_.reserve(options_.batch == 0 ? 1 : options_.batch);
+}
+
+void LineProtocolHandler::Flush(std::string* out) {
+  if (pending_.empty()) return;
+  std::vector<Response> responses;
+  const Status admitted = cached_.QueryBatch(pending_, &responses);
+  if (!admitted.ok()) {
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      out->append("ERR ");
+      out->append(admitted.ToString());
+      out->push_back('\n');
+    }
+  } else {
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      PrintResponse(pending_[i], responses[i], out);
+    }
+  }
+  pending_.clear();
+}
+
+void LineProtocolHandler::AppendStats(std::string* out) {
+  // Engine metrics stay the base object (existing consumers parse its
+  // fields); cache and connection state graft on before the closing brace.
+  std::string json = engine_.Metrics().ToJson();
+  if (!json.empty() && json.back() == '}') json.pop_back();
+  json.append(", \"cache\": ");
+  if (options_.cache == nullptr) {
+    json.append("null");
+  } else {
+    json.append(options_.cache->Stats().ToJson());
+  }
+  json.append(", \"active_connections\": ");
+  const size_t active =
+      options_.active_connections == nullptr
+          ? 0
+          : options_.active_connections->load(std::memory_order_acquire);
+  json.append(std::to_string(active));
+  json.push_back('}');
+  out->append("STATS ");
+  out->append(json);
+  out->push_back('\n');
+}
+
+void LineProtocolHandler::HandleLine(std::string_view line, std::string* out) {
+  std::istringstream parser{std::string(line)};
+  std::string verb;
+  parser >> verb;
+  if (verb.empty()) return;
+  ++lines_;
+  if (verb == "STATS") {
+    Flush(out);
+    AppendStats(out);
+    return;
+  }
+  if (verb == "METRICS") {
+    Flush(out);
+    out->append("METRICS ");
+    out->append(obs::MetricsRegistry::Global().ToJson());
+    out->push_back('\n');
+    return;
+  }
+  if (verb == "RELOAD") {
+    // Flush first so answers stay ordered AND no buffered request can
+    // straddle the swap ambiguously (each in-flight query still pins its
+    // snapshot; ordering here is for the protocol transcript).
+    Flush(out);
+    if (options_.model_manager == nullptr) {
+      out->append(
+          "ERR FAILED_PRECONDITION: no model manager attached "
+          "(start rne_server with --model)\n");
+      return;
+    }
+    std::string path;
+    parser >> path;
+    const Status swapped = path.empty() ? options_.model_manager->Reload()
+                                        : options_.model_manager->Load(path);
+    if (swapped.ok()) {
+      // The publish listener wired at startup already invalidated the
+      // cache; repeating it here keeps handlers correct even when the
+      // manager was attached without the listener (tests, embedders).
+      if (options_.cache != nullptr) options_.cache->Invalidate();
+      const auto snapshot = options_.model_manager->Current();
+      out->append("RELOAD OK version=");
+      out->append(std::to_string(snapshot->version));
+      out->append(" vertices=");
+      out->append(std::to_string(snapshot->model->NumVertices()));
+      out->push_back('\n');
+    } else {
+      out->append("ERR ");
+      out->append(swapped.ToString());
+      out->push_back('\n');
+    }
+    return;
+  }
+  Request request;
+  if (verb == "QUERY") {
+    long s = -1, t = -1;
+    parser >> s >> t;
+    if (parser.fail() || s < 0 || t < 0) {
+      Flush(out);  // keep answers in request order
+      out->append("ERR INVALID_ARGUMENT: usage: QUERY <s> <t>\n");
+      return;
+    }
+    request.kind = RequestKind::kDistance;
+    request.s = static_cast<VertexId>(s);
+    request.t = static_cast<VertexId>(t);
+  } else if (verb == "KNN") {
+    long s = -1, k = -1;
+    parser >> s >> k;
+    if (parser.fail() || s < 0 || k < 0) {
+      Flush(out);
+      out->append("ERR INVALID_ARGUMENT: usage: KNN <s> <k>\n");
+      return;
+    }
+    request.kind = RequestKind::kKnn;
+    request.s = static_cast<VertexId>(s);
+    request.k = static_cast<size_t>(k);
+  } else {
+    Flush(out);
+    out->append("ERR INVALID_ARGUMENT: unknown verb '");
+    out->append(verb);
+    out->append("'\n");
+    return;
+  }
+  pending_.push_back(request);
+  const size_t batch = options_.batch == 0 ? 1 : options_.batch;
+  if (pending_.size() >= batch) Flush(out);
+}
+
 size_t RunServerLoop(std::istream& in, std::ostream& out, QueryEngine& engine,
                      const ServerLoopOptions& options) {
-  const size_t batch = options.batch == 0 ? 1 : options.batch;
-  std::vector<Request> pending;
-  pending.reserve(batch);
-  size_t lines = 0;
+  LineProtocolHandler handler(engine, options);
   std::string line;
+  std::string answers;
   while ((options.stop == nullptr ||
           !options.stop->load(std::memory_order_acquire)) &&
          std::getline(in, line)) {
-    std::istringstream parser(line);
-    std::string verb;
-    parser >> verb;
-    if (verb.empty()) continue;
-    ++lines;
-    if (verb == "STATS") {
-      Flush(engine, &pending, out);
-      out << "STATS " << engine.Metrics().ToJson() << "\n";
+    answers.clear();
+    handler.HandleLine(line, &answers);
+    if (!answers.empty()) {
+      out << answers;
       out.flush();
-      continue;
     }
-    if (verb == "METRICS") {
-      Flush(engine, &pending, out);
-      out << "METRICS " << obs::MetricsRegistry::Global().ToJson() << "\n";
-      out.flush();
-      continue;
-    }
-    if (verb == "RELOAD") {
-      // Flush first so answers stay ordered AND no buffered request can
-      // straddle the swap ambiguously (each in-flight query still pins its
-      // snapshot; ordering here is for the protocol transcript).
-      Flush(engine, &pending, out);
-      if (options.model_manager == nullptr) {
-        out << "ERR FAILED_PRECONDITION: no model manager attached "
-               "(start rne_server with --model)\n";
-        out.flush();
-        continue;
-      }
-      std::string path;
-      parser >> path;
-      const Status swapped = path.empty()
-                                 ? options.model_manager->Reload()
-                                 : options.model_manager->Load(path);
-      if (swapped.ok()) {
-        const auto snapshot = options.model_manager->Current();
-        out << "RELOAD OK version=" << snapshot->version
-            << " vertices=" << snapshot->model->NumVertices() << "\n";
-      } else {
-        out << "ERR " << swapped.ToString() << "\n";
-      }
-      out.flush();
-      continue;
-    }
-    Request request;
-    if (verb == "QUERY") {
-      long s = -1, t = -1;
-      parser >> s >> t;
-      if (parser.fail() || s < 0 || t < 0) {
-        Flush(engine, &pending, out);  // keep answers in request order
-        out << "ERR INVALID_ARGUMENT: usage: QUERY <s> <t>\n";
-        continue;
-      }
-      request.kind = RequestKind::kDistance;
-      request.s = static_cast<VertexId>(s);
-      request.t = static_cast<VertexId>(t);
-    } else if (verb == "KNN") {
-      long s = -1, k = -1;
-      parser >> s >> k;
-      if (parser.fail() || s < 0 || k < 0) {
-        Flush(engine, &pending, out);
-        out << "ERR INVALID_ARGUMENT: usage: KNN <s> <k>\n";
-        continue;
-      }
-      request.kind = RequestKind::kKnn;
-      request.s = static_cast<VertexId>(s);
-      request.k = static_cast<size_t>(k);
-    } else {
-      Flush(engine, &pending, out);
-      out << "ERR INVALID_ARGUMENT: unknown verb '" << verb << "'\n";
-      continue;
-    }
-    pending.push_back(request);
-    if (pending.size() >= batch) Flush(engine, &pending, out);
   }
-  Flush(engine, &pending, out);
-  return lines;
+  answers.clear();
+  handler.Flush(&answers);
+  if (!answers.empty()) {
+    out << answers;
+    out.flush();
+  }
+  return handler.lines();
 }
 
 }  // namespace rne::serve

@@ -1,28 +1,44 @@
-// Newline-delimited query protocol shared by rne_server and the protocol
-// tests: the tool binary wires it to stdin/stdout, tests drive it with
-// string streams in-process.
+// Newline-delimited query protocol shared by rne_server (stdin and TCP
+// front ends) and the protocol tests: the tool binary wires it to
+// stdin/stdout or to net::TcpServer, tests drive it with string streams
+// in-process.
 //
 // Verbs (answers in request order):
-//   QUERY <s> <t>  ->  DIST <value> backend=<name> exact=<0|1> fallback=<0|1>
+//   QUERY <s> <t>  ->  DIST <value> backend=<name> exact=<0|1>
+//                      fallback=<0|1> cached=<0|1>
 //   KNN <s> <k>    ->  KNN <v>:<dist> ... (one line, ascending distance)
-//   STATS          ->  STATS <engine metrics json>   (flushes pending batch)
+//   STATS          ->  STATS <json>   (engine metrics plus a "cache" object
+//                      — null when no cache is attached — and an
+//                      "active_connections" count; flushes pending batch)
 //   METRICS        ->  METRICS <global registry json> (counters, gauges, and
 //                      per-backend latency histograms; flushes pending batch)
 //   RELOAD [path]  ->  RELOAD OK version=<v> vertices=<n> | ERR <status>
 //                      (hot model swap via ModelManager; no argument re-runs
-//                      the last path; flushes pending batch first)
+//                      the last path; flushes pending batch first and
+//                      invalidates the result cache on success)
 //   anything else  ->  ERR <message>
 // Per-request failures print `ERR <status>`; a batch rejected by admission
 // control prints one ERR line per request in it (explicit backpressure).
+//
+// LineProtocolHandler is the per-connection state machine: it owns the
+// pending batch and turns one input line at a time into zero or more output
+// bytes. RunServerLoop wraps one handler around an istream/ostream pair
+// (the legacy stdin mode); net::TcpServer keeps one handler per connection
+// so pipelined requests batch into the engine without interleaving across
+// connections.
 #ifndef RNE_SERVE_SERVER_LOOP_H_
 #define RNE_SERVE_SERVER_LOOP_H_
 
 #include <atomic>
 #include <cstddef>
 #include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "serve/model_manager.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 
 namespace rne::serve {
 
@@ -37,6 +53,50 @@ struct ServerLoopOptions {
   /// reading, flushes the pending batch, and returns (rne_server sets it
   /// from its SIGINT/SIGTERM handler).
   const std::atomic<bool>* stop = nullptr;
+  /// Result cache consulted before the engine (not owned; may be null).
+  /// A successful RELOAD invalidates it wholesale.
+  ResultCache* cache = nullptr;
+  /// Live connection count reported by STATS (not owned; null reads as 0 —
+  /// the stdin loop has no connections). net::TcpServer points this at its
+  /// own counter.
+  const std::atomic<size_t>* active_connections = nullptr;
+};
+
+/// One protocol conversation: feed it lines, collect output bytes. Not
+/// thread-safe — each connection (or stream) owns its handler and calls it
+/// from one thread at a time.
+class LineProtocolHandler {
+ public:
+  /// `engine` is not owned and must outlive the handler; the same goes for
+  /// every pointer in `options`.
+  LineProtocolHandler(QueryEngine& engine, const ServerLoopOptions& options);
+
+  /// Processes one protocol line (no trailing newline), appending any
+  /// answers to `*out`. Query answers may be deferred until the pending
+  /// batch fills or Flush() is called; control verbs and errors flush
+  /// first so answers never leave request order.
+  void HandleLine(std::string_view line, std::string* out);
+
+  /// Runs the pending batch through the (cached) engine and appends every
+  /// answer to `*out`. Call at end-of-input, on drain, and when a read
+  /// burst is exhausted (so pipelined clients are never left waiting on a
+  /// half-full batch).
+  void Flush(std::string* out);
+
+  /// True when the pending batch is non-empty (answers are owed).
+  bool HasPending() const { return !pending_.empty(); }
+
+  /// Protocol lines processed so far (including errors, excluding blanks).
+  size_t lines() const { return lines_; }
+
+ private:
+  void AppendStats(std::string* out);
+
+  QueryEngine& engine_;
+  const ServerLoopOptions options_;
+  CachedEngine cached_;
+  std::vector<Request> pending_;
+  size_t lines_ = 0;
 };
 
 /// Reads protocol lines from `in` until EOF (or `options.stop`), writing

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -24,6 +25,8 @@
 #include "core/rne.h"
 #include "graph/generators.h"
 #include "serve/backend.h"
+#include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "util/rng.h"
 
 namespace rne::serve {
@@ -264,6 +267,75 @@ TEST_F(DifferentialTest, KnnFuzzAgainstDijkstraOracle) {
         }
       }
     }
+  }
+}
+
+TEST_F(DifferentialTest, CachedAnswersAreBitIdenticalPerBackend) {
+  // The result cache stores answers, never recomputes them — so for every
+  // registered backend a cache hit must reproduce the uncached response
+  // bit for bit (memcmp on the doubles, not EXPECT_NEAR).
+  const uint64_t seed = FuzzSeed() + 4;
+  const size_t n = graph_->NumVertices();
+  for (const std::string& name : RegisteredBackendNames()) {
+    SCOPED_TRACE(testing::Message() << "backend=" << name);
+    BackendContext ctx;
+    ctx.graph = graph_;
+    ctx.num_workers = 1;
+    ctx.model_path = name == "rne-quantized" ? *quant_path_ : *model_path_;
+    auto backend = MakeBackend(name, ctx);
+    ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+    const bool knn = backend.value()->SupportsKnn();
+
+    EngineOptions options;
+    options.num_threads = 2;
+    QueryEngine engine(options);
+    engine.AddReadyBackend(std::move(backend).value());
+    ResultCache cache;
+    CachedEngine cached(&engine, &cache);
+
+    Rng rng(seed);
+    std::vector<Request> requests;
+    for (int i = 0; i < 40; ++i) {
+      Request r;
+      r.kind = RequestKind::kDistance;
+      r.s = static_cast<VertexId>(rng.UniformIndex(n));
+      r.t = static_cast<VertexId>(rng.UniformIndex(n));
+      requests.push_back(r);
+    }
+    if (knn) {
+      for (int i = 0; i < 10; ++i) {
+        Request r;
+        r.kind = RequestKind::kKnn;
+        r.s = static_cast<VertexId>(rng.UniformIndex(n));
+        r.k = 1 + rng.UniformIndex(8);
+        requests.push_back(r);
+      }
+    }
+
+    std::vector<Response> uncached, hits;
+    ASSERT_TRUE(cached.QueryBatch(requests, &uncached).ok());
+    ASSERT_TRUE(cached.QueryBatch(requests, &hits).ok());
+    ASSERT_EQ(uncached.size(), hits.size());
+    for (size_t i = 0; i < uncached.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "request#" << i);
+      ASSERT_TRUE(uncached[i].status.ok())
+          << uncached[i].status.ToString();
+      EXPECT_FALSE(uncached[i].cached);
+      EXPECT_TRUE(hits[i].cached);
+      EXPECT_EQ(std::memcmp(&uncached[i].distance, &hits[i].distance,
+                            sizeof(double)),
+                0);
+      ASSERT_EQ(uncached[i].knn.size(), hits[i].knn.size());
+      for (size_t j = 0; j < uncached[i].knn.size(); ++j) {
+        EXPECT_EQ(uncached[i].knn[j].first, hits[i].knn[j].first);
+        EXPECT_EQ(std::memcmp(&uncached[i].knn[j].second,
+                              &hits[i].knn[j].second, sizeof(double)),
+                  0);
+      }
+      EXPECT_EQ(uncached[i].backend, hits[i].backend);
+      EXPECT_EQ(uncached[i].exact, hits[i].exact);
+    }
+    EXPECT_EQ(cache.Stats().hits, requests.size());
   }
 }
 

@@ -1,0 +1,278 @@
+// TCP front-end tests: a real TcpServer on an ephemeral loopback port with
+// the reactor on its own thread, driven by BlockingClient. Covers pipelined
+// request/answer ordering, malformed and oversized frames, slow-client and
+// idle-client eviction, the connection cap, STATS over the socket, cache
+// hits across connections, and graceful drain with answers still buffered.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "serve/query_engine.h"
+#include "serve/result_cache.h"
+
+namespace rne::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kRecvTimeout = 5000ms;
+
+/// Polls `pred` until true or the deadline passes; TCP tests must never
+/// sleep a fixed amount and hope.
+template <typename Pred>
+bool WaitFor(Pred pred, std::chrono::milliseconds deadline = 3000ms) {
+  const auto stop = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < stop) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() : graph_(MakeGraph()), engine_(MakeEngineOptions()) {
+    serve::BackendContext ctx;
+    ctx.graph = &graph_;
+    engine_.AddBackend("dijkstra", ctx);
+    EXPECT_TRUE(engine_.WaitUntilLoaded().ok());
+  }
+
+  ~NetTest() override { StopServer(); }
+
+  static Graph MakeGraph() {
+    RoadNetworkConfig cfg;
+    cfg.rows = 8;
+    cfg.cols = 8;
+    cfg.seed = 7;
+    return MakeRoadNetwork(cfg);
+  }
+
+  static serve::EngineOptions MakeEngineOptions() {
+    serve::EngineOptions options;
+    options.num_threads = 2;
+    return options;
+  }
+
+  /// Starts the server with `options` (port forced ephemeral) and the
+  /// reactor on a background thread.
+  void StartServer(TcpServerOptions options = {}) {
+    options.port = 0;
+    server_ = std::make_unique<TcpServer>(engine_, options);
+    ASSERT_TRUE(server_->Start().ok());
+    serve_thread_ = std::thread([this] { serve_status_ = server_->Serve(); });
+  }
+
+  void StopServer() {
+    if (server_ != nullptr && serve_thread_.joinable()) {
+      server_->Shutdown();
+      serve_thread_.join();
+    }
+    server_.reset();
+  }
+
+  BlockingClient Connect() {
+    BlockingClient client;
+    EXPECT_TRUE(
+        client.Connect("127.0.0.1", server_->port(), kRecvTimeout).ok());
+    return client;
+  }
+
+  Graph graph_;
+  serve::QueryEngine engine_;
+  std::unique_ptr<TcpServer> server_;
+  std::thread serve_thread_;
+  Status serve_status_;
+};
+
+TEST_F(NetTest, PipelinedRequestsAnswerInOrder) {
+  StartServer();
+  BlockingClient client = Connect();
+  // One write carrying many requests; answers must come back 1:1, in
+  // order. Repeated queries pin the ordering: equal inputs, equal lines.
+  std::string burst;
+  for (int i = 0; i < 32; ++i) {
+    burst += "QUERY 0 " + std::to_string(1 + i % 4) + "\n";
+  }
+  ASSERT_TRUE(client.Send(burst).ok());
+  std::vector<std::string> lines;
+  for (int i = 0; i < 32; ++i) {
+    auto line = client.ReadLine();
+    ASSERT_TRUE(line.ok()) << i << ": " << line.status().ToString();
+    lines.push_back(std::move(line).value());
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lines[i].rfind("DIST ", 0), 0u) << lines[i];
+    // Same request as 4 positions earlier => byte-identical answer line.
+    if (i >= 4) {
+      EXPECT_EQ(lines[i], lines[i - 4]) << i;
+    }
+  }
+}
+
+TEST_F(NetTest, MalformedFramesGetErrorsAndTheConnectionSurvives) {
+  StartServer();
+  BlockingClient client = Connect();
+  ASSERT_TRUE(client.Send("FROBNICATE 1 2\nQUERY nope\nQUERY 0 5\n").ok());
+  auto l1 = client.ReadLine();
+  ASSERT_TRUE(l1.ok());
+  EXPECT_EQ(l1.value(), "ERR INVALID_ARGUMENT: unknown verb 'FROBNICATE'");
+  auto l2 = client.ReadLine();
+  ASSERT_TRUE(l2.ok());
+  EXPECT_EQ(l2.value(), "ERR INVALID_ARGUMENT: usage: QUERY <s> <t>");
+  auto l3 = client.ReadLine();
+  ASSERT_TRUE(l3.ok());
+  EXPECT_EQ(l3.value().rfind("DIST ", 0), 0u) << l3.value();
+}
+
+TEST_F(NetTest, OversizedLineIsRejectedAndTheConnectionClosed) {
+  TcpServerOptions options;
+  options.max_line_bytes = 128;
+  StartServer(options);
+  BlockingClient client = Connect();
+  ASSERT_TRUE(client.Send(std::string(4096, 'x')).ok());  // no newline
+  auto err = client.ReadLine();
+  ASSERT_TRUE(err.ok()) << err.status().ToString();
+  EXPECT_EQ(err.value().rfind("ERR ", 0), 0u) << err.value();
+  EXPECT_NE(err.value().find("line exceeds"), std::string::npos)
+      << err.value();
+  // Server closes after the error line.
+  auto eof = client.ReadLine();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_TRUE(WaitFor([this] { return server_->Stats().evicted_oversize > 0; }));
+}
+
+TEST_F(NetTest, SlowClientIsEvictedWhenItsBacklogPassesTheCap) {
+  TcpServerOptions options;
+  options.write_buffer_cap = 64 * 1024;
+  options.send_buffer_bytes = 4096;
+  StartServer(options);
+  BlockingClient client = Connect();
+  // ~4k pipelined full-graph kNN answers (~64 entries each) make megabytes
+  // of output; this client never reads, so the server-side backlog blows
+  // through the 64 KiB cap and the connection is closed as slow.
+  std::string burst;
+  for (int i = 0; i < 4000; ++i) burst += "KNN 0 64\n";
+  ASSERT_TRUE(client.Send(burst).ok());
+  EXPECT_TRUE(WaitFor([this] { return server_->Stats().evicted_slow > 0; }))
+      << "slow client was never evicted";
+}
+
+TEST_F(NetTest, IdleClientIsEvictedAfterTheTimeout) {
+  TcpServerOptions options;
+  options.idle_timeout = 50ms;
+  options.poll_interval = 10ms;
+  StartServer(options);
+  BlockingClient client = Connect();
+  // Send nothing: the sweep must close us. ReadLine surfaces the EOF.
+  auto eof = client.ReadLine();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_TRUE(WaitFor([this] { return server_->Stats().evicted_idle > 0; }));
+  EXPECT_EQ(server_->active_connections().load(), 0u);
+}
+
+TEST_F(NetTest, ConnectionCapRefusesTheOverflowClient) {
+  TcpServerOptions options;
+  options.max_connections = 1;
+  StartServer(options);
+  BlockingClient first = Connect();
+  ASSERT_TRUE(first.Send("QUERY 0 1\n").ok());
+  ASSERT_TRUE(first.ReadLine().ok());  // the slot is definitely taken
+
+  BlockingClient second = Connect();  // backlog accepts, server refuses
+  auto eof = second.ReadLine();
+  EXPECT_FALSE(eof.ok()) << "overflow connection must be closed unserved";
+  EXPECT_TRUE(WaitFor([this] { return server_->Stats().refused > 0; }));
+
+  // The admitted client keeps working.
+  ASSERT_TRUE(first.Send("QUERY 0 2\n").ok());
+  EXPECT_TRUE(first.ReadLine().ok());
+}
+
+TEST_F(NetTest, StatsOverTheSocketReportsCacheAndConnections) {
+  serve::ResultCache cache;
+  TcpServerOptions options;
+  options.loop.cache = &cache;
+  StartServer(options);
+  BlockingClient client = Connect();
+  ASSERT_TRUE(client.Send("QUERY 0 5\nSTATS\n").ok());
+  ASSERT_TRUE(client.ReadLine().ok());
+  auto stats = client.ReadLine();
+  ASSERT_TRUE(stats.ok());
+  const std::string& line = stats.value();
+  EXPECT_EQ(line.rfind("STATS {", 0), 0u) << line;
+  EXPECT_NE(line.find("\"cache\": {"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"active_connections\": 1"), std::string::npos)
+      << line;
+}
+
+TEST_F(NetTest, CacheHitsServeAcrossConnections) {
+  serve::ResultCache cache;
+  TcpServerOptions options;
+  options.loop.cache = &cache;
+  StartServer(options);
+  {
+    BlockingClient warm = Connect();
+    ASSERT_TRUE(warm.Send("QUERY 0 5\n").ok());
+    auto miss = warm.ReadLine();
+    ASSERT_TRUE(miss.ok());
+    EXPECT_NE(miss.value().find("cached=0"), std::string::npos)
+        << miss.value();
+  }
+  BlockingClient hot = Connect();
+  ASSERT_TRUE(hot.Send("QUERY 0 5\n").ok());
+  auto hit = hot.ReadLine();
+  ASSERT_TRUE(hit.ok());
+  EXPECT_NE(hit.value().find("cached=1"), std::string::npos) << hit.value();
+  EXPECT_GE(cache.Stats().hits, 1u);
+}
+
+TEST_F(NetTest, GracefulDrainFlushesBufferedAnswers) {
+  StartServer();
+  BlockingClient client = Connect();
+  std::string burst;
+  for (int i = 0; i < 16; ++i) burst += "QUERY 0 " + std::to_string(i) + "\n";
+  ASSERT_TRUE(client.Send(burst).ok());
+  // Make sure the reactor has taken the requests before the drain starts.
+  ASSERT_TRUE(WaitFor([this] { return server_->Stats().lines >= 16; }));
+  server_->Shutdown();
+
+  size_t answered = 0;
+  for (;;) {
+    auto line = client.ReadLine();
+    if (!line.ok()) break;  // EOF once the drain finished
+    EXPECT_EQ(line.value().rfind("DIST ", 0), 0u) << line.value();
+    ++answered;
+  }
+  EXPECT_EQ(answered, 16u) << "drain must flush every buffered answer";
+  serve_thread_.join();
+  EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  EXPECT_EQ(server_->active_connections().load(), 0u);
+}
+
+TEST_F(NetTest, ExternalStopFlagDrainsTheReactorToo) {
+  // rne_server wires its signal flag through ServerLoopOptions::stop; the
+  // reactor must honor it exactly like Shutdown().
+  std::atomic<bool> stop{false};
+  TcpServerOptions options;
+  options.loop.stop = &stop;
+  options.poll_interval = 10ms;
+  StartServer(options);
+  BlockingClient client = Connect();
+  ASSERT_TRUE(client.Send("QUERY 0 3\n").ok());
+  ASSERT_TRUE(client.ReadLine().ok());
+  stop.store(true);
+  serve_thread_.join();
+  EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+}
+
+}  // namespace
+}  // namespace rne::net

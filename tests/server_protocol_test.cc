@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "serve/model_manager.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "serve/server_loop.h"
 
 namespace rne::serve {
@@ -218,6 +219,95 @@ TEST_F(ServerProtocolTest, ReloadVerbSwapsAndReportsVersion) {
   EXPECT_EQ(lines[3].rfind("ERR ", 0), 0u) << lines[3];
   EXPECT_EQ(manager.version(), 2u);
   std::filesystem::remove(path);
+}
+
+TEST_F(ServerProtocolTest, DistLinesCarryTheCachedFlag) {
+  // Without a cache every answer is cached=0; with one, the second
+  // identical query is a hit and says so on the wire.
+  const auto uncached = Run("QUERY 0 5\nQUERY 0 5\n");
+  ASSERT_EQ(uncached.size(), 2u);
+  for (const auto& line : uncached) {
+    EXPECT_NE(line.find(" cached=0"), std::string::npos) << line;
+  }
+
+  ResultCache cache;
+  std::istringstream in("QUERY 0 5\nQUERY 0 5\n");
+  std::ostringstream out;
+  ServerLoopOptions options;
+  options.batch = 1;  // flush per line so the repeat sees the insert
+  options.cache = &cache;
+  RunServerLoop(in, out, engine_, options);
+  const auto lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find(" cached=0"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find(" cached=1"), std::string::npos) << lines[1];
+  EXPECT_EQ(cache.Stats().hits, 1u);
+}
+
+TEST_F(ServerProtocolTest, StatsReportsCacheAndConnectionShape) {
+  // No cache attached: the field is explicit null, not absent, so
+  // dashboards can rely on the key.
+  const auto plain = Run("STATS\n");
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_NE(plain[0].find("\"cache\": null"), std::string::npos) << plain[0];
+  EXPECT_NE(plain[0].find("\"active_connections\": 0"), std::string::npos)
+      << plain[0];
+
+  ResultCache cache;
+  std::istringstream in("QUERY 0 5\nQUERY 0 5\nSTATS\n");
+  std::ostringstream out;
+  ServerLoopOptions options;
+  options.batch = 1;
+  options.cache = &cache;
+  RunServerLoop(in, out, engine_, options);
+  const auto lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  const std::string& stats = lines[2];
+  EXPECT_EQ(stats.rfind("STATS {", 0), 0u) << stats;
+  for (const char* key :
+       {"\"cache\": {", "\"hits\": 1", "\"misses\": 1", "\"hit_rate\"",
+        "\"generation\"", "\"active_connections\": 0"}) {
+    EXPECT_NE(stats.find(key), std::string::npos) << key << " in " << stats;
+  }
+}
+
+TEST_F(ServerProtocolTest, ReloadInvalidatesTheAttachedCache) {
+  // RELOAD through the protocol must flush the cache: the repeat query
+  // right after the swap is a miss (cached=0), not a stale hit.
+  RneConfig config;
+  config.dim = 16;
+  config.hierarchical = false;
+  config.fine_tune = false;
+  config.train.vertex_samples = 5000;
+  config.train.vertex_epochs = 2;
+  const Rne model = Rne::Build(graph_, config);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rne_proto_cache_reload.bin")
+          .string();
+  ASSERT_TRUE(model.Save(path).ok());
+
+  ModelManager manager;
+  ResultCache cache;
+  manager.AddPublishListener([&cache](uint64_t) { cache.Invalidate(); });
+  std::istringstream in("QUERY 0 5\nQUERY 0 5\nRELOAD " + path +
+                        "\nQUERY 0 5\nQUERY 0 5\n");
+  std::ostringstream out;
+  ServerLoopOptions options;
+  options.batch = 1;
+  options.cache = &cache;
+  options.model_manager = &manager;
+  RunServerLoop(in, out, engine_, options);
+  std::filesystem::remove(path);
+
+  const auto lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[0].find(" cached=0"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find(" cached=1"), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[2].rfind("RELOAD OK", 0), 0u) << lines[2];
+  EXPECT_NE(lines[3].find(" cached=0"), std::string::npos)
+      << "stale hit served after RELOAD: " << lines[3];
+  EXPECT_NE(lines[4].find(" cached=1"), std::string::npos) << lines[4];
+  EXPECT_GE(cache.Stats().invalidations, 1u);
 }
 
 TEST_F(ServerProtocolTest, StopFlagHaltsTheLoopBeforeNewReads) {

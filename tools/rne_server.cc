@@ -1,23 +1,35 @@
 // Resident query server: loads a fallback chain of distance backends once,
-// then serves batched requests from stdin until EOF — the serving
-// counterpart of one-shot `rne_tool query`, which pays a full index load
-// per invocation.
+// then serves batched requests — from stdin until EOF (default), or over
+// TCP with --listen — the serving counterpart of one-shot `rne_tool query`,
+// which pays a full index load per invocation.
 //
 //   rne_server --model city.rne --gr net.gr [--co net.co]
 //              [--backends rne,dijkstra] [--threads 4] [--queue 4096]
 //              [--deadline-us 0] [--batch 64] [--shed]
+//              [--listen <port>] [--max-conns 1024] [--idle-timeout-ms 0]
+//              [--cache 65536] [--cache-shards 16]
 //
 // The line protocol (QUERY/KNN/STATS/METRICS/RELOAD) lives in
 // serve/server_loop.h; this binary only parses flags, builds the engine,
-// and wires the loop to stdin/stdout.
+// and wires the loop to stdin/stdout or to the epoll front end in
+// net/tcp_server.h (--listen; port 0 picks an ephemeral port, printed on
+// stderr as "listening on 127.0.0.1:<port>").
+//
+// --cache puts a sharded LRU result cache (serve/result_cache.h) in front
+// of the engine for both front ends; 0 disables it. A successful RELOAD
+// invalidates the cache via the ModelManager publish listener, so a swap
+// never serves a stale distance.
 //
 // With --model the "rne" backend is served through a ModelManager, so the
 // RELOAD verb hot-swaps the model without restarting. SIGINT/SIGTERM drain
-// gracefully: stop reading, flush the in-flight batch, print final stats.
+// gracefully: stop reading (the handlers install without SA_RESTART so
+// blocked reads/epoll_waits return with EINTR), flush in-flight batches,
+// write buffered answers, print final stats.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -25,8 +37,10 @@
 #include <vector>
 
 #include "graph/dimacs.h"
+#include "net/tcp_server.h"
 #include "serve/model_manager.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "serve/server_loop.h"
 #include "util/arg_parser.h"
 
@@ -72,7 +86,8 @@ int Main(int argc, char** argv) {
   const ArgParser& args = parsed.value();
   const Status known = args.RequireKnown(
       {"model", "gr", "co", "backends", "threads", "queue", "deadline-us",
-       "batch", "seed", "shed"});
+       "batch", "seed", "shed", "listen", "max-conns", "idle-timeout-ms",
+       "cache", "cache-shards"});
   if (!known.ok()) return Fail(known.ToString());
   FlagReader flags(args);
   EngineOptions options;
@@ -84,7 +99,17 @@ int Main(int argc, char** argv) {
   ServerLoopOptions loop_options;
   loop_options.batch = static_cast<size_t>(flags.Int("batch", 64));
   const auto seed = static_cast<uint64_t>(flags.Int("seed", 1));
+  const bool listen = args.Has("listen");
+  const long listen_port = flags.Int("listen", 0);
+  const long max_conns = flags.Int("max-conns", 1024);
+  const long idle_timeout_ms = flags.Int("idle-timeout-ms", 0);
+  const long cache_entries = flags.Int("cache", 65536);
+  const long cache_shards = flags.Int("cache-shards", 16);
   if (!flags.status().ok()) return Fail(flags.status().ToString());
+  if (listen_port < 0 || listen_port > 65535) {
+    return Fail("--listen expects a port in [0, 65535]");
+  }
+  if (cache_entries < 0) return Fail("--cache expects a non-negative count");
 
   Graph graph;
   BackendContext ctx;
@@ -136,10 +161,54 @@ int Main(int argc, char** argv) {
   }
   if (managed_rne) loop_options.model_manager = &manager;
   loop_options.stop = &g_shutdown;
+
+  // Result cache, shared by both front ends. The publish listener ties hot
+  // swap to invalidation: a RELOAD (or any other Load) can never leave a
+  // pre-swap distance reachable.
+  std::unique_ptr<ResultCache> cache;
+  if (cache_entries > 0) {
+    ResultCacheOptions cache_options;
+    cache_options.capacity = static_cast<size_t>(cache_entries);
+    cache_options.num_shards = static_cast<size_t>(
+        cache_shards <= 0 ? 1 : cache_shards);
+    cache = std::make_unique<ResultCache>(cache_options);
+    loop_options.cache = cache.get();
+    manager.AddPublishListener(
+        [cache = cache.get()](uint64_t) { cache->Invalidate(); });
+  }
+
   InstallShutdownHandlers();
-  std::fprintf(stderr, "rne_server ready: %zu backend(s), %zu worker(s)%s\n",
+  std::fprintf(stderr,
+               "rne_server ready: %zu backend(s), %zu worker(s)%s, cache=%ld\n",
                engine.num_backends(), engine.pool().num_threads(),
-               managed_rne ? ", hot reload enabled" : "");
+               managed_rne ? ", hot reload enabled" : "", cache_entries);
+
+  if (listen) {
+    net::TcpServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(listen_port);
+    server_options.max_connections = static_cast<size_t>(max_conns);
+    server_options.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
+    server_options.loop = loop_options;
+    net::TcpServer server(engine, server_options);
+    const Status started = server.Start();
+    if (!started.ok()) return Fail(started.ToString());
+    std::fprintf(stderr, "listening on 127.0.0.1:%u\n", server.port());
+    const Status served = server.Serve();
+    if (!served.ok()) return Fail(served.ToString());
+    const auto stats = server.Stats();
+    std::fprintf(stderr,
+                 "rne_server draining: %s, buffered answers written\n",
+                 g_shutdown.load(std::memory_order_acquire)
+                     ? "signal received"
+                     : "shutdown requested");
+    std::fprintf(stderr,
+                 "rne_server done: %llu line(s) over %llu connection(s), "
+                 "metrics %s\n",
+                 static_cast<unsigned long long>(stats.lines),
+                 static_cast<unsigned long long>(stats.accepted),
+                 engine.Metrics().ToJson().c_str());
+    return 0;
+  }
 
   const size_t lines = RunServerLoop(std::cin, std::cout, engine, loop_options);
   if (g_shutdown.load(std::memory_order_acquire)) {
