@@ -119,6 +119,64 @@ def test_obs_hot_loop_fires_only_in_core_loops():
     assert "obs-hot-loop" not in rules_fired(lint_source("src/core/k.cc", good))
 
 
+def test_serial_build_loop_fires_in_baseline_loops():
+    bad = (
+        "void Build(const rne::Graph& g, std::span<const VertexId> srcs) {\n"
+        "  rne::DijkstraSearch search(g);\n"
+        "  for (const VertexId s : srcs) {\n"
+        "    const auto& dist = search.AllDistances(s);\n"
+        "    Fill(s, dist);\n"
+        "  }\n"
+        "}\n"
+    )
+    findings = lint_source("src/baselines/a.cc", bad)
+    assert "serial-build-loop" in rules_fired(findings)
+    assert any(f.line == 4 for f in findings if f.rule == "serial-build-loop")
+    # Single-line loop bodies count too.
+    one_liner = (
+        "void Build(rne::DijkstraSearch& search, size_t n) {\n"
+        "  for (size_t i = 0; i < n; ++i) Fill(i, search.AllDistances(i));\n"
+        "}\n"
+    )
+    assert "serial-build-loop" in rules_fired(
+        lint_source("src/baselines/a.cc", one_liner))
+
+
+def test_serial_build_loop_scope_and_suppression():
+    bad = (
+        "void Build(rne::DijkstraSearch& search, size_t n) {\n"
+        "  for (size_t i = 0; i < n; ++i) {\n"
+        "    const auto& dist = search.AllDistances(i);\n"
+        "  }\n"
+        "}\n"
+    )
+    # Outside src/baselines/ the rule never looks (algo internals own their
+    # loop shapes; landmark selection is inherently sequential).
+    assert "serial-build-loop" not in rules_fired(
+        lint_source("src/algo/a.cc", bad))
+    assert "serial-build-loop" not in rules_fired(
+        lint_source("tests/a.cc", bad))
+    # One SSSP outside any loop is the batched helper's own shape.
+    single = (
+        "std::vector<double> Row(rne::DijkstraSearch& search, VertexId s) {\n"
+        "  return search.AllDistances(s);\n"
+        "}\n"
+    )
+    assert "serial-build-loop" not in rules_fired(
+        lint_source("src/baselines/a.cc", single))
+    # A documented single-thread fallback is suppressible per line.
+    suppressed = (
+        "void Build(rne::DijkstraSearch& search, size_t n) {\n"
+        "  for (size_t i = 0; i < n; ++i) {\n"
+        "    // rne-lint: allow(serial-build-loop) single-thread fallback\n"
+        "    const auto& dist = search.AllDistances(i);\n"
+        "  }\n"
+        "}\n"
+    )
+    assert "serial-build-loop" not in rules_fired(
+        lint_source("src/baselines/a.cc", suppressed))
+
+
 def test_header_guard_fires_on_unguarded_header():
     assert "header-guard" in rules_fired(
         lint_source("src/x/a.h", "struct S {};\n"))

@@ -29,6 +29,11 @@ Rules:
                a `catch (...)` block that neither rethrows nor records the
                failure (Status, log, abort, test failure) — it converts
                unknown exceptions into silent wrong behavior.
+  serial-build-loop
+               a per-node AllDistances() single-source search inside a loop
+               in src/baselines/ — build loops over SSSP sources must go
+               through a batched parallel fill (ComputeLandmarkDistances or
+               a ThreadPool shard) so index builds scale with --threads.
   raw-syscall-retry
                bare read()/write()/accept() in files doing raw fd I/O with
                no EINTR handling nearby. The serving binaries install
@@ -246,6 +251,50 @@ class ObsHotLoopRule(Rule):
                     scopes.pop()
 
 
+class SerialBuildLoopRule(Rule):
+    name = "serial-build-loop"
+    description = (
+        "per-node AllDistances() inside a src/baselines build loop — batch"
+        " the sources through ComputeLandmarkDistances or a ThreadPool"
+        " shard so the build scales with --threads"
+    )
+    CALL_RE = re.compile(r"\bAllDistances\s*\(")
+    LOOP_RE = re.compile(r"\b(for|while)\s*\(")
+
+    def applies_to(self, path):
+        norm = path.replace(os.sep, "/")
+        return super().applies_to(path) and "src/baselines/" in norm
+
+    def check(self, path, lines):
+        # Brace-depth scope stack, as in ObsHotLoopRule: a scope is a loop
+        # body when its brace was opened by a for/while header.
+        scopes = []
+        pending_loop = False
+        for i, raw in enumerate(lines):
+            line = strip_comments_and_strings(raw)
+            m = self.CALL_RE.search(line)
+            loop_m = self.LOOP_RE.search(line)
+            # In a loop body (scope stack), on the line after a brace-less
+            # loop header, or on the header line itself after the for/while.
+            if m and (any(scopes) or (pending_loop and loop_m is None)
+                      or (loop_m is not None and m.start() > loop_m.start())):
+                yield Finding(
+                    self.name, path, i + 1,
+                    "AllDistances() runs one full SSSP per loop iteration;"
+                    " batch the sources through ComputeLandmarkDistances or"
+                    " a ThreadPool shard (see DESIGN.md §14) so the build"
+                    " scales with --threads",
+                )
+            if self.LOOP_RE.search(line):
+                pending_loop = True
+            for ch in line:
+                if ch == "{":
+                    scopes.append(pending_loop)
+                    pending_loop = False
+                elif ch == "}" and scopes:
+                    scopes.pop()
+
+
 class HeaderGuardRule(Rule):
     name = "header-guard"
     description = "headers need #pragma once or an #ifndef/#define guard"
@@ -362,6 +411,7 @@ ALL_RULES = [
     RawRandomRule(),
     WireResizeRule(),
     ObsHotLoopRule(),
+    SerialBuildLoopRule(),
     HeaderGuardRule(),
     SilentCatchAllRule(),
     RawSyscallRetryRule(),

@@ -1,8 +1,11 @@
 #include "algo/landmarks.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "algo/dijkstra.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace rne {
 
@@ -45,6 +48,36 @@ std::vector<VertexId> SelectLandmarksFarthest(const Graph& g, size_t count,
     landmarks.push_back(farthest);
   }
   return landmarks;
+}
+
+std::vector<double> ComputeLandmarkDistances(
+    const Graph& g, const std::vector<VertexId>& landmarks,
+    size_t num_threads) {
+  RNE_SPAN("build.landmark_matrix");
+  const size_t n = g.NumVertices();
+  std::vector<double> out(landmarks.size() * n, kInfDistance);
+  auto fill_row = [&](DijkstraSearch& search, size_t i) {
+    const auto& dist = search.AllDistances(landmarks[i]);
+    std::copy(dist.begin(), dist.end(),
+              out.begin() + static_cast<long>(i * n));
+  };
+  const size_t threads =
+      std::min(ResolveNumThreads(num_threads),
+               std::max<size_t>(landmarks.size(), 1));
+  if (threads <= 1) {
+    DijkstraSearch search(g);
+    for (size_t i = 0; i < landmarks.size(); ++i) fill_row(search, i);
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::unique_ptr<DijkstraSearch>> scratch(pool.num_threads());
+    pool.ParallelFor(landmarks.size(), [&](size_t i) {
+      size_t slot = ThreadPool::CurrentWorkerIndex();
+      if (slot == ThreadPool::kNotAWorker) slot = 0;
+      if (!scratch[slot]) scratch[slot] = std::make_unique<DijkstraSearch>(g);
+      fill_row(*scratch[slot], i);
+    });
+  }
+  return out;
 }
 
 }  // namespace rne

@@ -20,9 +20,17 @@ std::vector<VertexId> SelectLandmarksRandom(const Graph& g, size_t count,
 
 /// Farthest-point landmark selection: the first landmark is random; each
 /// subsequent one maximizes the min network distance to those selected.
-/// Cost: `count` single-source shortest-path runs.
+/// Cost: `count` single-source shortest-path runs (inherently sequential:
+/// each pick depends on the previous landmark's distances).
 std::vector<VertexId> SelectLandmarksFarthest(const Graph& g, size_t count,
                                               Rng& rng);
+
+/// Row-major |landmarks| x |V| matrix of exact distances, one root Dijkstra
+/// per landmark run across `num_threads` workers (0 = hardware). Rows are
+/// independent, so the matrix is identical for every thread count.
+std::vector<double> ComputeLandmarkDistances(
+    const Graph& g, const std::vector<VertexId>& landmarks,
+    size_t num_threads = 0);
 
 }  // namespace rne
 

@@ -5,23 +5,20 @@
 
 #include "algo/dijkstra.h"
 #include "algo/landmarks.h"
+#include "obs/trace.h"
 #include "util/serialize.h"
 
 namespace rne {
 
-AltIndex::AltIndex(const Graph& g, size_t num_landmarks, Rng& rng)
+AltIndex::AltIndex(const Graph& g, size_t num_landmarks, Rng& rng,
+                   size_t num_threads)
     : num_vertices_(g.NumVertices()),
       astar_(std::make_unique<AStarSearch>(g)) {
+  RNE_SPAN("build.alt");
   landmarks_ = SelectLandmarksFarthest(g, num_landmarks, rng);
   num_landmarks_ = landmarks_.size();
   RNE_CHECK(num_landmarks_ > 0);
-  landmark_dist_.resize(num_landmarks_ * num_vertices_);
-  DijkstraSearch search(g);
-  for (size_t i = 0; i < num_landmarks_; ++i) {
-    const auto& dist = search.AllDistances(landmarks_[i]);
-    std::copy(dist.begin(), dist.end(),
-              landmark_dist_.begin() + static_cast<long>(i * num_vertices_));
-  }
+  landmark_dist_ = ComputeLandmarkDistances(g, landmarks_, num_threads);
 }
 
 double AltIndex::LowerBound(VertexId s, VertexId t) const {

@@ -22,8 +22,11 @@ namespace rne {
 class AltIndex : public DistanceMethod {
  public:
   /// Builds the landmark matrix with `num_landmarks` farthest-point
-  /// landmarks (|U| single-source searches).
-  AltIndex(const Graph& g, size_t num_landmarks, Rng& rng);
+  /// landmarks (|U| single-source searches). Selection is sequential;
+  /// the matrix rows fill across `num_threads` workers (0 = hardware) with
+  /// thread-count-invariant results.
+  AltIndex(const Graph& g, size_t num_landmarks, Rng& rng,
+           size_t num_threads = 0);
 
   std::string Name() const override { return "LT"; }
   /// LT estimate: midpoint of the tightest triangle-inequality bounds.

@@ -1,10 +1,15 @@
 #include "baselines/ch.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace rne {
 
@@ -25,10 +30,11 @@ class WitnessSearch {
   explicit WitnessSearch(size_t n)
       : dist_(n, kInfDistance), version_(n, 0) {}
 
-  /// Shortest u -> w distance avoiding `exclude`, visiting only
-  /// non-contracted vertices, aborting beyond `limit` distance or
+  /// Shortest u -> w distance avoiding `exclude` and every vertex with
+  /// blocked[v] set (contracted vertices, plus the current batch during
+  /// parallel contraction), aborting beyond `limit` distance or
   /// `settle_limit` settled vertices. Returns kInfDistance when aborted.
-  double Distance(const LiveAdj& adj, const std::vector<char>& contracted,
+  double Distance(const LiveAdj& adj, const std::vector<char>& blocked,
                   VertexId u, VertexId w, VertexId exclude, double limit,
                   size_t settle_limit) {
     ++version_counter_;
@@ -58,7 +64,7 @@ class WitnessSearch {
       if (d > limit) return kInfDistance;
       if (++settled > settle_limit) return kInfDistance;
       for (const auto& [to, weight] : adj[v]) {
-        if (to == exclude || contracted[to]) continue;
+        if (to == exclude || blocked[to]) continue;
         touch(to);
         const double nd = d + weight;
         if (nd < dist_[to] && nd <= limit) {
@@ -90,6 +96,7 @@ ContractionHierarchy::ContractionHierarchy(const Graph& g,
 }
 
 void ContractionHierarchy::Build(const Graph& g) {
+  RNE_SPAN("build.ch");
   LiveAdj live(n_);
   for (VertexId v = 0; v < n_; ++v) {
     for (const Edge& e : g.Neighbors(v)) AddOrRelax(live, v, e.to, e.weight);
@@ -109,19 +116,50 @@ void ContractionHierarchy::Build(const Graph& g) {
   }
 
   std::vector<char> contracted(n_, 0);
+  // contracted | current batch: what commit-time witness searches must avoid.
+  std::vector<char> blocked(n_, 0);
   std::vector<uint32_t> contracted_neighbors(n_, 0);
   std::vector<uint32_t> level(n_, 0);
-  WitnessSearch witness(n_);
 
-  // Returns the shortcuts required to contract v right now.
-  std::vector<FullEdge> shortcut_buffer;
-  auto simulate = [&](VertexId v, bool apply) -> int {
-    shortcut_buffer.clear();
+  // Independent-set batch contraction (DESIGN.md §14). Workers share nothing
+  // but the frozen overlay between barriers; each owns a WitnessSearch slot
+  // picked by ThreadPool::CurrentWorkerIndex(). num_threads == 1 runs inline
+  // with zero pool overhead and — the schedule being deterministic —
+  // produces the bit-identical index.
+  const size_t num_threads = ResolveNumThreads(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1 && n_ > 1) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  std::vector<std::unique_ptr<WitnessSearch>> scratch(num_threads);
+  auto witness_for_worker = [&]() -> WitnessSearch& {
+    size_t slot = ThreadPool::CurrentWorkerIndex();
+    if (slot == ThreadPool::kNotAWorker) slot = 0;
+    if (!scratch[slot]) scratch[slot] = std::make_unique<WitnessSearch>(n_);
+    return *scratch[slot];
+  };
+  auto parallel_for = [&](size_t count,
+                          const std::function<void(size_t)>& fn) {
+    if (pool) {
+      pool->ParallelFor(count, fn);
+    } else {
+      for (size_t i = 0; i < count; ++i) fn(i);
+    }
+  };
+
+  // Counts (and optionally collects, when out != nullptr) the shortcuts
+  // required to contract v against the `avoid` view of the overlay.
+  // Neighbours are visited in ascending id order so witness-search call
+  // sequences — and thus settle-limit effects — are reproducible.
+  auto simulate = [&](VertexId v, const std::vector<char>& avoid,
+                      std::vector<FullEdge>* out) -> int {
+    WitnessSearch& witness = witness_for_worker();
     std::vector<std::pair<VertexId, double>> nbrs;
     nbrs.reserve(live[v].size());
     for (const auto& [to, w] : live[v]) {
       if (!contracted[to]) nbrs.emplace_back(to, w);
     }
+    std::sort(nbrs.begin(), nbrs.end());
     int shortcuts = 0;
     for (size_t i = 0; i < nbrs.size(); ++i) {
       for (size_t j = i + 1; j < nbrs.size(); ++j) {
@@ -129,62 +167,105 @@ void ContractionHierarchy::Build(const Graph& g) {
         const auto [w, ww] = nbrs[j];
         const double via = wu + ww;
         const double tolerated = via * (1.0 + options_.epsilon);
-        const double witness_dist =
-            witness.Distance(live, contracted, u, w, v, tolerated,
-                             options_.witness_settle_limit);
+        const double witness_dist = witness.Distance(
+            live, avoid, u, w, v, tolerated, options_.witness_settle_limit);
         if (witness_dist <= tolerated) continue;  // witness path suffices
         ++shortcuts;
-        if (apply) shortcut_buffer.push_back({u, w, via, v});
+        if (out) out->push_back({u, w, via, v});
       }
     }
-    if (apply) {
-      for (const FullEdge& s : shortcut_buffer) {
+    return shortcuts - static_cast<int>(nbrs.size());
+  };
+
+  // The priority combines edge difference, contracted-neighbor count, and
+  // depth (the `level` term); without the latter two, tie-heavy grid
+  // regions contract in a checkerboard pattern whose fill-in densifies the
+  // overlay quadratically. Priorities are cached and recomputed only for
+  // vertices whose neighbourhood changed since the last round.
+  std::vector<double> priority(n_, 0.0);
+  std::vector<char> dirty(n_, 1);
+  std::vector<VertexId> remaining(n_);
+  for (VertexId v = 0; v < n_; ++v) remaining[v] = v;
+  std::vector<VertexId> to_rank;
+  std::vector<VertexId> batch;
+  std::vector<std::vector<FullEdge>> batch_shortcuts;
+
+  rank_.assign(n_, 0);
+  uint32_t next_rank = 0;
+  size_t rounds = 0;
+  while (!remaining.empty()) {
+    ++rounds;
+    // Rank: refresh stale priorities in parallel over the frozen overlay.
+    to_rank.clear();
+    for (const VertexId v : remaining) {
+      if (dirty[v]) to_rank.push_back(v);
+    }
+    parallel_for(to_rank.size(), [&](size_t i) {
+      const VertexId v = to_rank[i];
+      priority[v] = static_cast<double>(simulate(v, contracted, nullptr)) +
+                    2.0 * contracted_neighbors[v] + level[v];
+      dirty[v] = 0;
+    });
+
+    // Select: v joins the batch iff (priority, id) is a strict local
+    // minimum over its uncontracted neighbourhood. No two adjacent vertices
+    // qualify, and the global minimum always does, so progress is
+    // guaranteed and the batch is an independent set.
+    batch.clear();
+    for (const VertexId v : remaining) {
+      bool is_min = true;
+      for (const auto& [to, w] : live[v]) {
+        (void)w;
+        if (contracted[to]) continue;
+        if (std::make_pair(priority[to], to) <
+            std::make_pair(priority[v], v)) {
+          is_min = false;
+          break;
+        }
+      }
+      if (is_min) batch.push_back(v);
+    }
+    for (const VertexId v : batch) blocked[v] = 1;
+
+    // Contract: simulate every batch member concurrently. Witness searches
+    // avoid the whole batch (not just the member being contracted) so a
+    // witness found here still exists after the barrier commit; a missed
+    // witness only adds a redundant shortcut, never breaks exactness.
+    batch_shortcuts.assign(batch.size(), {});
+    parallel_for(batch.size(), [&](size_t i) {
+      simulate(batch[i], blocked, &batch_shortcuts[i]);
+    });
+
+    // Commit at the barrier, in deterministic batch order. Batch members
+    // are pairwise non-adjacent, so shortcut endpoints are never batch
+    // members and intra-batch rank order is immaterial for correctness —
+    // but ascending id keeps it reproducible.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const VertexId v = batch[i];
+      contracted[v] = 1;
+      rank_[v] = next_rank++;
+      for (const FullEdge& s : batch_shortcuts[i]) {
         AddOrRelax(live, s.u, s.v, s.w);
         AddOrRelax(live, s.v, s.u, s.w);
         all_edges.push_back(s);
         ++num_shortcuts_;
       }
     }
-    return shortcuts - static_cast<int>(nbrs.size());
-  };
-
-  // Lazy-update priority queue of (priority, vertex). The priority combines
-  // edge difference, contracted-neighbor count, and depth (the `level`
-  // term); without the latter two, tie-heavy grid regions contract in a
-  // checkerboard pattern whose fill-in densifies the overlay quadratically.
-  auto priority_of = [&](VertexId v) {
-    return static_cast<double>(simulate(v, /*apply=*/false)) +
-           2.0 * contracted_neighbors[v] + level[v];
-  };
-  using PqEntry = std::pair<double, VertexId>;
-  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> order_pq;
-  for (VertexId v = 0; v < n_; ++v) {
-    order_pq.emplace(priority_of(v), v);
-  }
-
-  rank_.assign(n_, 0);
-  uint32_t next_rank = 0;
-  while (!order_pq.empty()) {
-    const auto [prio, v] = order_pq.top();
-    order_pq.pop();
-    if (contracted[v]) continue;
-    // Lazy re-evaluation: contract only if still (approximately) minimal.
-    const double fresh = priority_of(v);
-    if (!order_pq.empty() && fresh > order_pq.top().first + 1e-9) {
-      order_pq.emplace(fresh, v);
-      continue;
-    }
-    simulate(v, /*apply=*/true);
-    contracted[v] = 1;
-    rank_[v] = next_rank++;
-    for (const auto& [to, w] : live[v]) {
-      (void)w;
-      if (!contracted[to]) {
+    for (const VertexId v : batch) {
+      for (const auto& [to, w] : live[v]) {
+        (void)w;
+        if (contracted[to]) continue;
         contracted_neighbors[to] += 1;
         level[to] = std::max(level[to], level[v] + 1);
+        dirty[to] = 1;
       }
     }
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [&](VertexId v) { return contracted[v]; }),
+                    remaining.end());
   }
+  RNE_COUNTER_ADD("build.ch.rounds", rounds);
+  RNE_COUNTER_ADD("build.ch.shortcuts", num_shortcuts_);
 
   // Upward CSR: edge (u, v) goes into the adjacency of the lower-ranked
   // endpoint, pointing at the higher-ranked one. Keep min weight per pair.
@@ -196,7 +277,8 @@ void ContractionHierarchy::Build(const Graph& g) {
     const VertexId bhi = blo == b.u ? b.v : b.u;
     if (alo != blo) return alo < blo;
     if (ahi != bhi) return ahi < bhi;
-    return a.w < b.w;
+    if (a.w != b.w) return a.w < b.w;
+    return a.via < b.via;  // total order: dedup keeps a deterministic edge
   });
   up_offsets_.assign(n_ + 1, 0);
   std::vector<UpEdge> edges;

@@ -1,13 +1,21 @@
 // Contraction Hierarchies [11] and their approximate variant ACH [12].
 //
 // Construction contracts vertices in importance order (edge difference +
-// contracted-neighbor count, maintained lazily); each contraction runs
-// bounded witness searches and inserts a shortcut u-w only when no witness
-// path of length <= (1 + epsilon) * (w(u,v) + w(v,w)) avoids v. epsilon = 0
-// gives the exact CH (bounded witness searches only ever add *extra*
-// shortcuts, preserving exactness); epsilon > 0 gives ACH, which drops
-// near-redundant shortcuts at the cost of an error that compounds along the
-// hierarchy (the paper measures ~4% at epsilon = 0.1).
+// contracted-neighbor count + depth) in independent-set batches: each round
+// re-ranks dirty vertices in parallel, selects every vertex whose
+// (priority, id) is a strict local minimum over its uncontracted overlay
+// neighbourhood, contracts the batch concurrently with per-worker witness
+// scratch, and commits shortcuts at a barrier (DESIGN.md §14). Witness
+// searches insert a shortcut u-w only when no witness path of length
+// <= (1 + epsilon) * (w(u,v) + w(v,w)) avoids the contracted vertex;
+// commit-time searches additionally avoid the whole current batch so a
+// witness cannot vanish when its own interior is contracted in the same
+// round. epsilon = 0 gives the exact CH (bounded witness searches only ever
+// add *extra* shortcuts, preserving exactness); epsilon > 0 gives ACH,
+// which drops near-redundant shortcuts at the cost of an error that
+// compounds along the hierarchy (the paper measures ~4% at epsilon = 0.1).
+// The schedule is a pure function of the graph, so every num_threads value
+// (including 1) builds the bit-identical index.
 //
 // Queries run a bidirectional upward Dijkstra over the order: both sides
 // relax only edges leading to more important vertices.
@@ -29,6 +37,9 @@ struct ChOptions {
   /// Max settled vertices per witness search (bounds construction time;
   /// failed searches only add redundant shortcuts, never break exactness).
   size_t witness_settle_limit = 500;
+  /// Contraction workers; 0 = hardware concurrency. The batch schedule is
+  /// deterministic, so every thread count builds the identical index.
+  size_t num_threads = 0;
 };
 
 class ContractionHierarchy : public DistanceMethod {

@@ -5,6 +5,7 @@
 
 #include "algo/dijkstra.h"
 #include "graph/subgraph.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace rne {
@@ -17,10 +18,12 @@ uint32_t GTree::IndexOf(const std::vector<VertexId>& list, VertexId v) {
 }
 
 GTree::GTree(const Graph& g, const GTreeOptions& options) : g_(&g) {
+  RNE_SPAN("build.gtree");
   HierarchyOptions hopt;
   hopt.fanout = options.fanout;
   hopt.leaf_threshold = options.leaf_size;
   hopt.partition.seed = options.seed;
+  hopt.partition.num_threads = options.num_threads;
   hier_ = std::make_unique<PartitionHierarchy>(
       PartitionHierarchy::Build(g, hopt));
   nodes_.resize(hier_->num_nodes());
@@ -36,7 +39,7 @@ GTree::GTree(const Graph& g, const GTreeOptions& options) : g_(&g) {
   }
 
   ComputeBorders(g);
-  ComputeMatrices(g, options.num_threads);
+  ComputeMatrices(g, options);
 
   // Default: every vertex is a target.
   for (uint32_t id = 0; id < nodes_.size(); ++id) {
@@ -100,7 +103,8 @@ void GTree::ComputeBorders(const Graph& g) {
   }
 }
 
-void GTree::ComputeMatrices(const Graph& g, size_t num_threads) {
+void GTree::ComputeMatrices(const Graph& g, const GTreeOptions& options) {
+  RNE_SPAN("build.gtree.matrices");
   // Distinct leaf-border sources; every matrix entry is d(b, x) for some
   // leaf border b, so one SSSP per source covers everything.
   std::vector<VertexId> sources;
@@ -157,8 +161,14 @@ void GTree::ComputeMatrices(const Graph& g, size_t num_threads) {
     }
   };
 
-  if (num_threads == 1 || sources.size() < 8) {
+  // 0 = hardware through the same resolution helper as every builder; the
+  // cutoff keeps tiny builds off the pool (the result is identical either
+  // way, since each source fills only its own rows).
+  const size_t num_threads = ResolveNumThreads(options.num_threads);
+  if (num_threads == 1 || sources.size() < options.parallel_source_cutoff) {
     DijkstraSearch search(g);
+    // rne-lint: allow(serial-build-loop) single-thread fallback of the
+    // sharded parallel fill below.
     for (const VertexId b : sources) fill_from_source(search, b);
     return;
   }

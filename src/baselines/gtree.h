@@ -34,7 +34,12 @@ namespace rne {
 struct GTreeOptions {
   size_t fanout = 4;
   size_t leaf_size = 64;
+  /// Build workers (0 = hardware), shared by the partitioning phase and the
+  /// per-source matrix SSSPs.
   size_t num_threads = 0;
+  /// Below this many leaf-border sources the matrix fill stays serial (pool
+  /// startup would dominate). Has no effect on the resulting index.
+  size_t parallel_source_cutoff = 8;
   uint64_t seed = 19;
 };
 
@@ -83,7 +88,7 @@ class GTree : public DistanceMethod {
   };
 
   void ComputeBorders(const Graph& g);
-  void ComputeMatrices(const Graph& g, size_t num_threads);
+  void ComputeMatrices(const Graph& g, const GTreeOptions& options);
 
   /// Shared best-first engine behind Knn (tau = inf) and Range (k = all).
   std::vector<std::pair<VertexId, double>> BestFirst(VertexId s, size_t k,

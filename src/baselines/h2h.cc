@@ -1,10 +1,13 @@
 #include "baselines/h2h.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace rne {
 
@@ -15,9 +18,13 @@ struct BagEntry {
 };
 }  // namespace
 
-H2HIndex::H2HIndex(const Graph& g) : n_(g.NumVertices()) { Build(g); }
+H2HIndex::H2HIndex(const Graph& g, const H2HOptions& options)
+    : n_(g.NumVertices()) {
+  Build(g, options);
+}
 
-void H2HIndex::Build(const Graph& g) {
+void H2HIndex::Build(const Graph& g, const H2HOptions& options) {
+  RNE_SPAN("build.h2h");
   // --- 1. Minimum-degree elimination with fill-in shortcuts. ---
   std::vector<std::unordered_map<VertexId, double>> live(n_);
   for (VertexId v = 0; v < n_; ++v) {
@@ -90,46 +97,91 @@ void H2HIndex::Build(const Graph& g) {
     }
   }
 
-  // --- 3. Top-down labeling over DFS with an explicit root-path stack. ---
+  // --- 3. Top-down labeling over DFS with an explicit root-path stack,
+  // parallel across independent subtrees. A serial DFS labels the upper
+  // tree; a node whose subtree is small enough becomes a task that labels
+  // its subtree on the pool, seeded with a snapshot of the ancestor path.
+  // A vertex's label depends only on its ancestors' labels (all finished
+  // before the task starts) and is accumulated in fixed bag order, so the
+  // labels are bitwise identical for every thread count.
   depth_.assign(n_, 0);
   root_of_.assign(n_, kInvalidVertex);
   label_.assign(n_, {});
   pos_.assign(n_, {});
-  std::vector<VertexId> path;  // path[d] = ancestor at depth d
-  // Iterative DFS carrying (vertex, resume-state).
+
+  const size_t num_threads = ResolveNumThreads(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1 && n_ > 1) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
+
+  // Subtree sizes: children are eliminated before their parent, so one pass
+  // in elimination order accumulates bottom-up.
+  std::vector<VertexId> by_rank(n_);
+  for (VertexId v = 0; v < n_; ++v) by_rank[elim_rank[v]] = v;
+  std::vector<uint32_t> subtree_size(n_, 0);
+  for (const VertexId v : by_rank) {
+    subtree_size[v] += 1;
+    if (parent_[v] != kInvalidVertex) {
+      subtree_size[parent_[v]] += subtree_size[v];
+    }
+  }
+  const size_t task_cutoff =
+      pool ? std::max<size_t>(256, n_ / (8 * num_threads)) : 0;
+
+  struct Task {
+    VertexId root;             // subtree root to label
+    VertexId component_root;   // root_of_ value for the whole subtree
+    std::vector<VertexId> ancestors;  // path[d] = ancestor at depth d
+  };
+  std::vector<Task> tasks;
+
+  auto label_vertex = [&](VertexId v, const std::vector<VertexId>& path,
+                          VertexId component_root) {
+    root_of_[v] = component_root;
+    depth_[v] = static_cast<uint32_t>(path.size());
+    label_[v].assign(depth_[v] + 1, kInfDistance);
+    label_[v][depth_[v]] = 0.0;
+    for (uint32_t i = 0; i < depth_[v]; ++i) {
+      double best = kInfDistance;
+      for (const BagEntry& e : bag[v]) {
+        // d(x, anc@i): x and anc@i are both on v's root path; take the
+        // label stored at the shallower of the two.
+        const double dx = depth_[e.to] >= i ? label_[e.to][i]
+                                            : label_[path[i]][depth_[e.to]];
+        if (dx != kInfDistance && e.weight + dx < best) {
+          best = e.weight + dx;
+        }
+      }
+      label_[v][i] = best;
+    }
+    pos_[v].reserve(bag[v].size() + 1);
+    for (const BagEntry& e : bag[v]) pos_[v].push_back(depth_[e.to]);
+    pos_[v].push_back(depth_[v]);
+  };
+
+  // Iterative DFS carrying (vertex, resume-state). With `spawn_tasks`,
+  // small-enough subtrees are deferred to the pool instead of descended.
   struct Frame {
     VertexId v;
     size_t child_idx;
   };
-  for (const VertexId root : roots) {
+  auto dfs_label = [&](VertexId start, VertexId component_root,
+                       std::vector<VertexId>& path, bool spawn_tasks,
+                       size_t& height) {
     std::vector<Frame> stack;
-    stack.push_back({root, 0});
+    stack.push_back({start, 0});
     while (!stack.empty()) {
       Frame& frame = stack.back();
       const VertexId v = frame.v;
       if (frame.child_idx == 0) {
-        // First visit: compute depth, labels, and bag positions.
-        root_of_[v] = root;
-        depth_[v] = static_cast<uint32_t>(path.size());
-        tree_height_ = std::max<size_t>(tree_height_, depth_[v] + 1);
-        label_[v].assign(depth_[v] + 1, kInfDistance);
-        label_[v][depth_[v]] = 0.0;
-        for (uint32_t i = 0; i < depth_[v]; ++i) {
-          double best = kInfDistance;
-          for (const BagEntry& e : bag[v]) {
-            // d(x, anc@i): x and anc@i are both on v's root path; take the
-            // label stored at the shallower of the two.
-            const double dx = depth_[e.to] >= i ? label_[e.to][i]
-                                                : label_[path[i]][depth_[e.to]];
-            if (dx != kInfDistance && e.weight + dx < best) {
-              best = e.weight + dx;
-            }
-          }
-          label_[v][i] = best;
+        if (spawn_tasks && subtree_size[v] <= task_cutoff) {
+          tasks.push_back({v, component_root, path});
+          stack.pop_back();
+          continue;
         }
-        pos_[v].reserve(bag[v].size() + 1);
-        for (const BagEntry& e : bag[v]) pos_[v].push_back(depth_[e.to]);
-        pos_[v].push_back(depth_[v]);
+        label_vertex(v, path, component_root);
+        height = std::max<size_t>(height, depth_[v] + 1);
         path.push_back(v);
       }
       if (frame.child_idx < children[v].size()) {
@@ -140,9 +192,32 @@ void H2HIndex::Build(const Graph& g) {
         stack.pop_back();
       }
     }
+  };
+
+  {
+    RNE_SPAN("build.h2h.label");
+    std::vector<VertexId> path;  // path[d] = ancestor at depth d
+    for (const VertexId root : roots) {
+      dfs_label(root, root, path, /*spawn_tasks=*/pool != nullptr,
+                tree_height_);
+    }
+    if (pool) {
+      std::vector<size_t> task_height(tasks.size(), 0);
+      pool->ParallelFor(tasks.size(), [&](size_t i) {
+        std::vector<VertexId> task_path = tasks[i].ancestors;
+        dfs_label(tasks[i].root, tasks[i].component_root, task_path,
+                  /*spawn_tasks=*/false, task_height[i]);
+      });
+      for (const size_t h : task_height) {
+        tree_height_ = std::max(tree_height_, h);
+      }
+      RNE_COUNTER_ADD("build.h2h.label_tasks", tasks.size());
+    }
   }
 
-  // --- 4. Binary-lifting LCA table. ---
+  // --- 4. Binary-lifting LCA table: level k reads only level k - 1, so
+  // each level fills in parallel between barriers. ---
+  RNE_SPAN("build.h2h.lift");
   size_t log = 1;
   while ((size_t{1} << log) < std::max<size_t>(tree_height_, 2)) ++log;
   up_.assign(log, std::vector<uint32_t>(n_));
@@ -150,7 +225,12 @@ void H2HIndex::Build(const Graph& g) {
     up_[0][v] = parent_[v] == kInvalidVertex ? v : parent_[v];
   }
   for (size_t k = 1; k < log; ++k) {
-    for (VertexId v = 0; v < n_; ++v) up_[k][v] = up_[k - 1][up_[k - 1][v]];
+    if (pool) {
+      pool->ParallelFor(
+          n_, [&](size_t v) { up_[k][v] = up_[k - 1][up_[k - 1][v]]; });
+    } else {
+      for (VertexId v = 0; v < n_; ++v) up_[k][v] = up_[k - 1][up_[k - 1][v]];
+    }
   }
 }
 

@@ -25,9 +25,17 @@
 
 namespace rne {
 
+struct H2HOptions {
+  /// Labeling workers; 0 = hardware concurrency. The elimination order is
+  /// computed serially and labels are pure functions of the tree, so every
+  /// thread count builds the bit-identical index (labels are parallel
+  /// across independent elimination-tree subtrees).
+  size_t num_threads = 0;
+};
+
 class H2HIndex : public DistanceMethod {
  public:
-  explicit H2HIndex(const Graph& g);
+  explicit H2HIndex(const Graph& g, const H2HOptions& options = {});
 
   std::string Name() const override { return "H2H"; }
   double Query(VertexId s, VertexId t) override;
@@ -48,7 +56,7 @@ class H2HIndex : public DistanceMethod {
 
  private:
   H2HIndex() = default;
-  void Build(const Graph& g);
+  void Build(const Graph& g, const H2HOptions& options);
 
   size_t n_ = 0;
   std::vector<uint32_t> parent_;

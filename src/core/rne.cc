@@ -6,6 +6,7 @@
 #include "core/kernels.h"
 #include "obs/trace.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace rne {
@@ -59,6 +60,9 @@ Rne Rne::Build(const Graph& g, const RneConfig& config, RneBuildStats* stats) {
   model.node_emb_ = trainer.model().FlattenNodes();
   model.p_ = config.p;
   model.scale_ = trainer.scale();
+  model.build_threads_ = static_cast<uint32_t>(
+      ResolveNumThreads(hopt.partition.num_threads));
+  model.build_seconds_ = total.ElapsedSeconds();
 
   if (stats != nullptr) {
     stats->partition_seconds = partition_seconds;
@@ -157,6 +161,9 @@ Status Rne::Save(const std::string& path) const {
   vertex_emb_.Write(w);
   node_emb_.Write(w);
   hierarchy_->WriteTo(w);
+  // Optional build-provenance trailer; readers that predate it stop here.
+  w.WritePod(build_threads_);
+  w.WritePod(build_seconds_);
   return w.Finish();
 }
 
@@ -169,6 +176,14 @@ StatusOr<Rne> Rne::Load(const std::string& path) {
       !model.vertex_emb_.Read(r) || !model.node_emb_.Read(r) ||
       !PartitionHierarchy::ReadFrom(r, hierarchy.get())) {
     return r.ReadError("corrupt RNE model file " + path);
+  }
+  // Build-provenance trailer, absent in files written before it existed.
+  if (r.remaining() >= sizeof(model.build_threads_) +
+                           sizeof(model.build_seconds_)) {
+    if (!r.ReadPod(&model.build_threads_) ||
+        !r.ReadPod(&model.build_seconds_)) {
+      return r.ReadError("corrupt RNE model file " + path);
+    }
   }
   RNE_RETURN_IF_ERROR(r.Finish());
   model.hierarchy_ = std::move(hierarchy);

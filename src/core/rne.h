@@ -82,6 +82,11 @@ class Rne {
 
   size_t dim() const { return vertex_emb_.dim(); }
   double p() const { return p_; }
+  /// Build provenance persisted with the model: worker threads resolved for
+  /// the partition build and total build wall time. Zero when the model
+  /// predates this field (older files load fine; the trailer is optional).
+  uint32_t build_threads() const { return build_threads_; }
+  double build_seconds() const { return build_seconds_; }
   /// Distance de-normalization factor baked into Query().
   double scale() const { return scale_; }
   size_t NumVertices() const { return vertex_emb_.rows(); }
@@ -114,6 +119,8 @@ class Rne {
   EmbeddingMatrix node_emb_;
   double p_ = 1.0;
   double scale_ = 1.0;
+  uint32_t build_threads_ = 0;
+  double build_seconds_ = 0.0;
 };
 
 }  // namespace rne

@@ -1,11 +1,13 @@
 #include "partition/hierarchy.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
-#include <queue>
 
 #include "graph/subgraph.h"
+#include "obs/trace.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace rne {
 
@@ -13,6 +15,7 @@ PartitionHierarchy PartitionHierarchy::Build(const Graph& g,
                                              const HierarchyOptions& options) {
   RNE_CHECK(options.fanout >= 2);
   RNE_CHECK(options.leaf_threshold >= 1);
+  RNE_SPAN("build.hierarchy");
 
   PartitionHierarchy h;
   h.leaf_of_.assign(g.NumVertices(), UINT32_MAX);
@@ -24,44 +27,72 @@ PartitionHierarchy PartitionHierarchy::Build(const Graph& g,
   std::iota(root.vertices.begin(), root.vertices.end(), 0);
   h.nodes_.push_back(std::move(root));
 
-  // Breadth-first subdivision.
-  std::queue<uint32_t> work;
-  work.push(0);
-  uint64_t seed_counter = options.partition.seed;
-  while (!work.empty()) {
-    const uint32_t id = work.front();
-    work.pop();
-    // Note: take a copy of the vertex list; nodes_ may reallocate below.
-    const std::vector<VertexId> vertices = h.nodes_[id].vertices;
-    const uint32_t level = h.nodes_[id].level;
+  // Level-synchronous subdivision: every node of a level partitions
+  // concurrently against the frozen tree, then children are appended
+  // serially in node-id order. Each node's partition is seeded from its id
+  // (assigned breadth-first, so ids — and therefore the whole tree — do not
+  // depend on the thread count). While a level has one splittable node
+  // (e.g. the root), PartitionGraph parallelizes internally instead; the
+  // inner thread count is 1 otherwise, so pools never nest.
+  const size_t num_threads = ResolveNumThreads(options.partition.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
-    const bool depth_capped =
-        options.max_levels != 0 && level + 1 >= options.max_levels;
-    if (vertices.size() <= options.leaf_threshold || depth_capped) {
-      continue;  // leaf
+  std::vector<uint32_t> frontier = {0};
+  while (!frontier.empty()) {
+    std::vector<uint32_t> splittable;
+    for (const uint32_t id : frontier) {
+      const Node& node = h.nodes_[id];
+      const bool depth_capped =
+          options.max_levels != 0 && node.level + 1 >= options.max_levels;
+      if (node.vertices.size() <= options.leaf_threshold || depth_capped) {
+        continue;  // leaf
+      }
+      splittable.push_back(id);
     }
-    const size_t parts = std::min(options.fanout, vertices.size());
-    auto [sub, to_parent] = InducedSubgraph(g, vertices);
-    PartitionOptions popt = options.partition;
-    popt.num_parts = parts;
-    popt.seed = ++seed_counter;
-    const PartitionResult pr = PartitionGraph(sub, popt);
 
-    std::vector<std::vector<VertexId>> groups(parts);
-    for (VertexId local = 0; local < sub.NumVertices(); ++local) {
-      groups[pr.part_of[local]].push_back(to_parent[local]);
+    std::vector<std::vector<std::vector<VertexId>>> groups(splittable.size());
+    auto split_node = [&](size_t i, size_t inner_threads) {
+      const uint32_t id = splittable[i];
+      const std::vector<VertexId>& vertices = h.nodes_[id].vertices;
+      const size_t parts = std::min(options.fanout, vertices.size());
+      auto [sub, to_parent] = InducedSubgraph(g, vertices);
+      PartitionOptions popt = options.partition;
+      popt.num_parts = parts;
+      popt.seed = MixSeed(options.partition.seed, id);
+      popt.num_threads = inner_threads;
+      const PartitionResult pr = PartitionGraph(sub, popt);
+      groups[i].resize(parts);
+      for (VertexId local = 0; local < sub.NumVertices(); ++local) {
+        groups[i][pr.part_of[local]].push_back(to_parent[local]);
+      }
+    };
+    if (pool != nullptr && splittable.size() > 1) {
+      pool->ParallelFor(splittable.size(),
+                        [&](size_t i) { split_node(i, /*inner_threads=*/1); });
+    } else {
+      for (size_t i = 0; i < splittable.size(); ++i) {
+        split_node(i, num_threads);
+      }
     }
-    for (auto& group : groups) {
-      if (group.empty()) continue;
-      Node child;
-      child.parent = id;
-      child.level = level + 1;
-      child.vertices = std::move(group);
-      const auto child_id = static_cast<uint32_t>(h.nodes_.size());
-      h.nodes_.push_back(std::move(child));
-      h.nodes_[id].children.push_back(child_id);
-      work.push(child_id);
+
+    std::vector<uint32_t> next;
+    for (size_t i = 0; i < splittable.size(); ++i) {
+      const uint32_t id = splittable[i];
+      const uint32_t level = h.nodes_[id].level;
+      for (auto& group : groups[i]) {
+        if (group.empty()) continue;
+        Node child;
+        child.parent = id;
+        child.level = level + 1;
+        child.vertices = std::move(group);
+        const auto child_id = static_cast<uint32_t>(h.nodes_.size());
+        h.nodes_.push_back(std::move(child));
+        h.nodes_[id].children.push_back(child_id);
+        next.push_back(child_id);
+      }
     }
+    frontier = std::move(next);
   }
 
   RNE_CHECK_MSG(h.FinishConstruction(), "Build produced an invalid tree");

@@ -1,12 +1,28 @@
 #include "partition/partitioner.h"
 
 #include <algorithm>
+#include <array>
+#include <memory>
 #include <numeric>
 #include <queue>
+
+#include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace rne {
 
 namespace {
+
+/// Minimum work-graph size before intra-bisection ParallelFor is worth the
+/// pool round trip.
+constexpr size_t kIntraParallelCutoff = 1024;
+
+/// Cell seed from the part-id interval [first_part, first_part + k):
+/// intervals are unique across the recursion tree, so every cell draws from
+/// an independent, reproducible stream.
+uint64_t CellSeed(uint64_t seed, uint64_t first_part, uint64_t k) {
+  return MixSeed(seed, first_part, k);
+}
 
 // Working graph for the multilevel pipeline: adjacency lists with aggregated
 // edge weights and a vertex weight = number of original vertices represented.
@@ -41,7 +57,7 @@ struct Coarsening {
   std::vector<uint32_t> fine_to_coarse;
 };
 
-Coarsening Coarsen(const WorkGraph& g, Rng& rng) {
+Coarsening Coarsen(const WorkGraph& g, Rng& rng, ThreadPool* intra_pool) {
   const size_t n = g.n();
   std::vector<uint32_t> match(n, UINT32_MAX);
   std::vector<uint32_t> order(n);
@@ -80,13 +96,6 @@ Coarsening Coarsen(const WorkGraph& g, Rng& rng) {
   for (uint32_t v = 0; v < n; ++v) {
     out.coarse.vwgt[out.fine_to_coarse[v]] += g.vwgt[v];
   }
-  // Aggregate edges; small maps per coarse vertex.
-  std::vector<std::pair<uint32_t, double>> buffer;
-  for (uint32_t cv = 0; cv < num_coarse; ++cv) {
-    buffer.clear();
-    // Collect from constituent fine vertices lazily below.
-    out.coarse.adj[cv] = {};
-  }
   for (uint32_t v = 0; v < n; ++v) {
     const uint32_t cv = out.fine_to_coarse[v];
     for (const auto& [u, w] : g.adj[v]) {
@@ -95,7 +104,11 @@ Coarsening Coarsen(const WorkGraph& g, Rng& rng) {
       out.coarse.adj[cv].emplace_back(cu, w);
     }
   }
-  for (auto& list : out.coarse.adj) {
+  // Sort + aggregate parallel edges per coarse vertex: the lists are
+  // independent, so this (the expensive half of coarsening) parallelizes
+  // with no synchronization and thread-count-invariant results.
+  auto aggregate = [&](size_t cv) {
+    auto& list = out.coarse.adj[cv];
     std::sort(list.begin(), list.end());
     size_t write = 0;
     for (size_t i = 0; i < list.size(); ++i) {
@@ -106,6 +119,11 @@ Coarsening Coarsen(const WorkGraph& g, Rng& rng) {
       }
     }
     list.resize(write);
+  };
+  if (intra_pool != nullptr && num_coarse >= kIntraParallelCutoff) {
+    intra_pool->ParallelFor(num_coarse, aggregate);
+  } else {
+    for (uint32_t cv = 0; cv < num_coarse; ++cv) aggregate(cv);
   }
   return out;
 }
@@ -173,7 +191,8 @@ std::vector<uint8_t> InitialBisection(const WorkGraph& g,
 // One Fiduccia-Mattheyses pass with rollback to the best prefix.
 // side weights must respect [min_weight0, max_weight0] for side 0.
 double FmPass(const WorkGraph& g, std::vector<uint8_t>& side,
-              uint64_t min_weight0, uint64_t max_weight0) {
+              uint64_t min_weight0, uint64_t max_weight0,
+              ThreadPool* intra_pool) {
   const size_t n = g.n();
   uint64_t weight0 = 0;
   for (uint32_t v = 0; v < n; ++v) {
@@ -185,14 +204,20 @@ double FmPass(const WorkGraph& g, std::vector<uint8_t>& side,
     return gain;
   };
 
-  // Max-heap keyed by gain; entries go stale when a neighbor moves.
+  // Max-heap keyed by gain; entries go stale when a neighbor moves. The
+  // initial gain sweep reads the frozen `side` only, so it parallelizes;
+  // the heap itself is built serially for a deterministic layout.
   std::priority_queue<std::pair<double, uint32_t>> heap;
   std::vector<char> locked(n, 0);
   std::vector<double> cached_gain(n, 0.0);
-  for (uint32_t v = 0; v < n; ++v) {
-    cached_gain[v] = gain_of(v);
-    heap.emplace(cached_gain[v], v);
+  if (intra_pool != nullptr && n >= kIntraParallelCutoff) {
+    intra_pool->ParallelFor(n, [&](size_t v) {
+      cached_gain[v] = gain_of(static_cast<uint32_t>(v));
+    });
+  } else {
+    for (uint32_t v = 0; v < n; ++v) cached_gain[v] = gain_of(v);
   }
+  for (uint32_t v = 0; v < n; ++v) heap.emplace(cached_gain[v], v);
 
   struct Move {
     uint32_t v;
@@ -239,7 +264,8 @@ double FmPass(const WorkGraph& g, std::vector<uint8_t>& side,
 // `target_weight` total vertex weight within (1 +/- eps).
 std::vector<uint8_t> Bisect(const WorkGraph& g, uint64_t target_weight,
                             double eps, size_t coarsen_threshold,
-                            size_t refine_passes, Rng& rng) {
+                            size_t refine_passes, Rng& rng,
+                            ThreadPool* intra_pool) {
   const uint64_t total = g.TotalVertexWeight();
   target_weight = std::min<uint64_t>(std::max<uint64_t>(target_weight, 1),
                                      total > 1 ? total - 1 : 1);
@@ -251,14 +277,14 @@ std::vector<uint8_t> Bisect(const WorkGraph& g, uint64_t target_weight,
   if (g.n() <= coarsen_threshold) {
     side = InitialBisection(g, target_weight, rng);
   } else {
-    Coarsening c = Coarsen(g, rng);
+    Coarsening c = Coarsen(g, rng, intra_pool);
     if (c.coarse.n() >= g.n()) {
       // Matching failed to shrink (e.g. isolated vertices): bisect directly.
       side = InitialBisection(g, target_weight, rng);
     } else {
       const std::vector<uint8_t> coarse_side =
           Bisect(c.coarse, target_weight, eps, coarsen_threshold,
-                 refine_passes, rng);
+                 refine_passes, rng, intra_pool);
       side.resize(g.n());
       for (uint32_t v = 0; v < g.n(); ++v) {
         side[v] = coarse_side[c.fine_to_coarse[v]];
@@ -266,20 +292,36 @@ std::vector<uint8_t> Bisect(const WorkGraph& g, uint64_t target_weight,
     }
   }
   for (size_t pass = 0; pass < refine_passes; ++pass) {
-    if (FmPass(g, side, min0, max0) <= 0.0) break;
+    if (FmPass(g, side, min0, max0, intra_pool) <= 0.0) break;
   }
   return side;
 }
 
-// Recursive k-way partitioning of the vertex subset `ids` of `wg`.
-void RecursiveKWay(const WorkGraph& wg, const std::vector<uint32_t>& ids,
-                   size_t k, uint32_t first_part,
-                   const PartitionOptions& options, Rng& rng,
-                   std::vector<uint32_t>* part_of) {
+// One cell of the level-synchronous recursive-bisection worklist: partition
+// the vertex subset `ids` of the root work graph into parts
+// [first_part, first_part + k).
+struct Cell {
+  std::vector<uint32_t> ids;
+  size_t k = 1;
+  uint32_t first_part = 0;
+};
+
+// Bisects one cell into its two child cells (returned halves are empty for
+// terminal cells, whose vertices are assigned to part_of directly — cells
+// cover disjoint vertex sets, so concurrent cells never write the same
+// entry). Each cell seeds its own Rng, making the result independent of
+// which thread runs it and of how many cells share the level.
+std::array<Cell, 2> BisectCell(const WorkGraph& wg, const Cell& cell,
+                               const PartitionOptions& options,
+                               ThreadPool* intra_pool,
+                               std::vector<uint32_t>* part_of) {
+  const std::vector<uint32_t>& ids = cell.ids;
+  const size_t k = cell.k;
   if (k == 1 || ids.size() <= 1) {
-    for (const uint32_t v : ids) (*part_of)[v] = first_part;
-    return;
+    for (const uint32_t v : ids) (*part_of)[v] = cell.first_part;
+    return {};
   }
+  Rng rng(CellSeed(options.seed, cell.first_part, k));
   // Build the induced subgraph of `ids`.
   std::vector<uint32_t> local_id(wg.n(), UINT32_MAX);
   for (uint32_t i = 0; i < ids.size(); ++i) local_id[ids[i]] = i;
@@ -301,7 +343,7 @@ void RecursiveKWay(const WorkGraph& wg, const std::vector<uint32_t>& ids,
       static_cast<double>(k));
   std::vector<uint8_t> side =
       Bisect(sub, target, options.balance_eps / 2.0, options.coarsen_threshold,
-             options.refine_passes, rng);
+             options.refine_passes, rng, intra_pool);
 
   // Guarantee each side can host its parts: move vertices if degenerate.
   size_t count0 = 0;
@@ -322,19 +364,31 @@ void RecursiveKWay(const WorkGraph& wg, const std::vector<uint32_t>& ids,
     }
   }
 
-  std::vector<uint32_t> left, right;
-  left.reserve(count0);
-  right.reserve(count1);
+  std::array<Cell, 2> halves;
+  halves[0].k = k_left;
+  halves[0].first_part = cell.first_part;
+  halves[0].ids.reserve(count0);
+  halves[1].k = k_right;
+  halves[1].first_part = cell.first_part + static_cast<uint32_t>(k_left);
+  halves[1].ids.reserve(count1);
   for (uint32_t i = 0; i < ids.size(); ++i) {
-    (side[i] == 0 ? left : right).push_back(ids[i]);
+    halves[side[i] == 0 ? 0 : 1].ids.push_back(ids[i]);
   }
-  RecursiveKWay(wg, left, k_left, first_part, options, rng, part_of);
-  RecursiveKWay(wg, right, k_right,
-                first_part + static_cast<uint32_t>(k_left), options, rng,
-                part_of);
+  return halves;
 }
 
 }  // namespace
+
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t x = seed ^ (a * 0x9E3779B97F4A7C15ull) ^
+               (b * 0xBF58476D1CE4E5B9ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
 
 void ComputeCutStats(const Graph& g, PartitionResult* result) {
   result->cut_weight = 0.0;
@@ -359,11 +413,46 @@ PartitionResult PartitionGraph(const Graph& g,
   RNE_CHECK_MSG(g.NumVertices() >= options.num_parts,
                 "more parts than vertices");
 
-  Rng rng(options.seed);
+  RNE_SPAN("build.partition.kway");
   const WorkGraph wg = FromGraph(g);
   std::vector<uint32_t> all(g.NumVertices());
   std::iota(all.begin(), all.end(), 0);
-  RecursiveKWay(wg, all, options.num_parts, 0, options, rng, &result.part_of);
+
+  const size_t num_threads = ResolveNumThreads(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1 && g.NumVertices() >= 2) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
+
+  // Level-synchronous worklist over the bisection tree. A level with a
+  // single cell (always the root split, the dominant cost) keeps the pool
+  // for intra-bisection parallelism; multi-cell levels fan the cells out
+  // across the pool instead. ThreadPool has no work stealing, so nesting
+  // the two would deadlock — and serially both paths compute identical
+  // results, which is what makes the partition thread-count-invariant.
+  std::vector<Cell> cells;
+  cells.push_back({std::move(all), options.num_parts, 0});
+  while (!cells.empty()) {
+    std::vector<std::array<Cell, 2>> halves(cells.size());
+    if (pool != nullptr && cells.size() > 1) {
+      pool->ParallelFor(cells.size(), [&](size_t i) {
+        halves[i] = BisectCell(wg, cells[i], options, /*intra_pool=*/nullptr,
+                               &result.part_of);
+      });
+    } else {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        halves[i] =
+            BisectCell(wg, cells[i], options, pool.get(), &result.part_of);
+      }
+    }
+    std::vector<Cell> next;
+    for (auto& pair : halves) {
+      for (auto& child : pair) {
+        if (!child.ids.empty()) next.push_back(std::move(child));
+      }
+    }
+    cells = std::move(next);
+  }
   ComputeCutStats(g, &result);
   return result;
 }

@@ -7,6 +7,13 @@
 // The objective is minimum cut weight under a balance constraint, which is
 // what the RNE hierarchy needs: sub-graphs whose internal proximity exceeds
 // cross-partition proximity.
+//
+// The recursion runs level-synchronously: all cells of one bisection level
+// are processed in parallel (each with its own deterministic Rng), and while
+// a level has a single cell — the dominant top split — the pool instead
+// parallelizes inside the bisection (coarse-edge aggregation and FM gain
+// initialization). Both paths compute the same values, so the partition is
+// a pure function of (graph, options) regardless of num_threads.
 #ifndef RNE_PARTITION_PARTITIONER_H_
 #define RNE_PARTITION_PARTITIONER_H_
 
@@ -29,6 +36,11 @@ struct PartitionOptions {
   /// FM refinement passes per uncoarsening level.
   size_t refine_passes = 4;
   uint64_t seed = 7;
+  /// Partitioning workers; 0 = hardware concurrency. Cells of the recursive
+  /// bisection tree are seeded independently (a deterministic mix of `seed`
+  /// and the cell's part-id interval), so every thread count produces the
+  /// identical partition.
+  size_t num_threads = 0;
 };
 
 /// Result of a kappa-way partitioning: part id per vertex, plus diagnostics.
@@ -48,6 +60,12 @@ PartitionResult PartitionGraph(const Graph& g, const PartitionOptions& options);
 
 /// Computes cut statistics of an assignment (exposed for tests).
 void ComputeCutStats(const Graph& g, PartitionResult* result);
+
+/// Deterministic splitmix64-style combination of a base seed with up to two
+/// structural identifiers (cell interval, tree-node id, ...). Parallel
+/// builds use it to hand every independently-processed unit its own
+/// reproducible random stream, making results thread-count-invariant.
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b = 0);
 
 }  // namespace rne
 

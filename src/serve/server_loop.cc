@@ -88,6 +88,22 @@ void LineProtocolHandler::AppendStats(std::string* out) {
           ? 0
           : options_.active_connections->load(std::memory_order_acquire);
   json.append(std::to_string(active));
+  json.append(", \"model\": ");
+  const auto snapshot = options_.model_manager == nullptr
+                            ? nullptr
+                            : options_.model_manager->Current();
+  if (snapshot == nullptr || snapshot->model == nullptr) {
+    json.append("null");
+  } else {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"version\": %llu, \"build_threads\": %u, "
+                  "\"build_seconds\": %.3f}",
+                  static_cast<unsigned long long>(snapshot->version),
+                  snapshot->model->build_threads(),
+                  snapshot->model->build_seconds());
+    json.append(buf);
+  }
   json.push_back('}');
   out->append("STATS ");
   out->append(json);

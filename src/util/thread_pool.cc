@@ -11,9 +11,7 @@ thread_local size_t tls_worker_index = ThreadPool::kNotAWorker;
 
 ThreadPool::ThreadPool(size_t num_threads)
     : default_group_(std::make_shared<GroupState>()) {
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
+  num_threads = ResolveNumThreads(num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });

@@ -17,6 +17,16 @@ namespace rne {
 
 class TaskGroup;
 
+/// Canonical resolution of a `num_threads` option shared by every parallel
+/// builder: 0 means hardware concurrency, and the result is always >= 1.
+/// Matches the ThreadPool constructor so "0 = hardware" behaves identically
+/// whether the caller sizes a pool or branches on the resolved count.
+inline size_t ResolveNumThreads(size_t requested) {
+  if (requested != 0) return requested;
+  const size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 /// Simple task-queue thread pool. Tasks are void() closures. Completion is
 /// tracked per task group, so independent clients (e.g. two concurrent
 /// serving batches, or a ParallelFor racing an engine batch) sharing one

@@ -1,0 +1,260 @@
+// Differential harness for the parallel index builders (DESIGN.md §14).
+//
+// Every offline builder takes a num_threads option and promises that the
+// built index is a pure function of (graph, options): the parallel schedule
+// is deterministic, so any thread count — including 1 — produces the same
+// index. These tests pin that contract: parallel-built indexes must answer
+// queries *bit-identically* to serial-built ones (EXPECT_EQ on doubles, not
+// EXPECT_NEAR), exact methods must still match the Dijkstra oracle, and the
+// partitioner must produce thread-count-invariant cells of unchanged quality.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/dijkstra.h"
+#include "algo/landmarks.h"
+#include "baselines/alt.h"
+#include "baselines/ch.h"
+#include "baselines/gtree.h"
+#include "baselines/h2h.h"
+#include "graph/generators.h"
+#include "partition/hierarchy.h"
+#include "partition/partitioner.h"
+#include "util/rng.h"
+
+namespace rne {
+namespace {
+
+Graph TestNetwork(uint64_t seed, size_t side = 12) {
+  RoadNetworkConfig cfg;
+  cfg.rows = side;
+  cfg.cols = side;
+  cfg.seed = seed;
+  return MakeRoadNetwork(cfg);
+}
+
+std::vector<std::pair<VertexId, VertexId>> QueryPairs(const Graph& g,
+                                                      size_t count,
+                                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(count);
+  const size_t n = g.NumVertices();
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(static_cast<VertexId>(rng.UniformIndex(n)),
+                       static_cast<VertexId>(rng.UniformIndex(n)));
+  }
+  return pairs;
+}
+
+// ---------------------------------------------------------------------- CH
+
+TEST(ParallelBuildTest, ChParallelBitIdenticalToSerialAndExact) {
+  const Graph g = TestNetwork(11);
+  ChOptions serial_opt;
+  serial_opt.num_threads = 1;
+  ChOptions parallel_opt;
+  parallel_opt.num_threads = 4;
+  ContractionHierarchy serial(g, serial_opt);
+  ContractionHierarchy parallel(g, parallel_opt);
+  DijkstraSearch dij(g);
+  for (const auto& [s, t] : QueryPairs(g, 80, 3)) {
+    const double parallel_dist = parallel.Query(s, t);
+    EXPECT_EQ(parallel_dist, serial.Query(s, t)) << "s=" << s << " t=" << t;
+    EXPECT_NEAR(parallel_dist, dij.Distance(s, t), 1e-6)
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST(ParallelBuildTest, ChThreadCountInvariance) {
+  const Graph g = TestNetwork(12);
+  const auto pairs = QueryPairs(g, 60, 5);
+  std::vector<double> baseline;
+  for (const size_t threads : {1, 2, 7}) {
+    ChOptions opt;
+    opt.num_threads = threads;
+    ContractionHierarchy ch(g, opt);
+    if (baseline.empty()) {
+      for (const auto& [s, t] : pairs) baseline.push_back(ch.Query(s, t));
+      continue;
+    }
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(ch.Query(pairs[i].first, pairs[i].second), baseline[i])
+          << "threads=" << threads << " pair=" << i;
+    }
+  }
+}
+
+TEST(ParallelBuildTest, AchParallelBitIdenticalToSerial) {
+  // The approximate (epsilon > 0) contraction shares the batch machinery.
+  const Graph g = TestNetwork(13);
+  ChOptions serial_opt;
+  serial_opt.epsilon = 0.1;
+  serial_opt.num_threads = 1;
+  ChOptions parallel_opt = serial_opt;
+  parallel_opt.num_threads = 4;
+  ContractionHierarchy serial(g, serial_opt);
+  ContractionHierarchy parallel(g, parallel_opt);
+  for (const auto& [s, t] : QueryPairs(g, 60, 7)) {
+    EXPECT_EQ(parallel.Query(s, t), serial.Query(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+// --------------------------------------------------------------------- H2H
+
+TEST(ParallelBuildTest, H2hParallelBitIdenticalToSerialAndExact) {
+  const Graph g = TestNetwork(21);
+  H2HOptions serial_opt;
+  serial_opt.num_threads = 1;
+  H2HOptions parallel_opt;
+  parallel_opt.num_threads = 4;
+  H2HIndex serial(g, serial_opt);
+  H2HIndex parallel(g, parallel_opt);
+  DijkstraSearch dij(g);
+  for (const auto& [s, t] : QueryPairs(g, 80, 9)) {
+    const double parallel_dist = parallel.Query(s, t);
+    EXPECT_EQ(parallel_dist, serial.Query(s, t)) << "s=" << s << " t=" << t;
+    EXPECT_NEAR(parallel_dist, dij.Distance(s, t), 1e-6)
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST(ParallelBuildTest, H2hThreadCountInvariance) {
+  const Graph g = TestNetwork(22);
+  const auto pairs = QueryPairs(g, 60, 11);
+  std::vector<double> baseline;
+  for (const size_t threads : {1, 2, 7}) {
+    H2HOptions opt;
+    opt.num_threads = threads;
+    H2HIndex h2h(g, opt);
+    if (baseline.empty()) {
+      for (const auto& [s, t] : pairs) baseline.push_back(h2h.Query(s, t));
+      continue;
+    }
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(h2h.Query(pairs[i].first, pairs[i].second), baseline[i])
+          << "threads=" << threads << " pair=" << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ G-tree
+
+TEST(ParallelBuildTest, GTreeParallelBitIdenticalToSerialAndExact) {
+  const Graph g = TestNetwork(31);
+  GTreeOptions serial_opt;
+  serial_opt.num_threads = 1;
+  GTreeOptions parallel_opt;
+  parallel_opt.num_threads = 4;
+  // Force the sharded parallel fill even at this test size.
+  parallel_opt.parallel_source_cutoff = 1;
+  GTree serial(g, serial_opt);
+  GTree parallel(g, parallel_opt);
+  DijkstraSearch dij(g);
+  for (const auto& [s, t] : QueryPairs(g, 60, 13)) {
+    const double parallel_dist = parallel.Distance(s, t);
+    EXPECT_EQ(parallel_dist, serial.Distance(s, t)) << "s=" << s << " t=" << t;
+    EXPECT_NEAR(parallel_dist, dij.Distance(s, t), 1e-6)
+        << "s=" << s << " t=" << t;
+  }
+}
+
+// --------------------------------------------------------------- ALT / LT
+
+TEST(ParallelBuildTest, LandmarkMatrixThreadCountInvariance) {
+  const Graph g = TestNetwork(41);
+  Rng rng(41);
+  const auto landmarks = SelectLandmarksFarthest(g, 8, rng);
+  const auto serial = ComputeLandmarkDistances(g, landmarks, 1);
+  for (const size_t threads : {2, 7}) {
+    const auto parallel = ComputeLandmarkDistances(g, landmarks, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelBuildTest, AltParallelBitIdenticalToSerial) {
+  const Graph g = TestNetwork(42);
+  Rng serial_rng(7);
+  Rng parallel_rng(7);
+  AltIndex serial(g, 8, serial_rng, /*num_threads=*/1);
+  AltIndex parallel(g, 8, parallel_rng, /*num_threads=*/4);
+  ASSERT_EQ(parallel.landmarks(), serial.landmarks());
+  for (const auto& [s, t] : QueryPairs(g, 60, 15)) {
+    EXPECT_EQ(parallel.Query(s, t), serial.Query(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+// ------------------------------------------------------------- Partitioner
+
+TEST(ParallelBuildTest, PartitionThreadCountInvarianceAndQuality) {
+  const Graph g = TestNetwork(51, /*side=*/16);
+  PartitionOptions serial_opt;
+  serial_opt.num_parts = 4;
+  serial_opt.num_threads = 1;
+  const PartitionResult serial = PartitionGraph(g, serial_opt);
+
+  double total_weight = 0.0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const auto& e : g.Neighbors(v)) total_weight += e.weight;
+  }
+  total_weight /= 2.0;  // each undirected edge visited twice
+
+  for (const size_t threads : {2, 7}) {
+    PartitionOptions opt = serial_opt;
+    opt.num_threads = threads;
+    const PartitionResult parallel = PartitionGraph(g, opt);
+    // The schedule is deterministic, so the parallel cut is the serial cut;
+    // the quality bound below is the contract a relaxed schedule would have
+    // to meet (cut within 25% of serial, balance within the configured eps).
+    EXPECT_EQ(parallel.part_of, serial.part_of) << "threads=" << threads;
+    EXPECT_LE(parallel.cut_weight, serial.cut_weight * 1.25 + 1e-9);
+    EXPECT_GT(total_weight, 0.0);
+    EXPECT_LE(parallel.cut_weight / total_weight, 0.35)
+        << "edge-cut ratio regressed at threads=" << threads;
+    std::vector<size_t> part_size(opt.num_parts, 0);
+    for (const uint32_t p : parallel.part_of) {
+      ASSERT_LT(p, opt.num_parts);
+      ++part_size[p];
+    }
+    // Each bisection level may take (1+eps) of its half, so the end-to-end
+    // bound compounds over the log2(num_parts) recursion levels.
+    const double cap = (1.0 + opt.balance_eps) * (1.0 + opt.balance_eps) *
+                       static_cast<double>(g.NumVertices()) /
+                       static_cast<double>(opt.num_parts);
+    for (size_t p = 0; p < opt.num_parts; ++p) {
+      EXPECT_LE(static_cast<double>(part_size[p]), cap + 1.0)
+          << "part " << p << " oversized at threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelBuildTest, HierarchyThreadCountInvariance) {
+  const Graph g = TestNetwork(52, /*side=*/16);
+  HierarchyOptions serial_opt;
+  serial_opt.partition.num_threads = 1;
+  const PartitionHierarchy serial = PartitionHierarchy::Build(g, serial_opt);
+  for (const size_t threads : {2, 7}) {
+    HierarchyOptions opt = serial_opt;
+    opt.partition.num_threads = threads;
+    const PartitionHierarchy parallel = PartitionHierarchy::Build(g, opt);
+    ASSERT_EQ(parallel.num_nodes(), serial.num_nodes())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.max_level(), serial.max_level());
+    for (uint32_t id = 0; id < serial.num_nodes(); ++id) {
+      EXPECT_EQ(parallel.node(id).parent, serial.node(id).parent) << id;
+      EXPECT_EQ(parallel.node(id).children, serial.node(id).children) << id;
+      EXPECT_EQ(parallel.node(id).vertices, serial.node(id).vertices) << id;
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(parallel.LeafOf(v), serial.LeafOf(v)) << "v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rne

@@ -3,7 +3,8 @@
 //
 //   rne_tool generate --rows 64 --cols 64 --seed 1 --gr net.gr --co net.co
 //   rne_tool build    --gr net.gr --co net.co --dim 64 --model city.rne
-//   rne_tool train    (alias for build) ... --threads 8 for parallel SGD
+//   rne_tool train    (alias for build) ... --threads 8 parallelizes the
+//                     partition build (deterministic) and SGD training
 //   rne_tool eval     --gr net.gr --co net.co --model city.rne --pairs 5000
 //   rne_tool query    --model city.rne --s 17 --t 9000
 //   rne_tool knn      --model city.rne --s 17 --k 5
@@ -77,7 +78,12 @@ int CmdBuild(const ArgParser& args) {
   RneConfig config;
   config.dim = static_cast<size_t>(flags.Int("dim", 64));
   config.train.seed = static_cast<uint64_t>(flags.Int("seed", 13));
-  config.train.num_threads = static_cast<size_t>(flags.Int("threads", 1));
+  // --threads drives both build phases: the partition build is deterministic
+  // at any worker count (0 = hardware); SGD training stays sequential unless
+  // threads > 1 is requested explicitly.
+  const size_t threads = static_cast<size_t>(flags.Int("threads", 1));
+  config.train.num_threads = threads;
+  config.hierarchy.partition.num_threads = threads;
   if (!flags.status().ok()) return Fail(flags.status().ToString());
   auto graph = LoadGraphArg(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
@@ -90,6 +96,9 @@ int CmdBuild(const ArgParser& args) {
   if (!st.ok()) return Fail(st.ToString());
   static const char* const kPhaseNames[3] = {"hierarchy", "vertex",
                                              "fine-tune"};
+  std::printf("  partition: %.1fs (%u build thread%s)\n",
+              stats.partition_seconds, model.build_threads(),
+              model.build_threads() == 1 ? "" : "s");
   for (int phase = 0; phase < 3; ++phase) {
     if (stats.phase_samples[phase] == 0) continue;
     const double secs = stats.phase_seconds[phase];
