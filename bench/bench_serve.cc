@@ -25,6 +25,13 @@
 // --connect host:port turns the binary into a pure client driving an
 // external rne_server (the CI socket smoke leg).
 //
+// An mmap leg re-loads the trained model in a child process per load mode
+// (heap / mmap / mmap-cold; --mmap-probe <mode> is the child entry point)
+// and reports load time, cold-map first-query latency, resident-set ceiling
+// (VmHWM) and load-time RSS growth from /proc/self/status, plus a CRC over
+// the answer bytes — the parent asserts the CRC is bit-identical across all
+// modes, so zero-copy serving provably returns the heap path's answers.
+//
 //   bench_serve [--rows 64] [--cols 64] [--dim 32] [--seconds 1.0]
 //               [--threads 1,2,4] [--batches 1,16,64,256]
 //               [--queue 8192] [--baseline-queries 20] [--out <path>]
@@ -32,11 +39,14 @@
 //               [--zipf 0] [--socket-seconds <seconds>] [--pipeline 64]
 //   bench_serve --connect 127.0.0.1:7777 [--queries 1000] [--pipeline 64]
 //               [--vertices 4096] [--zipf 1.0]
+//   bench_serve --mmap-probe heap|mmap|cold --model city.rne
+//               [--probe-queries 512]
 //
 // Smoke run (CI): bench_serve --seconds 0.2 --threads 2 --batches 64
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <sstream>
@@ -50,6 +60,7 @@
 #include "bench/bench_common.h"
 #include "core/rne.h"
 #include "graph/generators.h"
+#include "util/crc32c.h"
 #include "net/client.h"
 #include "net/tcp_server.h"
 #include "obs/metrics.h"
@@ -709,6 +720,148 @@ int RunConnectClient(const std::string& target, size_t queries,
   return errors == 0 && answered == queries ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// mmap leg: per-mode child probes with bit-exact answer comparison.
+
+/// VmRSS/VmHWM in kB from /proc/self/status (zeros when unavailable).
+struct ProcessRss {
+  uint64_t rss_kb = 0;
+  uint64_t hwm_kb = 0;
+};
+
+ProcessRss ReadProcessRss() {
+  ProcessRss out;
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return out;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) out.rss_kb = kb;
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) out.hwm_kb = kb;
+  }
+  std::fclose(f);
+  return out;
+}
+
+/// Child entry point (--mmap-probe <mode>): load the model under one load
+/// mode, answer a deterministic query stream, and print one parseable
+/// MMAP_PROBE line. The answer CRC covers the raw double bytes, so the
+/// parent's cross-mode equality check is bit-exact, never tolerance-based.
+int RunMmapProbe(const std::string& mode, const std::string& model_path,
+                 size_t queries) {
+  LoadOptions load;
+  if (mode == "mmap") {
+    load.mode = LoadMode::kMmap;
+  } else if (mode == "cold") {
+    load.mode = LoadMode::kMmapCold;
+  } else if (mode != "heap") {
+    std::fprintf(stderr, "error: --mmap-probe expects heap|mmap|cold\n");
+    return 1;
+  }
+  const ProcessRss before = ReadProcessRss();
+  Timer load_timer;
+  auto model = Rne::Load(model_path, load);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const double load_ms = load_timer.ElapsedSeconds() * 1000.0;
+  const ProcessRss after_load = ReadProcessRss();
+  const size_t n = model.value().NumVertices();
+  // First query: cold maps pay their deferred section verification here.
+  const auto [s0, t0] = PairForRank(0, n);
+  Timer first_timer;
+  double answer = model.value().Query(s0, t0);
+  const double first_query_us =
+      static_cast<double>(first_timer.ElapsedNanos()) / 1000.0;
+  uint32_t crc = Crc32c(&answer, sizeof(answer));
+  for (size_t i = 1; i < queries; ++i) {
+    const auto [s, t] = PairForRank(i, n);
+    answer = model.value().Query(s, t);
+    crc = Crc32cExtend(crc, &answer, sizeof(answer));
+  }
+  const ProcessRss end = ReadProcessRss();
+  std::printf(
+      "MMAP_PROBE mode=%s mapped=%d load_ms=%.3f first_query_us=%.1f "
+      "load_rss_delta_kb=%lld vm_rss_kb=%llu vm_hwm_kb=%llu "
+      "answer_crc=%08x\n",
+      mode.c_str(), model.value().IsMapped() ? 1 : 0, load_ms,
+      first_query_us,
+      static_cast<long long>(after_load.rss_kb) -
+          static_cast<long long>(before.rss_kb),
+      static_cast<unsigned long long>(end.rss_kb),
+      static_cast<unsigned long long>(end.hwm_kb), crc);
+  return 0;
+}
+
+struct MmapProbeResult {
+  bool ok = false;
+  bool mapped = false;
+  double load_ms = 0.0;
+  double first_query_us = 0.0;
+  long long load_rss_delta_kb = 0;
+  uint64_t vm_rss_kb = 0;
+  uint64_t vm_hwm_kb = 0;
+  std::string answer_crc;
+};
+
+/// Runs `argv0 --mmap-probe <mode>` as a child process — each mode gets a
+/// fresh RSS baseline — and parses its MMAP_PROBE line.
+MmapProbeResult RunMmapProbeChild(const std::string& argv0,
+                                  const std::string& mode,
+                                  const std::string& model_path,
+                                  size_t queries) {
+  MmapProbeResult out;
+  const std::string cmd = "\"" + argv0 + "\" --mmap-probe " + mode +
+                          " --model \"" + model_path + "\" --probe-queries " +
+                          std::to_string(queries);
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return out;
+  char line[512];
+  std::string probe_line;
+  while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    if (std::strncmp(line, "MMAP_PROBE ", 11) == 0) probe_line = line;
+  }
+  const int status = pclose(pipe);
+  if (status != 0 || probe_line.empty()) return out;
+  char mode_buf[16] = {0};
+  int mapped = 0;
+  long long delta = 0;
+  unsigned long long rss = 0, hwm = 0;
+  char crc[16] = {0};
+  if (std::sscanf(probe_line.c_str(),
+                  "MMAP_PROBE mode=%15s mapped=%d load_ms=%lf "
+                  "first_query_us=%lf load_rss_delta_kb=%lld vm_rss_kb=%llu "
+                  "vm_hwm_kb=%llu answer_crc=%8s",
+                  mode_buf, &mapped, &out.load_ms, &out.first_query_us,
+                  &delta, &rss, &hwm, crc) != 8) {
+    return out;
+  }
+  out.mapped = mapped != 0;
+  out.load_rss_delta_kb = delta;
+  out.vm_rss_kb = rss;
+  out.vm_hwm_kb = hwm;
+  out.answer_crc = crc;
+  out.ok = true;
+  return out;
+}
+
+void AppendProbeJson(std::string* out, const char* key,
+                     const MmapProbeResult& p) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "    \"%s\": {\"mapped\": %s, \"load_ms\": %.3f, "
+                "\"first_query_us\": %.1f, \"load_rss_delta_kb\": %lld, "
+                "\"vm_rss_kb\": %llu, \"vm_hwm_kb\": %llu, "
+                "\"answer_crc\": \"%s\"}",
+                key, p.mapped ? "true" : "false", p.load_ms,
+                p.first_query_us, p.load_rss_delta_kb,
+                static_cast<unsigned long long>(p.vm_rss_kb),
+                static_cast<unsigned long long>(p.vm_hwm_kb),
+                p.answer_crc.c_str());
+  *out += buf;
+}
+
 /// QPS of the pre-engine serving path: one `rne_tool query` style
 /// invocation per query, i.e. a full model load followed by one lookup.
 double PerInvocationBaselineQps(const std::string& model_path, const Graph& g,
@@ -787,6 +940,9 @@ int Main(int argc, char** argv) {
   const std::string connect = args.Get("connect", "");
   const auto queries = static_cast<size_t>(flags.Int("queries", 1000));
   const auto vertices = static_cast<size_t>(flags.Int("vertices", 4096));
+  const std::string mmap_probe = args.Get("mmap-probe", "");
+  const auto probe_queries =
+      static_cast<size_t>(flags.Int("probe-queries", 512));
   const std::string out_path =
       args.Get("out", ResultsDir() + "/serve_report.json");
   if (!flags.status().ok()) {
@@ -794,6 +950,9 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  if (!mmap_probe.empty()) {
+    return RunMmapProbe(mmap_probe, args.Get("model", ""), probe_queries);
+  }
   if (!connect.empty()) {
     return RunConnectClient(connect, queries, pipeline, vertices, zipf_s);
   }
@@ -827,6 +986,36 @@ int Main(int argc, char** argv) {
   std::printf("baseline per-invocation: %.1f q/s; resident sequential: "
               "%.0f q/s\n",
               baseline_qps, resident_qps);
+
+  // mmap leg: the same model file re-loaded per mode in a child process.
+  const MmapProbeResult probe_heap =
+      RunMmapProbeChild(argv[0], "heap", model_path, probe_queries);
+  const MmapProbeResult probe_mmap =
+      RunMmapProbeChild(argv[0], "mmap", model_path, probe_queries);
+  const MmapProbeResult probe_cold =
+      RunMmapProbeChild(argv[0], "cold", model_path, probe_queries);
+  const bool ran_mmap = probe_heap.ok && probe_mmap.ok && probe_cold.ok;
+  if (ran_mmap) {
+    std::printf(
+        "mmap leg (%zu queries): heap load %.1fms rss+%lldkB | mmap load "
+        "%.1fms rss+%lldkB | cold load %.1fms rss+%lldkB first-query "
+        "%.0fus\n",
+        probe_queries, probe_heap.load_ms, probe_heap.load_rss_delta_kb,
+        probe_mmap.load_ms, probe_mmap.load_rss_delta_kb, probe_cold.load_ms,
+        probe_cold.load_rss_delta_kb, probe_cold.first_query_us);
+    if (probe_heap.answer_crc != probe_mmap.answer_crc ||
+        probe_heap.answer_crc != probe_cold.answer_crc) {
+      std::fprintf(stderr,
+                   "error: mmap-served answers are not bit-identical to the "
+                   "heap path (crc heap=%s mmap=%s cold=%s)\n",
+                   probe_heap.answer_crc.c_str(),
+                   probe_mmap.answer_crc.c_str(),
+                   probe_cold.answer_crc.c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "warning: mmap leg skipped (probe failed)\n");
+  }
 
   std::vector<SweepPoint> points;
   for (const size_t t : threads) {
@@ -969,6 +1158,18 @@ int Main(int argc, char** argv) {
         socket_brownout.recovered_qps,
         socket_brownout.served_through_fault ? "true" : "false");
     json += buf;
+  }
+  if (ran_mmap) {
+    std::snprintf(buf, sizeof(buf),
+                  "  \"mmap\": {\"queries\": %zu, \"parity\": true,\n",
+                  probe_queries);
+    json += buf;
+    AppendProbeJson(&json, "heap", probe_heap);
+    json += ",\n";
+    AppendProbeJson(&json, "mmap", probe_mmap);
+    json += ",\n";
+    AppendProbeJson(&json, "cold", probe_cold);
+    json += "\n  },\n";
   }
   // Process-global registry (per-backend latency histograms, persistence
   // and kNN counters accumulated across the whole sweep).

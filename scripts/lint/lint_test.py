@@ -336,6 +336,58 @@ def test_raw_syscall_retry_scope():
         lint_source("src/x/a.cc", suppressed))
 
 
+def test_raw_mmap_fires_outside_wrapper():
+    bad = (
+        "#include <sys/mman.h>\n"
+        "void* F(int fd, size_t n) {\n"
+        "  return mmap(nullptr, n, PROT_READ, MAP_SHARED, fd, 0);\n"
+        "}\n"
+    )
+    findings = lint_source("src/x/a.cc", bad)
+    assert "raw-mmap" in rules_fired(findings)
+    assert any(f.line == 3 for f in findings if f.rule == "raw-mmap")
+    # The explicit-global spelling and every cousin syscall fire too.
+    for call in ("::munmap(p, n)", "madvise(p, n, MADV_RANDOM)",
+                 "msync(p, n, MS_SYNC)", "mremap(p, n, m, 0)"):
+        src = "#include <sys/mman.h>\nvoid F() { %s; }\n" % call
+        assert "raw-mmap" in rules_fired(lint_source("src/x/a.cc", src)), call
+
+
+def test_raw_mmap_wrapper_and_lookalikes_are_clean():
+    # The audited home of the syscalls is exempt by path, header included.
+    raw = "void* p = ::mmap(nullptr, 8, PROT_READ, MAP_SHARED, fd, 0);\n"
+    assert "raw-mmap" not in rules_fired(
+        lint_source("src/util/mmap_file.cc", raw))
+    assert "raw-mmap" not in rules_fired(
+        lint_source("src/util/mmap_file.h", GUARD + raw + GUARD_END))
+    # Member calls, longer identifiers, comments and strings never fire.
+    clean = (
+        "// munmap happens in ~MmapFile\n"
+        'const char* kDoc = "mmap";\n'
+        "void F(Wrapper& w) { w.mmap(); }\n"
+        "void G() { do_mmap(); }\n"
+    )
+    assert "raw-mmap" not in rules_fired(lint_source("src/x/a.cc", clean))
+    # Uses of the wrapper API are the intended pattern.
+    wrapped = (
+        '#include "util/mmap_file.h"\n'
+        "rne::StatusOr<std::shared_ptr<rne::MmapFile>> F(\n"
+        "    const std::string& p) {\n"
+        "  return rne::MmapFile::Map(p);\n"
+        "}\n"
+    )
+    assert "raw-mmap" not in rules_fired(lint_source("src/x/a.cc", wrapped))
+
+
+def test_raw_mmap_suppression():
+    src = (
+        "#include <sys/mman.h>\n"
+        "// rne-lint: allow(raw-mmap) — fixture reason\n"
+        "void F(void* p, size_t n) { munmap(p, n); }\n"
+    )
+    assert "raw-mmap" not in rules_fired(lint_source("src/x/a.cc", src))
+
+
 def test_suppression_same_line_and_preceding_line():
     same = GUARD + "std::mutex mu;  // rne-lint: allow(raw-mutex)\n" + GUARD_END
     assert "raw-mutex" not in rules_fired(lint_source("src/x/a.h", same))

@@ -41,6 +41,10 @@ Rules:
                the interrupt), so any unwrapped syscall can fail spuriously
                under load; call the net::*Fd helpers (src/net/fd.h) or
                keep the retry loop next to the call.
+  raw-mmap     mmap/munmap/madvise/msync/mremap outside util/mmap_file.
+               Mappings must go through the MmapFile RAII wrapper (or
+               MappedEnvelope) so unmap-on-destruction, SIGBUS-safe length
+               validation and advice hints stay in one audited place.
 
 Suppression: append `// rne-lint: allow(<rule>)` to the offending line or
 the line directly above it. Suppressions are for documented, deliberate
@@ -406,6 +410,37 @@ class RawSyscallRetryRule(Rule):
             )
 
 
+class RawMmapRule(Rule):
+    name = "raw-mmap"
+    description = (
+        "direct mmap/munmap/madvise/msync/mremap outside util/mmap_file;"
+        " mappings must go through the MmapFile RAII wrapper"
+    )
+    # Negative lookbehind keeps member calls (x.mmap(), p->munmap()) and
+    # longer identifiers (do_mmap) out; an optional :: prefix is the usual
+    # explicit-global spelling at the call sites this rule owns.
+    PATTERN = re.compile(
+        r"(?<![\w.>])(?:::\s*)?(mmap|munmap|madvise|msync|mremap)\s*\(")
+
+    def applies_to(self, path):
+        norm = path.replace(os.sep, "/")
+        return super().applies_to(path) and not (
+            norm.endswith("util/mmap_file.h")
+            or norm.endswith("util/mmap_file.cc")
+        )
+
+    def check(self, path, lines):
+        for i, raw in enumerate(lines):
+            m = self.PATTERN.search(strip_comments_and_strings(raw))
+            if m:
+                yield Finding(
+                    self.name, path, i + 1,
+                    f"{m.group(1)}() outside util/mmap_file bypasses the"
+                    " audited MmapFile RAII wrapper (lifetime, length"
+                    " validation and advice hints live there)",
+                )
+
+
 ALL_RULES = [
     RawMutexRule(),
     RawRandomRule(),
@@ -415,6 +450,7 @@ ALL_RULES = [
     HeaderGuardRule(),
     SilentCatchAllRule(),
     RawSyscallRetryRule(),
+    RawMmapRule(),
 ]
 
 

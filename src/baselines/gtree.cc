@@ -120,42 +120,49 @@ void GTree::ComputeMatrices(const Graph& g, const GTreeOptions& options) {
   }
   num_leaf_borders_ = sources.size();
 
-  // Allocate matrices.
+  // Allocate all matrices as one pool (concatenated in node-id order) so a
+  // v2 save can emit them as a single mmap-servable section; each node's
+  // span views its slice.
+  std::vector<uint64_t> lens(nodes_.size(), 0);
+  std::vector<uint64_t> offsets(nodes_.size(), 0);
+  uint64_t total = 0;
   for (uint32_t id = 0; id < nodes_.size(); ++id) {
     const auto& node = hier_->node(id);
-    NodeData& data = nodes_[id];
-    if (node.IsLeaf()) {
-      data.matrix.assign(data.borders.size() * node.vertices.size(),
-                         kInfDistance);
-    } else {
-      data.matrix.assign(data.junction.size() * data.junction.size(),
-                         kInfDistance);
-    }
+    const NodeData& data = nodes_[id];
+    lens[id] = node.IsLeaf()
+                   ? data.borders.size() * node.vertices.size()
+                   : data.junction.size() * data.junction.size();
+    offsets[id] = total;
+    total += lens[id];
   }
+  matrix_pool_.assign(total, kInfDistance);
+  BindMatrixSpans(matrix_pool_.data(), lens);
 
   // For each source b: fill (a) the leaf row of b's leaf, and (b) the
-  // junction rows of every ancestor whose junction contains b.
+  // junction rows of every ancestor whose junction contains b. Writes go
+  // through the pool (the node spans are read-only views of it).
   auto fill_from_source = [&](DijkstraSearch& search, VertexId b) {
     const auto& dist = search.AllDistances(b);
     const uint32_t leaf = hier_->LeafOf(b);
     {
       const auto& node = hier_->node(leaf);
-      NodeData& data = nodes_[leaf];
+      const NodeData& data = nodes_[leaf];
+      double* matrix = matrix_pool_.data() + offsets[leaf];
       const uint32_t row = IndexOf(data.borders, b);
       if (row != UINT32_MAX) {
         for (uint32_t i = 0; i < node.vertices.size(); ++i) {
-          data.matrix[row * node.vertices.size() + i] =
-              dist[node.vertices[i]];
+          matrix[row * node.vertices.size() + i] = dist[node.vertices[i]];
         }
       }
     }
     for (uint32_t id = hier_->node(leaf).parent; id != UINT32_MAX;
          id = hier_->node(id).parent) {
-      NodeData& data = nodes_[id];
+      const NodeData& data = nodes_[id];
+      double* matrix = matrix_pool_.data() + offsets[id];
       const uint32_t row = IndexOf(data.junction, b);
       if (row == UINT32_MAX) continue;
       for (uint32_t i = 0; i < data.junction.size(); ++i) {
-        data.matrix[row * data.junction.size() + i] = dist[data.junction[i]];
+        matrix[row * data.junction.size() + i] = dist[data.junction[i]];
       }
       if (id == hier_->root()) break;
     }
@@ -268,6 +275,9 @@ size_t GTree::ChildSlot(uint32_t parent, uint32_t child) const {
 
 double GTree::Distance(VertexId s, VertexId t) {
   RNE_CHECK(s < g_->NumVertices() && t < g_->NumVertices());
+  // Cold-mapped trees verify deferred section checksums before the first
+  // matrix access; throws CorruptionError on a bad file.
+  if (mapping_ != nullptr) mapping_->EnsureAllVerifiedOrThrow();
   if (s == t) return 0.0;
   const uint32_t leaf_s = hier_->LeafOf(s);
   const uint32_t leaf_t = hier_->LeafOf(t);
@@ -354,6 +364,7 @@ std::vector<std::pair<VertexId, double>> GTree::BestFirst(VertexId s, size_t k,
                                                           double tau) {
   std::vector<std::pair<VertexId, double>> result;
   if (k == 0) return result;
+  if (mapping_ != nullptr) mapping_->EnsureAllVerifiedOrThrow();
 
   // d(s, B(n)) for ancestors of s, used to seed the off-path subtrees.
   const auto climb = ClimbFrom(s);
@@ -485,9 +496,19 @@ std::vector<std::pair<VertexId, double>> GTree::BestFirst(VertexId s, size_t k,
   return result;
 }
 
-Status GTree::Save(const std::string& path) const {
+Status GTree::Save(const std::string& path, SaveFormat format) const {
   BinaryWriter w(path, kGTreeMagic);
   if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
+  uint64_t total = 0;
+  for (const NodeData& data : nodes_) total += data.matrix.size();
+  const double* pool =
+      matrix_pool_.empty() ? pool_view_ : matrix_pool_.data();
+  if (format == SaveFormat::kSectioned) {
+    // All node matrices, concatenated in node-id order, in one aligned
+    // lazy-verify section; the meta stream keeps only per-node lengths.
+    w.AddSection(kSecGTreeMatrixPool, pool, total * sizeof(double),
+                 kSectionFlagLazyVerify);
+  }
   hier_->WriteTo(w);
   w.WritePod<uint64_t>(num_leaf_borders_);
   w.WriteVector(vertex_pos_in_leaf_);
@@ -495,7 +516,12 @@ Status GTree::Save(const std::string& path) const {
   for (const NodeData& data : nodes_) {
     w.WriteVector(data.borders);
     w.WriteVector(data.junction);
-    w.WriteVector(data.matrix);
+    if (format == SaveFormat::kSectioned) {
+      w.WritePod<uint64_t>(data.matrix.size());
+    } else {
+      w.WriteLengthPrefixed(data.matrix.data(), data.matrix.size(),
+                            sizeof(double));
+    }
     w.WriteVector(data.border_in_junction);
     w.WritePod<uint64_t>(data.child_border_in_junction.size());
     for (const auto& child : data.child_border_in_junction) {
@@ -506,17 +532,14 @@ Status GTree::Save(const std::string& path) const {
   return w.Finish();
 }
 
-StatusOr<GTree> GTree::Load(const std::string& path, const Graph& g) {
-  BinaryReader r(path, kGTreeMagic);
-  if (!r.ok()) return r.status();
-  GTree tree;
-  tree.g_ = &g;
-  tree.hier_ = std::make_unique<PartitionHierarchy>();
-  if (!PartitionHierarchy::ReadFrom(r, tree.hier_.get())) {
+Status GTree::ParseMeta(BinaryReader& r, const std::string& path,
+                        std::vector<uint64_t>* matrix_lens) {
+  hier_ = std::make_unique<PartitionHierarchy>();
+  if (!PartitionHierarchy::ReadFrom(r, hier_.get())) {
     return r.ReadError("corrupt G-tree index " + path);
   }
   uint64_t num_borders = 0, num_nodes = 0;
-  if (!r.ReadPod(&num_borders) || !r.ReadVector(&tree.vertex_pos_in_leaf_) ||
+  if (!r.ReadPod(&num_borders) || !r.ReadVector(&vertex_pos_in_leaf_) ||
       !r.ReadPod(&num_nodes)) {
     return r.ReadError("corrupt G-tree index " + path);
   }
@@ -526,14 +549,43 @@ StatusOr<GTree> GTree::Load(const std::string& path, const Graph& g) {
   if (num_nodes > r.remaining() / 48) {
     return Status::Corruption("inconsistent G-tree index " + path);
   }
-  tree.num_leaf_borders_ = num_borders;
-  tree.nodes_.resize(num_nodes);
-  for (NodeData& data : tree.nodes_) {
+  const bool v2 = r.format_version() >= kFormatVersionV2;
+  // v2: per-node lengths must tile the CRC-protected matrix section exactly,
+  // which bounds them before any allocation.
+  uint64_t pool_doubles = 0;
+  if (v2) {
+    const SectionInfo* sec = r.FindSection(kSecGTreeMatrixPool);
+    if (sec == nullptr || sec->size % sizeof(double) != 0) {
+      return Status::Corruption("inconsistent G-tree index " + path);
+    }
+    pool_doubles = sec->size / sizeof(double);
+  }
+  num_leaf_borders_ = num_borders;
+  nodes_.resize(num_nodes);
+  uint64_t total = 0;
+  for (NodeData& data : nodes_) {
     uint64_t num_children = 0;
-    if (!r.ReadVector(&data.borders) || !r.ReadVector(&data.junction) ||
-        !r.ReadVector(&data.matrix) ||
-        !r.ReadVector(&data.border_in_junction) ||
-        !r.ReadPod(&num_children)) {
+    if (!r.ReadVector(&data.borders) || !r.ReadVector(&data.junction)) {
+      return r.ReadError("corrupt G-tree index " + path);
+    }
+    uint64_t len = 0;
+    if (v2) {
+      if (!r.ReadPod(&len) || len > pool_doubles - total) {
+        return r.ReadError("corrupt G-tree index " + path);
+      }
+    } else {
+      // v1 streams the matrix inline; append it to the pool (spans are
+      // bound after the loop, once the pool stops growing).
+      std::vector<double> matrix;
+      if (!r.ReadVector(&matrix)) {
+        return r.ReadError("corrupt G-tree index " + path);
+      }
+      len = matrix.size();
+      matrix_pool_.insert(matrix_pool_.end(), matrix.begin(), matrix.end());
+    }
+    matrix_lens->push_back(len);
+    total += len;
+    if (!r.ReadVector(&data.border_in_junction) || !r.ReadPod(&num_children)) {
       return r.ReadError("corrupt G-tree index " + path);
     }
     if (num_children > r.remaining() / 8) {
@@ -549,12 +601,86 @@ StatusOr<GTree> GTree::Load(const std::string& path, const Graph& g) {
       return r.ReadError("corrupt G-tree index " + path);
     }
   }
+  if (v2 && total != pool_doubles) {
+    return Status::Corruption("inconsistent G-tree index " + path);
+  }
+  return Status::Ok();
+}
+
+void GTree::BindMatrixSpans(const double* pool,
+                            const std::vector<uint64_t>& matrix_lens) {
+  RNE_DCHECK(matrix_lens.size() == nodes_.size());
+  uint64_t offset = 0;
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    nodes_[id].matrix =
+        std::span<const double>(pool + offset, matrix_lens[id]);
+    offset += matrix_lens[id];
+  }
+}
+
+StatusOr<GTree> GTree::Load(const std::string& path, const Graph& g) {
+  return Load(path, g, LoadOptions{});
+}
+
+StatusOr<GTree> GTree::Load(const std::string& path, const Graph& g,
+                            const LoadOptions& options) {
+  if (options.mode == LoadMode::kBlockCache) {
+    return Status::InvalidArgument(
+        "G-tree indexes do not support block-cache loads (queries walk many "
+        "matrices per call); use mmap");
+  }
+  if (options.mode == LoadMode::kMmap ||
+      options.mode == LoadMode::kMmapCold) {
+    auto opened = MappedEnvelope::Open(path, kGTreeMagic, options.mode);
+    if (!opened.ok()) {
+      if (opened.status().code() == StatusCode::kFailedPrecondition) {
+        // v1 file: there are no sections to map; fall back to a heap load.
+        return Load(path, g, LoadOptions{});
+      }
+      return opened.status();
+    }
+    std::shared_ptr<const MappedEnvelope> env = std::move(opened).value();
+    BinaryReader r(env->file().data(), env->file().size(), path, kGTreeMagic);
+    if (!r.ok()) return r.status();
+    GTree tree;
+    tree.g_ = &g;
+    std::vector<uint64_t> lens;
+    RNE_RETURN_IF_ERROR(tree.ParseMeta(r, path, &lens));
+    RNE_RETURN_IF_ERROR(r.Finish());
+    tree.pool_view_ =
+        reinterpret_cast<const double*>(env->SectionData(kSecGTreeMatrixPool));
+    tree.BindMatrixSpans(tree.pool_view_, lens);
+    tree.mapping_ = std::move(env);
+    RNE_RETURN_IF_ERROR(tree.CheckConsistent(path, g));
+    return tree;
+  }
+
+  BinaryReader r(path, kGTreeMagic);
+  if (!r.ok()) return r.status();
+  GTree tree;
+  tree.g_ = &g;
+  std::vector<uint64_t> lens;
+  RNE_RETURN_IF_ERROR(tree.ParseMeta(r, path, &lens));
   RNE_RETURN_IF_ERROR(r.Finish());
-  if (tree.hier_->num_vertices() != g.NumVertices() ||
-      tree.nodes_.size() != tree.hier_->num_nodes()) {
+  if (r.format_version() >= kFormatVersionV2) {
+    uint64_t total = 0;
+    for (const uint64_t len : lens) total += len;
+    tree.matrix_pool_.resize(total);
+    RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecGTreeMatrixPool,
+                                          tree.matrix_pool_.data(),
+                                          total * sizeof(double)));
+  }
+  tree.BindMatrixSpans(tree.matrix_pool_.data(), lens);
+  RNE_RETURN_IF_ERROR(tree.CheckConsistent(path, g));
+  return tree;
+}
+
+Status GTree::CheckConsistent(const std::string& path, const Graph& g) const {
+  if (hier_->num_vertices() != g.NumVertices() ||
+      nodes_.size() != hier_->num_nodes()) {
     return Status::Corruption("G-tree index does not match graph: " + path);
   }
-  return tree;
+  return Status::Ok();
 }
 
 size_t GTree::IndexBytes() const {

@@ -23,11 +23,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "baselines/method.h"
 #include "partition/hierarchy.h"
+#include "util/mmap_file.h"
+#include "util/serialize.h"
 
 namespace rne {
 
@@ -69,8 +72,27 @@ class GTree : public DistanceMethod {
 
   /// Persists the tree + all distance matrices; Load re-binds to `g` (must
   /// be the graph the index was built on) and skips every search.
-  Status Save(const std::string& path) const;
+  /// kSectioned (default) concatenates every node's matrix into one aligned
+  /// lazy-verify section so the file can be served via mmap; kLegacyV1
+  /// writes the flat v1 payload with per-node matrix vectors.
+  Status Save(const std::string& path,
+              SaveFormat format = SaveFormat::kSectioned) const;
+  /// Heap load; reads v1 and v2 files.
   static StatusOr<GTree> Load(const std::string& path, const Graph& g);
+  /// Mode-controlled load. kMmap / kMmapCold serve the distance matrices
+  /// zero-copy from a read-only mapping (v1 files fall back to a heap
+  /// load — there is nothing to map). kBlockCache is not supported: queries
+  /// walk many matrices per call, so there is no bounded working set.
+  static StatusOr<GTree> Load(const std::string& path, const Graph& g,
+                              const LoadOptions& options);
+
+  /// True when the matrices are views into an mmap'd file.
+  bool IsMapped() const { return mapping_ != nullptr; }
+  /// Completes any deferred (cold-map) section verification. Ok for heap
+  /// models.
+  Status VerifyMapped() const {
+    return mapping_ == nullptr ? Status::Ok() : mapping_->EnsureAllVerified();
+  }
 
  private:
   GTree() = default;
@@ -78,8 +100,9 @@ class GTree : public DistanceMethod {
     std::vector<VertexId> borders;      // B(node)
     std::vector<VertexId> junction;     // U(node): union of children borders
                                         // (empty for leaves)
-    std::vector<double> matrix;         // leaf: |B| x |V(leaf)|;
-                                        // internal: |U| x |U|, row-major
+    /// leaf: |B| x |V(leaf)|; internal: |U| x |U|, row-major. A view into
+    /// matrix_pool_ (heap loads/builds) or the mapped file's matrix section.
+    std::span<const double> matrix;
     std::vector<uint32_t> border_in_junction;  // index of B(node)[i] in U
     /// Per child (ordered as hierarchy children): junction indices of that
     /// child's borders (precomputed to keep queries scan-free).
@@ -89,6 +112,16 @@ class GTree : public DistanceMethod {
 
   void ComputeBorders(const Graph& g);
   void ComputeMatrices(const Graph& g, const GTreeOptions& options);
+
+  /// Reads everything but the matrix payload; per-node matrix lengths (in
+  /// doubles) land in `matrix_lens`. v1 streams also append the matrix data
+  /// to matrix_pool_ (spans are bound afterwards, once the pool is stable).
+  Status ParseMeta(BinaryReader& r, const std::string& path,
+                   std::vector<uint64_t>* matrix_lens);
+  /// Points every node's matrix span at its slice of `pool`.
+  void BindMatrixSpans(const double* pool,
+                       const std::vector<uint64_t>& matrix_lens);
+  Status CheckConsistent(const std::string& path, const Graph& g) const;
 
   /// Shared best-first engine behind Knn (tau = inf) and Range (k = all).
   std::vector<std::pair<VertexId, double>> BestFirst(VertexId s, size_t k,
@@ -114,6 +147,12 @@ class GTree : public DistanceMethod {
   std::vector<NodeData> nodes_;
   std::vector<uint32_t> vertex_pos_in_leaf_;
   size_t num_leaf_borders_ = 0;
+  /// All node matrices concatenated in node-id order (heap storage). Node
+  /// spans alias this pool, so GTree is move-only (vector data is stable
+  /// under move).
+  std::vector<double> matrix_pool_;
+  const double* pool_view_ = nullptr;  // mmap loads: view into mapping_
+  std::shared_ptr<const MappedEnvelope> mapping_;
 };
 
 }  // namespace rne

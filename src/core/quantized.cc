@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/kernels.h"
-
 namespace rne {
 
 QuantizedRne::QuantizedRne(const Rne& model) {
@@ -44,39 +42,137 @@ QuantizedRne::QuantizedRne(const Rne& model) {
   }
 }
 
-double QuantizedRne::Query(VertexId s, VertexId t) const {
-  RNE_DCHECK(s < rows_ && t < rows_);
-  return QuantizedL1Kernel(Row(s), Row(t), steps_.data(), dim_) * scale_;
+double QuantizedRne::QueryCold(VertexId s, VertexId t) const {
+  // Rows are staged through stack buffers (dim is capped at kMaxColdDim by
+  // the load path); the cache pins at most one block at a time here, so
+  // query threads can never deadlock on pinned-slot exhaustion.
+  uint8_t row_s[kMaxColdDim];
+  uint8_t row_t[kMaxColdDim];
+  Status st =
+      cache_->Read(codes_file_offset_ + uint64_t{s} * dim_, row_s, dim_);
+  if (st.ok()) {
+    st = cache_->Read(codes_file_offset_ + uint64_t{t} * dim_, row_t, dim_);
+  }
+  if (!st.ok()) throw CorruptionError(st.ToString());
+  return QuantizedL1Kernel(row_s, row_t, steps_.data(), dim_) * scale_;
 }
 
-Status QuantizedRne::Save(const std::string& path) const {
+Status QuantizedRne::Save(const std::string& path, SaveFormat format) const {
+  if (cache_ != nullptr) {
+    return Status::FailedPrecondition(
+        "cannot re-save a block-cached model (codes are not resident): " +
+        path);
+  }
   BinaryWriter w(path, kQuantMagic);
   if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
+  const uint8_t* codes = codes_view_ != nullptr ? codes_view_ : codes_.data();
+  if (format == SaveFormat::kSectioned) {
+    w.AddSection(kSecQuantCodes, codes, rows_ * dim_, kSectionFlagLazyVerify);
+  }
   w.WritePod<uint64_t>(rows_);
   w.WritePod<uint64_t>(dim_);
   w.WritePod(scale_);
   w.WriteVector(steps_);
-  w.WriteVector(codes_);
+  if (format != SaveFormat::kSectioned) {
+    w.WriteLengthPrefixed(codes, rows_ * dim_, sizeof(uint8_t));
+  }
   return w.Finish();
 }
 
+Status QuantizedRne::ParseMeta(BinaryReader& r, const std::string& path) {
+  uint64_t rows = 0, dim = 0;
+  if (!r.ReadPod(&rows) || !r.ReadPod(&dim) || !r.ReadPod(&scale_) ||
+      !r.ReadVector(&steps_)) {
+    return r.ReadError("corrupt quantized model " + path);
+  }
+  if (r.format_version() >= kFormatVersionV2) {
+    const SectionInfo* sec = r.FindSection(kSecQuantCodes);
+    // The CRC-protected section table bounds the code bytes; corrupt
+    // rows/dim fields fail this cross-check instead of allocating.
+    if (sec == nullptr || (dim != 0 && rows > sec->size / dim) ||
+        rows * dim != sec->size) {
+      return r.ReadError("corrupt quantized model " + path);
+    }
+  } else if (!r.ReadVector(&codes_)) {
+    return r.ReadError("corrupt quantized model " + path);
+  }
+  rows_ = rows;
+  dim_ = dim;
+  return Status::Ok();
+}
+
+Status QuantizedRne::CheckConsistent(const std::string& path) const {
+  const bool inline_codes = codes_view_ == nullptr && cache_ == nullptr;
+  // The rows-bound check keeps rows*dim from overflowing on corrupt counts
+  // (v2 paths already cross-checked rows*dim against the section table).
+  if (steps_.size() != dim_ ||
+      (inline_codes && ((dim_ != 0 && rows_ > codes_.size() / dim_) ||
+                        codes_.size() != rows_ * dim_))) {
+    return Status::Corruption("inconsistent quantized model " + path);
+  }
+  return Status::Ok();
+}
+
 StatusOr<QuantizedRne> QuantizedRne::Load(const std::string& path) {
+  return Load(path, LoadOptions{});
+}
+
+StatusOr<QuantizedRne> QuantizedRne::Load(const std::string& path,
+                                          const LoadOptions& options) {
+  if (options.mode == LoadMode::kMmap ||
+      options.mode == LoadMode::kMmapCold) {
+    auto opened = MappedEnvelope::Open(path, kQuantMagic, options.mode);
+    if (!opened.ok()) {
+      if (opened.status().code() == StatusCode::kFailedPrecondition) {
+        return Load(path, LoadOptions{});  // v1: nothing to map
+      }
+      return opened.status();
+    }
+    std::shared_ptr<const MappedEnvelope> env = std::move(opened).value();
+    BinaryReader r(env->file().data(), env->file().size(), path,
+                   kQuantMagic);
+    if (!r.ok()) return r.status();
+    QuantizedRne q;
+    RNE_RETURN_IF_ERROR(q.ParseMeta(r, path));
+    RNE_RETURN_IF_ERROR(r.Finish());
+    q.codes_view_ = env->SectionData(kSecQuantCodes);
+    q.mapping_ = std::move(env);
+    RNE_RETURN_IF_ERROR(q.CheckConsistent(path));
+    return q;
+  }
+
   BinaryReader r(path, kQuantMagic);
   if (!r.ok()) return r.status();
   QuantizedRne q;
-  uint64_t rows = 0, dim = 0;
-  if (!r.ReadPod(&rows) || !r.ReadPod(&dim) || !r.ReadPod(&q.scale_) ||
-      !r.ReadVector(&q.steps_) || !r.ReadVector(&q.codes_)) {
-    return r.ReadError("corrupt quantized model " + path);
-  }
+  RNE_RETURN_IF_ERROR(q.ParseMeta(r, path));
   RNE_RETURN_IF_ERROR(r.Finish());
-  q.rows_ = rows;
-  q.dim_ = dim;
-  // The rows-bound check keeps rows*dim from overflowing on corrupt counts.
-  if (q.steps_.size() != dim || (dim != 0 && rows > q.codes_.size() / dim) ||
-      q.codes_.size() != rows * dim) {
-    return Status::Corruption("inconsistent quantized model " + path);
+  const bool v2 = r.format_version() >= kFormatVersionV2;
+  if (options.mode == LoadMode::kBlockCache && !v2) {
+    return Load(path, LoadOptions{});  // v1 codes are inline; heap fallback
   }
+  if (options.mode == LoadMode::kBlockCache) {
+    if (q.dim_ > kMaxColdDim) {
+      return Status::FailedPrecondition(
+          "embedding dim too large for block-cached serving: " + path);
+    }
+    // Integrity first: stream-verify every section (bounded memory), then
+    // serve rows by offset. The cache itself never re-checksums — the
+    // verified file is the unit of trust, as with an eager mmap.
+    RNE_RETURN_IF_ERROR(r.VerifyAllSections());
+    const SectionInfo* sec = r.FindSection(kSecQuantCodes);
+    q.codes_file_offset_ = sec->offset;
+    BlockCache::Options copt;
+    copt.block_bytes = options.block_bytes;
+    copt.block_count = options.block_count;
+    auto cache = BlockCache::Open(path, copt);
+    if (!cache.ok()) return cache.status();
+    q.cache_ = std::move(cache).value();
+  } else if (v2) {
+    q.codes_.resize(q.rows_ * q.dim_);
+    RNE_RETURN_IF_ERROR(
+        r.ReadSectionInto(kSecQuantCodes, q.codes_.data(), q.codes_.size()));
+  }
+  RNE_RETURN_IF_ERROR(q.CheckConsistent(path));
   return q;
 }
 

@@ -82,6 +82,7 @@ Rne Rne::Build(const Graph& g, const RneConfig& config, RneBuildStats* stats) {
 void Rne::QueryOneToMany(VertexId s, std::span<const VertexId> targets,
                          std::span<double> out) const {
   RNE_CHECK(out.size() == targets.size());
+  if (mapping_ != nullptr) mapping_->EnsureAllVerifiedOrThrow();
   const auto src = vertex_emb_.Row(s);
   for (size_t i = 0; i < targets.size(); ++i) {
     out[i] = MetricDist(src, vertex_emb_.Row(targets[i]), p_) * scale_;
@@ -112,6 +113,9 @@ std::vector<std::pair<VertexId, double>> Rne::QueryKnn(
 
 void Rne::RefineOnline(const std::vector<DistanceSample>& samples,
                        size_t epochs, double lr0, uint64_t seed) {
+  RNE_CHECK_MSG(vertex_emb_.owns_storage(),
+                "RefineOnline requires a heap-loaded model (mmap views are "
+                "read-only)");
   if (samples.empty()) return;
   Rng rng(seed);
   const size_t dim = vertex_emb_.dim();
@@ -153,13 +157,26 @@ void Rne::RefineOnline(const std::vector<DistanceSample>& samples,
   }
 }
 
-Status Rne::Save(const std::string& path) const {
+Status Rne::Save(const std::string& path, SaveFormat format) const {
   BinaryWriter w(path, kRneMagic);
   if (!w.ok()) return Status::IoError("cannot open " + path + ".tmp");
+  if (format == SaveFormat::kSectioned) {
+    // The matrices live in aligned sections so an mmap load can serve rows
+    // zero-copy; lazy-verify lets cold maps defer their CRC to first use.
+    w.AddSection(kSecRneVertexEmb, vertex_emb_.raw(),
+                 vertex_emb_.MemoryBytes(), kSectionFlagLazyVerify);
+    w.AddSection(kSecRneNodeEmb, node_emb_.raw(), node_emb_.MemoryBytes(),
+                 kSectionFlagLazyVerify);
+  }
   w.WritePod(p_);
   w.WritePod(scale_);
-  vertex_emb_.Write(w);
-  node_emb_.Write(w);
+  if (format == SaveFormat::kSectioned) {
+    vertex_emb_.WriteMeta(w);
+    node_emb_.WriteMeta(w);
+  } else {
+    vertex_emb_.Write(w);
+    node_emb_.Write(w);
+  }
   hierarchy_->WriteTo(w);
   // Optional build-provenance trailer; readers that predate it stop here.
   w.WritePod(build_threads_);
@@ -167,30 +184,105 @@ Status Rne::Save(const std::string& path) const {
   return w.Finish();
 }
 
-StatusOr<Rne> Rne::Load(const std::string& path) {
-  BinaryReader r(path, kRneMagic);
-  if (!r.ok()) return r.status();
-  Rne model;
-  auto hierarchy = std::make_shared<PartitionHierarchy>();
-  if (!r.ReadPod(&model.p_) || !r.ReadPod(&model.scale_) ||
-      !model.vertex_emb_.Read(r) || !model.node_emb_.Read(r) ||
-      !PartitionHierarchy::ReadFrom(r, hierarchy.get())) {
+Status Rne::ParseMeta(BinaryReader& r, const std::string& path,
+                      std::shared_ptr<PartitionHierarchy>* hierarchy) {
+  *hierarchy = std::make_shared<PartitionHierarchy>();
+  if (!r.ReadPod(&p_) || !r.ReadPod(&scale_)) {
+    return r.ReadError("corrupt RNE model file " + path);
+  }
+  if (r.format_version() >= kFormatVersionV2) {
+    const SectionInfo* vsec = r.FindSection(kSecRneVertexEmb);
+    const SectionInfo* nsec = r.FindSection(kSecRneNodeEmb);
+    if (vsec == nullptr || nsec == nullptr ||
+        !vertex_emb_.ReadMeta(r, vsec->size) ||
+        !node_emb_.ReadMeta(r, nsec->size)) {
+      return r.ReadError("corrupt RNE model file " + path);
+    }
+  } else if (!vertex_emb_.Read(r) || !node_emb_.Read(r)) {
+    return r.ReadError("corrupt RNE model file " + path);
+  }
+  if (!PartitionHierarchy::ReadFrom(r, hierarchy->get())) {
     return r.ReadError("corrupt RNE model file " + path);
   }
   // Build-provenance trailer, absent in files written before it existed.
-  if (r.remaining() >= sizeof(model.build_threads_) +
-                           sizeof(model.build_seconds_)) {
-    if (!r.ReadPod(&model.build_threads_) ||
-        !r.ReadPod(&model.build_seconds_)) {
+  if (r.remaining() >= sizeof(build_threads_) + sizeof(build_seconds_)) {
+    if (!r.ReadPod(&build_threads_) || !r.ReadPod(&build_seconds_)) {
       return r.ReadError("corrupt RNE model file " + path);
     }
   }
-  RNE_RETURN_IF_ERROR(r.Finish());
-  model.hierarchy_ = std::move(hierarchy);
-  if (model.vertex_emb_.rows() != model.hierarchy_->num_vertices() ||
-      model.node_emb_.rows() != model.hierarchy_->num_nodes()) {
+  return Status::Ok();
+}
+
+Status Rne::CheckConsistent(const std::string& path) const {
+  if (vertex_emb_.rows() != hierarchy_->num_vertices() ||
+      node_emb_.rows() != hierarchy_->num_nodes()) {
     return Status::Corruption("inconsistent RNE model file " + path);
   }
+  return Status::Ok();
+}
+
+StatusOr<Rne> Rne::Load(const std::string& path) {
+  return Load(path, LoadOptions{});
+}
+
+StatusOr<Rne> Rne::Load(const std::string& path, const LoadOptions& options) {
+  if (options.mode == LoadMode::kMmap ||
+      options.mode == LoadMode::kMmapCold) {
+    return LoadMapped(path, options);
+  }
+  if (options.mode == LoadMode::kBlockCache) {
+    return Status::InvalidArgument(
+        "RNE models do not support block-cache loads (the kNN index needs "
+        "resident rows); use mmap, or QuantizedRne for cold storage");
+  }
+  BinaryReader r(path, kRneMagic);
+  if (!r.ok()) return r.status();
+  Rne model;
+  std::shared_ptr<PartitionHierarchy> hierarchy;
+  RNE_RETURN_IF_ERROR(model.ParseMeta(r, path, &hierarchy));
+  RNE_RETURN_IF_ERROR(r.Finish());
+  if (r.format_version() >= kFormatVersionV2) {
+    float* vertices = model.vertex_emb_.AllocateOwned(
+        model.vertex_emb_.rows(), model.vertex_emb_.dim());
+    RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecRneVertexEmb, vertices,
+                                          model.vertex_emb_.MemoryBytes()));
+    float* nodes = model.node_emb_.AllocateOwned(model.node_emb_.rows(),
+                                                 model.node_emb_.dim());
+    RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecRneNodeEmb, nodes,
+                                          model.node_emb_.MemoryBytes()));
+  }
+  model.hierarchy_ = std::move(hierarchy);
+  RNE_RETURN_IF_ERROR(model.CheckConsistent(path));
+  return model;
+}
+
+StatusOr<Rne> Rne::LoadMapped(const std::string& path,
+                              const LoadOptions& options) {
+  auto opened = MappedEnvelope::Open(path, kRneMagic, options.mode);
+  if (!opened.ok()) {
+    if (opened.status().code() == StatusCode::kFailedPrecondition) {
+      // v1 file: there are no sections to map. Fall back to an eager heap
+      // load so `--mmap` serving of pre-v2 files keeps working.
+      return Load(path, LoadOptions{});
+    }
+    return opened.status();
+  }
+  std::shared_ptr<const MappedEnvelope> env = std::move(opened).value();
+  BinaryReader r(env->file().data(), env->file().size(), path, kRneMagic);
+  if (!r.ok()) return r.status();
+  Rne model;
+  std::shared_ptr<PartitionHierarchy> hierarchy;
+  RNE_RETURN_IF_ERROR(model.ParseMeta(r, path, &hierarchy));
+  RNE_RETURN_IF_ERROR(r.Finish());
+  model.vertex_emb_ = EmbeddingMatrix::View(
+      reinterpret_cast<const float*>(env->SectionData(kSecRneVertexEmb)),
+      model.vertex_emb_.rows(), model.vertex_emb_.dim());
+  model.node_emb_ = EmbeddingMatrix::View(
+      reinterpret_cast<const float*>(env->SectionData(kSecRneNodeEmb)),
+      model.node_emb_.rows(), model.node_emb_.dim());
+  model.mapping_ = std::move(env);
+  model.hierarchy_ = std::move(hierarchy);
+  RNE_RETURN_IF_ERROR(model.CheckConsistent(path));
   return model;
 }
 

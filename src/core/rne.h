@@ -21,6 +21,7 @@
 #include "core/metric.h"
 #include "core/trainer.h"
 #include "partition/hierarchy.h"
+#include "util/mmap_file.h"
 
 namespace rne {
 
@@ -63,7 +64,11 @@ class Rne {
                    RneBuildStats* stats = nullptr);
 
   /// Approximate shortest-path distance in the edge-weight unit.
+  /// Cold-mapped models verify deferred section checksums on first access
+  /// and throw CorruptionError if the file is bad (the serving layer turns
+  /// that into a backend error); heap models pay one null-pointer branch.
   double Query(VertexId s, VertexId t) const {
+    if (mapping_ != nullptr) mapping_->EnsureAllVerifiedOrThrow();
     return MetricDist(vertex_emb_.Row(s), vertex_emb_.Row(t), p_) * scale_;
   }
 
@@ -108,15 +113,42 @@ class Rne {
   void RefineOnline(const std::vector<DistanceSample>& samples, size_t epochs,
                     double lr0, uint64_t seed = 17);
 
-  Status Save(const std::string& path) const;
+  /// Saves the model; kSectioned (default) emits the v2 envelope with the
+  /// embedding matrices in aligned, lazily-verifiable sections so the file
+  /// can be served via mmap. kLegacyV1 emits the flat v1 payload.
+  Status Save(const std::string& path,
+              SaveFormat format = SaveFormat::kSectioned) const;
+  /// Heap load; reads v1 and v2 files.
   static StatusOr<Rne> Load(const std::string& path);
+  /// Mode-controlled load. kMmap / kMmapCold serve the embedding matrices
+  /// zero-copy from a read-only mapping (v1 files fall back to a heap
+  /// load — there is nothing to map). kBlockCache is not supported for RNE
+  /// models (the kNN index needs resident rows); use QuantizedRne for
+  /// block-cached cold storage.
+  static StatusOr<Rne> Load(const std::string& path,
+                            const LoadOptions& options);
+
+  /// True when the matrices are views into an mmap'd file.
+  bool IsMapped() const { return mapping_ != nullptr; }
+  /// Completes any deferred (cold-map) section verification. Ok for heap
+  /// models. Call before bulk row access that bypasses Query(), e.g.
+  /// building an RneIndex over a cold-mapped model.
+  Status VerifyMapped() const {
+    return mapping_ == nullptr ? Status::Ok() : mapping_->EnsureAllVerified();
+  }
 
  private:
   Rne() = default;
+  static StatusOr<Rne> LoadMapped(const std::string& path,
+                                  const LoadOptions& options);
+  Status ParseMeta(BinaryReader& r, const std::string& path,
+                   std::shared_ptr<PartitionHierarchy>* hierarchy);
+  Status CheckConsistent(const std::string& path) const;
 
   std::shared_ptr<const PartitionHierarchy> hierarchy_;
   EmbeddingMatrix vertex_emb_;
   EmbeddingMatrix node_emb_;
+  std::shared_ptr<const MappedEnvelope> mapping_;
   double p_ = 1.0;
   double scale_ = 1.0;
   uint32_t build_threads_ = 0;

@@ -197,14 +197,17 @@ Registry& GlobalRegistry() {
     auto* r = new Registry();
     r->factories["rne"] =
         [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {
-      auto model = Rne::Load(ctx.model_path);
+      auto model = Rne::Load(ctx.model_path, ctx.load);
       if (!model.ok()) return model.status();
+      // RneIndex construction reads every embedding row, so complete any
+      // deferred cold-map verification before building over garbage.
+      RNE_RETURN_IF_ERROR(model.value().VerifyMapped());
       return std::unique_ptr<QueryBackend>(
           new RneBackend(std::move(model).value(), ctx.num_workers));
     };
     r->factories["rne-quantized"] =
         [](const BackendContext& ctx) -> StatusOr<std::unique_ptr<QueryBackend>> {
-      auto model = QuantizedRne::Load(ctx.model_path);
+      auto model = QuantizedRne::Load(ctx.model_path, ctx.load);
       if (!model.ok()) return model.status();
       return std::unique_ptr<QueryBackend>(
           new QuantizedRneBackend(std::move(model).value()));

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace rne {
@@ -65,6 +66,9 @@ struct BackendContext {
   const Graph* graph = nullptr;
   /// Serialized model path; required by "rne" / "rne-quantized".
   std::string model_path;
+  /// How model-file backends open model_path: heap (default), zero-copy
+  /// mmap / cold mmap, or — "rne-quantized" only — a bounded block cache.
+  LoadOptions load;
   /// Worker count of the serving pool (sizes per-worker scratch).
   size_t num_workers = 1;
   /// Landmark count for the "alt" backend.

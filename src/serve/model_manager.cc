@@ -80,7 +80,7 @@ Status ModelManager::Load(const std::string& path) {
   }
   // Stage 2: full typed load (payload structural validation lives in
   // Rne::Load) plus compatibility gate against the published generation.
-  auto model = Rne::Load(path);
+  auto model = Rne::Load(path, options_.load);
   if (!model.ok()) {
     RNE_COUNTER_ADD("serve.swap.rejected", 1);
     return model.status();
@@ -94,6 +94,14 @@ Status ModelManager::Load(const std::string& path) {
         std::to_string(model.value().NumVertices()) +
         " vertices, published model has " +
         std::to_string(previous->model->NumVertices()));
+  }
+  // Cold-mapped loads defer section CRCs; settle them before the kNN index
+  // reads every row (stage 1 already streamed the checks, this just marks
+  // the mapping verified so queries skip the lazy gate).
+  const Status verified = model.value().VerifyMapped();
+  if (!verified.ok()) {
+    RNE_COUNTER_ADD("serve.swap.rejected", 1);
+    return verified;
   }
   // Stage 3: materialize the snapshot (kNN index build is the expensive
   // part) while the old generation keeps serving.

@@ -1,0 +1,195 @@
+#include "util/block_cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/macros.h"
+
+namespace rne {
+
+BlockCache::Pin& BlockCache::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    slot_ = other.slot_;
+    bytes_ = other.bytes_;
+    other.cache_ = nullptr;
+    other.bytes_ = {};
+  }
+  return *this;
+}
+
+void BlockCache::Pin::Release() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(slot_);
+    cache_ = nullptr;
+    bytes_ = {};
+  }
+}
+
+StatusOr<std::unique_ptr<BlockCache>> BlockCache::Open(
+    const std::string& path, const Options& options) {
+  if (options.block_bytes == 0 || options.block_count == 0) {
+    return Status::InvalidArgument("block cache needs nonzero geometry");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  return std::unique_ptr<BlockCache>(
+      new BlockCache(fd, static_cast<uint64_t>(end), options));
+}
+
+BlockCache::BlockCache(int fd, uint64_t file_size, const Options& options)
+    : options_(options), fd_(fd), file_size_(file_size) {
+  slots_.resize(options_.block_count);
+  for (Slot& slot : slots_) {
+    slot.buf = std::make_unique<uint8_t[]>(options_.block_bytes);
+  }
+}
+
+BlockCache::~BlockCache() { ::close(fd_); }
+
+void BlockCache::Unpin(size_t slot) {
+  MutexLock lock(&mu_);
+  RNE_DCHECK(slots_[slot].pins > 0);
+  --slots_[slot].pins;
+}
+
+StatusOr<BlockCache::Pin> BlockCache::Acquire(uint64_t block_index) {
+  const uint64_t offset = block_index * options_.block_bytes;
+  if (offset >= file_size_) {
+    return Status::Corruption("block " + std::to_string(block_index) +
+                              " past end of cached file");
+  }
+  const uint64_t want =
+      std::min<uint64_t>(options_.block_bytes, file_size_ - offset);
+  size_t victim = slots_.size();
+  {
+    MutexLock lock(&mu_);
+    for (;;) {
+      bool loading_target = false;
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        Slot& slot = slots_[i];
+        if (slot.state == SlotState::kReady && slot.block == block_index) {
+          ++hits_;
+          RNE_COUNTER_ADD("blockcache.hits", 1);
+          ++slot.pins;
+          return Pin(this, i,
+                     std::span<const uint8_t>(slot.buf.get(),
+                                              slot.valid_bytes));
+        }
+        if (slot.state == SlotState::kLoading &&
+            slot.block == block_index) {
+          loading_target = true;
+        }
+      }
+      if (!loading_target) break;
+      // Another thread is filling our block; wait for it to publish.
+      slot_ready_.Wait(&lock);
+    }
+    // Miss: claim the oldest unpinned slot (empty slots first). A loading
+    // slot holds a pin, so it can never be chosen as victim.
+    uint64_t oldest_seq = UINT64_MAX;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& slot = slots_[i];
+      if (slot.pins != 0) continue;
+      if (slot.state == SlotState::kEmpty) {
+        victim = i;
+        oldest_seq = 0;
+        break;
+      }
+      if (slot.load_seq < oldest_seq) {
+        victim = i;
+        oldest_seq = slot.load_seq;
+      }
+    }
+    if (victim == slots_.size()) {
+      return Status::Unavailable("all block cache slots pinned");
+    }
+    Slot& slot = slots_[victim];
+    if (slot.state == SlotState::kReady) {
+      ++evictions_;
+      RNE_COUNTER_ADD("blockcache.evictions", 1);
+    }
+    ++misses_;
+    RNE_COUNTER_ADD("blockcache.misses", 1);
+    slot.state = SlotState::kLoading;
+    slot.block = block_index;
+    slot.valid_bytes = 0;
+    slot.io_status = Status::Ok();
+    slot.pins = 1;  // the loader's pin; inherited by the returned handle
+  }
+  // Fill outside the lock so other blocks stay serviceable during the IO.
+  // The kLoading state plus the loader pin give this thread exclusive
+  // ownership of the buffer.
+  uint8_t* buf = slots_[victim].buf.get();
+  Status io = Status::Ok();
+  uint64_t done = 0;
+  while (done < want) {
+    const ssize_t n =
+        ::pread(fd_, buf + done, static_cast<size_t>(want - done),
+                static_cast<off_t>(offset + done));
+    if (n < 0 && errno == EINTR) continue;  // retry interrupted reads
+    if (n <= 0) {
+      io = Status::IoError("pread failed for cached block " +
+                           std::to_string(block_index));
+      break;
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  {
+    MutexLock lock(&mu_);
+    Slot& slot = slots_[victim];
+    if (!io.ok()) {
+      slot.state = SlotState::kEmpty;
+      slot.pins = 0;
+      slot_ready_.NotifyAll();
+      return io;
+    }
+    slot.state = SlotState::kReady;
+    slot.valid_bytes = want;
+    slot.load_seq = next_load_seq_++;
+    slot_ready_.NotifyAll();
+    return Pin(this, victim, std::span<const uint8_t>(buf, want));
+  }
+}
+
+Status BlockCache::Read(uint64_t offset, void* dst, uint64_t len) {
+  if (offset > file_size_ || len > file_size_ - offset) {
+    return Status::Corruption("block cache read past end of file");
+  }
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  while (len > 0) {
+    const uint64_t block = offset / options_.block_bytes;
+    auto pin = Acquire(block);
+    if (!pin.ok()) return pin.status();
+    const uint64_t pos = offset - block * options_.block_bytes;
+    const std::span<const uint8_t> bytes = pin.value().bytes();
+    const uint64_t n = std::min<uint64_t>(len, bytes.size() - pos);
+    std::memcpy(out, bytes.data() + pos, static_cast<size_t>(n));
+    out += n;
+    offset += n;
+    len -= n;
+  }
+  return Status::Ok();
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  MutexLock lock(&mu_);
+  return Stats{hits_, misses_, evictions_};
+}
+
+}  // namespace rne

@@ -1,0 +1,124 @@
+// Bounded pread-backed block cache for cold-storage serving.
+//
+// When an index is too large even to map comfortably (or resident memory
+// must be capped deterministically rather than left to kernel reclaim),
+// large sections can be served through a BlockCache: a fixed array of
+// `block_count` buffers of `block_bytes` each, filled by pread(2) on miss.
+// Total resident cost is block_count * block_bytes, full stop.
+//
+// Concurrency model: a block is pinned while a Pin handle is alive;
+// eviction overwrites the *oldest* (earliest-loaded) unpinned block. A
+// thread that misses releases the cache mutex while its pread runs, so
+// concurrent readers of other blocks are not serialized behind the IO;
+// threads wanting the in-flight block wait on a condvar. Hit/miss/eviction
+// counts are exported both through the `obs` metrics registry
+// (blockcache.*) and the exact local Stats() snapshot the unit tests
+// assert on.
+#ifndef RNE_UTIL_BLOCK_CACHE_H_
+#define RNE_UTIL_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/status.h"
+
+namespace rne {
+
+class BlockCache {
+ public:
+  struct Options {
+    uint64_t block_bytes = 64 * 1024;
+    uint64_t block_count = 64;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// Pin-on-access handle: the underlying buffer cannot be evicted or
+  /// overwritten while a Pin referencing it is alive.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept { *this = std::move(other); }
+    Pin& operator=(Pin&& other) noexcept;
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    /// The cached bytes of the pinned block (shorter than block_bytes for
+    /// the final block of the file).
+    std::span<const uint8_t> bytes() const { return bytes_; }
+
+   private:
+    friend class BlockCache;
+    Pin(BlockCache* cache, size_t slot, std::span<const uint8_t> bytes)
+        : cache_(cache), slot_(slot), bytes_(bytes) {}
+    void Release();
+
+    BlockCache* cache_ = nullptr;
+    size_t slot_ = 0;
+    std::span<const uint8_t> bytes_;
+  };
+
+  /// Opens `path` read-only. Fails with NotFound/IoError; never reads data
+  /// until the first Acquire.
+  static StatusOr<std::unique_ptr<BlockCache>> Open(const std::string& path,
+                                                    const Options& options);
+  ~BlockCache();
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  uint64_t file_size() const { return file_size_; }
+  uint64_t block_bytes() const { return options_.block_bytes; }
+
+  /// Pins the cache block holding file offsets
+  /// [block_index * block_bytes, ...). Unavailable if every slot is pinned.
+  StatusOr<Pin> Acquire(uint64_t block_index);
+
+  /// Copies [offset, offset + len) into dst, pinning each covered block in
+  /// turn. Corruption if the range runs past end of file.
+  Status Read(uint64_t offset, void* dst, uint64_t len);
+
+  Stats stats() const;
+
+ private:
+  enum class SlotState { kEmpty, kLoading, kReady };
+
+  struct Slot {
+    SlotState state RNE_GUARDED_BY(mu_) = SlotState::kEmpty;
+    uint64_t block RNE_GUARDED_BY(mu_) = 0;
+    uint64_t valid_bytes RNE_GUARDED_BY(mu_) = 0;
+    uint64_t load_seq RNE_GUARDED_BY(mu_) = 0;  // for overwrite-oldest
+    uint32_t pins RNE_GUARDED_BY(mu_) = 0;
+    Status io_status RNE_GUARDED_BY(mu_);
+    std::unique_ptr<uint8_t[]> buf;  // stable storage; contents guarded by
+                                     // the kLoading/kReady protocol
+  };
+
+  BlockCache(int fd, uint64_t file_size, const Options& options);
+  void Unpin(size_t slot);
+
+  const Options options_;
+  const int fd_;
+  const uint64_t file_size_;
+
+  mutable Mutex mu_;
+  CondVar slot_ready_;
+  std::vector<Slot> slots_;
+  uint64_t next_load_seq_ RNE_GUARDED_BY(mu_) = 1;
+  uint64_t hits_ RNE_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ RNE_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ RNE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace rne
+
+#endif  // RNE_UTIL_BLOCK_CACHE_H_

@@ -3,13 +3,34 @@
 // Every persisted index file is wrapped in a versioned envelope:
 //
 //   offset  0  uint32  envelope magic "RNEV" (shared by all index kinds)
-//   offset  4  uint32  format version (kFormatVersion; decoding is gated)
+//   offset  4  uint32  format version (1 or 2; decoding is gated)
 //   offset  8  uint32  index-kind magic (which Load may parse the payload)
 //   offset 12  uint32  flags (reserved, 0)
-//   offset 16  uint64  payload size in bytes
+//   offset 16  uint64  payload size in bytes (v2: metadata payload only)
 //   offset 24  uint32  CRC32C of header bytes [0, 24)
+//
+// v1 (legacy, still readable):
 //   offset 28  payload: little-endian PODs, length-prefixed vectors/strings
 //   tail       uint32  CRC32C of the payload
+//
+// v2 (sectioned, mmap-friendly):
+//   offset 28  uint32  section count
+//   offset 32  count × 32-byte section entries:
+//                {u32 tag, u32 flags, u64 offset, u64 size, u32 crc, u32 0}
+//   ...        uint32  CRC32C of the section table (count + entries)
+//   ...        metadata payload (`payload size` bytes, same wire format)
+//   ...        uint32  CRC32C of the metadata payload
+//   ...        per section, in table order: zero padding up to the entry's
+//              aligned `offset`, then `size` raw data bytes
+//
+// Each v2 section entry's CRC covers the padding bytes *and* the data, and
+// the reader requires the file to end exactly at the last section's end, so
+// every byte of a v2 file is covered by some checksum and any truncation is
+// structurally detectable before a single section byte is touched — this is
+// what makes the layout safe to serve via mmap (no SIGBUS on a short file,
+// no silently corrupt gap bytes). Section data starts on an aligned offset
+// (kSectionAlignment or a caller-chosen larger power of two) so matrices
+// can be addressed in place with naturally aligned rows.
 //
 // Saves are atomic: BinaryWriter streams into `<path>.tmp`, patches the
 // header, fsyncs, then rename(2)s over `path` — a reader never observes a
@@ -34,11 +55,22 @@ namespace rne {
 
 /// First four bytes of every envelope file ("RNEV" little-endian).
 inline constexpr uint32_t kEnvelopeMagic = 0x56454e52;
-/// Current envelope format version. Bump when the envelope layout changes;
-/// payload-level changes are versioned per index kind via its magic.
-inline constexpr uint32_t kFormatVersion = 1;
+/// Envelope format versions. v1 is the flat streamed payload; v2 adds the
+/// aligned section table for zero-copy mmap serving. Readers accept both;
+/// writers emit v2 exactly when at least one section was declared.
+inline constexpr uint32_t kFormatVersionV1 = 1;
+inline constexpr uint32_t kFormatVersionV2 = 2;
+/// Highest envelope format version this build can decode.
+inline constexpr uint32_t kFormatVersion = kFormatVersionV2;
 inline constexpr size_t kEnvelopeHeaderSize = 28;
 inline constexpr size_t kEnvelopeTrailerSize = 4;
+/// Minimum (and default) alignment of v2 section data offsets.
+inline constexpr uint64_t kSectionAlignment = 64;
+/// Largest alignment a section may request; bounds the pad run a reader
+/// will accept between consecutive sections.
+inline constexpr uint64_t kMaxSectionAlignment = 1ull << 20;
+/// On-disk size of one v2 section-table entry.
+inline constexpr size_t kSectionEntrySize = 32;
 
 // Registered index-kind magics (the third header field). Keep unique.
 inline constexpr uint32_t kRneMagic = 0x524e4531;        // "RNE1" RNE model
@@ -49,8 +81,65 @@ inline constexpr uint32_t kAltMagic = 0x524e414c;        // "RNAL" ALT index
 inline constexpr uint32_t kGTreeMagic = 0x524e4754;      // "RNGT" G-tree index
 inline constexpr uint32_t kHierarchyMagic = 0x524e4548;  // "RNEH" partition
 
+// Registered v2 section tags. Unique across index kinds so a section can be
+// identified without knowing which loader wrote it.
+inline constexpr uint32_t kSecRneVertexEmb = 0x01;
+inline constexpr uint32_t kSecRneNodeEmb = 0x02;
+inline constexpr uint32_t kSecQuantCodes = 0x03;
+inline constexpr uint32_t kSecGTreeMatrixPool = 0x04;
+
+// Section flags.
+/// The section may be verified lazily (on first access) by cold-map loads
+/// instead of at open. Eager loads and mmap (non-cold) loads verify it at
+/// open regardless.
+inline constexpr uint32_t kSectionFlagLazyVerify = 0x1;
+
 /// Human-readable name for a registered index-kind magic ("unknown" else).
 const char* IndexKindName(uint32_t magic);
+
+/// How a loader materializes an index file.
+enum class LoadMode {
+  /// Deserialize everything into owned heap storage (default; only mode
+  /// that can read v1 files' large arrays).
+  kHeap,
+  /// mmap the file read-only; large sections are served zero-copy from the
+  /// mapping. All section checksums are verified at open.
+  kMmap,
+  /// mmap the file read-only; sections flagged lazy-verify have their
+  /// checksum deferred to first access (open is O(metadata)).
+  kMmapCold,
+  /// Serve large sections through a bounded pread-backed BlockCache instead
+  /// of mapping them; resident set is capped at the cache size. Only
+  /// supported by index kinds that opt in (currently QuantizedRne).
+  kBlockCache,
+};
+
+const char* LoadModeName(LoadMode mode);
+
+/// Which envelope layout Save() emits. kSectioned (v2) is the default for
+/// index kinds with large flat arrays; kLegacyV1 exists so compatibility
+/// tests (and downgrades) can still produce v1 files.
+enum class SaveFormat { kSectioned, kLegacyV1 };
+
+/// Options threaded through index Load() entry points.
+struct LoadOptions {
+  LoadMode mode = LoadMode::kHeap;
+  /// Block size and capacity for LoadMode::kBlockCache.
+  uint64_t block_bytes = 64 * 1024;
+  uint64_t block_count = 64;
+};
+
+/// One v2 section as parsed from the table. `pad_start` is derived at open
+/// time (the file offset where this section's zero padding — and its CRC'd
+/// region — begins).
+struct SectionInfo {
+  uint32_t tag = 0;
+  uint32_t flags = 0;
+  uint64_t offset = 0;  // file offset of the data (aligned)
+  uint64_t size = 0;    // data bytes (padding excluded)
+  uint32_t crc = 0;     // CRC32C over [pad_start, offset + size)
+  uint64_t pad_start = 0;
+};
 
 /// Envelope metadata, as reported by InspectEnvelope.
 struct EnvelopeInfo {
@@ -58,17 +147,22 @@ struct EnvelopeInfo {
   uint32_t index_magic = 0;
   uint32_t flags = 0;
   uint64_t payload_size = 0;
+  /// v2 only; empty for v1 files.
+  std::vector<SectionInfo> sections;
 };
 
-/// Validates the envelope of `path` — header fields, file size, header and
-/// payload checksums — without deserializing the payload. Accepts any
-/// index-kind magic; returns its metadata on success.
+/// Validates the envelope of `path` — header fields, file size, header,
+/// payload and (v2) every section checksum — without deserializing the
+/// payload. Accepts any index-kind magic; returns its metadata on success.
 StatusOr<EnvelopeInfo> InspectEnvelope(const std::string& path);
 
 /// Streaming binary writer implementing the atomic-save protocol: bytes go
 /// to `<path>.tmp`; Finish() seals the envelope, fsyncs and renames. If the
 /// writer is destroyed without a successful Finish(), the temp file is
 /// removed and `path` is untouched.
+///
+/// Declaring one or more sections (AddSection) switches the file to the v2
+/// sectioned layout; with no sections the output is byte-identical to v1.
 class BinaryWriter {
  public:
   /// Opens `<path>.tmp` for writing and reserves the envelope header.
@@ -79,6 +173,13 @@ class BinaryWriter {
   BinaryWriter& operator=(const BinaryWriter&) = delete;
 
   bool ok() const { return ok_; }
+
+  /// Declares a v2 section. Must be called before the first payload write
+  /// (the section table sits between the header and the payload, so its
+  /// size must be final by then). `data` is not copied and must stay alive
+  /// until Finish(), which streams it after the metadata payload.
+  void AddSection(uint32_t tag, const void* data, uint64_t size,
+                  uint32_t flags = 0, uint64_t alignment = kSectionAlignment);
 
   template <typename T>
   void WritePod(const T& value) {
@@ -95,13 +196,34 @@ class BinaryWriter {
 
   void WriteString(const std::string& s);
 
-  /// Seals the envelope (patches header, appends payload CRC), fsyncs and
-  /// atomically renames the temp file into place. On any failure the target
-  /// path is left untouched and the temp file is cleaned up.
+  /// Length-prefixed write of a raw buffer; wire-compatible with
+  /// WriteVector<T> of the same bytes.
+  void WriteLengthPrefixed(const void* data, uint64_t count,
+                           size_t elem_size);
+
+  /// Seals the envelope (patches header, appends payload CRC, streams any
+  /// declared sections), fsyncs and atomically renames the temp file into
+  /// place. On any failure the target path is left untouched and the temp
+  /// file is cleaned up.
   Status Finish();
 
  private:
+  struct PendingSection {
+    uint32_t tag;
+    uint32_t flags;
+    const void* data;
+    uint64_t size;
+    uint64_t alignment;
+    uint64_t offset = 0;  // filled during Finish
+    uint32_t crc = 0;     // filled during Finish
+  };
+
   void WriteRaw(const void* data, size_t n);
+  /// Raw write that participates in fault injection but not the payload CRC
+  /// (section streaming, padding).
+  bool WriteFileBytes(const void* data, size_t n);
+  void ReserveTable();
+  size_t TableBytes() const;
   void Discard();  // closes and removes the temp file
 
   std::ofstream out_;
@@ -109,17 +231,28 @@ class BinaryWriter {
   std::string tmp_path_;
   uint32_t index_magic_;
   uint64_t payload_bytes_ = 0;
+  uint64_t total_bytes_ = 0;  // all payload+section bytes, for fault sched
   uint32_t payload_crc_ = 0;
+  std::vector<PendingSection> sections_;
+  bool table_reserved_ = false;
   bool ok_ = false;
   bool finished_ = false;
   bool injected_fault_ = false;  // leave the partial temp file, like a kill
 };
 
-/// Streaming binary reader; validates the envelope header on open and the
-/// payload checksum in Finish().
+/// Streaming binary reader; validates the envelope header (and, for v2, the
+/// section table structure) on open and the payload checksum in Finish().
+/// Section *data* checksums are verified by ReadSectionInto /
+/// VerifyAllSections, not by Finish().
 class BinaryReader {
  public:
   BinaryReader(const std::string& path, uint32_t index_magic);
+
+  /// Memory-mode reader over an already-loaded envelope image (e.g. an
+  /// mmap'd file). Performs the same validation as the file constructor;
+  /// `name` is used in error messages. The buffer must outlive the reader.
+  BinaryReader(const void* data, size_t size, std::string name,
+               uint32_t index_magic);
 
   const Status& status() const { return status_; }
   bool ok() const { return status_.ok(); }
@@ -133,6 +266,12 @@ class BinaryReader {
 
   /// Envelope metadata parsed from the header (zeroed if open failed).
   const EnvelopeInfo& info() const { return info_; }
+
+  /// v2 section entries in table order (empty for v1 files).
+  const std::vector<SectionInfo>& sections() const { return info_.sections; }
+
+  /// Table entry for `tag`, or nullptr if absent (or a v1 file).
+  const SectionInfo* FindSection(uint32_t tag) const;
 
   template <typename T>
   [[nodiscard]] bool ReadPod(T* value) {
@@ -158,8 +297,18 @@ class BinaryReader {
   [[nodiscard]] bool ReadString(std::string* s);
 
   /// Drains any unread payload and verifies the payload CRC trailer. Call
-  /// after the last Read; Status::Corruption on checksum mismatch.
+  /// after the last Read; Status::Corruption on checksum mismatch. For v2
+  /// files this verifies the metadata payload only.
   Status Finish();
+
+  /// Reads section `tag`'s data into `dst` (which must hold exactly
+  /// `size == entry.size` bytes) and verifies the section checksum,
+  /// including the zero padding preceding the data. Call after Finish().
+  Status ReadSectionInto(uint32_t tag, void* dst, uint64_t size);
+
+  /// Verifies every section's checksum without retaining the data. Call
+  /// after Finish(). No-op for v1 files.
+  Status VerifyAllSections();
 
   /// The reader's error status if a Read failed, else Corruption(context).
   /// For loaders: `if (!r.ReadPod(&x)) return r.ReadError("bad foo file");`
@@ -168,11 +317,20 @@ class BinaryReader {
   }
 
  private:
+  void Open(uint64_t file_size, uint32_t index_magic);
+  bool ParseSectionTable(uint64_t file_size);
   bool ReadRaw(void* data, size_t n);
+  /// Reads from the underlying source without touching the payload CRC or
+  /// `remaining_` bookkeeping (header/table/trailer/section bytes).
+  bool SourceRead(void* data, size_t n);
+  bool SourceSeek(uint64_t pos);
   bool FailLength(const char* what, uint64_t n);
   static void RecordAllocation(uint64_t bytes);
 
   std::ifstream in_;
+  const uint8_t* mem_ = nullptr;  // memory mode when non-null
+  size_t mem_size_ = 0;
+  size_t mem_pos_ = 0;
   std::string path_;
   EnvelopeInfo info_;
   uint64_t remaining_ = 0;

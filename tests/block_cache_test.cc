@@ -1,0 +1,329 @@
+// Unit tests for the bounded pread-backed BlockCache and the MmapFile RAII
+// wrapper behind cold-storage serving: exact hit/miss/eviction accounting,
+// overwrite-oldest eviction with pin-on-access semantics, Unavailable when
+// every slot is pinned, 4-thread contention (run under TSan in CI), and the
+// QuantizedRne kBlockCache load path staying bit-identical to heap answers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "core/quantized.h"
+#include "core/rne.h"
+#include "graph/generators.h"
+#include "util/block_cache.h"
+#include "util/mmap_file.h"
+#include "util/serialize.h"
+
+namespace rne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Deterministic content so any block can be validated from its offset.
+uint8_t ByteAt(uint64_t offset) {
+  return static_cast<uint8_t>((offset * 131 + 7) & 0xFF);
+}
+
+std::string WritePatternFile(const std::string& name, uint64_t size) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  for (uint64_t i = 0; i < size; ++i) {
+    const char b = static_cast<char>(ByteAt(i));
+    out.write(&b, 1);
+  }
+  return path;
+}
+
+BlockCache::Options SmallGeometry(uint64_t block_bytes, uint64_t blocks) {
+  BlockCache::Options options;
+  options.block_bytes = block_bytes;
+  options.block_count = blocks;
+  return options;
+}
+
+void ExpectBlockBytes(const BlockCache::Pin& pin, uint64_t block,
+                      uint64_t block_bytes, uint64_t expected_size) {
+  ASSERT_EQ(pin.bytes().size(), expected_size);
+  for (uint64_t i = 0; i < expected_size; ++i) {
+    ASSERT_EQ(pin.bytes()[i], ByteAt(block * block_bytes + i))
+        << "block " << block << " byte " << i;
+  }
+}
+
+TEST(BlockCacheTest, OpenMissingFileIsNotFound) {
+  const auto cache =
+      BlockCache::Open(TempPath("rne_bc_missing.bin"), SmallGeometry(64, 2));
+  EXPECT_EQ(cache.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BlockCacheTest, OpenRejectsZeroGeometry) {
+  const std::string path = WritePatternFile("rne_bc_geom.bin", 16);
+  EXPECT_EQ(BlockCache::Open(path, SmallGeometry(0, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BlockCache::Open(path, SmallGeometry(64, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(BlockCacheTest, AcquireServesCorrectBytesIncludingShortFinalBlock) {
+  // 2.5 blocks: the final block is half-length and bytes() must say so.
+  const std::string path = WritePatternFile("rne_bc_bytes.bin", 640);
+  auto cache = BlockCache::Open(path, SmallGeometry(256, 4));
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_EQ(cache.value()->file_size(), 640u);
+  EXPECT_EQ(cache.value()->block_bytes(), 256u);
+  for (uint64_t block = 0; block < 3; ++block) {
+    auto pin = cache.value()->Acquire(block);
+    ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+    ExpectBlockBytes(pin.value(), block, 256, block == 2 ? 128 : 256);
+  }
+  // A block starting past end of file is Corruption, not a crash.
+  EXPECT_EQ(cache.value()->Acquire(3).status().code(),
+            StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(BlockCacheTest, HitAndMissCountersAreExact) {
+  const std::string path = WritePatternFile("rne_bc_stats.bin", 4 * 64);
+  auto cache = BlockCache::Open(path, SmallGeometry(64, 4));
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ(cache.value()->stats().hits, 0u);
+  EXPECT_EQ(cache.value()->stats().misses, 0u);
+
+  ASSERT_TRUE(cache.value()->Acquire(0).ok());  // miss
+  ASSERT_TRUE(cache.value()->Acquire(0).ok());  // hit
+  ASSERT_TRUE(cache.value()->Acquire(1).ok());  // miss
+  ASSERT_TRUE(cache.value()->Acquire(0).ok());  // hit
+  ASSERT_TRUE(cache.value()->Acquire(1).ok());  // hit
+
+  const BlockCache::Stats stats = cache.value()->stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);  // empty slots were still available
+
+  // Read() pins each covered block exactly once per crossing: offsets
+  // [32, 96) touch blocks 0 and 1, both resident — two more hits.
+  std::vector<uint8_t> buf(64);
+  ASSERT_TRUE(cache.value()->Read(32, buf.data(), buf.size()).ok());
+  for (uint64_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], ByteAt(32 + i));
+  }
+  EXPECT_EQ(cache.value()->stats().hits, 5u);
+  EXPECT_EQ(cache.value()->stats().misses, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(BlockCacheTest, EvictionOverwritesOldestUnpinnedBlock) {
+  const std::string path = WritePatternFile("rne_bc_evict.bin", 4 * 64);
+  auto cache = BlockCache::Open(path, SmallGeometry(64, 2));
+  ASSERT_TRUE(cache.ok());
+  ASSERT_TRUE(cache.value()->Acquire(0).ok());  // load_seq 1
+  ASSERT_TRUE(cache.value()->Acquire(1).ok());  // load_seq 2
+  // Cache full; block 0 is the oldest load, so it is the victim.
+  ASSERT_TRUE(cache.value()->Acquire(2).ok());
+  EXPECT_EQ(cache.value()->stats().evictions, 1u);
+  EXPECT_EQ(cache.value()->stats().misses, 3u);
+  ASSERT_TRUE(cache.value()->Acquire(1).ok());  // still resident: hit
+  EXPECT_EQ(cache.value()->stats().hits, 1u);
+  // Block 0 was evicted: re-acquiring is a miss (evicting block 2, now the
+  // oldest since block 1's hit did not refresh its load order).
+  ASSERT_TRUE(cache.value()->Acquire(0).ok());
+  EXPECT_EQ(cache.value()->stats().misses, 4u);
+  EXPECT_EQ(cache.value()->stats().evictions, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(BlockCacheTest, PinnedBlocksAreNeverEvicted) {
+  const std::string path = WritePatternFile("rne_bc_pin.bin", 4 * 64);
+  auto cache = BlockCache::Open(path, SmallGeometry(64, 2));
+  ASSERT_TRUE(cache.ok());
+  auto pinned = cache.value()->Acquire(0);  // held across the evictions below
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(cache.value()->Acquire(1).ok());  // dropped immediately
+  // Block 1 is older than nothing else evictable — the pinned block 0 must
+  // be skipped even though it has the oldest load_seq.
+  ASSERT_TRUE(cache.value()->Acquire(2).ok());
+  ASSERT_TRUE(cache.value()->Acquire(0).ok());  // hit: still resident
+  EXPECT_EQ(cache.value()->stats().hits, 1u);
+  // The pinned bytes stayed intact through both fills of the other slot.
+  ExpectBlockBytes(pinned.value(), 0, 64, 64);
+  std::filesystem::remove(path);
+}
+
+TEST(BlockCacheTest, AllSlotsPinnedIsUnavailable) {
+  const std::string path = WritePatternFile("rne_bc_full.bin", 4 * 64);
+  auto cache = BlockCache::Open(path, SmallGeometry(64, 2));
+  ASSERT_TRUE(cache.ok());
+  auto pin0 = cache.value()->Acquire(0);
+  auto pin1 = cache.value()->Acquire(1);
+  ASSERT_TRUE(pin0.ok());
+  ASSERT_TRUE(pin1.ok());
+  EXPECT_EQ(cache.value()->Acquire(2).status().code(),
+            StatusCode::kUnavailable);
+  // Releasing one pin unblocks the next acquire.
+  pin1 = BlockCache::Pin();
+  EXPECT_TRUE(cache.value()->Acquire(2).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(BlockCacheTest, MovedPinKeepsBlockPinned) {
+  const std::string path = WritePatternFile("rne_bc_move.bin", 4 * 64);
+  auto cache = BlockCache::Open(path, SmallGeometry(64, 1));
+  ASSERT_TRUE(cache.ok());
+  auto pin = cache.value()->Acquire(0);
+  ASSERT_TRUE(pin.ok());
+  BlockCache::Pin moved = std::move(pin).value();
+  // The single slot is still pinned through the moved-to handle.
+  EXPECT_EQ(cache.value()->Acquire(1).status().code(),
+            StatusCode::kUnavailable);
+  ExpectBlockBytes(moved, 0, 64, 64);
+  moved = BlockCache::Pin();  // move-assign releases the old pin
+  EXPECT_TRUE(cache.value()->Acquire(1).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(BlockCacheTest, ReadSpansBlocksAndRejectsPastEof) {
+  const std::string path = WritePatternFile("rne_bc_read.bin", 200);
+  auto cache = BlockCache::Open(path, SmallGeometry(64, 2));
+  ASSERT_TRUE(cache.ok());
+  // A read spanning all four (partial) blocks through a 2-slot cache.
+  std::vector<uint8_t> buf(200);
+  ASSERT_TRUE(cache.value()->Read(0, buf.data(), buf.size()).ok());
+  for (uint64_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], ByteAt(i)) << i;
+  }
+  EXPECT_EQ(cache.value()->Read(150, buf.data(), 51).code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(cache.value()->Read(201, buf.data(), 0).code(),
+            StatusCode::kCorruption);
+  EXPECT_TRUE(cache.value()->Read(200, buf.data(), 0).ok());
+  std::filesystem::remove(path);
+}
+
+// Four threads hammer a cache with fewer slots than hot blocks; every pin
+// must observe fully loaded, correct bytes (no torn fills), and the exact
+// counters must balance: each successful acquire is one hit or one miss.
+// This test is the TSan target for the cache's condvar/pin protocol.
+TEST(BlockCacheTest, FourThreadContentionServesConsistentBytes) {
+  constexpr uint64_t kBlockBytes = 256;
+  constexpr uint64_t kFileBlocks = 16;
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 800;
+  const std::string path =
+      WritePatternFile("rne_bc_mt.bin", kFileBlocks * kBlockBytes);
+  auto cache = BlockCache::Open(path, SmallGeometry(kBlockBytes, 4));
+  ASSERT_TRUE(cache.ok());
+
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> unavailable{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // Deterministic per-thread stream biased toward a hot set so hits,
+        // misses and evictions all occur.
+        const uint64_t mix =
+            (static_cast<uint64_t>(t) * 2654435761u + i * 40503u) >> 4;
+        const uint64_t block = (i % 3 == 0) ? mix % kFileBlocks : mix % 3;
+        auto pin = cache.value()->Acquire(block);
+        if (!pin.ok()) {
+          // With 4 slots and 4 threads each holding at most one pin, a
+          // slot is always evictable.
+          unavailable.fetch_add(1);
+          continue;
+        }
+        const std::span<const uint8_t> bytes = pin.value().bytes();
+        if (bytes.size() != kBlockBytes ||
+            bytes[0] != ByteAt(block * kBlockBytes) ||
+            bytes[kBlockBytes - 1] !=
+                ByteAt(block * kBlockBytes + kBlockBytes - 1)) {
+          failed.store(true);
+        }
+        served.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_FALSE(failed.load()) << "a pin observed torn or stale bytes";
+  EXPECT_EQ(unavailable.load(), 0u);
+  EXPECT_EQ(served.load(),
+            static_cast<uint64_t>(kThreads) * kItersPerThread);
+  const BlockCache::Stats stats = cache.value()->stats();
+  EXPECT_EQ(stats.hits + stats.misses, served.load());
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------- MmapFile basics
+
+TEST(MmapFileTest, MapsWholeFileReadOnly) {
+  const std::string path = WritePatternFile("rne_mmap_basic.bin", 1000);
+  auto file = MmapFile::Map(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_EQ(file.value()->size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(file.value()->data()[i], ByteAt(i)) << i;
+  }
+  // Advice is best-effort; all variants must be safe to issue.
+  file.value()->Advise(MmapFile::Advice::kRandom);
+  file.value()->AdviseRange(128, 512, MmapFile::Advice::kWillNeed);
+  file.value()->AdviseRange(0, 1000, MmapFile::Advice::kDontNeed);
+  EXPECT_EQ(file.value()->data()[999], ByteAt(999));  // still readable
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFileTest, MissingFileIsNotFound) {
+  EXPECT_EQ(MmapFile::Map(TempPath("rne_mmap_missing.bin")).status().code(),
+            StatusCode::kNotFound);
+}
+
+// --------------------------- QuantizedRne through the block-cached loader
+
+TEST(BlockCacheTest, QuantizedRneBlockCacheAnswersMatchHeapBitForBit) {
+  const Graph g = MakeGridNetwork(8, 8);
+  RneConfig config;
+  config.dim = 8;
+  config.train.level_samples = 500;
+  config.train.vertex_samples = 2000;
+  config.fine_tune = false;
+  const QuantizedRne quantized(Rne::Build(g, config));
+  const std::string path = TempPath("rne_bc_quant.bin");
+  ASSERT_TRUE(quantized.Save(path).ok());
+
+  auto heap = QuantizedRne::Load(path);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  LoadOptions options;
+  options.mode = LoadMode::kBlockCache;
+  options.block_bytes = 512;  // tiny geometry: force misses and evictions
+  options.block_count = 4;
+  auto cold = QuantizedRne::Load(path, options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(cold.value().IsBlockCached());
+  ASSERT_NE(cold.value().block_cache(), nullptr);
+
+  const size_t n = g.NumVertices();
+  for (VertexId s = 0; s < n; s += 3) {
+    for (VertexId t = 1; t < n; t += 5) {
+      const double want = heap.value().Query(s, t);
+      const double got = cold.value().Query(s, t);
+      ASSERT_EQ(std::memcmp(&want, &got, sizeof(double)), 0)
+          << "s=" << s << " t=" << t;
+    }
+  }
+  const BlockCache::Stats stats = cold.value().block_cache()->stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace rne

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "algo/dijkstra.h"
+#include "baselines/gtree.h"
 #include "core/quantized.h"
 #include "core/rne.h"
 #include "graph/generators.h"
@@ -28,6 +29,7 @@
 #include "serve/query_engine.h"
 #include "serve/result_cache.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace rne::serve {
 namespace {
@@ -336,6 +338,155 @@ TEST_F(DifferentialTest, CachedAnswersAreBitIdenticalPerBackend) {
       EXPECT_EQ(uncached[i].exact, hits[i].exact);
     }
     EXPECT_EQ(cache.Stats().hits, requests.size());
+  }
+}
+
+// ------------------------------------------------- mmap vs heap parity
+//
+// The zero-copy load paths (kMmap, kMmapCold, and for the quantized model
+// kBlockCache) must serve *bit-identical* answers to the heap loader: same
+// file, same doubles, compared with memcmp — never EXPECT_NEAR. Any
+// difference means the sectioned layout and the eager deserializer disagree
+// about the matrix bytes.
+
+void ExpectBitIdentical(double want, double got, const char* mode,
+                        VertexId s, VertexId t) {
+  EXPECT_EQ(std::memcmp(&want, &got, sizeof(double)), 0)
+      << mode << " s=" << s << " t=" << t << " heap=" << want
+      << " served=" << got;
+}
+
+LoadOptions WithMode(LoadMode mode) {
+  LoadOptions options;
+  options.mode = mode;
+  return options;
+}
+
+TEST_F(DifferentialTest, MmapServedRneBitIdenticalToHeap) {
+  auto heap = Rne::Load(*model_path_);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  ASSERT_FALSE(heap.value().IsMapped());
+  auto mapped = Rne::Load(*model_path_, WithMode(LoadMode::kMmap));
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().IsMapped());
+  auto cold = Rne::Load(*model_path_, WithMode(LoadMode::kMmapCold));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_TRUE(cold.value().IsMapped());
+
+  Rng rng(FuzzSeed() + 10);
+  const size_t n = graph_->NumVertices();
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < n; v += 7) targets.push_back(v);
+  std::vector<double> want(targets.size()), got(targets.size());
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+    const double reference = heap.value().Query(s, t);
+    ExpectBitIdentical(reference, mapped.value().Query(s, t), "mmap", s, t);
+    ExpectBitIdentical(reference, cold.value().Query(s, t), "cold", s, t);
+  }
+  // The batched entry point reads rows through the same zero-copy view.
+  heap.value().QueryOneToMany(3, targets, want);
+  mapped.value().QueryOneToMany(3, targets, got);
+  EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                        want.size() * sizeof(double)),
+            0);
+}
+
+TEST_F(DifferentialTest, MmapServedQuantizedBitIdenticalToHeap) {
+  auto heap = QuantizedRne::Load(*quant_path_);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  auto mapped = QuantizedRne::Load(*quant_path_, WithMode(LoadMode::kMmap));
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().IsMapped());
+  auto cold = QuantizedRne::Load(*quant_path_, WithMode(LoadMode::kMmapCold));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  LoadOptions blocks = WithMode(LoadMode::kBlockCache);
+  blocks.block_bytes = 1024;
+  blocks.block_count = 8;
+  auto cached = QuantizedRne::Load(*quant_path_, blocks);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  EXPECT_TRUE(cached.value().IsBlockCached());
+
+  Rng rng(FuzzSeed() + 11);
+  const size_t n = graph_->NumVertices();
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+    const double reference = heap.value().Query(s, t);
+    ExpectBitIdentical(reference, mapped.value().Query(s, t), "mmap", s, t);
+    ExpectBitIdentical(reference, cold.value().Query(s, t), "cold", s, t);
+    ExpectBitIdentical(reference, cached.value().Query(s, t), "blockcache",
+                       s, t);
+  }
+}
+
+TEST_F(DifferentialTest, MmapServedGTreeBitIdenticalToHeap) {
+  GTreeOptions options;
+  options.fanout = 4;
+  options.leaf_size = 16;
+  const GTree built(*graph_, options);
+  const std::string path = TempPath("differential_gtree.bin");
+  ASSERT_TRUE(built.Save(path).ok());
+
+  auto heap = GTree::Load(path, *graph_);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  auto mapped = GTree::Load(path, *graph_, WithMode(LoadMode::kMmap));
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().IsMapped());
+  auto cold = GTree::Load(path, *graph_, WithMode(LoadMode::kMmapCold));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  Rng rng(FuzzSeed() + 12);
+  const size_t n = graph_->NumVertices();
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+    const double reference = heap.value().Distance(s, t);
+    ExpectBitIdentical(reference, mapped.value().Distance(s, t), "mmap", s,
+                       t);
+    ExpectBitIdentical(reference, cold.value().Distance(s, t), "cold", s, t);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(DifferentialTest, MmapBackendsServeBitIdenticalAnswers) {
+  // The registry-built backends that load model files must be oblivious to
+  // the load mode: distances AND kNN results (ids and doubles) identical.
+  Rng rng(FuzzSeed() + 13);
+  const size_t n = graph_->NumVertices();
+  for (const char* name : {"rne", "rne-quantized"}) {
+    SCOPED_TRACE(testing::Message() << "backend=" << name);
+    QueryBackend* heap = (*backends_)[name].get();
+    for (const LoadMode mode : {LoadMode::kMmap, LoadMode::kMmapCold}) {
+      BackendContext ctx;
+      ctx.graph = graph_;
+      ctx.num_workers = 1;
+      ctx.model_path =
+          std::string(name) == "rne-quantized" ? *quant_path_ : *model_path_;
+      ctx.load = WithMode(mode);
+      auto served = MakeBackend(name, ctx);
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      for (int i = 0; i < 120; ++i) {
+        const auto s = static_cast<VertexId>(rng.UniformIndex(n));
+        const auto t = static_cast<VertexId>(rng.UniformIndex(n));
+        ExpectBitIdentical(heap->Distance(s, t),
+                           served.value()->Distance(s, t),
+                           LoadModeName(mode), s, t);
+      }
+      if (heap->SupportsKnn()) {
+        const auto want = heap->Knn(5, 8);
+        const auto got = served.value()->Knn(5, 8);
+        ASSERT_EQ(want.size(), got.size());
+        for (size_t j = 0; j < want.size(); ++j) {
+          EXPECT_EQ(want[j].first, got[j].first) << "rank " << j;
+          EXPECT_EQ(std::memcmp(&want[j].second, &got[j].second,
+                                sizeof(double)),
+                    0)
+              << "rank " << j;
+        }
+      }
+    }
   }
 }
 

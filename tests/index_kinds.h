@@ -12,6 +12,7 @@
 
 #include "baselines/alt.h"
 #include "baselines/ch.h"
+#include "baselines/gtree.h"
 #include "baselines/h2h.h"
 #include "core/quantized.h"
 #include "core/rne.h"
@@ -27,6 +28,11 @@ struct IndexKindParam {
   uint32_t magic;
   std::function<Status(const Graph&, const std::string&)> build_and_save;
   std::function<Status(const std::string&, const Graph&)> load;
+  /// Cold-map load (LoadMode::kMmapCold) followed by full lazy-section
+  /// verification, collapsed to one Status: either the open-time structural
+  /// checks or the deferred checksum pass must reject a corrupt file —
+  /// never crash. Null for kinds without a zero-copy load path.
+  std::function<Status(const std::string&, const Graph&)> load_cold;
 };
 
 inline RneConfig SmallRneConfig() {
@@ -38,6 +44,12 @@ inline RneConfig SmallRneConfig() {
   return config;
 }
 
+inline LoadOptions ColdLoadOptions() {
+  LoadOptions options;
+  options.mode = LoadMode::kMmapCold;
+  return options;
+}
+
 inline std::vector<IndexKindParam> AllIndexKinds() {
   return {
       {"Rne", kRneMagic,
@@ -46,6 +58,11 @@ inline std::vector<IndexKindParam> AllIndexKinds() {
        },
        [](const std::string& path, const Graph&) {
          return Rne::Load(path).status();
+       },
+       [](const std::string& path, const Graph&) {
+         auto model = Rne::Load(path, ColdLoadOptions());
+         if (!model.ok()) return model.status();
+         return model.value().VerifyMapped();
        }},
       {"QuantizedRne", kQuantMagic,
        [](const Graph& g, const std::string& path) {
@@ -53,6 +70,11 @@ inline std::vector<IndexKindParam> AllIndexKinds() {
        },
        [](const std::string& path, const Graph&) {
          return QuantizedRne::Load(path).status();
+       },
+       [](const std::string& path, const Graph&) {
+         auto model = QuantizedRne::Load(path, ColdLoadOptions());
+         if (!model.ok()) return model.status();
+         return model.value().VerifyMapped();
        }},
       {"ContractionHierarchy", kChMagic,
        [](const Graph& g, const std::string& path) {
@@ -60,14 +82,16 @@ inline std::vector<IndexKindParam> AllIndexKinds() {
        },
        [](const std::string& path, const Graph&) {
          return ContractionHierarchy::Load(path).status();
-       }},
+       },
+       nullptr},
       {"H2HIndex", kH2hMagic,
        [](const Graph& g, const std::string& path) {
          return H2HIndex(g).Save(path);
        },
        [](const std::string& path, const Graph&) {
          return H2HIndex::Load(path).status();
-       }},
+       },
+       nullptr},
       {"AltIndex", kAltMagic,
        [](const Graph& g, const std::string& path) {
          Rng rng(11);
@@ -75,6 +99,22 @@ inline std::vector<IndexKindParam> AllIndexKinds() {
        },
        [](const std::string& path, const Graph& g) {
          return AltIndex::Load(path, g).status();
+       },
+       nullptr},
+      {"GTree", kGTreeMagic,
+       [](const Graph& g, const std::string& path) {
+         GTreeOptions options;
+         options.fanout = 4;
+         options.leaf_size = 8;
+         return GTree(g, options).Save(path);
+       },
+       [](const std::string& path, const Graph& g) {
+         return GTree::Load(path, g).status();
+       },
+       [](const std::string& path, const Graph& g) {
+         auto tree = GTree::Load(path, g, ColdLoadOptions());
+         if (!tree.ok()) return tree.status();
+         return tree.value().VerifyMapped();
        }},
   };
 }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "serve/backend.h"
 #include "serve/model_manager.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "util/fault_injection.h"
 #include "util/serialize.h"
 
@@ -178,6 +180,129 @@ TEST(ModelManagerTest, UnpublishedManagedBackendFallsDownChain) {
   DijkstraSearch reference(g);
   EXPECT_NEAR(response.distance, reference.Distance(1, 40), 1e-6);
   EXPECT_GE(engine.Metrics().retries, 1u);
+}
+
+// A RELOAD of an mmap-served model must swap rows atomically: the new
+// snapshot serves the new file's bytes, the old snapshot (pinned by its
+// mapping to the replaced inode) keeps serving the old bytes, and a result
+// cache in front of the engine never hands out a pre-swap distance.
+TEST(ModelManagerTest, MmapReloadNeverServesStaleRows) {
+  const Graph g = SmallNetwork();
+  const std::string path = TempPath("rne_mm_mmap_swap.bin");
+  const Rne model_a = TinyModel(g);
+  ASSERT_TRUE(model_a.Save(path).ok());
+
+  ModelManager::Options options;
+  options.load.mode = LoadMode::kMmapCold;  // worst case: deferred CRCs
+  ModelManager manager(options);
+  ASSERT_TRUE(manager.Load(path).ok());
+  const auto snapshot_a = manager.Current();
+  ASSERT_TRUE(snapshot_a->model->IsMapped());
+
+  // A differently-trained replacement over the SAME path (atomic rename).
+  RneConfig other_config;
+  other_config.dim = 16;
+  other_config.hierarchical = false;
+  other_config.fine_tune = false;
+  other_config.train.vertex_samples = 9000;
+  other_config.train.vertex_epochs = 3;
+  const Rne model_b = Rne::Build(g, other_config);
+  ASSERT_TRUE(model_b.Save(path).ok());
+
+  // Find a pair the two models genuinely disagree on, so "stale" and
+  // "fresh" are distinguishable bit patterns.
+  VertexId ds = 0, dt = 0;
+  for (VertexId s = 0; s < g.NumVertices() && ds == dt; ++s) {
+    for (VertexId t = s + 1; t < g.NumVertices(); ++t) {
+      const double a = model_a.Query(s, t);
+      const double b = model_b.Query(s, t);
+      if (std::memcmp(&a, &b, sizeof(double)) != 0) {
+        ds = s;
+        dt = t;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(ds, dt) << "models are identical; test cannot discriminate";
+
+  ASSERT_TRUE(manager.Reload().ok());
+  const auto snapshot_b = manager.Current();
+  ASSERT_NE(snapshot_a, snapshot_b);
+
+  // New snapshot == freshly trained model, old snapshot == old model, both
+  // to the bit; the old mapping survives the rename that replaced its file.
+  const double want_a = model_a.Query(ds, dt);
+  const double want_b = model_b.Query(ds, dt);
+  const double got_a = snapshot_a->model->Query(ds, dt);
+  const double got_b = snapshot_b->model->Query(ds, dt);
+  EXPECT_EQ(std::memcmp(&want_a, &got_a, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&want_b, &got_b, sizeof(double)), 0);
+
+  std::filesystem::remove(path);
+}
+
+// CachedEngine regression for the same scenario: a cache hit recorded
+// before an mmap-model RELOAD must not outlive the swap. The publish
+// listener invalidates the cache, so post-swap queries serve the new
+// model's rows — bit-identical to a direct query, never the stale double.
+TEST(ModelManagerTest, ReloadOfMmapModelInvalidatesResultCache) {
+  const Graph g = SmallNetwork();
+  const std::string path = TempPath("rne_mm_cache_swap.bin");
+  const Rne model_a = TinyModel(g);
+  ASSERT_TRUE(model_a.Save(path).ok());
+
+  ModelManager::Options manager_options;
+  manager_options.load.mode = LoadMode::kMmap;
+  ModelManager manager(manager_options);
+  ASSERT_TRUE(manager.Load(path).ok());
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 1;
+  QueryEngine engine(engine_options);
+  engine.AddReadyBackend(manager.MakeManagedBackend());
+  ResultCache cache;
+  CachedEngine cached(&engine, &cache);
+  manager.AddPublishListener([&cache](uint64_t) { cache.Invalidate(); });
+
+  RneConfig other_config;
+  other_config.dim = 16;
+  other_config.hierarchical = false;
+  other_config.fine_tune = false;
+  other_config.train.vertex_samples = 9000;
+  other_config.train.vertex_epochs = 3;
+  const Rne model_b = Rne::Build(g, other_config);
+
+  std::vector<Request> requests;
+  for (VertexId s = 0; s < 12; ++s) {
+    Request request;
+    request.kind = RequestKind::kDistance;
+    request.s = s;
+    request.t = static_cast<VertexId>(g.NumVertices() - 1 - s);
+    requests.push_back(request);
+  }
+  std::vector<Response> before, warm, after;
+  ASSERT_TRUE(cached.QueryBatch(requests, &before).ok());
+  ASSERT_TRUE(cached.QueryBatch(requests, &warm).ok());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(before[i].status.ok());
+    EXPECT_TRUE(warm[i].cached) << i;  // the hits the swap must invalidate
+    const double want = model_a.Query(requests[i].s, requests[i].t);
+    EXPECT_EQ(std::memcmp(&want, &before[i].distance, sizeof(double)), 0);
+  }
+
+  ASSERT_TRUE(model_b.Save(path).ok());
+  ASSERT_TRUE(manager.Reload().ok());
+  ASSERT_TRUE(cached.QueryBatch(requests, &after).ok());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(after[i].status.ok());
+    EXPECT_FALSE(after[i].cached) << "request " << i
+                                  << " served a pre-swap cache entry";
+    const double want = model_b.Query(requests[i].s, requests[i].t);
+    EXPECT_EQ(std::memcmp(&want, &after[i].distance, sizeof(double)), 0)
+        << "request " << i << " served a stale row after RELOAD";
+  }
+
+  std::filesystem::remove(path);
 }
 
 // The headline swap invariant: with clients hammering the engine, repeated

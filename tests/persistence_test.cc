@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <set>
 
 #include "algo/dijkstra.h"
 #include "algo/distance_sampler.h"
@@ -17,6 +19,8 @@
 #include "core/rne.h"
 #include "graph/generators.h"
 #include "index_kinds.h"
+#include "util/fault_injection.h"
+#include "util/mmap_file.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 
@@ -247,11 +251,147 @@ TEST_P(EnvelopeSweepTest, ZeroLengthFileRejected) {
 TEST_P(EnvelopeSweepTest, MissingFileIsNotFound) {
   const Status st = GetParam().load(Path("_does_not_exist.bin"), *graph_);
   EXPECT_EQ(st.code(), StatusCode::kNotFound) << st.ToString();
+  if (GetParam().load_cold != nullptr) {
+    EXPECT_EQ(
+        GetParam().load_cold(Path("_does_not_exist.bin"), *graph_).code(),
+        StatusCode::kNotFound);
+  }
+}
+
+TEST_P(EnvelopeSweepTest, ColdMapRoundTripLoadsAndVerifies) {
+  if (GetParam().load_cold == nullptr) {
+    GTEST_SKIP() << GetParam().name << " has no zero-copy load path";
+  }
+  const std::string path = Path("_cold.bin");
+  ASSERT_TRUE(GetParam().build_and_save(*graph_, path).ok());
+  const Status st = GetParam().load_cold(path, *graph_);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::filesystem::remove(path);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIndexKinds, EnvelopeSweepTest,
                          ::testing::ValuesIn(AllIndexKinds()),
                          [](const auto& info) { return info.param.name; });
+
+// ------------------------------------------ v2 sectioned-layout contracts
+
+class V2LayoutTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph(MakeGridNetwork(8, 8));
+    path_ = new std::string(TempPath("rne_v2_layout.bin"));
+    ASSERT_TRUE(Rne::Build(*graph_, SmallRneConfig()).Save(*path_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove(*path_);
+    delete path_;
+    delete graph_;
+  }
+  static Graph* graph_;
+  static std::string* path_;
+};
+Graph* V2LayoutTest::graph_ = nullptr;
+std::string* V2LayoutTest::path_ = nullptr;
+
+TEST_F(V2LayoutTest, SectionsAreAlignedUniqueAndTileTheFileTail) {
+  const auto info = InspectEnvelope(*path_);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().format_version, kFormatVersionV2);
+  ASSERT_FALSE(info.value().sections.empty());
+  const uint64_t file_size = std::filesystem::file_size(*path_);
+  uint64_t prev_end = 0;
+  std::set<uint32_t> tags;
+  for (const SectionInfo& sec : info.value().sections) {
+    EXPECT_EQ(sec.offset % kSectionAlignment, 0u) << "tag " << sec.tag;
+    EXPECT_GE(sec.offset, prev_end);  // table order = file order
+    EXPECT_LE(sec.offset + sec.size, file_size);
+    EXPECT_TRUE(tags.insert(sec.tag).second) << "duplicate tag " << sec.tag;
+    prev_end = sec.offset + sec.size;
+  }
+  // Every byte is checksummed: the file ends exactly at the last section.
+  EXPECT_EQ(prev_end, file_size);
+}
+
+TEST_F(V2LayoutTest, ColdMapDefersLazySectionCorruptionToVerify) {
+  // Find a lazy-verify section and flip one bit in the middle of its data.
+  const auto info = InspectEnvelope(*path_);
+  ASSERT_TRUE(info.ok());
+  const SectionInfo* lazy = nullptr;
+  for (const SectionInfo& sec : info.value().sections) {
+    if ((sec.flags & kSectionFlagLazyVerify) != 0) lazy = &sec;
+  }
+  ASSERT_NE(lazy, nullptr) << "embedding sections should be lazy-verify";
+  const std::string bad = TempPath("rne_v2_lazyflip.bin");
+  ASSERT_TRUE(
+      fault::FlipBitCopy(*path_, bad, lazy->offset + lazy->size / 2, 5)
+          .ok());
+
+  // Heap and eager-mmap loads check every section up front: rejected.
+  EXPECT_EQ(Rne::Load(bad).status().code(), StatusCode::kCorruption);
+  LoadOptions eager;
+  eager.mode = LoadMode::kMmap;
+  EXPECT_EQ(Rne::Load(bad, eager).status().code(), StatusCode::kCorruption);
+
+  // The cold map opens fine (metadata is intact), then the deferred check
+  // reports Corruption — and keeps reporting it (sticky), never crashing.
+  auto cold = Rne::Load(bad, ColdLoadOptions());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_TRUE(cold.value().IsMapped());
+  EXPECT_EQ(cold.value().VerifyMapped().code(), StatusCode::kCorruption);
+  EXPECT_EQ(cold.value().VerifyMapped().code(), StatusCode::kCorruption);
+  // The hot query path has no Status channel; it must throw the dedicated
+  // exception (which the serving chain converts into a backend fallback).
+  EXPECT_THROW(cold.value().Query(0, 1), CorruptionError);
+  std::filesystem::remove(bad);
+}
+
+TEST_F(V2LayoutTest, ColdMapDefersGTreeMatrixCorruptionToVerify) {
+  GTreeOptions options;
+  options.fanout = 4;
+  options.leaf_size = 8;
+  const std::string path = TempPath("rne_v2_gtree_lazy.bin");
+  ASSERT_TRUE(GTree(*graph_, options).Save(path).ok());
+  const auto info = InspectEnvelope(path);
+  ASSERT_TRUE(info.ok());
+  const SectionInfo* pool = nullptr;
+  for (const SectionInfo& sec : info.value().sections) {
+    if (sec.tag == kSecGTreeMatrixPool) pool = &sec;
+  }
+  ASSERT_NE(pool, nullptr);
+  ASSERT_NE(pool->flags & kSectionFlagLazyVerify, 0u);
+  const std::string bad = TempPath("rne_v2_gtree_flip.bin");
+  ASSERT_TRUE(
+      fault::FlipBitCopy(path, bad, pool->offset + pool->size / 2, 2).ok());
+
+  EXPECT_EQ(GTree::Load(bad, *graph_).status().code(),
+            StatusCode::kCorruption);
+  auto cold = GTree::Load(bad, *graph_, ColdLoadOptions());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold.value().VerifyMapped().code(), StatusCode::kCorruption);
+  EXPECT_THROW(cold.value().Distance(0, 5), CorruptionError);
+  std::filesystem::remove(path);
+  std::filesystem::remove(bad);
+}
+
+TEST_F(V2LayoutTest, MappedAnswersSurviveFileReplacement) {
+  // The atomic-save protocol renames a new inode over the path, so an open
+  // mapping keeps serving the generation it was opened on — the property
+  // RELOAD relies on to swap models without racing in-flight queries.
+  const std::string path = TempPath("rne_v2_replace.bin");
+  const Rne original = Rne::Build(*graph_, SmallRneConfig());
+  ASSERT_TRUE(original.Save(path).ok());
+  auto mapped = Rne::Load(path, ColdLoadOptions());
+  ASSERT_TRUE(mapped.ok());
+  const double before = mapped.value().Query(1, 17);
+
+  RneConfig other = SmallRneConfig();
+  other.train.vertex_samples = 3000;  // different training → different rows
+  ASSERT_TRUE(Rne::Build(*graph_, other).Save(path).ok());
+  const double after = mapped.value().Query(1, 17);
+  EXPECT_EQ(std::memcmp(&before, &after, sizeof(double)), 0)
+      << "mapping must pin the old inode across an atomic replace";
+  std::filesystem::remove(path);
+}
 
 TEST(RneRefineTest, OnlineRefinementReducesError) {
   const Graph g = TestNetwork(7);

@@ -1,11 +1,14 @@
 // Cross-cutting property tests: metric-space invariants of the served RNE
 // model, estimator sanity under degenerate inputs, disconnected-graph
-// behaviour of every method, and loader robustness against malformed files.
+// behaviour of every method, loader robustness against malformed files, and
+// envelope-format properties (v1 compatibility, v2 section-table fuzz).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "baselines/alt.h"
 #include "baselines/ch.h"
@@ -16,7 +19,9 @@
 #include "graph/dimacs.h"
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
+#include "util/mmap_file.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace rne {
 namespace {
@@ -211,6 +216,163 @@ TEST(DimacsFuzzTest, CommentsAndBlankLinesTolerated) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().NumVertices(), 2u);
   EXPECT_NEAR(result.value().EdgeWeight(0, 1), 7.5, 1e-9);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------- envelope format properties
+
+std::string PropTempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(EnvelopeCompatTest, LegacyV1SaveLoadsWithIdenticalModel) {
+  // A downgraded (v1) save must round-trip through the heap loader into a
+  // bit-identical model, and a zero-copy load request on it must quietly
+  // fall back to the heap path: v1 has no sections to map.
+  const Graph g = MakeGridNetwork(8, 8);
+  RneConfig config;
+  config.dim = 8;
+  config.train.level_samples = 500;
+  config.train.vertex_samples = 2000;
+  config.fine_tune = false;
+  const Rne model = Rne::Build(g, config);
+  const std::string v1 = PropTempPath("rne_compat_v1.bin");
+  const std::string v2 = PropTempPath("rne_compat_v2.bin");
+  ASSERT_TRUE(model.Save(v1, SaveFormat::kLegacyV1).ok());
+  ASSERT_TRUE(model.Save(v2).ok());
+
+  const auto v1_info = InspectEnvelope(v1);
+  ASSERT_TRUE(v1_info.ok()) << v1_info.status().ToString();
+  EXPECT_EQ(v1_info.value().format_version, kFormatVersionV1);
+  EXPECT_TRUE(v1_info.value().sections.empty());
+  const auto v2_info = InspectEnvelope(v2);
+  ASSERT_TRUE(v2_info.ok());
+  EXPECT_EQ(v2_info.value().format_version, kFormatVersionV2);
+  EXPECT_FALSE(v2_info.value().sections.empty());
+
+  auto legacy = Rne::Load(v1);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  auto sectioned = Rne::Load(v2);
+  ASSERT_TRUE(sectioned.ok());
+  LoadOptions mmap_options;
+  mmap_options.mode = LoadMode::kMmap;
+  auto fallback = Rne::Load(v1, mmap_options);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_FALSE(fallback.value().IsMapped()) << "v1 cannot be served mapped";
+
+  for (VertexId s = 0; s < g.NumVertices(); s += 5) {
+    for (VertexId t = 1; t < g.NumVertices(); t += 7) {
+      const double want = model.Query(s, t);
+      for (const Rne* loaded :
+           {&legacy.value(), &sectioned.value(), &fallback.value()}) {
+        const double got = loaded->Query(s, t);
+        ASSERT_EQ(std::memcmp(&want, &got, sizeof(double)), 0)
+            << "s=" << s << " t=" << t;
+      }
+    }
+  }
+  // A v1 file is byte-for-byte what the pre-section writer produced: the
+  // envelope header says version 1 and the trailer is the payload CRC, so
+  // older readers (which reject unknown versions) stay compatible.
+  EXPECT_EQ(v1_info.value().payload_size + kEnvelopeHeaderSize +
+                kEnvelopeTrailerSize,
+            std::filesystem::file_size(v1));
+  std::filesystem::remove(v1);
+  std::filesystem::remove(v2);
+}
+
+TEST(EnvelopeFuzzTest, SectionTableRoundTripsRandomSizesAndAlignments) {
+  // Property: any set of sections (random count, sizes, alignments, flags)
+  // written through BinaryWriter::AddSection is read back bit-identically
+  // by both BinaryReader (streaming) and MappedEnvelope (zero-copy), with
+  // every checksum passing.
+  Rng rng(20260809);
+  const std::string path = PropTempPath("rne_section_fuzz.bin");
+  constexpr uint64_t kAlignments[] = {64, 128, 256, 1024, 4096};
+  for (int round = 0; round < 15; ++round) {
+    SCOPED_TRACE(testing::Message() << "round " << round);
+    const size_t num_sections = 1 + rng.UniformIndex(4);
+    std::vector<std::vector<uint8_t>> payloads(num_sections);
+    std::vector<uint64_t> alignments(num_sections);
+    {
+      BinaryWriter w(path, kHierarchyMagic);
+      for (size_t i = 0; i < num_sections; ++i) {
+        payloads[i].resize(1 + rng.UniformIndex(5000));
+        for (auto& b : payloads[i]) {
+          b = static_cast<uint8_t>(rng.UniformIndex(256));
+        }
+        alignments[i] = kAlignments[rng.UniformIndex(5)];
+        w.AddSection(static_cast<uint32_t>(0x10 + i), payloads[i].data(),
+                     payloads[i].size(),
+                     i % 2 == 0 ? kSectionFlagLazyVerify : 0,
+                     alignments[i]);
+      }
+      // Metadata payload of random length rides along.
+      std::vector<uint32_t> meta(rng.UniformIndex(64));
+      for (auto& m : meta) m = static_cast<uint32_t>(rng.UniformIndex(1000));
+      w.WriteVector(meta);
+      ASSERT_TRUE(w.Finish().ok());
+    }
+
+    // Streaming reader: structure, payload, then every section.
+    BinaryReader r(path, kHierarchyMagic);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.format_version(), kFormatVersionV2);
+    ASSERT_EQ(r.sections().size(), num_sections);
+    std::vector<uint32_t> meta;
+    ASSERT_TRUE(r.ReadVector(&meta));
+    ASSERT_TRUE(r.Finish().ok());
+    ASSERT_TRUE(r.VerifyAllSections().ok());
+    for (size_t i = 0; i < num_sections; ++i) {
+      const uint32_t tag = static_cast<uint32_t>(0x10 + i);
+      const SectionInfo* sec = r.FindSection(tag);
+      ASSERT_NE(sec, nullptr);
+      ASSERT_EQ(sec->size, payloads[i].size());
+      EXPECT_EQ(sec->offset % alignments[i], 0u);
+      std::vector<uint8_t> data(sec->size);
+      ASSERT_TRUE(r.ReadSectionInto(tag, data.data(), data.size()).ok());
+      EXPECT_EQ(data, payloads[i]);
+    }
+
+    // Zero-copy reader: the mapped view serves the same bytes in place.
+    for (const LoadMode mode : {LoadMode::kMmap, LoadMode::kMmapCold}) {
+      auto env = MappedEnvelope::Open(path, kHierarchyMagic, mode);
+      ASSERT_TRUE(env.ok()) << env.status().ToString();
+      ASSERT_TRUE(env.value()->EnsureAllVerified().ok());
+      for (size_t i = 0; i < num_sections; ++i) {
+        const uint8_t* data =
+            env.value()->SectionData(static_cast<uint32_t>(0x10 + i));
+        ASSERT_NE(data, nullptr);
+        EXPECT_EQ(std::memcmp(data, payloads[i].data(), payloads[i].size()),
+                  0);
+      }
+      EXPECT_EQ(env.value()->SectionData(0xFF), nullptr);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(EnvelopeFuzzTest, SectionlessWriterStillEmitsV1) {
+  // With no AddSection call the writer's output must remain the v1 layout,
+  // so index kinds without big flat arrays are untouched by the migration.
+  const std::string path = PropTempPath("rne_sectionless.bin");
+  {
+    BinaryWriter w(path, kHierarchyMagic);
+    w.WritePod<uint64_t>(7);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  const auto info = InspectEnvelope(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().format_version, kFormatVersionV1);
+  EXPECT_TRUE(info.value().sections.empty());
+  EXPECT_EQ(std::filesystem::file_size(path),
+            kEnvelopeHeaderSize + sizeof(uint64_t) + kEnvelopeTrailerSize);
+  // And a v1 file is FailedPrecondition for the mapper — the loaders use
+  // that signal to fall back to the heap path.
+  EXPECT_EQ(
+      MappedEnvelope::Open(path, kHierarchyMagic, LoadMode::kMmap).status()
+          .code(),
+      StatusCode::kFailedPrecondition);
   std::filesystem::remove(path);
 }
 

@@ -8,6 +8,12 @@
 //              [--deadline-us 0] [--batch 64] [--shed]
 //              [--listen <port>] [--max-conns 1024] [--idle-timeout-ms 0]
 //              [--cache 65536] [--cache-shards 16]
+//              [--mmap | --mmap-cold]
+//
+// --mmap serves model files zero-copy from a read-only mapping (v2
+// envelopes; v1 files fall back to a heap load). --mmap-cold additionally
+// defers section checksums to first access — ModelManager re-verifies at
+// load/RELOAD time, so published models are always checked.
 //
 // The line protocol (QUERY/KNN/STATS/METRICS/RELOAD) lives in
 // serve/server_loop.h; this binary only parses flags, builds the engine,
@@ -81,13 +87,14 @@ std::vector<std::string> SplitCommas(const std::string& csv) {
 }
 
 int Main(int argc, char** argv) {
-  auto parsed = ArgParser::Parse(argc, argv, 1, {"shed"});
+  auto parsed =
+      ArgParser::Parse(argc, argv, 1, {"shed", "mmap", "mmap-cold"});
   if (!parsed.ok()) return Fail(parsed.status().ToString());
   const ArgParser& args = parsed.value();
   const Status known = args.RequireKnown(
       {"model", "gr", "co", "backends", "threads", "queue", "deadline-us",
        "batch", "seed", "shed", "listen", "max-conns", "idle-timeout-ms",
-       "cache", "cache-shards"});
+       "cache", "cache-shards", "mmap", "mmap-cold"});
   if (!known.ok()) return Fail(known.ToString());
   FlagReader flags(args);
   EngineOptions options;
@@ -115,6 +122,11 @@ int Main(int argc, char** argv) {
   BackendContext ctx;
   ctx.model_path = args.Get("model", "");
   ctx.seed = seed;
+  if (args.Has("mmap-cold")) {
+    ctx.load.mode = LoadMode::kMmapCold;
+  } else if (args.Has("mmap")) {
+    ctx.load.mode = LoadMode::kMmap;
+  }
   if (args.Has("gr")) {
     auto loaded = LoadDimacs(args.Get("gr", ""), args.Get("co", ""));
     if (!loaded.ok()) return Fail(loaded.status().ToString());
@@ -128,6 +140,7 @@ int Main(int argc, char** argv) {
   manager_options.num_workers = options.num_threads == 0
                                     ? std::thread::hardware_concurrency()
                                     : options.num_threads;
+  manager_options.load = ctx.load;
   ModelManager manager(manager_options);
 
   QueryEngine engine(options);

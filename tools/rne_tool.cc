@@ -10,6 +10,10 @@
 //   rne_tool knn      --model city.rne --s 17 --k 5
 //   rne_tool verify   city.rne [--deep]
 //
+// eval/query/knn accept --mmap (serve the model zero-copy from a read-only
+// mapping) or --mmap-cold (defer section checksums to first access); v1
+// files fall back to a heap load. verify lists the v2 section table.
+//
 // Serving commands (query/knn) degrade gracefully: when the model file is
 // missing or corrupt and --gr is given, they log the load failure and answer
 // exactly via Dijkstra instead of aborting. For sustained traffic use
@@ -46,6 +50,29 @@ StatusOr<Graph> LoadGraphArg(const ArgParser& args) {
   const std::string gr = args.Get("gr", "");
   if (gr.empty()) return Status::InvalidArgument("--gr <file> is required");
   return LoadDimacs(gr, args.Get("co", ""));
+}
+
+LoadOptions LoadOptionsFromArgs(const ArgParser& args) {
+  LoadOptions load;
+  if (args.Has("mmap-cold")) {
+    load.mode = LoadMode::kMmapCold;
+  } else if (args.Has("mmap")) {
+    load.mode = LoadMode::kMmap;
+  }
+  return load;
+}
+
+/// Loads the model under the --mmap/--mmap-cold flags. A cold map defers
+/// section checksums to first access, which on this one-shot CLI would
+/// surface as a CorruptionError thrown mid-query; complete the verification
+/// here so a corrupt file takes the same warn-and-fall-back path as an
+/// eager load failure (ModelManager does the same before publishing).
+StatusOr<Rne> LoadModelArg(const ArgParser& args) {
+  auto model =
+      Rne::Load(args.Get("model", "model.rne"), LoadOptionsFromArgs(args));
+  if (!model.ok()) return model;
+  if (const Status st = model.value().VerifyMapped(); !st.ok()) return st;
+  return model;
 }
 
 int CmdGenerate(const ArgParser& args) {
@@ -145,7 +172,7 @@ int CmdEval(const ArgParser& args) {
   if (!flags.status().ok()) return Fail(flags.status().ToString());
   auto graph = LoadGraphArg(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
-  auto model = Rne::Load(args.Get("model", "model.rne"));
+  auto model = LoadModelArg(args);
   if (!model.ok()) return Fail(model.status().ToString());
   if (model.value().NumVertices() != graph.value().NumVertices()) {
     return Fail("model and graph vertex counts differ");
@@ -214,7 +241,7 @@ int CmdQuery(const ArgParser& args) {
                                        static_cast<VertexId>(raw_t)));
     return 0;
   }
-  auto model = Rne::Load(args.Get("model", "model.rne"));
+  auto model = LoadModelArg(args);
   if (!model.ok()) {
     auto graph = FallbackGraph(args, model.status());
     if (!graph.ok()) return Fail(graph.status().ToString());
@@ -241,7 +268,7 @@ int CmdKnn(const ArgParser& args) {
   const long raw_s = flags.Int("s", 0);
   const auto k = static_cast<size_t>(std::max(0L, flags.Int("k", 5)));
   if (!flags.status().ok()) return Fail(flags.status().ToString());
-  auto model = Rne::Load(args.Get("model", "model.rne"));
+  auto model = LoadModelArg(args);
   if (!model.ok()) {
     auto graph = FallbackGraph(args, model.status());
     if (!graph.ok()) return Fail(graph.status().ToString());
@@ -287,6 +314,13 @@ int CmdVerify(const ArgParser& args) {
               IndexKindName(info.value().index_magic),
               info.value().format_version,
               static_cast<unsigned long long>(info.value().payload_size));
+  for (const SectionInfo& sec : info.value().sections) {
+    std::printf("  section 0x%02x: offset %llu, %llu bytes%s\n", sec.tag,
+                static_cast<unsigned long long>(sec.offset),
+                static_cast<unsigned long long>(sec.size),
+                (sec.flags & kSectionFlagLazyVerify) != 0 ? ", lazy-verify"
+                                                          : "");
+  }
   if (args.Has("deep")) {
     // Full typed deserialize — catches payload-level problems the envelope
     // checksums cannot see (e.g. inconsistent section lengths).
@@ -310,7 +344,7 @@ int Main(int argc, char** argv) {
                  "[--key value ...]\n");
     return 1;
   }
-  auto args = ArgParser::Parse(argc, argv, 2, /*switches=*/{"exact", "deep"});
+  auto args = ArgParser::Parse(argc, argv, 2, /*switches=*/{"exact", "deep", "mmap", "mmap-cold"});
   if (!args.ok()) return Fail(args.status().ToString());
   const std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(args.value());
