@@ -1,0 +1,75 @@
+// ArgParser fuzzer: the input is split on NUL bytes into an argv vector
+// (the exact shape execve hands a process — embedded junk, empty strings,
+// '=' forms, huge single arguments) and run through Parse with and without
+// declared switches, then through every typed accessor and FlagReader.
+// Statuses are ignored; only crashes and sanitizer reports count.
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/arg_parser.h"
+
+#include "fuzz_target.h"
+
+namespace rne {
+namespace {
+
+void DriveArgs(const uint8_t* data, size_t size) {
+  // Split on NUL into at most 64 argv entries; a trailing unterminated
+  // token is included (argv strings are always NUL-terminated by the time
+  // the parser sees them — std::string adds that here).
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  for (size_t i = 0; i < size && tokens.size() < 64; ++i) {
+    if (data[i] == '\0') {
+      tokens.emplace_back(reinterpret_cast<const char*>(data + start),
+                          i - start);
+      start = i + 1;
+    }
+  }
+  if (start < size && tokens.size() < 64) {
+    tokens.emplace_back(reinterpret_cast<const char*>(data + start),
+                        size - start);
+  }
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("fuzz"));  // argv[0]: program name
+  for (std::string& t : tokens) argv.push_back(t.data());
+  const int argc = static_cast<int>(argv.size());
+
+  const std::set<std::string> switches = {"mmap", "verbose", "help"};
+  for (const auto& sw : {std::set<std::string>{}, switches}) {
+    auto parsed = ArgParser::Parse(argc, argv.data(), 1, sw);
+    if (!parsed.ok()) continue;
+    const ArgParser& args = parsed.value();
+    (void)args.positionals();
+    // Probe both fixed keys and whatever keys the input produced, through
+    // every accessor (strtol/strtod full-consumption paths included).
+    std::set<std::string> seen = {"threads", "model", "mmap", ""};
+    for (const std::string& t : tokens) {
+      if (t.size() > 2 && t[0] == '-' && t[1] == '-') {
+        seen.insert(t.substr(2));
+      }
+    }
+    for (const std::string& key : seen) {
+      (void)args.Has(key);
+      (void)args.Get(key, "fallback");
+      (void)args.GetInt(key, -1);
+      (void)args.GetDouble(key, 0.5);
+    }
+    (void)args.RequireKnown({"threads", "model", "mmap", "verbose", "help"});
+    FlagReader flags(args);
+    (void)flags.Int("threads", 1);
+    (void)flags.Real("zipf", 0.0);
+    (void)flags.Str("model", "");
+    (void)flags.status();
+  }
+}
+
+}  // namespace
+}  // namespace rne
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  rne::DriveArgs(data, size);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// BlockCache fuzzer: input-derived cache geometry, file contents, and an
+// op stream of Acquire/Read/pin-release/stats calls — plus a fault shim
+// that truncates or regrows the backing file *behind* the cache (which
+// keeps serving against its size-at-open), driving the short-pread and
+// IoError paths the way a concurrently-replaced model file would. The
+// offset/size arithmetic (block indexing, tail blocks, cross-block Read
+// assembly, eviction under pin pressure) is the attack surface; statuses
+// are ignored, crashes and sanitizer reports count.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/block_cache.h"
+
+#include "fuzz_target.h"
+
+namespace rne {
+namespace {
+
+const std::string& ScratchPath() {
+  static const std::string* path = [] {
+    return new std::string("/tmp/rne_blockcache_fuzz." +
+                           std::to_string(::getpid()) + ".bin");
+  }();
+  return *path;
+}
+
+uint16_t ReadU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+void DriveCache(const uint8_t* data, size_t size) {
+  if (size < 8) return;
+  BlockCache::Options options;
+  options.block_bytes = 1 + ReadU16(data) % 1024;
+  options.block_count = 1 + data[2] % 8;
+  const size_t file_len =
+      std::min<size_t>(size - 8, static_cast<size_t>(data[3]) * 17);
+  {
+    std::ofstream out(ScratchPath(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data + 8),
+              static_cast<std::streamsize>(file_len));
+  }
+  auto opened = BlockCache::Open(ScratchPath(), options);
+  if (!opened.ok()) return;
+  BlockCache& cache = *opened.value();
+  std::vector<BlockCache::Pin> pins;
+  std::vector<uint8_t> dst;
+  // Op stream: 3 bytes per op from the tail of the input.
+  const uint8_t* ops = data + 8 + file_len;
+  size_t n_ops = (size - 8 - file_len) / 3;
+  for (size_t i = 0; i < n_ops; ++i) {
+    const uint8_t op = ops[3 * i];
+    const uint16_t arg = ReadU16(ops + 3 * i + 1);
+    switch (op % 6) {
+      case 0: {  // pin a block (mixes hits, misses, evictions, Unavailable)
+        auto pin = cache.Acquire(arg % 64);
+        if (pin.ok()) {
+          // Touch the span: a stale or misbounded pin is an ASan report.
+          const auto bytes = pin.value().bytes();
+          uint8_t sink = 0;
+          for (const uint8_t b : bytes) sink ^= b;
+          (void)sink;
+          if (pins.size() < 16) pins.push_back(std::move(pin).value());
+        }
+        break;
+      }
+      case 1:  // release the oldest pin
+        if (!pins.empty()) pins.erase(pins.begin());
+        break;
+      case 2: {  // arbitrary-extent read (cross-block assembly)
+        const uint64_t offset = static_cast<uint64_t>(arg) * 7;
+        const uint64_t len = 1 + static_cast<uint64_t>(ops[3 * i + 2]) * 16;
+        dst.resize(len);
+        (void)cache.Read(offset, dst.data(), len);
+        break;
+      }
+      case 3: {  // fault shim: shrink or regrow the file behind the cache
+        (void)::truncate(ScratchPath().c_str(),
+                         static_cast<off_t>(arg % (file_len + 2)));
+        break;
+      }
+      case 4:  // move-assign churn on the pin handles
+        if (pins.size() >= 2) {
+          pins[0] = std::move(pins.back());
+          pins.pop_back();
+        }
+        break;
+      default:
+        (void)cache.stats();
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rne
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  rne::DriveCache(data, size);
+  return 0;
+}

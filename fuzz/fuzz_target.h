@@ -1,0 +1,34 @@
+// Contract shared by every fuzz harness in this directory.
+//
+// A harness is one translation unit defining LLVMFuzzerTestOneInput (and
+// optionally LLVMFuzzerCustomMutator). The same .cc builds two ways:
+//
+//   * libFuzzer binary (RNE_ENABLE_FUZZERS=ON, Clang): linked with
+//     -fsanitize=fuzzer, which supplies main() and drives the harness with
+//     coverage-guided mutation. RNE_LIBFUZZER is defined; only then may the
+//     harness reference LLVMFuzzerMutate (it lives in the libFuzzer
+//     runtime).
+//   * Replay binary (always built, any compiler/sanitizer): linked with
+//     replay_driver.cc, whose main() feeds committed corpus and regression
+//     files — plus an optional deterministic mutation campaign — through
+//     the same entry point. This is what makes every found crash a
+//     permanent ctest regression.
+//
+// Harness rules: no global mutable state across inputs (one input must not
+// change the verdict on the next), bounded memory per input, and statuses
+// are ignored — only crashes, sanitizer reports, and CHECK failures count.
+#ifndef RNE_FUZZ_FUZZ_TARGET_H_
+#define RNE_FUZZ_FUZZ_TARGET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#ifdef RNE_LIBFUZZER
+// Provided by the libFuzzer runtime; only callable from a custom mutator.
+extern "C" size_t LLVMFuzzerMutate(uint8_t* data, size_t size,
+                                   size_t max_size);
+#endif
+
+#endif  // RNE_FUZZ_FUZZ_TARGET_H_

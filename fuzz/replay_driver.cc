@@ -1,0 +1,198 @@
+// Sanitizer-agnostic corpus replay driver (see fuzz_target.h for the
+// harness contract). Links against one harness's LLVMFuzzerTestOneInput and
+// provides the main() that libFuzzer would otherwise supply.
+//
+//   replay_<target> <file-or-dir>...            replay every input once
+//   replay_<target> --mutate N --seed S PATHS   then run N extra inputs
+//                                               derived from the corpus by
+//                                               deterministic byte mutation
+//
+// Replay mode is what ctest runs on every build (any compiler, any
+// sanitizer leg): each committed corpus/regression input must execute
+// without crashing. Mutation mode is a poor-compiler's fuzzing campaign for
+// machines without Clang/libFuzzer: splice/flip/truncate corpus inputs
+// under a seeded LCG so ASan/UBSan builds still explore past the seeds.
+// It is breadth-only (no coverage feedback) — the real campaign is the
+// libFuzzer build in CI.
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_target.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+void CollectInputs(const std::string& path, std::vector<std::string>* files) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "replay: cannot stat %s (skipped)\n", path.c_str());
+    return;
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    files->push_back(path);
+    return;
+  }
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return;
+  std::vector<std::string> entries;
+  while (dirent* e = ::readdir(dir)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == ".." || name == "README.md") continue;
+    entries.push_back(path + "/" + name);
+  }
+  ::closedir(dir);
+  // Deterministic order so a failure names a stable input.
+  std::sort(entries.begin(), entries.end());
+  for (const std::string& entry : entries) CollectInputs(entry, files);
+}
+
+// splitmix64: tiny, seedable, good enough to diversify corpus bytes.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<uint8_t> Mutate(const std::vector<std::vector<uint8_t>>& corpus,
+                            uint64_t* rng, size_t max_len) {
+  std::vector<uint8_t> input = corpus[NextRand(rng) % corpus.size()];
+  const int rounds = 1 + static_cast<int>(NextRand(rng) % 8);
+  for (int i = 0; i < rounds; ++i) {
+    switch (NextRand(rng) % 6) {
+      case 0:  // flip a bit
+        if (!input.empty()) {
+          input[NextRand(rng) % input.size()] ^=
+              static_cast<uint8_t>(1u << (NextRand(rng) % 8));
+        }
+        break;
+      case 1:  // overwrite a byte
+        if (!input.empty()) {
+          input[NextRand(rng) % input.size()] =
+              static_cast<uint8_t>(NextRand(rng));
+        }
+        break;
+      case 2:  // truncate
+        if (!input.empty()) input.resize(NextRand(rng) % input.size());
+        break;
+      case 3: {  // insert a small run
+        const size_t pos = input.empty() ? 0 : NextRand(rng) % input.size();
+        const size_t n = 1 + NextRand(rng) % 8;
+        input.insert(input.begin() + static_cast<ptrdiff_t>(pos), n,
+                     static_cast<uint8_t>(NextRand(rng)));
+        break;
+      }
+      case 4: {  // splice a window from another corpus entry
+        const std::vector<uint8_t>& other =
+            corpus[NextRand(rng) % corpus.size()];
+        if (!other.empty()) {
+          const size_t from = NextRand(rng) % other.size();
+          const size_t n =
+              std::min<size_t>(1 + NextRand(rng) % 64, other.size() - from);
+          const size_t pos = input.empty() ? 0 : NextRand(rng) % input.size();
+          input.insert(input.begin() + static_cast<ptrdiff_t>(pos),
+                       other.begin() + static_cast<ptrdiff_t>(from),
+                       other.begin() + static_cast<ptrdiff_t>(from + n));
+        }
+        break;
+      }
+      case 5: {  // overwrite a u32 with a boundary value
+        if (input.size() >= 4) {
+          static const uint32_t kBoundary[] = {
+              0,          1,           0x7fffffffu, 0x80000000u,
+              0xffffffffu, 0xfffffffeu, 0x40u,      0x10000u};
+          const uint32_t v = kBoundary[NextRand(rng) % 8];
+          const size_t pos = NextRand(rng) % (input.size() - 3);
+          std::memcpy(input.data() + pos, &v, 4);
+        }
+        break;
+      }
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t mutations = 0;
+  uint64_t seed = 1;
+  size_t max_len = 1 << 16;
+  std::string dump_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mutate" && i + 1 < argc) {
+      mutations = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-len" && i + 1 < argc) {
+      max_len = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--dump" && i + 1 < argc) {
+      dump_path = argv[++i];
+    } else {
+      CollectInputs(arg, &files);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutate N] [--seed S] [--max-len L] "
+                 "[--dump crash.bin] <file-or-dir>...\n",
+                 argv[0]);
+    return 2;
+  }
+  std::vector<std::vector<uint8_t>> corpus;
+  size_t replayed = 0;
+  for (const std::string& file : files) {
+    std::vector<uint8_t> bytes;
+    if (!ReadFile(file, &bytes)) {
+      std::fprintf(stderr, "replay: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    // Print before executing: on a crash the last line names the input.
+    std::fprintf(stderr, "replay: %s (%zu bytes)\n", file.c_str(),
+                 bytes.size());
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+    corpus.push_back(std::move(bytes));
+  }
+  uint64_t rng = seed;
+  for (uint64_t i = 0; i < mutations; ++i) {
+    const std::vector<uint8_t> input = Mutate(corpus, &rng, max_len);
+    if (!dump_path.empty()) {
+      // Written before execution: if the next call crashes the process,
+      // this file holds the offending input, ready to commit under
+      // regressions/ once minimized.
+      std::ofstream dump(dump_path, std::ios::binary | std::ios::trunc);
+      dump.write(reinterpret_cast<const char*>(input.data()),
+                 static_cast<std::streamsize>(input.size()));
+    }
+    if ((i & 0x3ff) == 0) {
+      std::fprintf(stderr, "replay: mutation %llu/%llu (seed %llu)\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(mutations),
+                   static_cast<unsigned long long>(seed));
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::fprintf(stderr, "replay: %zu corpus inputs + %llu mutations OK\n",
+               replayed, static_cast<unsigned long long>(mutations));
+  return 0;
+}

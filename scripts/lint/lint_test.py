@@ -404,6 +404,122 @@ def test_suppression_same_line_and_preceding_line():
     assert "raw-mutex" in rules_fired(lint_source("src/x/a.h", far))
 
 
+def test_untrusted_length_alloc_fires_on_tainted_product():
+    # wire-resize's single-identifier match sees only `dim` here; the taint
+    # rule must flag the wire-read `count` factor.
+    bad = (
+        '#include "util/serialize.h"\n'
+        "void Load(rne::BinaryReader& r, std::vector<float>* v) {\n"
+        "  uint64_t count = 0, dim = 0;\n"
+        "  if (!r.ReadPod(&count)) return;\n"
+        "  if (!r.ReadPod(&dim)) return;\n"
+        "  v->resize(count * dim);\n"
+        "}\n"
+    )
+    findings = lint_source("src/x/a.cc", bad)
+    assert "untrusted-length-alloc" in rules_fired(findings)
+    assert any(f.line == 6 for f in findings
+               if f.rule == "untrusted-length-alloc")
+
+
+def test_untrusted_length_alloc_quiet_when_bounded():
+    good = (
+        '#include "util/serialize.h"\n'
+        "void Load(rne::BinaryReader& r, std::vector<float>* v) {\n"
+        "  uint64_t count = 0, dim = 0;\n"
+        "  if (!r.ReadPod(&count)) return;\n"
+        "  if (!r.ReadPod(&dim)) return;\n"
+        "  if (dim == 0 || count > r.remaining() / (dim * sizeof(float)))\n"
+        "    return;\n"
+        "  v->resize(count * dim);\n"
+        "}\n"
+    )
+    assert "untrusted-length-alloc" not in rules_fired(
+        lint_source("src/x/a.cc", good))
+    # A named limit constant is an acceptable bound too.
+    kmax = (
+        '#include "util/serialize.h"\n'
+        "void Load(rne::BinaryReader& r, std::vector<float>* v) {\n"
+        "  uint64_t count = 0;\n"
+        "  if (!r.ReadPod(&count)) return;\n"
+        "  if (count > kMaxEmbeddings) return;\n"
+        "  v->resize(count);\n"
+        "}\n"
+    )
+    assert "untrusted-length-alloc" not in rules_fired(
+        lint_source("src/x/a.cc", kmax))
+    # Sizes that never touched the wire are out of scope, as are files
+    # that never see a BinaryReader.
+    local = (
+        '#include "util/serialize.h"\n'
+        "void F(std::vector<int>* v, size_t k) { v->resize(k * 2); }\n"
+    )
+    assert "untrusted-length-alloc" not in rules_fired(
+        lint_source("src/x/a.cc", local))
+    ungated = "void F(std::vector<int>* v, size_t n) { v->resize(n); }\n"
+    assert "untrusted-length-alloc" not in rules_fired(
+        lint_source("src/x/a.cc", ungated))
+
+
+def test_untrusted_length_alloc_suppression():
+    src = (
+        '#include "util/serialize.h"\n'
+        "void Load(rne::BinaryReader& r, std::vector<int>* v) {\n"
+        "  uint64_t n = 0;\n"
+        "  if (!r.ReadPod(&n)) return;\n"
+        "  // rne-lint: allow(untrusted-length-alloc) — n checked by caller\n"
+        "  v->resize(n);\n"
+        "}\n"
+    )
+    assert "untrusted-length-alloc" not in rules_fired(
+        lint_source("src/x/a.cc", src))
+
+
+def test_missing_fuzz_harness_fires_on_unlisted_parser():
+    # By naming convention these parse untrusted bytes; none of them are in
+    # the real fuzz/COVERAGE.md, so each must fire.
+    for name in ("json_parser.cc", "wire_protocol.h", "envelope_v3.cc"):
+        findings = lint_source(f"src/util/{name}", "// TODO\n" if
+                               name.endswith(".cc") else GUARD + GUARD_END)
+        assert "missing-fuzz-harness" in rules_fired(findings), name
+
+
+def test_missing_fuzz_harness_quiet_when_listed_or_out_of_scope():
+    # arg_parser.cc is named in the real fuzz/COVERAGE.md.
+    quiet = lint_source("src/util/arg_parser.cc", "// impl\n")
+    assert "missing-fuzz-harness" not in rules_fired(quiet)
+    # Outside src/ the convention does not apply (tests, bench, fuzz).
+    assert "missing-fuzz-harness" not in rules_fired(
+        lint_source("tests/server_protocol_test.cc", "// test\n"))
+    assert "missing-fuzz-harness" not in rules_fired(
+        lint_source("fuzz/protocol_fuzzer.cc", "// harness\n"))
+    # Files without the naming convention are out of scope entirely.
+    assert "missing-fuzz-harness" not in rules_fired(
+        lint_source("src/util/serialize.cc", "// impl\n"))
+
+
+def test_missing_fuzz_harness_coverage_file_override():
+    # The coverage map location is injectable so this test does not depend
+    # on the repo's real COVERAGE.md contents.
+    with tempfile.TemporaryDirectory() as tmp:
+        coverage = os.path.join(tmp, "COVERAGE.md")
+        with open(coverage, "w", encoding="utf-8") as f:
+            f.write("## harness\n- src/util/toy_parser.cc\n")
+        rule = rne_lint.MissingFuzzHarnessRule(coverage_path=coverage)
+        listed = os.path.join(tmp, "src", "util", "toy_parser.cc")
+        unlisted = os.path.join(tmp, "src", "util", "other_parser.cc")
+        os.makedirs(os.path.dirname(listed), exist_ok=True)
+        for p in (listed, unlisted):
+            with open(p, "w", encoding="utf-8") as f:
+                f.write("// impl\n")
+        assert not list(rule.check(listed, ["// impl"]))
+        assert list(rule.check(unlisted, ["// impl"]))
+        # A missing coverage map means nothing is listed: everything fires.
+        absent = rne_lint.MissingFuzzHarnessRule(
+            coverage_path=os.path.join(tmp, "nope.md"))
+        assert list(absent.check(unlisted, ["// impl"]))
+
+
 def test_json_output_and_exit_codes():
     with tempfile.TemporaryDirectory() as tmp:
         bad = os.path.join(tmp, "bad.h")

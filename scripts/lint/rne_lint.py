@@ -45,6 +45,18 @@ Rules:
                Mappings must go through the MmapFile RAII wrapper (or
                MappedEnvelope) so unmap-on-destruction, SIGBUS-safe length
                validation and advice hints stay in one audited place.
+  untrusted-length-alloc
+               resize/reserve whose argument *expression* involves a value
+               read off the wire (BinaryReader::ReadPod) with no
+               remaining()/kMax bound on that value first. Catches the
+               `v.resize(count * dim)` overflow shapes wire-resize's
+               single-identifier match misses: the product can wrap even
+               when each factor looks small.
+  missing-fuzz-harness
+               src/ files matching *parser*/*protocol*/*envelope* must be
+               named in fuzz/COVERAGE.md. Untrusted-byte surfaces ship
+               with a fuzz harness (DESIGN.md §16); the coverage map is
+               how the next reader finds it.
 
 Suppression: append `// rne-lint: allow(<rule>)` to the offending line or
 the line directly above it. Suppressions are for documented, deliberate
@@ -441,6 +453,98 @@ class RawMmapRule(Rule):
                 )
 
 
+class UntrustedLengthAllocRule(Rule):
+    name = "untrusted-length-alloc"
+    description = (
+        "resize/reserve argument expression built from a wire-read length"
+        " with no remaining()/kMax bound on it — products of small-looking"
+        " wire values overflow into huge allocations"
+    )
+    READ_RE = re.compile(r"ReadPod\s*\(\s*&\s*(\w+)\s*\)")
+    CALL_RE = re.compile(r"(?:\.|->)\s*(resize|reserve)\s*\(([^;]*)\)")
+    IDENT_RE = re.compile(r"\b([A-Za-z_]\w*)\b")
+    # Unlike wire-resize's generic comparison tokens, the bound here must
+    # tie the value to what the file can actually supply (remaining()) or
+    # to a named limit constant.
+    BOUND_TOKENS = ("remaining", "kMax", "RNE_CHECK")
+
+    def check(self, path, lines):
+        if not any("BinaryReader" in l or "util/serialize.h" in l
+                   for l in lines):
+            return
+        wire_vars = {}  # name -> line index of the read
+        for i, raw in enumerate(lines):
+            line = strip_comments_and_strings(raw)
+            for m in self.READ_RE.finditer(line):
+                wire_vars[m.group(1)] = i
+            m = self.CALL_RE.search(line)
+            if not m:
+                continue
+            # Every identifier in the argument expression is suspect, not
+            # just one: resize(count * dim) must bound *count* and *dim*.
+            tainted = [v for v in self.IDENT_RE.findall(m.group(2))
+                       if v in wire_vars]
+            for var in tainted:
+                read_at = wire_vars[var]
+                bounded = any(
+                    var in strip_comments_and_strings(lines[j])
+                    and any(tok in lines[j] for tok in self.BOUND_TOKENS)
+                    for j in range(read_at, i)
+                )
+                if not bounded:
+                    yield Finding(
+                        self.name, path, i + 1,
+                        f"{m.group(1)}(...) sizes an allocation with"
+                        f" wire-read `{var}` (line {read_at + 1}) that was"
+                        " never bounded against remaining() or a kMax"
+                        " limit; a corrupt length field becomes a huge"
+                        " allocation or an overflowing product",
+                    )
+
+
+class MissingFuzzHarnessRule(Rule):
+    name = "missing-fuzz-harness"
+    description = (
+        "src/ file matching *parser*/*protocol*/*envelope* not named in"
+        " fuzz/COVERAGE.md — untrusted-byte surfaces ship with a fuzz"
+        " harness (DESIGN.md §16)"
+    )
+    NAME_RE = re.compile(r"parser|protocol|envelope")
+
+    def __init__(self, coverage_path=None):
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        self.coverage_path = coverage_path or os.path.join(
+            repo_root, "fuzz", "COVERAGE.md")
+        self._coverage = None
+
+    def coverage_text(self):
+        if self._coverage is None:
+            try:
+                with open(self.coverage_path, encoding="utf-8") as f:
+                    self._coverage = f.read()
+            except OSError:
+                self._coverage = ""
+        return self._coverage
+
+    def applies_to(self, path):
+        norm = path.replace(os.sep, "/")
+        return (super().applies_to(path) and "src/" in norm
+                and self.NAME_RE.search(os.path.basename(path)) is not None)
+
+    def check(self, path, lines):
+        base = os.path.basename(path)
+        if base in self.coverage_text():
+            return
+        yield Finding(
+            self.name, path, 1,
+            f"{base} parses untrusted bytes by naming convention but is not"
+            " listed in fuzz/COVERAGE.md; cover it from an existing harness"
+            " (or add one) and record it there",
+        )
+
+
 ALL_RULES = [
     RawMutexRule(),
     RawRandomRule(),
@@ -451,6 +555,8 @@ ALL_RULES = [
     SilentCatchAllRule(),
     RawSyscallRetryRule(),
     RawMmapRule(),
+    UntrustedLengthAllocRule(),
+    MissingFuzzHarnessRule(),
 ]
 
 

@@ -554,11 +554,13 @@ Status GTree::ParseMeta(BinaryReader& r, const std::string& path,
   // which bounds them before any allocation.
   uint64_t pool_doubles = 0;
   if (v2) {
+    // An absent section is an empty pool (a tree whose matrices are all
+    // empty writes no section); every per-node length must then be 0.
     const SectionInfo* sec = r.FindSection(kSecGTreeMatrixPool);
-    if (sec == nullptr || sec->size % sizeof(double) != 0) {
+    if (sec != nullptr && sec->size % sizeof(double) != 0) {
       return Status::Corruption("inconsistent G-tree index " + path);
     }
-    pool_doubles = sec->size / sizeof(double);
+    pool_doubles = sec == nullptr ? 0 : sec->size / sizeof(double);
   }
   num_leaf_borders_ = num_borders;
   nodes_.resize(num_nodes);
@@ -666,9 +668,11 @@ StatusOr<GTree> GTree::Load(const std::string& path, const Graph& g,
     uint64_t total = 0;
     for (const uint64_t len : lens) total += len;
     tree.matrix_pool_.resize(total);
-    RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecGTreeMatrixPool,
-                                          tree.matrix_pool_.data(),
-                                          total * sizeof(double)));
+    if (total > 0) {
+      RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecGTreeMatrixPool,
+                                            tree.matrix_pool_.data(),
+                                            total * sizeof(double)));
+    }
   }
   tree.BindMatrixSpans(tree.matrix_pool_.data(), lens);
   RNE_RETURN_IF_ERROR(tree.CheckConsistent(path, g));

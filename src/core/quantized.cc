@@ -86,11 +86,13 @@ Status QuantizedRne::ParseMeta(BinaryReader& r, const std::string& path) {
     return r.ReadError("corrupt quantized model " + path);
   }
   if (r.format_version() >= kFormatVersionV2) {
-    const SectionInfo* sec = r.FindSection(kSecQuantCodes);
     // The CRC-protected section table bounds the code bytes; corrupt
-    // rows/dim fields fail this cross-check instead of allocating.
-    if (sec == nullptr || (dim != 0 && rows > sec->size / dim) ||
-        rows * dim != sec->size) {
+    // rows/dim fields fail this cross-check instead of allocating. An
+    // absent section means zero code bytes (empty sections are dropped by
+    // the writer), so rows*dim must then be 0 too.
+    const SectionInfo* sec = r.FindSection(kSecQuantCodes);
+    const uint64_t sec_size = sec == nullptr ? 0 : sec->size;
+    if ((dim != 0 && rows > sec_size / dim) || rows * dim != sec_size) {
       return r.ReadError("corrupt quantized model " + path);
     }
   } else if (!r.ReadVector(&codes_)) {
@@ -159,8 +161,10 @@ StatusOr<QuantizedRne> QuantizedRne::Load(const std::string& path,
     // serve rows by offset. The cache itself never re-checksums — the
     // verified file is the unit of trust, as with an eager mmap.
     RNE_RETURN_IF_ERROR(r.VerifyAllSections());
+    // ParseMeta proved rows*dim == section size, so a missing section means
+    // an empty model: any offset works, no block is ever fetched.
     const SectionInfo* sec = r.FindSection(kSecQuantCodes);
-    q.codes_file_offset_ = sec->offset;
+    q.codes_file_offset_ = sec == nullptr ? 0 : sec->offset;
     BlockCache::Options copt;
     copt.block_bytes = options.block_bytes;
     copt.block_count = options.block_count;
@@ -169,8 +173,10 @@ StatusOr<QuantizedRne> QuantizedRne::Load(const std::string& path,
     q.cache_ = std::move(cache).value();
   } else if (v2) {
     q.codes_.resize(q.rows_ * q.dim_);
-    RNE_RETURN_IF_ERROR(
-        r.ReadSectionInto(kSecQuantCodes, q.codes_.data(), q.codes_.size()));
+    if (!q.codes_.empty()) {
+      RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecQuantCodes, q.codes_.data(),
+                                            q.codes_.size()));
+    }
   }
   RNE_RETURN_IF_ERROR(q.CheckConsistent(path));
   return q;

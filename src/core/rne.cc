@@ -191,11 +191,13 @@ Status Rne::ParseMeta(BinaryReader& r, const std::string& path,
     return r.ReadError("corrupt RNE model file " + path);
   }
   if (r.format_version() >= kFormatVersionV2) {
+    // An absent section means zero bytes (the writer drops empty sections);
+    // ReadMeta cross-checks rows*dim against the extent either way, so a
+    // missing section with a non-empty matrix still fails as corrupt.
     const SectionInfo* vsec = r.FindSection(kSecRneVertexEmb);
     const SectionInfo* nsec = r.FindSection(kSecRneNodeEmb);
-    if (vsec == nullptr || nsec == nullptr ||
-        !vertex_emb_.ReadMeta(r, vsec->size) ||
-        !node_emb_.ReadMeta(r, nsec->size)) {
+    if (!vertex_emb_.ReadMeta(r, vsec == nullptr ? 0 : vsec->size) ||
+        !node_emb_.ReadMeta(r, nsec == nullptr ? 0 : nsec->size)) {
       return r.ReadError("corrupt RNE model file " + path);
     }
   } else if (!vertex_emb_.Read(r) || !node_emb_.Read(r)) {
@@ -244,12 +246,16 @@ StatusOr<Rne> Rne::Load(const std::string& path, const LoadOptions& options) {
   if (r.format_version() >= kFormatVersionV2) {
     float* vertices = model.vertex_emb_.AllocateOwned(
         model.vertex_emb_.rows(), model.vertex_emb_.dim());
-    RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecRneVertexEmb, vertices,
-                                          model.vertex_emb_.MemoryBytes()));
+    if (model.vertex_emb_.MemoryBytes() > 0) {
+      RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecRneVertexEmb, vertices,
+                                            model.vertex_emb_.MemoryBytes()));
+    }
     float* nodes = model.node_emb_.AllocateOwned(model.node_emb_.rows(),
                                                  model.node_emb_.dim());
-    RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecRneNodeEmb, nodes,
-                                          model.node_emb_.MemoryBytes()));
+    if (model.node_emb_.MemoryBytes() > 0) {
+      RNE_RETURN_IF_ERROR(r.ReadSectionInto(kSecRneNodeEmb, nodes,
+                                            model.node_emb_.MemoryBytes()));
+    }
   }
   model.hierarchy_ = std::move(hierarchy);
   RNE_RETURN_IF_ERROR(model.CheckConsistent(path));

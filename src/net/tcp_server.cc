@@ -32,8 +32,8 @@ struct TcpServer::Connection {
 
   int fd = -1;
   serve::LineProtocolHandler handler;
-  /// Bytes received but not yet terminated by '\n'.
-  std::string in;
+  /// handler.frames() already mirrored into the server's net.lines counter.
+  size_t frames_counted = 0;
   /// Answer bytes not yet accepted by the kernel; [out_off, size) is live.
   std::string out;
   size_t out_off = 0;
@@ -48,6 +48,9 @@ TcpServer::TcpServer(serve::QueryEngine& engine,
     : engine_(engine), options_(options) {
   // Every handler reports this server's live connection count via STATS.
   options_.loop.active_connections = &active_;
+  // Line framing lives in the handler (serve::LineProtocolHandler::Consume);
+  // the server's oversize limit is the one the handler enforces.
+  options_.loop.max_line_bytes = options_.max_line_bytes;
 }
 
 TcpServer::~TcpServer() {
@@ -209,20 +212,27 @@ bool TcpServer::HandleReadable(Connection* conn) {
   conn->last_active = std::chrono::steady_clock::now();
   char buf[16 * 1024];
   bool saw_eof = false;
+  bool oversize = false;
   // Byte cap per event, not read-until-EAGAIN: a client that writes faster
   // than the engine serves would otherwise pin the reactor in this loop
-  // (and grow `in` unboundedly) before a single answer went out.
-  // Level-triggered epoll re-signals immediately for the remainder.
+  // (and grow the framing buffer unboundedly) before a single answer went
+  // out. Level-triggered epoll re-signals immediately for the remainder.
   size_t budget = 16 * sizeof(buf);
   for (;;) {
     if (budget == 0) break;
     const ssize_t n =
         ReadFd(conn->fd, buf, std::min(sizeof(buf), budget));
     if (n > 0) {
-      conn->in.append(buf, static_cast<size_t>(n));
       budget -= static_cast<size_t>(n);
       bytes_in_.Add(static_cast<uint64_t>(n));
       RNE_COUNTER_ADD("net.bytes_in", n);
+      // Framing (line splitting, CRLF, the oversize limit) lives in the
+      // handler so the TCP path and the fuzzer exercise the same code.
+      if (!conn->handler.Consume(std::string_view(buf, static_cast<size_t>(n)),
+                                 &conn->out)) {
+        oversize = true;
+        break;
+      }
       continue;
     }
     if (n == 0) {
@@ -233,25 +243,16 @@ bool TcpServer::HandleReadable(Connection* conn) {
     CloseConnection(conn->fd, CloseReason::kNormal);
     return false;
   }
-  // Handle every complete line from this burst; answers accumulate in the
-  // userspace write buffer and go out in one flush below.
-  size_t start = 0;
-  size_t nl;
-  while ((nl = conn->in.find('\n', start)) != std::string::npos) {
-    std::string_view line(conn->in.data() + start, nl - start);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    lines_.Add(1);
-    RNE_COUNTER_ADD("net.lines", 1);
-    conn->handler.HandleLine(line, &conn->out);
-    start = nl + 1;
+  const size_t frames = conn->handler.frames();
+  if (frames > conn->frames_counted) {
+    const uint64_t delta = frames - conn->frames_counted;
+    conn->frames_counted = frames;
+    lines_.Add(delta);
+    RNE_COUNTER_ADD("net.lines", delta);
   }
-  conn->in.erase(0, start);
-  if (conn->in.size() > options_.max_line_bytes) {
-    conn->out.append("ERR INVALID_ARGUMENT: line exceeds ");
-    conn->out.append(std::to_string(options_.max_line_bytes));
-    conn->out.append(" bytes\n");
+  if (oversize) {
+    // Consume already flushed owed answers and appended the ERR line.
     conn->closing = true;
-    conn->in.clear();
     if (FlushWrites(conn)) {
       CloseConnection(conn->fd, CloseReason::kOversize);
     } else {
@@ -260,10 +261,16 @@ bool TcpServer::HandleReadable(Connection* conn) {
     }
     return false;
   }
-  // The read side went dry: flush the half-full batch so a synchronous
-  // client gets its answer now instead of after the next arrival.
-  conn->handler.Flush(&conn->out);
-  if (saw_eof) conn->closing = true;
+  if (saw_eof) {
+    // Peer is done sending: account any unterminated final line and answer
+    // everything owed before the close.
+    conn->handler.Finish(&conn->out);
+    conn->closing = true;
+  } else {
+    // The read side went dry: flush the half-full batch so a synchronous
+    // client gets its answer now instead of after the next arrival.
+    conn->handler.Flush(&conn->out);
+  }
   return FlushWrites(conn);
 }
 
@@ -352,10 +359,11 @@ void TcpServer::SweepIdle() {
 }
 
 void TcpServer::DrainAndCloseAll() {
-  // Answer everything already parsed, then give the kernel a bounded
-  // window to accept the buffered bytes before hard-closing.
+  // Answer everything already parsed (dropping — and counting — any
+  // unterminated partial line), then give the kernel a bounded window to
+  // accept the buffered bytes before hard-closing.
   for (auto& [fd, conn] : connections_) {
-    conn->handler.Flush(&conn->out);
+    conn->handler.Finish(&conn->out);
     conn->closing = true;
   }
   const auto deadline =

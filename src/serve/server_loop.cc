@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -161,11 +162,15 @@ void LineProtocolHandler::HandleLine(std::string_view line, std::string* out) {
     }
     return;
   }
+  // Ids are parsed into a wider type and range-checked before the narrowing
+  // cast: without the check, "QUERY 4294967296 0" would silently alias
+  // vertex 0 (found by the protocol fuzzer).
+  constexpr long long kMaxId = std::numeric_limits<VertexId>::max();
   Request request;
   if (verb == "QUERY") {
-    long s = -1, t = -1;
+    long long s = -1, t = -1;
     parser >> s >> t;
-    if (parser.fail() || s < 0 || t < 0) {
+    if (parser.fail() || s < 0 || t < 0 || s > kMaxId || t > kMaxId) {
       Flush(out);  // keep answers in request order
       out->append("ERR INVALID_ARGUMENT: usage: QUERY <s> <t>\n");
       return;
@@ -174,9 +179,9 @@ void LineProtocolHandler::HandleLine(std::string_view line, std::string* out) {
     request.s = static_cast<VertexId>(s);
     request.t = static_cast<VertexId>(t);
   } else if (verb == "KNN") {
-    long s = -1, k = -1;
+    long long s = -1, k = -1;
     parser >> s >> k;
-    if (parser.fail() || s < 0 || k < 0) {
+    if (parser.fail() || s < 0 || k < 0 || s > kMaxId) {
       Flush(out);
       out->append("ERR INVALID_ARGUMENT: usage: KNN <s> <k>\n");
       return;
@@ -194,6 +199,43 @@ void LineProtocolHandler::HandleLine(std::string_view line, std::string* out) {
   pending_.push_back(request);
   const size_t batch = options_.batch == 0 ? 1 : options_.batch;
   if (pending_.size() >= batch) Flush(out);
+}
+
+bool LineProtocolHandler::Consume(std::string_view bytes, std::string* out) {
+  buffer_.append(bytes);
+  size_t start = 0;
+  size_t nl;
+  while ((nl = buffer_.find('\n', start)) != std::string::npos) {
+    std::string_view line(buffer_.data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++frames_;
+    HandleLine(line, out);
+    start = nl + 1;
+  }
+  buffer_.erase(0, start);
+  if (buffer_.size() > options_.max_line_bytes) {
+    // Flush answers owed for earlier complete lines first so the transcript
+    // stays in request order, then poison the stream.
+    Flush(out);
+    out->append("ERR INVALID_ARGUMENT: line exceeds ");
+    out->append(std::to_string(options_.max_line_bytes));
+    out->append(" bytes\n");
+    buffer_.clear();
+    return false;
+  }
+  return true;
+}
+
+void LineProtocolHandler::Finish(std::string* out) {
+  if (!buffer_.empty()) {
+    // A peer that closes without terminating its last line gets no answer
+    // for it; that is deliberate (a truncated frame is not a request), but
+    // it must be observable, not silent.
+    ++partial_dropped_;
+    RNE_COUNTER_ADD("net.partial_line_dropped", 1);
+    buffer_.clear();
+  }
+  Flush(out);
 }
 
 size_t RunServerLoop(std::istream& in, std::ostream& out, QueryEngine& engine,

@@ -60,6 +60,11 @@ struct ServerLoopOptions {
   /// the stdin loop has no connections). net::TcpServer points this at its
   /// own counter.
   const std::atomic<size_t>* active_connections = nullptr;
+  /// Byte-stream framing limit for Consume(): once the buffered
+  /// unterminated line exceeds this, the handler answers ERR and reports
+  /// the stream poisoned. net::TcpServer overwrites this with its own
+  /// max_line_bytes so both fronts share one limit.
+  size_t max_line_bytes = 64 * 1024;
 };
 
 /// One protocol conversation: feed it lines, collect output bytes. Not
@@ -76,6 +81,29 @@ class LineProtocolHandler {
   /// batch fills or Flush() is called; control verbs and errors flush
   /// first so answers never leave request order.
   void HandleLine(std::string_view line, std::string* out);
+
+  /// Byte-stream entry point: appends `bytes` to the framing buffer, peels
+  /// off every complete '\n'-terminated line (an optional trailing '\r' is
+  /// stripped), and feeds each through HandleLine. Frames may be split or
+  /// merged arbitrarily across calls — this is the seam the TCP front end
+  /// and the protocol fuzzer share. Returns false when the buffered
+  /// unterminated tail exceeded options.max_line_bytes: one ERR line was
+  /// appended, the buffer was discarded, and the caller should stop feeding
+  /// this stream (the TCP server closes the connection).
+  bool Consume(std::string_view bytes, std::string* out);
+
+  /// End of input: any buffered unterminated line is dropped — counted in
+  /// net.partial_line_dropped and partial_lines_dropped() — and the pending
+  /// batch is flushed so no answer is owed. Idempotent.
+  void Finish(std::string* out);
+
+  /// Unterminated final lines dropped by Finish() on this handler.
+  size_t partial_lines_dropped() const { return partial_dropped_; }
+
+  /// Newline-terminated frames Consume() has peeled off so far (blank lines
+  /// included — this is the wire-level count the TCP server reports as
+  /// net.lines).
+  size_t frames() const { return frames_; }
 
   /// Runs the pending batch through the (cached) engine and appends every
   /// answer to `*out`. Call at end-of-input, on drain, and when a read
@@ -96,7 +124,11 @@ class LineProtocolHandler {
   const ServerLoopOptions options_;
   CachedEngine cached_;
   std::vector<Request> pending_;
+  /// Bytes received by Consume() but not yet terminated by '\n'.
+  std::string buffer_;
   size_t lines_ = 0;
+  size_t frames_ = 0;
+  size_t partial_dropped_ = 0;
 };
 
 /// Reads protocol lines from `in` until EOF (or `options.stop`), writing

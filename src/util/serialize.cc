@@ -126,6 +126,10 @@ void BinaryWriter::AddSection(uint32_t tag, const void* data, uint64_t size,
   for (const PendingSection& s : sections_) {
     RNE_CHECK_MSG(s.tag != tag, "duplicate section tag");
   }
+  // Empty sections are dropped rather than written: the reader rejects
+  // zero-size table entries as corrupt (they would alias the next extent),
+  // so loaders treat an absent tag as "zero bytes" instead.
+  if (size == 0) return;
   sections_.push_back(PendingSection{tag, flags, data, size, alignment});
 }
 
@@ -455,6 +459,15 @@ bool BinaryReader::ParseSectionTable(uint64_t file_size) {
         status_ = Status::Corruption("duplicate section tag in " + path_);
         return false;
       }
+    }
+    if (s.size == 0) {
+      // Writers never emit empty sections (AddSection drops them); a
+      // zero-size entry only appears in hand-crafted or corrupted tables,
+      // and accepting it would hand loaders a degenerate extent whose
+      // data pointer aliases the next section.
+      status_ = Status::Corruption("zero-size section " +
+                                   std::to_string(s.tag) + " in " + path_);
+      return false;
     }
     if (s.offset % kSectionAlignment != 0 || s.offset < expected ||
         s.offset - expected >= kMaxSectionAlignment ||

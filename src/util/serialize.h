@@ -178,6 +178,9 @@ class BinaryWriter {
   /// (the section table sits between the header and the payload, so its
   /// size must be final by then). `data` is not copied and must stay alive
   /// until Finish(), which streams it after the metadata payload.
+  /// A `size` of 0 is a no-op: empty sections are never written (the reader
+  /// rejects zero-size table entries), so loaders must treat a missing tag
+  /// as an empty extent when their metadata says so.
   void AddSection(uint32_t tag, const void* data, uint64_t size,
                   uint32_t flags = 0, uint64_t alignment = kSectionAlignment);
 

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <set>
+#include <vector>
 
 #include "algo/dijkstra.h"
 #include "algo/distance_sampler.h"
@@ -19,6 +21,7 @@
 #include "core/rne.h"
 #include "graph/generators.h"
 #include "index_kinds.h"
+#include "util/crc32c.h"
 #include "util/fault_injection.h"
 #include "util/mmap_file.h"
 #include "util/rng.h"
@@ -370,6 +373,85 @@ TEST_F(V2LayoutTest, ColdMapDefersGTreeMatrixCorruptionToVerify) {
   EXPECT_EQ(cold.value().VerifyMapped().code(), StatusCode::kCorruption);
   EXPECT_THROW(cold.value().Distance(0, 5), CorruptionError);
   std::filesystem::remove(path);
+  std::filesystem::remove(bad);
+}
+
+// Rewrites the v2 section table of `src` through `mutate` (applied to the
+// whole file image), re-seals the table CRC so structural validation — not
+// the checksum — is what rejects the file, and writes the result to `dst`.
+void PatchTableCopy(const std::string& src, const std::string& dst,
+                    const std::function<void(std::vector<uint8_t>*)>& mutate) {
+  std::vector<uint8_t> file;
+  ASSERT_TRUE(fault::ReadFileBytes(src, &file).ok());
+  mutate(&file);
+  uint32_t count = 0;
+  std::memcpy(&count, file.data() + kEnvelopeHeaderSize, 4);
+  const uint64_t entries_at = kEnvelopeHeaderSize + 4;
+  const uint64_t entries_bytes = uint64_t{count} * kSectionEntrySize;
+  if (entries_at + entries_bytes + 4 <= file.size()) {
+    uint32_t crc = Crc32c(file.data() + kEnvelopeHeaderSize, 4);
+    crc = Crc32cExtend(crc, file.data() + entries_at, entries_bytes);
+    std::memcpy(file.data() + entries_at + entries_bytes, &crc, 4);
+  }
+  ASSERT_TRUE(fault::WriteFileBytes(dst, file).ok());
+}
+
+TEST_F(V2LayoutTest, ZeroSizeSectionEntryRejected) {
+  // A zero-size entry passes no data yet hands loaders a degenerate extent
+  // whose pointer aliases the next section; the parser must reject it
+  // before any typed code sees it (pinned by
+  // fuzz/regressions/envelope/zero_size_section.bin).
+  const std::string bad = TempPath("rne_v2_zerosize.bin");
+  PatchTableCopy(*path_, bad, [](std::vector<uint8_t>* file) {
+    const uint64_t size_at = kEnvelopeHeaderSize + 4 + 16;  // entry0.size
+    std::memset(file->data() + size_at, 0, 8);
+  });
+  const auto st = InspectEnvelope(bad).status();
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  EXPECT_NE(st.ToString().find("zero-size section"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(Rne::Load(bad).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(Rne::Load(bad, ColdLoadOptions()).status().code(),
+            StatusCode::kCorruption);
+  std::filesystem::remove(bad);
+}
+
+TEST_F(V2LayoutTest, HugeSectionCountRejectedBeforeTableAllocation) {
+  // count * kSectionEntrySize with count = 0xFFFFFFFF is a 128 GiB table
+  // claim; the bound against the actual file size must fire before any
+  // allocation or read (pinned by
+  // fuzz/regressions/envelope/count_overflow.bin).
+  const std::string bad = TempPath("rne_v2_count.bin");
+  PatchTableCopy(*path_, bad, [](std::vector<uint8_t>* file) {
+    const uint32_t count = 0xFFFFFFFFu;
+    std::memcpy(file->data() + kEnvelopeHeaderSize, &count, 4);
+  });
+  const auto st = InspectEnvelope(bad).status();
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  EXPECT_NE(st.ToString().find("section count"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(Rne::Load(bad).status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(bad);
+}
+
+TEST_F(V2LayoutTest, SectionOffsetOverlappingHeaderRejected) {
+  // An offset pointing back into the envelope header (or anywhere before
+  // the payload end) would alias header/meta bytes as section data; the
+  // monotone-extent check must reject it (pinned by
+  // fuzz/regressions/envelope/offset_into_header.bin).
+  const std::string bad = TempPath("rne_v2_overlap.bin");
+  PatchTableCopy(*path_, bad, [](std::vector<uint8_t>* file) {
+    const uint64_t offset_at = kEnvelopeHeaderSize + 4 + 8;  // entry0.offset
+    const uint64_t offset = 0;  // aligned, but inside the header
+    std::memcpy(file->data() + offset_at, &offset, 8);
+  });
+  const auto st = InspectEnvelope(bad).status();
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  EXPECT_NE(st.ToString().find("extent out of bounds"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(Rne::Load(bad).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(Rne::Load(bad, ColdLoadOptions()).status().code(),
+            StatusCode::kCorruption);
   std::filesystem::remove(bad);
 }
 

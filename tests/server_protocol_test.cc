@@ -121,6 +121,91 @@ TEST_F(ServerProtocolTest, OutOfRangeIdsAreEngineErrorsNotCrashes) {
   }
 }
 
+TEST_F(ServerProtocolTest, IdsBeyondVertexIdRangeAreRejectedNotTruncated) {
+  // 4294967296 == 2^32 used to truncate through a 32-bit parse into vertex
+  // 0 and answer as if the client had asked for it (found by the protocol
+  // fuzzer; pinned by fuzz/regressions/protocol/id_truncation.txt).
+  const auto lines = Run(
+      "QUERY 4294967296 0\n"
+      "KNN 4294967297 1\n"
+      "QUERY 18446744073709551617 0\n");  // > 2^64: parse must fail too
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "ERR INVALID_ARGUMENT: usage: QUERY <s> <t>");
+  EXPECT_EQ(lines[1], "ERR INVALID_ARGUMENT: usage: KNN <s> <k>");
+  EXPECT_EQ(lines[2], "ERR INVALID_ARGUMENT: usage: QUERY <s> <t>");
+}
+
+TEST_F(ServerProtocolTest, UnterminatedFinalLineIsCountedNotSilentlyLost) {
+  // A connection that closes mid-line used to discard the tail without a
+  // trace. Finish() must still flush buffered answers and account for the
+  // dropped partial under net.partial_line_dropped.
+  auto* counter = obs::MetricsRegistry::Global().GetCounter(
+      "net.partial_line_dropped");
+  const uint64_t before = counter->Value();
+  ServerLoopOptions options;
+  options.batch = 8;  // keep the complete line buffered until Finish
+  LineProtocolHandler handler(engine_, options);
+  std::string out;
+  EXPECT_TRUE(handler.Consume("QUERY 0 1\nQUERY 2 3", &out));
+  EXPECT_EQ(handler.frames(), 1u);  // only the terminated line is a frame
+  handler.Finish(&out);
+  const auto lines = Lines(out);
+  ASSERT_EQ(lines.size(), 1u) << out;
+  EXPECT_EQ(lines[0].rfind("DIST ", 0), 0u) << lines[0];
+  EXPECT_EQ(handler.partial_lines_dropped(), 1u);
+  EXPECT_EQ(counter->Value(), before + 1);
+  // Finish on a cleanly-terminated stream counts nothing.
+  LineProtocolHandler clean(engine_, options);
+  std::string out2;
+  EXPECT_TRUE(clean.Consume("QUERY 0 1\n", &out2));
+  clean.Finish(&out2);
+  EXPECT_EQ(clean.partial_lines_dropped(), 0u);
+  EXPECT_EQ(counter->Value(), before + 1);
+}
+
+TEST_F(ServerProtocolTest, ConsumeReassemblesSplitFrames) {
+  // Byte-at-a-time delivery (worst-case TCP fragmentation) must produce
+  // exactly the same transcript as one large write.
+  const std::string stream = "QUERY 0 5\r\nKNN 0 2\nQUERY 3 4\n";
+  ServerLoopOptions options;
+  LineProtocolHandler handler(engine_, options);
+  std::string out;
+  for (char c : stream) {
+    EXPECT_TRUE(handler.Consume(std::string_view(&c, 1), &out));
+  }
+  handler.Finish(&out);
+  EXPECT_EQ(handler.frames(), 3u);
+  EXPECT_EQ(handler.partial_lines_dropped(), 0u);
+  const auto lines = Lines(out);
+  ASSERT_EQ(lines.size(), 3u) << out;
+  EXPECT_EQ(lines[0].rfind("DIST ", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("KNN ", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("DIST ", 0), 0u);
+  // Transcript parity with single-write delivery of the same bytes.
+  LineProtocolHandler whole(engine_, options);
+  std::string out_whole;
+  EXPECT_TRUE(whole.Consume(stream, &out_whole));
+  whole.Finish(&out_whole);
+  EXPECT_EQ(out, out_whole);
+}
+
+TEST_F(ServerProtocolTest, OversizedUnterminatedLineClosesAfterFlush) {
+  ServerLoopOptions options;
+  options.batch = 8;
+  options.max_line_bytes = 32;
+  LineProtocolHandler handler(engine_, options);
+  std::string out;
+  // A buffered answer is owed before the oversized garbage arrives; the
+  // ERR must not overtake it.
+  EXPECT_TRUE(handler.Consume("QUERY 0 1\n", &out));
+  EXPECT_FALSE(handler.Consume(std::string(64, 'A'), &out));
+  const auto lines = Lines(out);
+  ASSERT_EQ(lines.size(), 2u) << out;
+  EXPECT_EQ(lines[0].rfind("DIST ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("ERR INVALID_ARGUMENT: line exceeds", 0), 0u)
+      << lines[1];
+}
+
 TEST_F(ServerProtocolTest, KnnBoundaryKs) {
   const size_t n = graph_.NumVertices();
   const auto lines =

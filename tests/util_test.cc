@@ -607,6 +607,70 @@ TEST(ArgParserTest, RepeatedSwitchIsRejectedToo) {
       ArgParser::Parse(4, const_cast<char**>(ok_argv), 1, {"exact"}).ok());
 }
 
+TEST(ArgParserTest, EmbeddedNulTruncatesLikeExecveWould) {
+  // argv strings are C strings: a NUL smuggled into an argument ends it
+  // there. The parser must see only the prefix — no over-read past the
+  // terminator, no phantom flags from the hidden tail.
+  const char model[] = "m.rne\0--evil";  // sizeof includes both parts
+  const char* argv[] = {"tool", "--model", model, "--k", "2"};
+  const auto args = ArgParser::Parse(5, const_cast<char**>(argv), 1);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.value().Get("model", ""), "m.rne");
+  EXPECT_FALSE(args.value().Has("evil"));
+  EXPECT_EQ(args.value().GetInt("k", 0).value(), 2);
+}
+
+TEST(ArgParserTest, EqualsFormsAreLiteralKeysNotAssignments) {
+  // The parser is space-separated only: "--flag=v" is the (odd) key
+  // "flag=v" and "--flag=" the key "flag=", each still requiring a
+  // following value. Neither may alias the plain "flag" key.
+  const char* argv[] = {"tool", "--dim=", "8", "--rate=0.5", "x"};
+  const auto args = ArgParser::Parse(5, const_cast<char**>(argv), 1);
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args.value().Has("dim"));
+  EXPECT_FALSE(args.value().Has("rate"));
+  EXPECT_EQ(args.value().Get("dim=", ""), "8");
+  EXPECT_EQ(args.value().Get("rate=0.5", ""), "x");
+  // At end of argv the '=' form hits the ordinary missing-value error.
+  const char* tail[] = {"tool", "--model="};
+  const auto missing = ArgParser::Parse(2, const_cast<char**>(tail), 1);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArgParserTest, DuplicateAfterInterveningSwitchStillRejected) {
+  // The duplicate check must key on the flag name, not adjacency: a switch
+  // between the two occurrences must not launder the repeat.
+  const char* argv[] = {"tool", "--k", "1", "--exact", "--k", "2"};
+  const auto args =
+      ArgParser::Parse(6, const_cast<char**>(argv), 1, {"exact"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_EQ(args.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(args.status().message().find("--k"), std::string::npos);
+  EXPECT_NE(args.status().message().find("more than once"),
+            std::string::npos);
+}
+
+TEST(ArgParserTest, HugeArgumentsRoundTripWithoutTruncation) {
+  // A single >64 KiB token (both as a value and as a flag name) must be
+  // stored and fetched intact — no fixed-size buffers anywhere.
+  const std::string huge_value(70 * 1024, 'v');
+  const std::string huge_flag = "--" + std::string(65 * 1024, 'k');
+  const char* argv[] = {"tool", "--payload", huge_value.c_str(),
+                        huge_flag.c_str(), "1"};
+  const auto args = ArgParser::Parse(5, const_cast<char**>(argv), 1);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.value().Get("payload", ""), huge_value);
+  EXPECT_EQ(args.value().Get(huge_flag.substr(2), ""), "1");
+  // Huge numeric strings overflow strtol/strtod cleanly, not fatally.
+  const std::string digits(65 * 1024, '9');
+  const char* num_argv[] = {"tool", "--n", digits.c_str()};
+  const auto num = ArgParser::Parse(3, const_cast<char**>(num_argv), 1);
+  ASSERT_TRUE(num.ok());
+  (void)num.value().GetInt("n", 0);      // ERANGE path, no crash
+  (void)num.value().GetDouble("n", 0.0); // HUGE_VAL path, no crash
+}
+
 // ----------------------------------------------------- LatencyHistogram
 
 TEST(LatencyHistogramTest, EmptyReportsZero) {
